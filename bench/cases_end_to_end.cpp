@@ -1,0 +1,176 @@
+// Section 4, Cases 1-4: end-to-end error-handling outcomes under the two
+// deployments the paper compares:
+//   ARE = ABFT + relaxed ECC (here P_CK+No_ECC: ABFT data without ECC)
+//   ASE = ABFT + strong ECC  (chipkill everywhere)
+// Each case injects a representative DRAM error pattern into an
+// FT-DGEMM-protected structure on a fully wired node and reports what each
+// deployment actually did: in-controller ECC correction, ABFT repair
+// (optionally via the OS notification), or checkpoint/restart fallback.
+#include <cstdio>
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "abft/ft_dgemm.hpp"
+#include "abft/runtime.hpp"
+#include "bench/report.hpp"
+#include "fault/injector.hpp"
+#include "fault/scenario.hpp"
+#include "os/os.hpp"
+#include "sim/tap.hpp"
+
+namespace abftecc {
+namespace {
+
+struct Outcome {
+  std::string path;
+  bool result_correct = false;
+};
+
+struct Deployment {
+  memsim::MemorySystem sys;
+  os::Os os;
+  abft::Runtime rt;
+  sim::TapContext ctx;
+  fault::Injector inj;
+  Matrix a, b, ref;
+  abft::FtDgemm::Buffers buf;
+  std::unique_ptr<abft::FtDgemm> ft;
+
+  explicit Deployment(ecc::Scheme abft_scheme)
+      : sys(memsim::SystemConfig::scaled(8), ecc::Scheme::kChipkill),
+        os(sys),
+        rt(&os),
+        ctx(os, sys),
+        inj(sys, os) {
+    const std::size_t n = 64;
+    Rng rng(7);
+    a = Matrix::random(n, n, rng);
+    b = Matrix::random(n, n, rng);
+    ref = Matrix(n, n);
+    linalg::gemm(1.0, a.view(), b.view(), 0.0, ref.view());
+    auto alloc = [&](std::size_t r, std::size_t c, const char* name) {
+      void* p = os.malloc_ecc(r * c * 8, abft_scheme, name, true);
+      return MatrixView(static_cast<double*>(p), r, c, r);
+    };
+    buf = {alloc(n + 1, n, "Ac"), alloc(n, n + 1, "Br"),
+           alloc(n + 1, n + 1, "Cf")};
+    ft = std::make_unique<abft::FtDgemm>(a.view(), b.view(), buf,
+                                         abft::FtOptions{}, &rt);
+    ft->run(sim::MemoryTap(ctx));
+    flush_caches();
+  }
+
+  void flush_caches() {
+    void* fl = os.malloc_plain(4 * sys.config().l2.size_bytes, "flush");
+    const auto fp = *os.virt_to_phys(fl);
+    for (std::uint64_t o = 0; o < 4 * sys.config().l2.size_bytes; o += 64)
+      sys.access(fp + o, memsim::AccessKind::kRead);
+    os.free_ecc(fl);
+  }
+
+  std::uint64_t phys_of(double* p) { return *os.virt_to_phys(p); }
+
+  /// Touch every protected line (the application reading its data), then
+  /// run one ABFT verification and classify the outcome.
+  Outcome resolve() {
+    Outcome out;
+    for (std::size_t j = 0; j <= 64; ++j)
+      for (std::size_t i = 0; i <= 64; ++i)
+        sys.access(phys_of(&buf.cf(i, j)), memsim::AccessKind::kRead);
+    const bool hw_notified = os.has_exposed_errors();
+    const auto ecc_corrected = sys.controller().corrected_count();
+    const auto st = ft->verify_and_correct(sim::MemoryTap(ctx));
+    out.result_correct = max_abs_diff(ft->result(), ref.view()) < 1e-7;
+    if (st == abft::FtStatus::kUncorrectable || !out.result_correct) {
+      out.path = "checkpoint/restart";
+      out.result_correct = false;
+    } else if (st == abft::FtStatus::kCorrectedErrors) {
+      out.path = hw_notified ? "ABFT repair (notified)" : "ABFT repair";
+    } else if (ecc_corrected > 0) {
+      out.path = "ECC in-controller";
+    } else {
+      out.path = "clean";
+    }
+    return out;
+  }
+};
+
+void run_case(const char* label, fault::Case expected,
+              const std::function<void(Deployment&)>& inject) {
+  Deployment are(ecc::Scheme::kNone);      // P_CK+No_ECC
+  Deployment ase(ecc::Scheme::kChipkill);  // strong ECC everywhere
+  inject(are);
+  inject(ase);
+  const Outcome o_are = are.resolve();
+  const Outcome o_ase = ase.resolve();
+  std::printf("%-52s  [%s]\n", label,
+              std::string(fault::to_string(expected)).c_str());
+  std::printf("  ARE (ABFT+No_ECC):   %-24s result %s\n", o_are.path.c_str(),
+              o_are.result_correct ? "correct" : "LOST");
+  std::printf("  ASE (ABFT+chipkill): %-24s result %s\n\n",
+              o_ase.path.c_str(), o_ase.result_correct ? "correct" : "LOST");
+}
+
+}  // namespace
+}  // namespace abftecc
+
+int main() {
+  using namespace abftecc;
+  bench::header("Section 4 Cases 1-4: end-to-end error handling",
+                "SC'13 Sec. 4 classification");
+
+  // Case 1: a single DRAM bit flip, correctable by both sides. ASE fixes
+  // it in the controller for ~1 pJ; ARE pays an ABFT verification pass.
+  run_case("single bit flip in one element", fault::Case::kCase1BothCorrect,
+           [](Deployment& d) {
+             d.inj.inject_bit(d.phys_of(&d.buf.cf(10, 12)) + 6, 3);
+           });
+
+  // Case 2: two chips of the same line corrupted -- two bad symbols per
+  // codeword, beyond chipkill's SSC-DSD -- while the damaged elements sit
+  // in one matrix column, squarely inside ABFT's correction capability.
+  run_case("two-chip corruption (beyond chipkill, within ABFT)",
+           fault::Case::kCase2AbftOnly, [](Deployment& d) {
+             const std::uint64_t line =
+                 d.phys_of(&d.buf.cf(24, 24)) / 64 * 64;
+             // Chips 8 and 9 carry high-mantissa bytes: detectable,
+             // precisely repairable damage confined to one matrix column,
+             // but two failed symbols per codeword -- beyond SSC-DSD.
+             d.inj.inject_chip_kill(line, 8, 0xF);
+             d.inj.inject_chip_kill(line, 9, 0xF);
+           });
+
+  // Case 3: four single-bit flips forming a 2x2 row/column grid. Strong
+  // ECC corrects each flip independently; under relaxed ECC they reach the
+  // application and the checksum residuals cannot be paired.
+  run_case("2x2 grid of single-bit flips", fault::Case::kCase3EccOnly,
+           [](Deployment& d) {
+             for (double* e : {&d.buf.cf(10, 20), &d.buf.cf(10, 30),
+                               &d.buf.cf(40, 20), &d.buf.cf(40, 30)})
+               d.inj.inject_bit(d.phys_of(e) + 6, 2);
+           });
+
+  // Case 4: corruption while the lines are cache-resident (ECC never sees
+  // it on either deployment) in an ambiguous grid: both sides fall back.
+  run_case("cache-window burst, ambiguous pattern",
+           fault::Case::kCase4Neither, [](Deployment& d) {
+             for (double* e : {&d.buf.cf(10, 20), &d.buf.cf(10, 30),
+                               &d.buf.cf(40, 20), &d.buf.cf(40, 30)}) {
+               *e += 3.0;
+               d.inj.corrupt_virtual_now(e, 0);  // flag as injected
+               *e = d.ref(10, 20) >= 0 ? *e : *e;  // keep magnitudes equal
+             }
+             // Equal magnitudes defeat residual pairing deterministically.
+             d.buf.cf(10, 20) = d.ref(10, 20) + 3.0;
+             d.buf.cf(10, 30) = d.ref(10, 30) + 3.0;
+             d.buf.cf(40, 20) = d.ref(40, 20) + 3.0;
+             d.buf.cf(40, 30) = d.ref(40, 30) + 3.0;
+           });
+
+  std::printf(
+      "paper shape: ARE resolves Cases 1-2 without restart (legacy ASE "
+      "would crash on Case 2); Case 3 favors ASE; Case 4 sends both to the "
+      "checkpoint.\n");
+  return 0;
+}

@@ -1,0 +1,51 @@
+// Section 4, Equations (7)-(8): MTTF thresholds that decide whether ARE
+// (ABFT + relaxed ECC) beats ASE (ABFT + strong ECC).
+//
+// Sweeps the ABFT per-recovery cost t_c and the ECC performance-impact gap
+// (tau_ase - tau_are), printing the resulting MTTF_thr alongside the
+// achieved MTTF of representative deployments so the decision rule is
+// concrete: deploy ARE only where the machine's MTTF sits above the
+// threshold row.
+#include "bench/report.hpp"
+#include "fault/model.hpp"
+
+int main() {
+  using namespace abftecc;
+  using namespace abftecc::fault;
+  bench::header("Eq. (7)-(8): MTTF thresholds for ARE vs ASE",
+                "SC'13 Sec. 4 Case 1 analysis");
+
+  std::printf("-- performance threshold (Eq. 7): MTTF_thr,t = t_c (1+tau_are) "
+              "/ (tau_ase - tau_are) --\n");
+  bench::row({"t_c(s)", "gap=2%", "gap=5%", "gap=10%", "gap=20%"});
+  for (const double tc : {0.01, 0.1, 1.0, 10.0}) {
+    std::vector<std::string> cells{bench::fmt(tc, 2)};
+    for (const double gap : {0.02, 0.05, 0.10, 0.20})
+      cells.push_back(bench::fmt_sci(mttf_threshold_perf(tc, 0.0, gap)) + "s");
+    bench::row(cells);
+  }
+
+  std::printf("\n-- energy threshold: MTTF_thr,en = e_c T0 (1+tau_are) / "
+              "dE  (T0 = 3600s run) --\n");
+  bench::row({"e_c(J)", "dE=10J", "dE=100J", "dE=1kJ"});
+  for (const double ec : {1.0, 10.0, 100.0}) {
+    std::vector<std::string> cells{bench::fmt(ec, 0)};
+    for (const double de : {10.0, 100.0, 1000.0})
+      cells.push_back(
+          bench::fmt_sci(mttf_threshold_energy(ec, 3600.0, 0.0, de)) + "s");
+    bench::row(cells);
+  }
+
+  std::printf("\n-- achieved per-node MTTF at Table 5 rates (8 GB node) --\n");
+  const double node_mbit = 8.0 * 1024 * 1024 * 1024 * 8 / 1e6;
+  bench::row({"scheme", "MTTF(s)", "MTTF(hours)"});
+  for (const auto s :
+       {ecc::Scheme::kNone, ecc::Scheme::kSecded, ecc::Scheme::kChipkill}) {
+    const double mttf = mttf_seconds(table5_rate(s), node_mbit, 1.0, 1.0);
+    bench::row({std::string(ecc::to_string(s)), bench::fmt_sci(mttf),
+                bench::fmt_sci(mttf / 3600.0)});
+  }
+  std::printf("\nEq. (8): MTTF_thr = max(threshold_perf, threshold_energy); "
+              "deploy ARE when achieved MTTF exceeds it.\n");
+  return 0;
+}

@@ -1,0 +1,46 @@
+// Figure 9: strong-scaling comparison of energy benefit vs ABFT recovery
+// cost with fault modeling, FT-CG, 100 .. 3200 processes (mixed deployment:
+// weak-scaled to 100 processes, then strong-scaled).
+//
+// Paper shape: the energy benefit first rises with scale, then falls once
+// the shrinking per-process problem becomes cache-resident (an interior
+// sweet spot); the recovery cost falls with scale because per-process
+// recovery gets cheaper; P_CK+P_SD stays the most energy-efficient.
+#include "bench/report.hpp"
+#include "sim/scaling.hpp"
+
+int main() {
+  using namespace abftecc;
+  using namespace abftecc::sim;
+  bench::header("Figure 9: strong scaling, energy benefit vs recovery cost",
+                "SC'13 Fig. 9");
+
+  ScalingOptions opt;
+  opt.process_counts = {100, 200, 400, 800, 1600, 3200};
+  opt.base_dim = 640;
+  opt.iterations = 4;
+  bench::print_config(opt.platform);
+  ScalingStudy study(opt);
+
+  for (const auto scheme :
+       {Strategy::kPartialChipkillNoEcc, Strategy::kPartialChipkillSecded,
+        Strategy::kPartialSecdedNoEcc}) {
+    std::printf("-- %s (baseline %s) --\n",
+                std::string(spec(scheme).label).c_str(),
+                std::string(spec(ScalingStudy::baseline_for(scheme)).label).c_str());
+    bench::row({"processes", "benefit(kJ)", "recovery(kJ)", "errors",
+                "MTTF(s)"});
+    for (const auto& p : study.strong_scaling(scheme)) {
+      bench::row({bench::fmt(p.processes, 0),
+                  bench::fmt_sci(p.energy_benefit_kj),
+                  bench::fmt_sci(p.recovery_cost_kj),
+                  bench::fmt_sci(p.expected_errors),
+                  bench::fmt_sci(p.mttf_hetero_seconds)});
+    }
+    std::printf("\n");
+  }
+  std::printf(
+      "paper shape: benefit peaks at an interior scale then declines; "
+      "recovery cost shrinks as the per-process problem shrinks.\n");
+  return 0;
+}

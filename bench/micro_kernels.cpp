@@ -1,0 +1,117 @@
+// Google-benchmark microbenchmarks for the substrate hot paths: the BLAS
+// kernels the ABFT algorithms are built on, the bit-level ECC codecs the
+// memory controller runs per line, and the simulator's per-access cost.
+#include <benchmark/benchmark.h>
+
+#include "common/matrix.hpp"
+#include "common/rng.hpp"
+#include "ecc/chipkill.hpp"
+#include "ecc/secded.hpp"
+#include "linalg/blas.hpp"
+#include "linalg/factor.hpp"
+#include "memsim/system.hpp"
+
+namespace abftecc {
+namespace {
+
+void BM_Gemm(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  Rng rng(1);
+  Matrix a = Matrix::random(n, n, rng), b = Matrix::random(n, n, rng), c(n, n);
+  for (auto _ : state) {
+    linalg::gemm(1.0, a.view(), b.view(), 0.0, c.view());
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 2 *
+                          n * n * n);
+}
+BENCHMARK(BM_Gemm)->Arg(64)->Arg(128)->Arg(256);
+
+void BM_Potrf(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  Rng rng(2);
+  Matrix a = Matrix::random_spd(n, rng);
+  for (auto _ : state) {
+    Matrix w = a;
+    linalg::potrf(w.view());
+    benchmark::DoNotOptimize(w.data());
+  }
+}
+BENCHMARK(BM_Potrf)->Arg(64)->Arg(128)->Arg(256);
+
+void BM_Gemv(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  Rng rng(3);
+  Matrix a = Matrix::random(n, n, rng);
+  std::vector<double> x(n, 1.0), y(n);
+  for (auto _ : state) {
+    linalg::gemv(1.0, a.view(), x, 0.0, y);
+    benchmark::DoNotOptimize(y.data());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) * n *
+                          n * sizeof(double));
+}
+BENCHMARK(BM_Gemv)->Arg(256)->Arg(1024);
+
+void BM_SecdedEncode(benchmark::State& state) {
+  Rng rng(4);
+  std::uint64_t v = rng();
+  for (auto _ : state) {
+    auto w = ecc::Secded::encode(v);
+    benchmark::DoNotOptimize(w);
+    v = v * 6364136223846793005ull + 1;
+  }
+}
+BENCHMARK(BM_SecdedEncode);
+
+void BM_SecdedDecodeCorrect(benchmark::State& state) {
+  Rng rng(5);
+  auto w = ecc::Secded::encode(rng());
+  ecc::Secded::flip_bit(w, 13);
+  for (auto _ : state) {
+    auto copy = w;
+    benchmark::DoNotOptimize(ecc::Secded::decode(copy));
+  }
+}
+BENCHMARK(BM_SecdedDecodeCorrect);
+
+void BM_ChipkillEncode(benchmark::State& state) {
+  Rng rng(6);
+  std::array<std::uint8_t, ecc::Chipkill::kDataSymbols> d{};
+  for (auto& v : d) v = static_cast<std::uint8_t>(rng.below(256));
+  for (auto _ : state) {
+    auto cw = ecc::Chipkill::encode(d);
+    benchmark::DoNotOptimize(cw);
+  }
+}
+BENCHMARK(BM_ChipkillEncode);
+
+void BM_ChipkillDecodeCorrect(benchmark::State& state) {
+  Rng rng(7);
+  std::array<std::uint8_t, ecc::Chipkill::kDataSymbols> d{};
+  for (auto& v : d) v = static_cast<std::uint8_t>(rng.below(256));
+  auto cw = ecc::Chipkill::encode(d);
+  cw[9] ^= 0x5A;
+  for (auto _ : state) {
+    auto copy = cw;
+    benchmark::DoNotOptimize(ecc::Chipkill::decode(copy));
+  }
+}
+BENCHMARK(BM_ChipkillDecodeCorrect);
+
+void BM_SimulatedAccess(benchmark::State& state) {
+  memsim::MemorySystem sys(memsim::SystemConfig::scaled(8),
+                           ecc::Scheme::kChipkill);
+  std::uint64_t addr = 0;
+  for (auto _ : state) {
+    sys.access(addr, memsim::AccessKind::kRead);
+    addr = (addr + 8) % (64 << 20);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SimulatedAccess);
+
+}  // namespace
+}  // namespace abftecc
+
+BENCHMARK_MAIN();

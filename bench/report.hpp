@@ -1,0 +1,67 @@
+// Shared table-formatting helpers for the experiment harnesses.
+//
+// Every bench binary regenerates one table or figure of the paper: it
+// prints the same rows/series the paper reports so the shape can be
+// compared directly (see EXPERIMENTS.md for the side-by-side record).
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "memsim/config.hpp"
+#include "sim/platform.hpp"
+
+namespace abftecc::bench {
+
+inline void header(std::string_view experiment, std::string_view paper_ref) {
+  std::printf("==================================================================\n");
+  std::printf("%.*s  (reproduces %.*s)\n", static_cast<int>(experiment.size()),
+              experiment.data(), static_cast<int>(paper_ref.size()),
+              paper_ref.data());
+  std::printf("==================================================================\n");
+}
+
+/// Print the Table 3-style configuration actually used by a run.
+inline void print_config(const sim::PlatformOptions& opt) {
+  const auto cfg = memsim::SystemConfig::scaled(opt.cache_scale);
+  std::printf(
+      "config: L1 %zuKB/%uway, L2 %zuKB/%uway, %u chan x %u DIMM x %u rank, "
+      "row %zuB, %s-page\n",
+      cfg.l1.size_bytes / 1024, cfg.l1.ways, cfg.l2.size_bytes / 1024,
+      cfg.l2.ways, cfg.org.channels, cfg.org.dimms_per_channel,
+      cfg.org.ranks_per_dimm, cfg.org.row_bytes,
+      opt.row_policy == memsim::RowBufferPolicy::kOpenPage ? "open" : "closed");
+  std::printf(
+      "inputs: DGEMM %zu, Cholesky %zu, CG %zu x %zu iters, HPL %zu (%zu "
+      "procs), verify period %zu\n\n",
+      opt.dgemm_dim, opt.cholesky_dim, opt.cg_dim, opt.cg_iterations,
+      opt.hpl_dim, opt.hpl_processes, opt.verify_period);
+}
+
+/// Simple fixed-width row printing.
+inline void row(const std::vector<std::string>& cells, int width = 14) {
+  for (const auto& c : cells) std::printf("%-*s", width, c.c_str());
+  std::printf("\n");
+}
+
+inline std::string fmt(double v, int precision = 3) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*f", precision, v);
+  return buf;
+}
+
+inline std::string fmt_pct(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.1f%%", v * 100.0);
+  return buf;
+}
+
+inline std::string fmt_sci(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.3g", v);
+  return buf;
+}
+
+}  // namespace abftecc::bench

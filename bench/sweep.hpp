@@ -1,0 +1,39 @@
+// Shared 6-strategy x 4-kernel sweep used by the Figure 5/6/7 harnesses.
+#pragma once
+
+#include <array>
+#include <map>
+
+#include "bench/report.hpp"
+#include "sim/platform.hpp"
+#include "sim/strategy.hpp"
+
+namespace abftecc::bench {
+
+inline constexpr std::array<sim::Kernel, 4> kSweepKernels = {
+    sim::Kernel::kDgemm, sim::Kernel::kCholesky, sim::Kernel::kCg,
+    sim::Kernel::kHpl};
+
+struct Sweep {
+  std::map<std::pair<int, int>, sim::RunMetrics> results;
+
+  const sim::RunMetrics& at(sim::Kernel k, sim::Strategy s) const {
+    return results.at({static_cast<int>(k), static_cast<int>(s)});
+  }
+};
+
+inline Sweep run_sweep(const sim::PlatformOptions& base) {
+  Sweep sweep;
+  for (const auto kernel : kSweepKernels) {
+    for (const auto strategy : sim::kAllStrategies) {
+      sim::PlatformOptions opt = base;
+      opt.strategy = strategy;
+      sweep.results.emplace(
+          std::make_pair(static_cast<int>(kernel), static_cast<int>(strategy)),
+          sim::run_kernel(kernel, opt));
+    }
+  }
+  return sweep;
+}
+
+}  // namespace abftecc::bench

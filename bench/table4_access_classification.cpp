@@ -1,0 +1,50 @@
+// Table 4: classification of accesses by ABFT protection.
+//
+// The paper profiles references and separately counts accesses to blocks
+// with and without ABFT protection; the ratio explains why the partial-ECC
+// strategies behave as they do in Figure 5 (a kernel whose traffic is
+// almost entirely ABFT-protected is insensitive to the scheme chosen for
+// the rest).
+//
+// Paper ratios: FT-DGEMM 654, FT-Cholesky 14, FT-CG 3, FT-HPL 20.
+#include "bench/report.hpp"
+
+int main() {
+  using namespace abftecc;
+  using namespace abftecc::sim;
+  bench::header("Table 4: accesses with/without ABFT protection",
+                "SC'13 Table 4");
+  PlatformOptions opt;
+  opt.strategy = Strategy::kWholeChipkill;
+  bench::print_config(opt);
+
+  bench::row({"kernel", "#ref w/ ABFT", "#ref w/o", "ratio", "LLC-miss w/",
+              "LLC-miss w/o"}, 16);
+  const struct {
+    Kernel kernel;
+    double paper_ratio;
+  } rows[] = {{Kernel::kDgemm, 654},
+              {Kernel::kCholesky, 14},
+              {Kernel::kCg, 3},
+              {Kernel::kHpl, 20}};
+  for (const auto& r : rows) {
+    const RunMetrics m = run_kernel(r.kernel, opt);
+    // FT-Cholesky and FT-HPL touch only ABFT-protected structures at this
+    // instrumentation level (the paper's nonzero denominators come from
+    // OS/runtime traffic outside our taps): report "inf" honestly.
+    const std::string ratio =
+        m.refs_other == 0 ? "inf"
+                          : bench::fmt(static_cast<double>(m.refs_abft) /
+                                           static_cast<double>(m.refs_other),
+                                       1);
+    bench::row({std::string(kernel_name(r.kernel)),
+                std::to_string(m.refs_abft), std::to_string(m.refs_other),
+                ratio, std::to_string(m.sys.demand_misses_abft),
+                std::to_string(m.sys.demand_misses_other)},
+               16);
+  }
+  std::printf(
+      "\npaper shape: FT-DGEMM's traffic is overwhelmingly ABFT-protected "
+      "(largest ratio); FT-CG's ratio is the smallest.\n");
+  return 0;
+}

@@ -1,0 +1,75 @@
+// Scaling advisor: the Section 4 decision rule as a tool.
+//
+// Given a deployment (nodes, memory per node, ABFT recovery cost, the
+// measured performance/energy impact of strong vs relaxed ECC), computes
+// the Eq. (7)-(8) MTTF thresholds and the machine's achieved MTTF at the
+// Table 5 rates, then recommends ARE (relax ECC on ABFT data) or ASE
+// (keep strong ECC everywhere).
+//
+//   build/examples/scaling_advisor [nodes] [GB-per-node]
+#include <cstdio>
+#include <cstdlib>
+
+#include "fault/model.hpp"
+
+int main(int argc, char** argv) {
+  using namespace abftecc;
+  using namespace abftecc::fault;
+
+  const double nodes = argc > 1 ? std::atof(argv[1]) : 1024.0;
+  const double gb_per_node = argc > 2 ? std::atof(argv[2]) : 8.0;
+
+  // Deployment assumptions (edit to taste).
+  const double t0_seconds = 3600.0;       // native run time
+  const double tau_ase = 0.05;            // strong-ECC slowdown
+  const double tau_are = 0.005;           // relaxed-ECC slowdown
+  const double t_c_seconds = 2.0;         // one ABFT recovery
+  const double e_c_joules = 50.0;         // energy of one ABFT recovery
+  const double delta_e_joules = 400.0 * nodes;  // per-run energy saving
+  const double abft_fraction = 0.6;       // share of memory under ABFT
+
+  std::printf("deployment: %.0f nodes x %.0f GB, ABFT covers %.0f%% of "
+              "memory\n\n",
+              nodes, gb_per_node, abft_fraction * 100);
+
+  const double thr_t = mttf_threshold_perf(t_c_seconds, tau_are, tau_ase);
+  const double thr_e =
+      mttf_threshold_energy(e_c_joules, t0_seconds, tau_are, delta_e_joules);
+  const double thr = mttf_threshold(thr_t, thr_e);
+  std::printf("Eq.(7) performance threshold: MTTF_thr,t  = %.3g s\n", thr_t);
+  std::printf("       energy threshold:      MTTF_thr,en = %.3g s\n", thr_e);
+  std::printf("Eq.(8) deciding threshold:    MTTF_thr    = %.3g s\n\n", thr);
+
+  const double mbit_per_node = gb_per_node * 1024 * 1024 * 1024 * 8 / 1e6;
+  std::printf("%-34s %-14s %-10s\n", "ABFT-region protection", "MTTF_hetero",
+              "verdict");
+  for (const auto relaxed :
+       {ecc::Scheme::kNone, ecc::Scheme::kSecded, ecc::Scheme::kChipkill}) {
+    // Heterogeneous node: ABFT region relaxed, remainder chipkill (Eq. 3).
+    std::vector<RegionSpec> regions{
+        {mbit_per_node * abft_fraction, table5_rate(relaxed), 1.0},
+        {mbit_per_node * (1 - abft_fraction),
+         table5_rate(ecc::Scheme::kChipkill), 1.0}};
+    const double mttf = mttf_hetero_seconds(regions, nodes);
+    const bool deploy_are = mttf > thr;
+    std::printf("%-34s %-14.4g %s\n",
+                std::string("ABFT + ").append(ecc::to_string(relaxed)).c_str(),
+                mttf,
+                relaxed == ecc::Scheme::kChipkill
+                    ? "(that IS ASE)"
+                    : (deploy_are ? "ARE pays off" : "stay with ASE"));
+  }
+  std::printf(
+      "\nExpected errors per run at each setting (Eq. 4), for context:\n");
+  for (const auto relaxed : {ecc::Scheme::kNone, ecc::Scheme::kSecded}) {
+    std::vector<RegionSpec> regions{
+        {mbit_per_node * abft_fraction, table5_rate(relaxed), 1.0},
+        {mbit_per_node * (1 - abft_fraction),
+         table5_rate(ecc::Scheme::kChipkill), 1.0}};
+    const double mttf = mttf_hetero_seconds(regions, nodes);
+    std::printf("  ABFT + %-9s N_e = %.3g over a %.0f s run\n",
+                std::string(ecc::to_string(relaxed)).c_str(),
+                expected_errors(t0_seconds, tau_are, mttf), t0_seconds);
+  }
+  return 0;
+}

@@ -1,0 +1,13 @@
+#include "abft/checksum.hpp"
+
+namespace abftecc::abft {
+
+double mean_abs(ConstMatrixView a) {
+  if (a.rows() == 0 || a.cols() == 0) return 0.0;
+  double s = 0.0;
+  for (std::size_t j = 0; j < a.cols(); ++j)
+    for (std::size_t i = 0; i < a.rows(); ++i) s += std::abs(a(i, j));
+  return s / (static_cast<double>(a.rows()) * static_cast<double>(a.cols()));
+}
+
+}  // namespace abftecc::abft

@@ -1,0 +1,66 @@
+// Shared types for the ABFT kernels: status codes, phase timing (the
+// checksum-vs-verification breakdown of Figure 3), and options.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <string>
+
+namespace abftecc::abft {
+
+enum class FtStatus {
+  kOk,                ///< finished; all detected errors corrected
+  kCorrectedErrors,   ///< finished; >= 1 error was detected and corrected
+  kUncorrectable,     ///< error pattern beyond ABFT capability: caller must
+                      ///< fall back to checkpoint/restart
+  kNumericalFailure,  ///< substrate breakdown (non-SPD, singular, divergence)
+};
+
+/// Accumulated per-run ABFT accounting. Wall-clock phase timers feed the
+/// Figure 3 overhead breakdown and the Table 1 simplified-verification
+/// comparison; counters feed the error-handling experiments.
+struct FtStats {
+  double encode_seconds = 0.0;   ///< building + maintaining checksums
+  double verify_seconds = 0.0;   ///< periodic verification passes
+  double correct_seconds = 0.0;  ///< error correction work
+  std::uint64_t verifications = 0;
+  std::uint64_t errors_detected = 0;
+  std::uint64_t errors_corrected = 0;
+  std::uint64_t hw_notifications_used = 0;  ///< simplified-verification hits
+
+  [[nodiscard]] double overhead_seconds() const {
+    return encode_seconds + verify_seconds + correct_seconds;
+  }
+};
+
+/// Scoped phase timer accumulating into an FtStats field.
+class PhaseTimer {
+ public:
+  explicit PhaseTimer(double& sink)
+      : sink_(sink), start_(std::chrono::steady_clock::now()) {}
+  ~PhaseTimer() {
+    sink_ += std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                           start_)
+                 .count();
+  }
+  PhaseTimer(const PhaseTimer&) = delete;
+  PhaseTimer& operator=(const PhaseTimer&) = delete;
+
+ private:
+  double& sink_;
+  std::chrono::steady_clock::time_point start_;
+};
+
+/// Options common to the fail-continue kernels.
+struct FtOptions {
+  /// Verify every this many block iterations ("every few iterations of the
+  /// computation", Section 2.1).
+  std::size_t verify_period = 4;
+  /// Use the cooperative hardware error-notification path instead of full
+  /// checksum recomputation when no notification is pending (Section 3.2.2).
+  bool hardware_assisted = false;
+  /// Relative tolerance for checksum residual tests.
+  double tolerance = 1e-8;
+};
+
+}  // namespace abftecc::abft

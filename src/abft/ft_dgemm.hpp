@@ -1,0 +1,307 @@
+// FT-DGEMM: fault-tolerant general matrix multiplication for fail-continue
+// errors (Section 2.1, after Wu et al.).
+//
+// A and B are encoded with checksums,
+//     A^c = [A; e^T A]          (extra column-checksum row)
+//     B^r = [B, B e]            (extra row-checksum column)
+// so the running product C^f = A^c B^r carries a full checksum relationship
+// at every k-block boundary: each column of C sums to the checksum row and
+// each row sums to the checksum column. Verification recomputes the sums
+// every `verify_period` k-blocks; a corrupted element (i,j) shows up as
+// matching row-i and column-j residuals and is repaired in place. In
+// cooperative (hardware-assisted) mode the verification pass is replaced by
+// a check of the OS-exposed error log (Section 3.2.2): when the hardware
+// saw no error, no checksum is recomputed at all.
+#pragma once
+
+#include <cmath>
+#include <cstddef>
+#include <vector>
+
+#include "abft/checksum.hpp"
+#include "abft/common.hpp"
+#include "abft/runtime.hpp"
+#include "linalg/blas.hpp"
+
+namespace abftecc::abft {
+
+class FtDgemm {
+ public:
+  /// Caller-provided (typically malloc_ecc-backed) buffers.
+  struct Buffers {
+    MatrixView ac;  ///< (m+1) x k
+    MatrixView br;  ///< k x (n+1)
+    MatrixView cf;  ///< (m+1) x (n+1), zeroed by encode()
+  };
+
+  FtDgemm(ConstMatrixView a, ConstMatrixView b, Buffers buf,
+          FtOptions opt = {}, Runtime* runtime = nullptr)
+      : a_(a), b_(b), buf_(buf), opt_(opt), rt_(runtime) {
+    ABFTECC_REQUIRE(a.cols() == b.rows());
+    ABFTECC_REQUIRE(buf.ac.rows() == a.rows() + 1 && buf.ac.cols() == a.cols());
+    ABFTECC_REQUIRE(buf.br.rows() == b.rows() && buf.br.cols() == b.cols() + 1);
+    ABFTECC_REQUIRE(buf.cf.rows() == a.rows() + 1 &&
+                    buf.cf.cols() == b.cols() + 1);
+    if (rt_ != nullptr)
+      struct_id_ = rt_->register_structure("ft_dgemm.C", buf_.cf.data(),
+                                           buf_.cf.ld() * buf_.cf.cols());
+  }
+
+  ~FtDgemm() {
+    if (rt_ != nullptr) rt_->unregister_structure(struct_id_);
+  }
+  FtDgemm(const FtDgemm&) = delete;
+  FtDgemm& operator=(const FtDgemm&) = delete;
+
+  /// Full run: encode, multiply with periodic verification, final verify.
+  template <MemTap Tap = NullTap>
+  FtStatus run(Tap tap = {}) {
+    encode(tap);
+    const std::size_t kk = a_.cols();
+    const std::size_t kb = linalg::kBlock;
+    std::size_t blocks_since_verify = 0;
+    for (std::size_t k0 = 0; k0 < kk; k0 += kb) {
+      const std::size_t klen = std::min(kb, kk - k0);
+      linalg::gemm(1.0,
+                   ConstMatrixView(buf_.ac.block(0, k0, buf_.ac.rows(), klen)),
+                   ConstMatrixView(buf_.br.block(k0, 0, klen, buf_.br.cols())),
+                   1.0, buf_.cf, tap);
+      if (++blocks_since_verify >= opt_.verify_period) {
+        blocks_since_verify = 0;
+        const FtStatus st = verify_and_correct(tap);
+        if (st == FtStatus::kUncorrectable) return st;
+      }
+    }
+    const FtStatus st = verify_and_correct(tap);
+    if (st == FtStatus::kUncorrectable) return st;
+    return stats_.errors_corrected > 0 ? FtStatus::kCorrectedErrors
+                                       : FtStatus::kOk;
+  }
+
+  /// One verification pass. In hardware-assisted mode this only consults
+  /// the exposed error log unless a notification is pending.
+  template <MemTap Tap = NullTap>
+  FtStatus verify_and_correct(Tap tap = {}) {
+    ++stats_.verifications;
+    if (opt_.hardware_assisted && rt_ != nullptr &&
+        rt_->hardware_assisted_available()) {
+      PhaseTimer t(stats_.verify_seconds);
+      if (!rt_->errors_pending()) return FtStatus::kOk;
+      return correct_from_notifications(tap);
+    }
+    PhaseTimer t(stats_.verify_seconds);
+    return full_verify(tap);
+  }
+
+  /// The m x n payload block of the running product.
+  [[nodiscard]] ConstMatrixView result() const {
+    return ConstMatrixView(buf_.cf).block(0, 0, a_.rows(), b_.cols());
+  }
+
+  [[nodiscard]] const FtStats& stats() const { return stats_; }
+  [[nodiscard]] const Buffers& buffers() const { return buf_; }
+
+ private:
+  template <MemTap Tap>
+  void encode(Tap tap) {
+    PhaseTimer t(stats_.encode_seconds);
+    const std::size_t m = a_.rows(), n = b_.cols(), kk = a_.cols();
+    // A^c: copy A and append the column-sum row.
+    for (std::size_t j = 0; j < kk; ++j) {
+      double s = 0.0;
+      for (std::size_t i = 0; i < m; ++i) {
+        tap.read(&a_(i, j));
+        tap.write(&buf_.ac(i, j));
+        buf_.ac(i, j) = a_(i, j);
+        s += a_(i, j);
+      }
+      tap.write(&buf_.ac(m, j));
+      buf_.ac(m, j) = s;
+    }
+    // B^r: copy B and append the row-sum column.
+    for (std::size_t i = 0; i < kk; ++i) {
+      tap.write(&buf_.br(i, n));
+      buf_.br(i, n) = 0.0;
+    }
+    for (std::size_t j = 0; j < n; ++j) {
+      for (std::size_t i = 0; i < kk; ++i) {
+        tap.read(&b_(i, j));
+        tap.write(&buf_.br(i, j));
+        buf_.br(i, j) = b_(i, j);
+        tap.update(&buf_.br(i, n));
+        buf_.br(i, n) += b_(i, j);
+      }
+    }
+    buf_.cf.fill(0.0);
+    scale_ = mean_abs(a_) * mean_abs(b_) * static_cast<double>(kk);
+    if (scale_ == 0.0) scale_ = 1.0;
+  }
+
+  /// Repair elements named by the OS error log using one column scan each.
+  template <MemTap Tap>
+  FtStatus correct_from_notifications(Tap tap) {
+    const std::size_t m = a_.rows(), n = b_.cols();
+    for (const auto& e : rt_->drain_located_errors()) {
+      if (e.structure_id != struct_id_) continue;
+      ++stats_.hw_notifications_used;
+      ++stats_.errors_detected;
+      const std::size_t i = e.element_index % buf_.cf.ld();
+      const std::size_t j = e.element_index / buf_.cf.ld();
+      if (i > m || j > n) continue;
+      PhaseTimer t(stats_.correct_seconds);
+      if (i == m || j == n) {
+        // Corrupted checksum entry: recompute it from the payload.
+        refresh_checksum_entry(i, j, tap);
+        ++stats_.errors_corrected;
+        continue;
+      }
+      double s = 0.0;
+      for (std::size_t r = 0; r < m; ++r) {
+        tap.read(&buf_.cf(r, j));
+        s += buf_.cf(r, j);
+      }
+      tap.read(&buf_.cf(m, j));
+      const double delta = s - buf_.cf(m, j);
+      tap.update(&buf_.cf(i, j));
+      buf_.cf(i, j) -= delta;
+      ++stats_.errors_corrected;
+    }
+    return FtStatus::kOk;
+  }
+
+  template <MemTap Tap>
+  void refresh_checksum_entry(std::size_t i, std::size_t j, Tap tap) {
+    const std::size_t m = a_.rows(), n = b_.cols();
+    if (i == m && j == n) {
+      double s = 0.0;
+      for (std::size_t r = 0; r < m; ++r) {
+        tap.read(&buf_.cf(r, n));
+        s += buf_.cf(r, n);
+      }
+      tap.write(&buf_.cf(m, n));
+      buf_.cf(m, n) = s;
+    } else if (i == m) {
+      double s = 0.0;
+      for (std::size_t r = 0; r < m; ++r) {
+        tap.read(&buf_.cf(r, j));
+        s += buf_.cf(r, j);
+      }
+      tap.write(&buf_.cf(m, j));
+      buf_.cf(m, j) = s;
+    } else {
+      double s = 0.0;
+      for (std::size_t c = 0; c < n; ++c) {
+        tap.read(&buf_.cf(i, c));
+        s += buf_.cf(i, c);
+      }
+      tap.write(&buf_.cf(i, n));
+      buf_.cf(i, n) = s;
+    }
+  }
+
+  /// Full checksum verification and correction over C^f.
+  template <MemTap Tap>
+  FtStatus full_verify(Tap tap) {
+    const std::size_t m = a_.rows(), n = b_.cols();
+    const double threshold =
+        opt_.tolerance * scale_ * std::sqrt(static_cast<double>(m));
+
+    std::vector<double> colres(n, 0.0), rowres(m, 0.0);
+    for (std::size_t j = 0; j < n; ++j) {
+      double s = 0.0;
+      for (std::size_t i = 0; i < m; ++i) {
+        tap.read(&buf_.cf(i, j));
+        s += buf_.cf(i, j);
+      }
+      tap.read(&buf_.cf(m, j));
+      colres[j] = s - buf_.cf(m, j);
+    }
+    for (std::size_t i = 0; i < m; ++i) {
+      double s = 0.0;
+      for (std::size_t j = 0; j < n; ++j) {
+        tap.read(&buf_.cf(i, j));
+        s += buf_.cf(i, j);
+      }
+      tap.read(&buf_.cf(i, n));
+      rowres[i] = s - buf_.cf(i, n);
+    }
+
+    std::vector<std::size_t> bad_cols, bad_rows;
+    for (std::size_t j = 0; j < n; ++j)
+      if (std::abs(colres[j]) > threshold) bad_cols.push_back(j);
+    for (std::size_t i = 0; i < m; ++i)
+      if (std::abs(rowres[i]) > threshold) bad_rows.push_back(i);
+    if (bad_cols.empty() && bad_rows.empty()) return FtStatus::kOk;
+
+    PhaseTimer t(stats_.correct_seconds);
+    stats_.errors_detected += std::max(bad_cols.size(), bad_rows.size());
+
+    // Case A: one bad row, k bad columns -> all errors in that row.
+    if (bad_rows.size() == 1 && !bad_cols.empty()) {
+      const std::size_t i = bad_rows.front();
+      for (const std::size_t j : bad_cols) {
+        tap.update(&buf_.cf(i, j));
+        buf_.cf(i, j) -= colres[j];
+        ++stats_.errors_corrected;
+      }
+      return FtStatus::kCorrectedErrors;
+    }
+    // Case B: one bad column, k bad rows -> all errors in that column.
+    if (bad_cols.size() == 1 && !bad_rows.empty()) {
+      const std::size_t j = bad_cols.front();
+      for (const std::size_t i : bad_rows) {
+        tap.update(&buf_.cf(i, j));
+        buf_.cf(i, j) -= rowres[i];
+        ++stats_.errors_corrected;
+      }
+      return FtStatus::kCorrectedErrors;
+    }
+    // Case C: residual magnitudes pair rows with columns uniquely.
+    if (bad_rows.size() == bad_cols.size() && !bad_rows.empty()) {
+      std::vector<bool> used(bad_rows.size(), false);
+      for (const std::size_t j : bad_cols) {
+        std::size_t match = bad_rows.size();
+        for (std::size_t r = 0; r < bad_rows.size(); ++r) {
+          if (used[r]) continue;
+          if (std::abs(rowres[bad_rows[r]] - colres[j]) <= threshold) {
+            if (match != bad_rows.size()) return FtStatus::kUncorrectable;
+            match = r;
+          }
+        }
+        if (match == bad_rows.size()) return FtStatus::kUncorrectable;
+        used[match] = true;
+        tap.update(&buf_.cf(bad_rows[match], j));
+        buf_.cf(bad_rows[match], j) -= colres[j];
+        ++stats_.errors_corrected;
+      }
+      return FtStatus::kCorrectedErrors;
+    }
+    // Case D: a bad column with no bad row (or vice versa) means the
+    // checksum entry itself is corrupted; refresh it.
+    if (bad_rows.empty()) {
+      for (const std::size_t j : bad_cols) {
+        refresh_checksum_entry(m, j, tap);
+        ++stats_.errors_corrected;
+      }
+      return FtStatus::kCorrectedErrors;
+    }
+    if (bad_cols.empty()) {
+      for (const std::size_t i : bad_rows) {
+        refresh_checksum_entry(i, n, tap);
+        ++stats_.errors_corrected;
+      }
+      return FtStatus::kCorrectedErrors;
+    }
+    return FtStatus::kUncorrectable;
+  }
+
+  ConstMatrixView a_, b_;
+  Buffers buf_;
+  FtOptions opt_;
+  Runtime* rt_;
+  std::size_t struct_id_ = 0;
+  double scale_ = 1.0;
+  FtStats stats_;
+};
+
+}  // namespace abftecc::abft

@@ -1,0 +1,193 @@
+// FT-QR: fault-tolerant Householder QR factorization for fail-continue
+// errors (the QR member of the ABFT family the paper cites [14]).
+//
+// QR is the cleanest checksum case of the dense factorizations: the
+// algorithm applies ONLY left multiplications (orthogonal reflectors), and
+// left multiplications commute with appending checksum COLUMNS --
+//     Q^T [A, A e, A w] = [Q^T A, (Q^T A) e, (Q^T A) w],
+// so the two appended columns (row sums and column-index-weighted row
+// sums) remain exact checksums of every mathematical row at every step,
+// with no maintenance code at all. The stored format splits each row into
+// the live part (R entries for frozen rows, trailing entries otherwise)
+// and the Householder-vector storage below the diagonal, which is outside
+// the transformed matrix and therefore outside the invariant; verification
+// sums the live range only. A single corrupted element per row is located
+// from the (sum, weighted) residual pair and repaired in place between
+// panels.
+#pragma once
+
+#include <cmath>
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "abft/checksum.hpp"
+#include "abft/common.hpp"
+#include "abft/runtime.hpp"
+#include "linalg/qr.hpp"
+
+namespace abftecc::abft {
+
+class FtQr {
+ public:
+  struct Buffers {
+    MatrixView aw;           ///< m x (n+2): [A | A e | A w], factored in place
+    std::span<double> tau;   ///< n reflector coefficients
+  };
+
+  FtQr(ConstMatrixView a, Buffers buf, FtOptions opt = {},
+       Runtime* runtime = nullptr, std::size_t block = linalg::kBlock)
+      : m_(a.rows()), n_(a.cols()), buf_(buf), opt_(opt), rt_(runtime),
+        nb_(block) {
+    ABFTECC_REQUIRE(m_ >= n_);
+    ABFTECC_REQUIRE(buf.aw.rows() == m_ && buf.aw.cols() == n_ + 2);
+    ABFTECC_REQUIRE(buf.tau.size() == n_);
+    encode(a);
+    if (rt_ != nullptr)
+      struct_id_ = rt_->register_structure("ft_qr.Aw", buf_.aw.data(),
+                                           buf_.aw.ld() * buf_.aw.cols());
+  }
+
+  ~FtQr() {
+    if (rt_ != nullptr) rt_->unregister_structure(struct_id_);
+  }
+  FtQr(const FtQr&) = delete;
+  FtQr& operator=(const FtQr&) = delete;
+
+  /// Factor panel block-columns up to `k_end`, verifying before each panel.
+  template <MemTap Tap = NullTap>
+  FtStatus factor_steps(std::size_t k_end, Tap tap = {}) {
+    ABFTECC_REQUIRE(k_end <= n_ && k_end >= next_k_);
+    while (next_k_ < k_end) {
+      const FtStatus vst = verify_and_correct(tap);
+      if (vst == FtStatus::kUncorrectable) return vst;
+      const std::size_t k = next_k_;
+      const std::size_t b = std::min(nb_, k_end - k);
+      // Factor panel columns [k, k+b), transforming everything to their
+      // right -- the two checksum columns included.
+      linalg::geqrf(buf_.aw.block(k, k, m_ - k, n_ + 2 - k),
+                    buf_.tau.subspan(k, b), n_ + 2 - k - b, tap);
+      next_k_ = k + b;
+    }
+    return FtStatus::kOk;
+  }
+
+  /// Full factorization with a final verification pass.
+  template <MemTap Tap = NullTap>
+  FtStatus factor(Tap tap = {}) {
+    const FtStatus st = factor_steps(n_, tap);
+    if (st != FtStatus::kOk) return st;
+    const FtStatus vst = verify_and_correct(tap);
+    if (vst == FtStatus::kUncorrectable) return vst;
+    return stats_.errors_corrected > 0 ? FtStatus::kCorrectedErrors
+                                       : FtStatus::kOk;
+  }
+
+  /// Verify every row's live range against its two checksum entries and
+  /// repair single-per-row errors (public for tests and for callers that
+  /// interleave their own work).
+  template <MemTap Tap = NullTap>
+  FtStatus verify_and_correct(Tap tap = {}) {
+    ++stats_.verifications;
+    if (opt_.hardware_assisted && rt_ != nullptr &&
+        rt_->hardware_assisted_available()) {
+      PhaseTimer t(stats_.verify_seconds);
+      if (!rt_->errors_pending()) return FtStatus::kOk;
+      rt_->drain_located_errors();  // location known; full pass repairs
+    }
+    PhaseTimer t(stats_.verify_seconds);
+    const double threshold =
+        opt_.tolerance * scale_ * static_cast<double>(n_);
+    const double wthreshold = threshold * static_cast<double>(n_);
+    for (std::size_t i = 0; i < m_; ++i) {
+      const std::size_t j0 = live_start(i);
+      double s = 0.0, w = 0.0;
+      for (std::size_t j = j0; j < n_; ++j) {
+        tap.read(&buf_.aw(i, j));
+        s += buf_.aw(i, j);
+        w += static_cast<double>(j + 1) * buf_.aw(i, j);
+      }
+      tap.read(&buf_.aw(i, n_));
+      tap.read(&buf_.aw(i, n_ + 1));
+      const double ds = s - buf_.aw(i, n_);
+      const double dw = w - buf_.aw(i, n_ + 1);
+      const bool sum_bad = std::abs(ds) > threshold;
+      const bool w_bad = std::abs(dw) > wthreshold;
+      if (!sum_bad && !w_bad) continue;
+      ++stats_.errors_detected;
+      PhaseTimer tc(stats_.correct_seconds);
+      if (sum_bad && !w_bad) {
+        // Only the sum checksum entry disagrees: it is the corrupted one.
+        tap.write(&buf_.aw(i, n_));
+        buf_.aw(i, n_) = s;
+        ++stats_.errors_corrected;
+        continue;
+      }
+      if (!sum_bad && w_bad) {
+        tap.write(&buf_.aw(i, n_ + 1));
+        buf_.aw(i, n_ + 1) = w;
+        ++stats_.errors_corrected;
+        continue;
+      }
+      // Payload error: column = dw/ds - 1, consistency-checked.
+      const auto col = static_cast<long long>(std::llround(dw / ds - 1.0));
+      if (col < static_cast<long long>(j0) ||
+          col >= static_cast<long long>(n_) ||
+          std::abs(dw - ds * static_cast<double>(col + 1)) > wthreshold)
+        return FtStatus::kUncorrectable;
+      tap.update(&buf_.aw(i, static_cast<std::size_t>(col)));
+      buf_.aw(i, static_cast<std::size_t>(col)) -= ds;
+      ++stats_.errors_corrected;
+    }
+    return FtStatus::kOk;
+  }
+
+  /// Solve A x = b (or least squares for m > n) from the factored form.
+  template <MemTap Tap = NullTap>
+  void solve(std::span<const double> b, std::span<double> x, Tap tap = {}) {
+    linalg::qr_solve(ConstMatrixView(buf_.aw), buf_.tau, b, x, 2, tap);
+  }
+
+  [[nodiscard]] const FtStats& stats() const { return stats_; }
+  [[nodiscard]] std::size_t next_block() const { return next_k_; }
+  /// The R factor (upper triangle of the factored storage).
+  [[nodiscard]] ConstMatrixView factored() const {
+    return ConstMatrixView(buf_.aw);
+  }
+
+ private:
+  /// First column of row i that belongs to the transformed matrix (R for
+  /// frozen rows, trailing block otherwise); everything left of it stores
+  /// Householder vectors.
+  [[nodiscard]] std::size_t live_start(std::size_t i) const {
+    return std::min(i, next_k_);
+  }
+
+  void encode(ConstMatrixView a) {
+    PhaseTimer t(stats_.encode_seconds);
+    for (std::size_t i = 0; i < m_; ++i) {
+      double s = 0.0, w = 0.0;
+      for (std::size_t j = 0; j < n_; ++j) {
+        buf_.aw(i, j) = a(i, j);
+        s += a(i, j);
+        w += static_cast<double>(j + 1) * a(i, j);
+      }
+      buf_.aw(i, n_) = s;
+      buf_.aw(i, n_ + 1) = w;
+    }
+    scale_ = mean_abs(a);
+    if (scale_ == 0.0) scale_ = 1.0;
+  }
+
+  std::size_t m_, n_;
+  Buffers buf_;
+  FtOptions opt_;
+  Runtime* rt_;
+  std::size_t nb_;
+  std::size_t struct_id_ = 0;
+  std::size_t next_k_ = 0;
+  double scale_ = 1.0;
+  FtStats stats_;
+};
+
+}  // namespace abftecc::abft

@@ -1,0 +1,40 @@
+#include "abft/runtime.hpp"
+
+namespace abftecc::abft {
+
+std::size_t Runtime::register_structure(std::string name, const double* base,
+                                        std::size_t elements) {
+  structures_.push_back(Structure{std::move(name), base, elements, true});
+  return structures_.size() - 1;
+}
+
+void Runtime::unregister_structure(std::size_t id) {
+  if (id < structures_.size()) structures_[id].live = false;
+}
+
+std::vector<LocatedError> Runtime::drain_located_errors() {
+  std::vector<LocatedError> out;
+  if (os_ == nullptr) return out;
+  for (const auto& e : os_->drain_exposed_errors()) {
+    LocatedError le;
+    le.structure_id = npos;
+    const auto* addr = static_cast<const std::byte*>(e.vaddr);
+    for (std::size_t id = 0; id < structures_.size(); ++id) {
+      const Structure& s = structures_[id];
+      if (!s.live) continue;
+      const auto* base = reinterpret_cast<const std::byte*>(s.base);
+      const auto* end = base + s.elements * sizeof(double);
+      if (addr >= base && addr < end) {
+        le.structure_id = id;
+        le.structure_name = s.name;
+        le.element_index =
+            static_cast<std::size_t>(addr - base) / sizeof(double);
+        break;
+      }
+    }
+    out.push_back(std::move(le));
+  }
+  return out;
+}
+
+}  // namespace abftecc::abft

@@ -1,0 +1,72 @@
+// ABFT runtime: the software half of the cooperation (Section 3.2).
+//
+// The runtime records which application structures are ABFT-protected
+// (their virtual address ranges, registered at allocation time), and turns
+// the OS's exposed error log into (structure, element) coordinates for the
+// kernels' simplified verification. Without an Os attached it degrades to
+// pure software ABFT (the traditional, uncooperative deployment).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "os/os.hpp"
+
+namespace abftecc::abft {
+
+/// An error located to one element of a registered structure.
+struct LocatedError {
+  std::size_t structure_id = 0;
+  std::string structure_name;
+  std::size_t element_index = 0;  ///< index into the double array
+};
+
+class Runtime {
+ public:
+  /// `os` may be null: software-only ABFT with no hardware notification.
+  explicit Runtime(os::Os* os = nullptr) : os_(os) {}
+
+  [[nodiscard]] bool hardware_assisted_available() const {
+    return os_ != nullptr;
+  }
+
+  /// Register a protected structure (called at the ABFT initial phase,
+  /// after malloc_ecc). Returns the structure id.
+  std::size_t register_structure(std::string name, const double* base,
+                                 std::size_t elements);
+
+  void unregister_structure(std::size_t id);
+
+  /// Drain the OS error log and map each exposed virtual address onto a
+  /// registered structure element. Errors outside registered structures
+  /// are returned with structure_id == npos (the caller decides; in the
+  /// full system the OS would already have panicked for those).
+  std::vector<LocatedError> drain_located_errors();
+
+  /// True if the OS currently has exposed errors pending (cheap check the
+  /// kernels use to skip full verification, Section 3.2.2).
+  [[nodiscard]] bool errors_pending() const {
+    return os_ != nullptr && os_->has_exposed_errors();
+  }
+
+  static constexpr std::size_t npos = static_cast<std::size_t>(-1);
+
+  [[nodiscard]] os::Os* os() { return os_; }
+
+ private:
+  struct Structure {
+    std::string name;
+    const double* base = nullptr;
+    std::size_t elements = 0;
+    bool live = false;
+  };
+
+  os::Os* os_;
+  std::vector<Structure> structures_;
+};
+
+}  // namespace abftecc::abft

@@ -1,0 +1,41 @@
+// Lightweight status/contract utilities shared across abftecc.
+//
+// Module-boundary APIs report expected failure modes (uncorrectable codeword,
+// exhausted frames, non-convergence) through status enums or std::optional;
+// exceptions are reserved for programming errors caught by ABFTECC_REQUIRE.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <source_location>
+#include <stdexcept>
+#include <string>
+
+namespace abftecc {
+
+/// Thrown on contract violations (programming errors), never on expected
+/// runtime outcomes such as an uncorrectable ECC word.
+class ContractViolation : public std::logic_error {
+ public:
+  explicit ContractViolation(const std::string& what) : std::logic_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] inline void require_failed(const char* expr,
+                                        const std::source_location& loc) {
+  throw ContractViolation(std::string("contract violated: ") + expr + " at " +
+                          loc.file_name() + ":" + std::to_string(loc.line()));
+}
+}  // namespace detail
+
+/// Precondition check that stays on in release builds: simulator correctness
+/// depends on these holding, and the cost is negligible off the hot path.
+#define ABFTECC_REQUIRE(expr)                                        \
+  do {                                                               \
+    if (!(expr)) [[unlikely]] {                                      \
+      ::abftecc::detail::require_failed(                             \
+          #expr, ::std::source_location::current());                 \
+    }                                                                \
+  } while (0)
+
+}  // namespace abftecc

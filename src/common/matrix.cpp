@@ -1,0 +1,54 @@
+#include "common/matrix.hpp"
+
+#include <cmath>
+
+namespace abftecc {
+
+Matrix Matrix::identity(std::size_t n) {
+  Matrix m(n, n);
+  for (std::size_t i = 0; i < n; ++i) m(i, i) = 1.0;
+  return m;
+}
+
+Matrix Matrix::random(std::size_t rows, std::size_t cols, Rng& rng, double lo,
+                      double hi) {
+  Matrix m(rows, cols);
+  for (std::size_t j = 0; j < cols; ++j)
+    for (std::size_t i = 0; i < rows; ++i) m(i, j) = rng.uniform(lo, hi);
+  return m;
+}
+
+Matrix Matrix::random_spd(std::size_t n, Rng& rng) {
+  Matrix r = random(n, n, rng);
+  Matrix a(n, n);
+  // A = R R^T + n I ensures eigenvalues >= n - ||R R^T|| margin; diagonal
+  // dominance keeps Cholesky well-conditioned for any seed.
+  for (std::size_t j = 0; j < n; ++j) {
+    for (std::size_t i = 0; i <= j; ++i) {
+      double s = 0.0;
+      for (std::size_t k = 0; k < n; ++k) s += r(i, k) * r(j, k);
+      a(i, j) = s;
+      a(j, i) = s;
+    }
+    a(j, j) += static_cast<double>(n);
+  }
+  return a;
+}
+
+double max_abs_diff(ConstMatrixView a, ConstMatrixView b) {
+  ABFTECC_REQUIRE(a.rows() == b.rows() && a.cols() == b.cols());
+  double m = 0.0;
+  for (std::size_t j = 0; j < a.cols(); ++j)
+    for (std::size_t i = 0; i < a.rows(); ++i)
+      m = std::max(m, std::abs(a(i, j) - b(i, j)));
+  return m;
+}
+
+double frobenius_norm(ConstMatrixView a) {
+  double s = 0.0;
+  for (std::size_t j = 0; j < a.cols(); ++j)
+    for (std::size_t i = 0; i < a.rows(); ++i) s += a(i, j) * a(i, j);
+  return std::sqrt(s);
+}
+
+}  // namespace abftecc

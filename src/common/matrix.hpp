@@ -1,0 +1,149 @@
+// Dense column-major matrices and non-owning views.
+//
+// Column-major (LAPACK convention) because the linalg substrate implements
+// blocked BLAS/LAPACK-style kernels and the ABFT checksum relationships in
+// the paper are expressed per matrix column/row.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+
+namespace abftecc {
+
+/// Non-owning mutable view of a column-major matrix block.
+/// `ld` is the leading dimension (stride between columns), >= rows.
+class MatrixView {
+ public:
+  MatrixView() = default;
+  MatrixView(double* data, std::size_t rows, std::size_t cols, std::size_t ld)
+      : data_(data), rows_(rows), cols_(cols), ld_(ld) {
+    ABFTECC_REQUIRE(ld >= rows || (rows == 0 && cols == 0));
+  }
+
+  [[nodiscard]] std::size_t rows() const { return rows_; }
+  [[nodiscard]] std::size_t cols() const { return cols_; }
+  [[nodiscard]] std::size_t ld() const { return ld_; }
+  [[nodiscard]] double* data() const { return data_; }
+
+  double& operator()(std::size_t i, std::size_t j) const {
+    return data_[j * ld_ + i];
+  }
+
+  /// Sub-block [r0, r0+nr) x [c0, c0+nc) sharing storage.
+  [[nodiscard]] MatrixView block(std::size_t r0, std::size_t c0,
+                                 std::size_t nr, std::size_t nc) const {
+    ABFTECC_REQUIRE(r0 + nr <= rows_ && c0 + nc <= cols_);
+    return MatrixView(data_ + c0 * ld_ + r0, nr, nc, ld_);
+  }
+
+  /// Column j as a contiguous span.
+  [[nodiscard]] std::span<double> col(std::size_t j) const {
+    ABFTECC_REQUIRE(j < cols_);
+    return {data_ + j * ld_, rows_};
+  }
+
+  void fill(double v) const {
+    for (std::size_t j = 0; j < cols_; ++j)
+      for (std::size_t i = 0; i < rows_; ++i) (*this)(i, j) = v;
+  }
+
+ private:
+  double* data_ = nullptr;
+  std::size_t rows_ = 0, cols_ = 0, ld_ = 0;
+};
+
+/// Non-owning read-only view; implicitly constructible from MatrixView.
+class ConstMatrixView {
+ public:
+  ConstMatrixView() = default;
+  ConstMatrixView(const double* data, std::size_t rows, std::size_t cols,
+                  std::size_t ld)
+      : data_(data), rows_(rows), cols_(cols), ld_(ld) {
+    ABFTECC_REQUIRE(ld >= rows || (rows == 0 && cols == 0));
+  }
+  ConstMatrixView(const MatrixView& m)  // NOLINT(google-explicit-constructor)
+      : ConstMatrixView(m.data(), m.rows(), m.cols(), m.ld()) {}
+
+  [[nodiscard]] std::size_t rows() const { return rows_; }
+  [[nodiscard]] std::size_t cols() const { return cols_; }
+  [[nodiscard]] std::size_t ld() const { return ld_; }
+  [[nodiscard]] const double* data() const { return data_; }
+
+  const double& operator()(std::size_t i, std::size_t j) const {
+    return data_[j * ld_ + i];
+  }
+
+  [[nodiscard]] ConstMatrixView block(std::size_t r0, std::size_t c0,
+                                      std::size_t nr, std::size_t nc) const {
+    ABFTECC_REQUIRE(r0 + nr <= rows_ && c0 + nc <= cols_);
+    return ConstMatrixView(data_ + c0 * ld_ + r0, nr, nc, ld_);
+  }
+
+  [[nodiscard]] std::span<const double> col(std::size_t j) const {
+    ABFTECC_REQUIRE(j < cols_);
+    return {data_ + j * ld_, rows_};
+  }
+
+ private:
+  const double* data_ = nullptr;
+  std::size_t rows_ = 0, cols_ = 0, ld_ = 0;
+};
+
+/// Owning column-major matrix. Storage is a plain std::vector so ownership
+/// and lifetime follow normal RAII; ECC-managed buffers use MatrixView over
+/// os::malloc_ecc memory instead.
+class Matrix {
+ public:
+  Matrix() = default;
+  Matrix(std::size_t rows, std::size_t cols)
+      : rows_(rows), cols_(cols), storage_(rows * cols, 0.0) {}
+
+  [[nodiscard]] std::size_t rows() const { return rows_; }
+  [[nodiscard]] std::size_t cols() const { return cols_; }
+  [[nodiscard]] std::size_t ld() const { return rows_; }
+
+  double& operator()(std::size_t i, std::size_t j) {
+    return storage_[j * rows_ + i];
+  }
+  const double& operator()(std::size_t i, std::size_t j) const {
+    return storage_[j * rows_ + i];
+  }
+
+  [[nodiscard]] MatrixView view() {
+    return MatrixView(storage_.data(), rows_, cols_, rows_);
+  }
+  [[nodiscard]] ConstMatrixView view() const {
+    return ConstMatrixView(storage_.data(), rows_, cols_, rows_);
+  }
+  [[nodiscard]] MatrixView block(std::size_t r0, std::size_t c0,
+                                 std::size_t nr, std::size_t nc) {
+    return view().block(r0, c0, nr, nc);
+  }
+
+  [[nodiscard]] double* data() { return storage_.data(); }
+  [[nodiscard]] const double* data() const { return storage_.data(); }
+  [[nodiscard]] std::size_t size() const { return storage_.size(); }
+
+  static Matrix identity(std::size_t n);
+  /// Entries i.i.d. uniform in [lo, hi).
+  static Matrix random(std::size_t rows, std::size_t cols, Rng& rng,
+                       double lo = -1.0, double hi = 1.0);
+  /// Symmetric positive-definite: R*R^T + n*I from a random R.
+  static Matrix random_spd(std::size_t n, Rng& rng);
+
+ private:
+  std::size_t rows_ = 0, cols_ = 0;
+  std::vector<double> storage_;
+};
+
+/// Max-norm distance between two equally-sized views (used by tests).
+double max_abs_diff(ConstMatrixView a, ConstMatrixView b);
+
+/// Frobenius norm.
+double frobenius_norm(ConstMatrixView a);
+
+}  // namespace abftecc

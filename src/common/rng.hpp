@@ -1,0 +1,83 @@
+// Deterministic, splittable PRNG (xoshiro256**) used by every test, bench and
+// fault-injection campaign so runs are reproducible from a single seed.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <limits>
+
+namespace abftecc {
+
+/// xoshiro256** 1.0 (Blackman & Vigna, public domain algorithm),
+/// seeded through splitmix64 so any 64-bit seed gives a full-period state.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL) { reseed(seed); }
+
+  void reseed(std::uint64_t seed) {
+    // splitmix64 expansion of the seed into the 256-bit state.
+    auto next = [&seed]() {
+      seed += 0x9e3779b97f4a7c15ULL;
+      std::uint64_t z = seed;
+      z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+      z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+      return z ^ (z >> 31);
+    };
+    for (auto& word : state_) word = next();
+  }
+
+  std::uint64_t operator()() {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  static constexpr std::uint64_t min() { return 0; }
+  static constexpr std::uint64_t max() {
+    return std::numeric_limits<std::uint64_t>::max();
+  }
+
+  /// Uniform double in [0, 1).
+  double uniform() {
+    return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi) { return lo + (hi - lo) * uniform(); }
+
+  /// Uniform integer in [0, n). n must be > 0.
+  std::uint64_t below(std::uint64_t n) {
+    // Lemire's nearly-divisionless bounded sampling.
+    std::uint64_t x = (*this)();
+    __uint128_t m = static_cast<__uint128_t>(x) * n;
+    auto lo = static_cast<std::uint64_t>(m);
+    if (lo < n) {
+      const std::uint64_t threshold = (0 - n) % n;
+      while (lo < threshold) {
+        x = (*this)();
+        m = static_cast<__uint128_t>(x) * n;
+        lo = static_cast<std::uint64_t>(m);
+      }
+    }
+    return static_cast<std::uint64_t>(m >> 64);
+  }
+
+  /// Derive an independent child stream (for per-worker determinism).
+  Rng split() { return Rng((*this)() ^ 0xd1b54a32d192ed03ULL); }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+  std::array<std::uint64_t, 4> state_{};
+};
+
+}  // namespace abftecc

@@ -1,0 +1,37 @@
+// Memory-tap policy: how numerical kernels expose their load/store stream.
+//
+// The paper instruments binaries with Pin and feeds the resulting address
+// stream into McSim/DRAMSim2. We substitute source-level instrumentation:
+// every kernel in src/linalg and src/abft is a template over a Tap policy and
+// reports each access to managed data through it. With the default NullTap
+// all calls compile to nothing, so the uninstrumented kernels run at full
+// speed; with sim::MemoryTap the same single source of truth drives the
+// cache + DRAM timing simulation (no separate trace generator to drift).
+#pragma once
+
+#include <concepts>
+#include <cstddef>
+
+namespace abftecc {
+
+/// A Tap receives the kernel's memory references in program order.
+/// `read` / `write` are plain loads/stores; `update` is a read-modify-write
+/// of the same location (one dirty line, two references).
+template <typename T>
+concept MemTap = requires(T tap, const void* p, std::size_t n) {
+  { tap.read(p, n) } -> std::same_as<void>;
+  { tap.write(p, n) } -> std::same_as<void>;
+  { tap.update(p, n) } -> std::same_as<void>;
+};
+
+/// Zero-cost default: instrumentation disappears entirely.
+struct NullTap {
+  static constexpr bool is_null = true;
+  void read(const void*, std::size_t = sizeof(double)) {}
+  void write(const void*, std::size_t = sizeof(double)) {}
+  void update(const void*, std::size_t = sizeof(double)) {}
+};
+
+static_assert(MemTap<NullTap>);
+
+}  // namespace abftecc

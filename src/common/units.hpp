@@ -1,0 +1,35 @@
+// Physical-unit conventions used throughout the simulator.
+//
+// Everything that crosses a module boundary is in the base unit named here;
+// keeping a single convention avoids the nJ-vs-pJ class of silent bugs.
+#pragma once
+
+#include <cstdint>
+
+namespace abftecc {
+
+/// Energies are accumulated in picojoules (double): a full kernel run is
+/// ~1e12 pJ, far inside double's exact-integer range.
+using Picojoules = double;
+
+/// Times inside the memory simulator are DRAM-clock cycles (uint64) and are
+/// converted to seconds only at reporting boundaries.
+using Cycles = std::uint64_t;
+
+constexpr double kPicojoulesPerJoule = 1e12;
+
+inline double joules(Picojoules pj) { return pj / kPicojoulesPerJoule; }
+
+/// Failure rates follow the paper's Table 5 convention:
+/// FIT = failures per 1e9 device-hours, quoted per Mbit of memory.
+struct FitPerMbit {
+  double value = 0.0;
+
+  /// Failures per second for `mbit` megabits of memory at this rate.
+  [[nodiscard]] double failures_per_second(double mbit) const {
+    constexpr double kSecondsPerBillionHours = 1e9 * 3600.0;
+    return value * mbit / kSecondsPerBillionHours;
+  }
+};
+
+}  // namespace abftecc

@@ -1,0 +1,22 @@
+// Chipkill-correct for x4 DRAM: single-symbol-correct / double-symbol-
+// detect Reed-Solomon RS(36, 32) over GF(2^8).
+//
+// Geometry follows Section 2.2 / Figure 2: two x4 DDR3 channels in
+// lock-step form a 144-bit logical channel; a 64B cache line is carried by
+// 36 chips (32 data + 4 ECC). Each chip contributes two 4-bit transfers
+// per beat, paired into one 8-bit RS symbol per chip -- the standard x4
+// chipkill construction. Run in bounded-distance SSC-DSD mode the code
+// corrects any error confined to one chip and detects any error spanning
+// two chips, whatever the bit patterns.
+//
+// The codec itself is the generalized RsCode (ecc/rs.hpp); the x8 variant
+// the paper mentions is ecc::ChipkillX8.
+#pragma once
+
+#include "ecc/rs.hpp"
+
+namespace abftecc::ecc {
+
+using Chipkill = RsCode<36, 4>;
+
+}  // namespace abftecc::ecc

@@ -1,0 +1,186 @@
+#include "ecc/codec.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cstring>
+
+#include "common/error.hpp"
+#include "ecc/chipkill.hpp"
+#include "ecc/secded.hpp"
+
+namespace abftecc::ecc {
+
+namespace {
+
+constexpr unsigned kWordsPerLine = 8;   // 8 x 64-bit SECDED words
+constexpr unsigned kCwPerLine = 2;      // 2 x RS(36,32) chipkill codewords
+
+std::uint64_t load_word(std::span<const std::uint8_t> line, unsigned w) {
+  std::uint64_t v = 0;
+  std::memcpy(&v, line.data() + w * 8, 8);
+  return v;
+}
+
+void store_word(std::span<std::uint8_t> line, unsigned w, std::uint64_t v) {
+  std::memcpy(line.data() + w * 8, &v, 8);
+}
+
+void merge(LineResult& agg, DecodeStatus st) {
+  if (st == DecodeStatus::kCorrected) {
+    ++agg.corrected_words;
+    if (agg.status == DecodeStatus::kOk) agg.status = DecodeStatus::kCorrected;
+  } else if (st == DecodeStatus::kDetectedUncorrectable) {
+    ++agg.uncorrectable_words;
+    agg.status = DecodeStatus::kDetectedUncorrectable;
+  }
+}
+
+LineResult process_none(std::span<std::uint8_t> line,
+                        std::span<const BitFlip> flips) {
+  LineResult res;
+  for (const auto& f : flips) {
+    if (f.in_check_bits) continue;  // no check storage exists
+    ABFTECC_REQUIRE(f.index < kLineBytes * 8);
+    line[f.index / 8] ^= static_cast<std::uint8_t>(1u << (f.index % 8));
+    res.silent_corruption = true;
+  }
+  return res;
+}
+
+LineResult process_secded(std::span<std::uint8_t> line,
+                          std::span<const BitFlip> flips) {
+  LineResult res;
+  for (unsigned w = 0; w < kWordsPerLine; ++w) {
+    const std::uint64_t original = load_word(line, w);
+    SecdedWord cw = Secded::encode(original);
+    bool touched = false;
+    for (const auto& f : flips) {
+      if (f.in_check_bits) {
+        ABFTECC_REQUIRE(f.index < kWordsPerLine * Secded::kCheckBits);
+        if (f.index / Secded::kCheckBits != w) continue;
+        Secded::flip_bit(cw, Secded::kDataBits + f.index % Secded::kCheckBits);
+      } else {
+        ABFTECC_REQUIRE(f.index < kLineBytes * 8);
+        if (f.index / Secded::kDataBits != w) continue;
+        Secded::flip_bit(cw, f.index % Secded::kDataBits);
+      }
+      touched = true;
+    }
+    if (!touched) continue;
+    const DecodeStatus st = Secded::decode(cw);
+    merge(res, st);
+    store_word(line, w, cw.data);
+    if (st != DecodeStatus::kDetectedUncorrectable && cw.data != original)
+      res.silent_corruption = true;
+  }
+  return res;
+}
+
+LineResult process_chipkill(std::span<std::uint8_t> line,
+                            std::span<const BitFlip> flips) {
+  LineResult res;
+  for (unsigned c = 0; c < kCwPerLine; ++c) {
+    std::array<std::uint8_t, Chipkill::kDataSymbols> original{};
+    std::memcpy(original.data(), line.data() + c * Chipkill::kDataSymbols,
+                Chipkill::kDataSymbols);
+    Chipkill::Codeword cw = Chipkill::encode(original);
+    bool touched = false;
+    for (const auto& f : flips) {
+      if (f.in_check_bits) {
+        ABFTECC_REQUIRE(f.index < kCwPerLine * Chipkill::kCheckSymbols * 8);
+        if (f.index / (Chipkill::kCheckSymbols * 8) != c) continue;
+        const unsigned local = f.index % (Chipkill::kCheckSymbols * 8);
+        cw[local / 8] ^= static_cast<std::uint8_t>(1u << (local % 8));
+      } else {
+        ABFTECC_REQUIRE(f.index < kLineBytes * 8);
+        const unsigned byte = f.index / 8;
+        if (byte / Chipkill::kDataSymbols != c) continue;
+        const unsigned sym = Chipkill::kCheckSymbols + byte % Chipkill::kDataSymbols;
+        cw[sym] ^= static_cast<std::uint8_t>(1u << (f.index % 8));
+      }
+      touched = true;
+    }
+    if (!touched) continue;
+    const DecodeStatus st = Chipkill::decode(cw);
+    merge(res, st);
+    std::array<std::uint8_t, Chipkill::kDataSymbols> decoded{};
+    Chipkill::extract(cw, decoded);
+    std::memcpy(line.data() + c * Chipkill::kDataSymbols, decoded.data(),
+                Chipkill::kDataSymbols);
+    if (st != DecodeStatus::kDetectedUncorrectable && decoded != original)
+      res.silent_corruption = true;
+  }
+  return res;
+}
+
+}  // namespace
+
+LineResult LineCodec::process_line(Scheme scheme, std::span<std::uint8_t> line,
+                                   std::span<const BitFlip> flips) {
+  ABFTECC_REQUIRE(line.size() == kLineBytes);
+  switch (scheme) {
+    case Scheme::kNone: return process_none(line, flips);
+    case Scheme::kSecded: return process_secded(line, flips);
+    case Scheme::kChipkill: return process_chipkill(line, flips);
+  }
+  return {};
+}
+
+LineResult LineCodec::kill_chip(Scheme scheme, std::span<std::uint8_t> line,
+                                unsigned chip, std::uint8_t pattern) {
+  const std::vector<BitFlip> flips = chip_flips(scheme, chip, pattern);
+  return process_line(scheme, line, flips);
+}
+
+std::vector<BitFlip> LineCodec::chip_flips(Scheme scheme, unsigned chip,
+                                           std::uint8_t pattern) {
+  ABFTECC_REQUIRE((pattern & 0xF) != 0);
+  std::vector<BitFlip> flips;
+  const std::uint8_t nib = pattern & 0xF;
+
+  switch (scheme) {
+    case Scheme::kNone: {
+      // 16 data chips, 4 adjacent bits of every 64-bit word each.
+      ABFTECC_REQUIRE(chip < 16);
+      for (unsigned w = 0; w < kWordsPerLine; ++w)
+        for (unsigned b = 0; b < 4; ++b)
+          if (nib & (1u << b))
+            flips.push_back({w * 64 + chip * 4 + b, false});
+      break;
+    }
+    case Scheme::kSecded: {
+      // 16 data chips + 2 check chips per 72-bit word.
+      ABFTECC_REQUIRE(chip < 18);
+      for (unsigned w = 0; w < kWordsPerLine; ++w)
+        for (unsigned b = 0; b < 4; ++b) {
+          if (!(nib & (1u << b))) continue;
+          if (chip < 16)
+            flips.push_back({w * 64 + chip * 4 + b, false});
+          else
+            flips.push_back({w * 8 + (chip - 16) * 4 + b, true});
+        }
+      break;
+    }
+    case Scheme::kChipkill: {
+      // Chip == RS symbol. The chip's two nibbles form the 8-bit symbol, so
+      // the kill pattern applies to both nibble transfers.
+      ABFTECC_REQUIRE(chip < Chipkill::kTotalSymbols);
+      const std::uint8_t byte_pattern =
+          static_cast<std::uint8_t>(nib | (nib << 4));
+      for (unsigned c = 0; c < kCwPerLine; ++c)
+        for (unsigned b = 0; b < 8; ++b) {
+          if (!(byte_pattern & (1u << b))) continue;
+          if (chip < Chipkill::kCheckSymbols)
+            flips.push_back({c * Chipkill::kCheckSymbols * 8 + chip * 8 + b, true});
+          else
+            flips.push_back(
+                {(c * Chipkill::kDataSymbols + (chip - Chipkill::kCheckSymbols)) * 8 + b,
+                 false});
+        }
+      break;
+    }
+  }
+  return flips;
+}
+
+}  // namespace abftecc::ecc

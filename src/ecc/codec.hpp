@@ -1,0 +1,66 @@
+// Cache-line-level ECC processing.
+//
+// DRAM stores lines encoded; faults flip stored bits; the memory controller
+// decodes on read. LineCodec reproduces that pipeline bit-accurately for one
+// 64-byte line: it encodes the pre-fault line under the active scheme,
+// applies the requested bit flips to the stored codewords, decodes, and
+// reports what a real controller would -- with the line left in the state
+// the application would observe (corrected, or still corrupted when the
+// error exceeds the code's capability).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "ecc/scheme.hpp"
+
+namespace abftecc::ecc {
+
+inline constexpr std::size_t kLineBytes = 64;
+
+/// One flipped bit in a stored line. Data bits are indexed 0..511 across the
+/// 64 data bytes; check bits use a scheme-local index space (SECDED: 8 bits
+/// per 64-bit word, 64 total; chipkill: 4 check symbols x 8 bits per
+/// codeword, 64 total).
+struct BitFlip {
+  unsigned index = 0;
+  bool in_check_bits = false;
+};
+
+struct LineResult {
+  DecodeStatus status = DecodeStatus::kOk;
+  /// Codewords that reported each status (a 64B line is 8 SECDED words or
+  /// 2 chipkill codewords).
+  unsigned corrected_words = 0;
+  unsigned uncorrectable_words = 0;
+  /// True if the post-decode data differs from the pre-fault data while the
+  /// decoder reported success -- silent data corruption (possible with
+  /// No_ECC always, and with mis-correcting multi-bit patterns otherwise).
+  bool silent_corruption = false;
+};
+
+class LineCodec {
+ public:
+  /// Apply `flips` to the stored form of `line` under `scheme` and decode.
+  /// `line` is updated to the post-decode data the application reads.
+  static LineResult process_line(Scheme scheme,
+                                 std::span<std::uint8_t> line,
+                                 std::span<const BitFlip> flips);
+
+  /// Kill one whole x4 chip for this line access (chipkill's design target):
+  /// corrupts every bit the chip contributes. `chip` is 0..35 for chipkill,
+  /// 0..17 for SECDED (x4: 4 data bits per beat => 4 adjacent bits per
+  /// 64-bit word), 0..15 for No_ECC. XORs the chip's bits with `pattern`
+  /// (nonzero low nibble).
+  static LineResult kill_chip(Scheme scheme, std::span<std::uint8_t> line,
+                              unsigned chip, std::uint8_t pattern = 0xF);
+
+  /// The set of stored-bit flips a chip failure contributes under `scheme`
+  /// (what kill_chip applies). Exposed so callers can merge several
+  /// simultaneous faults on one line into a single decode.
+  static std::vector<BitFlip> chip_flips(Scheme scheme, unsigned chip,
+                                         std::uint8_t pattern = 0xF);
+};
+
+}  // namespace abftecc::ecc

@@ -1,0 +1,68 @@
+// ECC scheme identifiers and their cost/reliability properties.
+//
+// The three protection levels of Section 3.1: chipkill-correct (strong),
+// SECDED (weak), and no ECC. Property values follow the paper's Table 5
+// (post-ECC failure rates) and Section 2.2 (channel/chip geometry and
+// storage overheads for x4 DDR3 DIMMs).
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+#include "common/units.hpp"
+
+namespace abftecc::ecc {
+
+enum class Scheme : std::uint8_t {
+  kNone = 0,     ///< 64-bit data path, ECC chips disabled
+  kSecded = 1,   ///< Hsiao (72,64) per 64-bit word, one 72-bit channel
+  kChipkill = 2  ///< SSC-DSD RS(36,32) over x4 chips, two channels lock-step
+};
+
+constexpr std::string_view to_string(Scheme s) {
+  switch (s) {
+    case Scheme::kNone: return "No_ECC";
+    case Scheme::kSecded: return "SECDED";
+    case Scheme::kChipkill: return "Chipkill";
+  }
+  return "?";
+}
+
+/// Static properties of one scheme as deployed on the Table 3 memory system.
+struct SchemeProperties {
+  Scheme scheme;
+  /// x4 DRAM chips activated per 64B cache-line access.
+  unsigned chips_per_access;
+  /// Physical channels occupied per access (chipkill runs two in lock-step).
+  unsigned channels_per_access;
+  /// Bits moved per 64B line including ECC bits (overfetch factor source).
+  unsigned bits_per_line;
+  /// Fraction of DRAM capacity spent on ECC storage.
+  double storage_overhead;
+  /// Post-ECC uncorrected-error rate, Table 5 (FIT/Mbit).
+  FitPerMbit residual_fit;
+  /// Energy for one in-controller correction event (Section 4 Case 1:
+  /// "less than 1 pJ" for strong ECC).
+  Picojoules correction_energy_pj;
+};
+
+constexpr SchemeProperties properties(Scheme s) {
+  switch (s) {
+    case Scheme::kNone:
+      return {Scheme::kNone, 16, 1, 512, 0.0, FitPerMbit{5000.0}, 0.0};
+    case Scheme::kSecded:
+      return {Scheme::kSecded, 18, 1, 576, 0.125, FitPerMbit{1300.0}, 0.5};
+    case Scheme::kChipkill:
+      return {Scheme::kChipkill, 36, 2, 576, 0.125, FitPerMbit{0.02}, 1.0};
+  }
+  return {Scheme::kNone, 16, 1, 512, 0.0, FitPerMbit{0.0}, 0.0};
+}
+
+/// Outcome of decoding one codeword.
+enum class DecodeStatus : std::uint8_t {
+  kOk,                     ///< syndrome clean
+  kCorrected,              ///< error found and repaired in place
+  kDetectedUncorrectable,  ///< error detected, beyond correction capability
+};
+
+}  // namespace abftecc::ecc

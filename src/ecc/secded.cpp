@@ -1,0 +1,94 @@
+#include "ecc/secded.hpp"
+
+#include <bit>
+
+#include "common/error.hpp"
+
+namespace abftecc::ecc {
+
+namespace {
+
+/// Build the 72 H-matrix columns: data bits first (56 weight-3 columns in
+/// lexicographic order, then 8 weight-5 columns), check bits last (the 8
+/// weight-1 identity columns, so the check half of H is I and encoding is
+/// systematic).
+struct Columns {
+  std::array<std::uint8_t, Secded::kCodeBits> col{};
+  /// syndrome value -> code bit position + 1 (0 = no column matches).
+  std::array<std::uint8_t, 256> position{};
+};
+
+constexpr Columns build_columns() {
+  Columns c{};
+  unsigned n = 0;
+  // All 56 weight-3 columns.
+  for (unsigned a = 0; a < 8; ++a)
+    for (unsigned b = a + 1; b < 8; ++b)
+      for (unsigned d = b + 1; d < 8; ++d)
+        c.col[n++] = static_cast<std::uint8_t>((1u << a) | (1u << b) | (1u << d));
+  // 8 weight-5 columns: complement of weight-3 columns with a fixed pattern;
+  // take the complements of the first 8 weight-3 columns, which are distinct
+  // weight-5 vectors.
+  for (unsigned i = 0; i < 8; ++i)
+    c.col[n++] = static_cast<std::uint8_t>(~c.col[i] & 0xFF);
+  // 8 weight-1 identity columns for the check bits.
+  for (unsigned i = 0; i < 8; ++i) c.col[n++] = static_cast<std::uint8_t>(1u << i);
+
+  for (unsigned bit = 0; bit < Secded::kCodeBits; ++bit)
+    c.position[c.col[bit]] = static_cast<std::uint8_t>(bit + 1);
+  return c;
+}
+
+constexpr Columns kColumns = build_columns();
+
+}  // namespace
+
+std::uint8_t Secded::column(unsigned bit) {
+  ABFTECC_REQUIRE(bit < kCodeBits);
+  return kColumns.col[bit];
+}
+
+SecdedWord Secded::encode(std::uint64_t data) {
+  std::uint8_t check = 0;
+  std::uint64_t d = data;
+  while (d != 0) {
+    const int bit = std::countr_zero(d);
+    check ^= kColumns.col[static_cast<unsigned>(bit)];
+    d &= d - 1;
+  }
+  return SecdedWord{data, check};
+}
+
+std::uint8_t Secded::syndrome(const SecdedWord& word) {
+  // H * r: data columns XORed for each set data bit, check half of H is I.
+  return static_cast<std::uint8_t>(encode(word.data).check ^ word.check);
+}
+
+DecodeStatus Secded::decode(SecdedWord& word, unsigned* flipped_bit) {
+  const std::uint8_t s = syndrome(word);
+  if (s == 0) return DecodeStatus::kOk;
+  if (std::popcount(s) % 2 == 0) {
+    // Even-weight nonzero syndrome: double-bit error signature.
+    return DecodeStatus::kDetectedUncorrectable;
+  }
+  const unsigned pos_plus_1 = kColumns.position[s];
+  if (pos_plus_1 == 0) {
+    // Odd-weight syndrome matching no column: >=3 bit errors detected.
+    return DecodeStatus::kDetectedUncorrectable;
+  }
+  const unsigned bit = pos_plus_1 - 1;
+  flip_bit(word, bit);
+  if (flipped_bit != nullptr) *flipped_bit = bit;
+  return DecodeStatus::kCorrected;
+}
+
+void Secded::flip_bit(SecdedWord& word, unsigned bit) {
+  ABFTECC_REQUIRE(bit < kCodeBits);
+  if (bit < kDataBits) {
+    word.data ^= (std::uint64_t{1} << bit);
+  } else {
+    word.check ^= static_cast<std::uint8_t>(1u << (bit - kDataBits));
+  }
+}
+
+}  // namespace abftecc::ecc

@@ -1,0 +1,55 @@
+// Hsiao (72,64) SECDED code: single-error-correct, double-error-detect.
+//
+// The classic odd-weight-column construction [Hsiao 1970] the paper cites:
+// the parity-check matrix H has 72 distinct odd-weight 8-bit columns --
+// the 8 weight-1 columns carry the check bits, and 56 weight-3 plus 8
+// weight-5 columns carry the 64 data bits. Odd column weight makes every
+// single-bit error produce an odd-parity syndrome and every double-bit
+// error an even-parity (hence distinguishable) one.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <optional>
+
+#include "ecc/scheme.hpp"
+
+namespace abftecc::ecc {
+
+/// A (72,64) codeword: 64 data bits and 8 check bits kept separately.
+struct SecdedWord {
+  std::uint64_t data = 0;
+  std::uint8_t check = 0;
+
+  friend bool operator==(const SecdedWord&, const SecdedWord&) = default;
+};
+
+class Secded {
+ public:
+  static constexpr unsigned kDataBits = 64;
+  static constexpr unsigned kCheckBits = 8;
+  static constexpr unsigned kCodeBits = kDataBits + kCheckBits;
+
+  /// Encode 64 data bits into a codeword.
+  static SecdedWord encode(std::uint64_t data);
+
+  /// Decode in place. On kCorrected the single flipped bit (data or check)
+  /// has been repaired; on kDetectedUncorrectable the word is left as
+  /// received. `flipped_bit` (0..63 data, 64..71 check) reports the
+  /// corrected position when status == kCorrected.
+  static DecodeStatus decode(SecdedWord& word,
+                             unsigned* flipped_bit = nullptr);
+
+  /// Flip one bit of a codeword (bit 0..63 = data, 64..71 = check); test and
+  /// fault-injection helper.
+  static void flip_bit(SecdedWord& word, unsigned bit);
+
+  /// The 8-bit H column assigned to code bit `bit` (0..71). Exposed for
+  /// tests that verify the odd-weight/distinctness construction.
+  static std::uint8_t column(unsigned bit);
+
+ private:
+  static std::uint8_t syndrome(const SecdedWord& word);
+};
+
+}  // namespace abftecc::ecc

@@ -1,0 +1,162 @@
+#include "fault/injector.hpp"
+
+#include <span>
+
+#include "common/error.hpp"
+#include "ecc/chipkill.hpp"
+
+namespace abftecc::fault {
+
+namespace {
+constexpr std::uint64_t kLine = ecc::kLineBytes;
+std::uint64_t line_of(std::uint64_t phys) { return phys / kLine * kLine; }
+}  // namespace
+
+Injector::Injector(memsim::MemorySystem& system, os::Os& os)
+    : system_(system), os_(os) {
+  system_.set_fill_hook(
+      [this](std::uint64_t line, ecc::Scheme scheme, bool is_write) {
+        on_dram_transfer(line, scheme, is_write);
+      });
+}
+
+Injector::~Injector() { system_.set_fill_hook(nullptr); }
+
+void Injector::inject_bit(std::uint64_t phys, unsigned bit) {
+  ABFTECC_REQUIRE(bit < 8);
+  const std::uint64_t line = line_of(phys);
+  const unsigned bit_in_line =
+      static_cast<unsigned>((phys - line) * 8 + bit);
+  pending_[line].push_back(ecc::BitFlip{bit_in_line, false});
+  ++stats_.injected_flips;
+}
+
+void Injector::inject_chip_kill(std::uint64_t phys, unsigned chip,
+                                std::uint8_t pattern) {
+  // Chip kills are applied directly at fill time through
+  // LineCodec::kill_chip; encode the request as a sentinel flip entry
+  // (index carries chip and pattern, check-bit flag marks the sentinel).
+  const std::uint64_t line = line_of(phys);
+  pending_[line].push_back(
+      ecc::BitFlip{0x10000u | (chip << 8) | pattern, true});
+  ++stats_.injected_chip_kills;
+}
+
+bool Injector::corrupt_virtual_now(void* vaddr, unsigned bit) {
+  ABFTECC_REQUIRE(bit < 8);
+  auto* p = static_cast<std::uint8_t*>(vaddr);
+  *p ^= static_cast<std::uint8_t>(1u << bit);
+  ++stats_.injected_flips;
+  ++stats_.silent_corruptions;
+  return true;
+}
+
+void Injector::inject_uniform(std::uint64_t phys_start, std::uint64_t phys_end,
+                              std::uint64_t count, Rng& rng) {
+  ABFTECC_REQUIRE(phys_end > phys_start);
+  const std::uint64_t bytes = phys_end - phys_start;
+  for (std::uint64_t i = 0; i < count; ++i) {
+    const std::uint64_t phys = phys_start + rng.below(bytes);
+    inject_bit(phys, static_cast<unsigned>(rng.below(8)));
+  }
+}
+
+double Injector::expected_faults(std::uint64_t bytes, double seconds,
+                                 FitPerMbit rate) {
+  const double mbit = static_cast<double>(bytes) * 8.0 / 1e6;
+  return rate.failures_per_second(mbit) * seconds;
+}
+
+unsigned Injector::chip_of_data_bit(ecc::Scheme scheme, unsigned bit_in_line) {
+  switch (scheme) {
+    case ecc::Scheme::kNone:
+    case ecc::Scheme::kSecded:
+      // x4 chips carry 4 adjacent bits of each 64-bit word.
+      return (bit_in_line % 64) / 4;
+    case ecc::Scheme::kChipkill: {
+      // Chip == RS symbol: one byte per codeword half.
+      const unsigned byte = bit_in_line / 8;
+      return ecc::Chipkill::kCheckSymbols + byte % ecc::Chipkill::kDataSymbols;
+    }
+  }
+  return 0;
+}
+
+void Injector::on_dram_transfer(std::uint64_t line_addr, ecc::Scheme scheme,
+                                bool is_write) {
+  const auto it = pending_.find(line_addr);
+  if (it == pending_.end()) return;
+  if (is_write) {
+    // The writeback rewrites the DRAM cells: pending corruption is gone.
+    stats_.cleared_by_writeback += it->second.size();
+    pending_.erase(it);
+    return;
+  }
+  apply_line(line_addr, scheme);
+}
+
+void Injector::apply_line(std::uint64_t line_addr, ecc::Scheme scheme) {
+  const auto it = pending_.find(line_addr);
+  if (it == pending_.end()) return;
+  const auto host = os_.phys_to_host(line_addr);
+  if (!host.has_value()) {
+    // Line not backed by a registered region (should not happen in a wired
+    // simulation); drop the fault.
+    pending_.erase(it);
+    return;
+  }
+  std::span<std::uint8_t> line(reinterpret_cast<std::uint8_t*>(*host), kLine);
+
+  // Expand sentinel chip-kill entries and merge everything pending on this
+  // line into ONE decode: simultaneous faults hit the decoder together.
+  std::vector<ecc::BitFlip> flips;
+  unsigned first_bad_chip = 0;
+  bool have_bad_chip = false;
+  for (const auto& f : it->second) {
+    if (f.in_check_bits && (f.index & 0x10000u)) {
+      const unsigned chip = (f.index >> 8) & 0xFF;
+      const auto pattern = static_cast<std::uint8_t>(f.index & 0xFF);
+      const auto kf = ecc::LineCodec::chip_flips(scheme, chip, pattern);
+      flips.insert(flips.end(), kf.begin(), kf.end());
+      if (!have_bad_chip) {
+        first_bad_chip = chip;
+        have_bad_chip = true;
+      }
+    } else {
+      flips.push_back(f);
+      if (!have_bad_chip) {
+        first_bad_chip = chip_of_data_bit(scheme, f.index);
+        have_bad_chip = true;
+      }
+    }
+  }
+  const ecc::LineResult agg = ecc::LineCodec::process_line(scheme, line, flips);
+  pending_.erase(it);
+
+  auto& mc = system_.controller();
+  if (agg.corrected_words > 0) {
+    stats_.corrected_by_ecc += agg.corrected_words;
+    for (unsigned i = 0; i < agg.corrected_words; ++i)
+      mc.note_corrected(scheme);
+  }
+  if (agg.silent_corruption) ++stats_.silent_corruptions;
+  if (agg.status == ecc::DecodeStatus::kDetectedUncorrectable) {
+    ++stats_.uncorrectable;
+    memsim::FaultSite site;
+    site.where = system_.address_map().decompose(line_addr);
+    site.chip = first_bad_chip;
+    mc.report_uncorrectable(site, line_addr, system_.stats().cpu_cycles,
+                            scheme);
+  }
+}
+
+void Injector::flush_pending() {
+  // Snapshot keys first: apply_line mutates the map.
+  std::vector<std::uint64_t> lines;
+  lines.reserve(pending_.size());
+  for (const auto& [line, _] : pending_) lines.push_back(line);
+  for (const auto line : lines)
+    apply_line(line, system_.controller().scheme_for(line));
+}
+
+}  // namespace abftecc::fault

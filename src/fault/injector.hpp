@@ -1,0 +1,86 @@
+// BIFIT-style fault injector: place bit flips at specific times and data
+// locations, or sample campaigns from Table 5 FIT rates.
+//
+// Faults live in DRAM: an injected flip stays pending on its cache line
+// until the next DRAM fill of that line, at which point it passes through
+// the active ECC scheme's decoder (ecc::LineCodec) -- corrected errors are
+// absorbed by the controller, uncorrectable ones are recorded in the MC's
+// error registers and raise the OS interrupt, and under No_ECC the
+// corruption flows silently into the application data for ABFT to find.
+// A writeback to a pending line overwrites the corrupted cells and clears
+// the fault, exactly as on real hardware.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "ecc/codec.hpp"
+#include "memsim/system.hpp"
+#include "os/os.hpp"
+
+namespace abftecc::fault {
+
+struct InjectorStats {
+  std::uint64_t injected_flips = 0;
+  std::uint64_t injected_chip_kills = 0;
+  std::uint64_t corrected_by_ecc = 0;
+  std::uint64_t uncorrectable = 0;
+  std::uint64_t silent_corruptions = 0;  ///< reached app data undetected by ECC
+  std::uint64_t cleared_by_writeback = 0;
+};
+
+class Injector {
+ public:
+  /// Wires itself into `system`'s DRAM-transfer hook; `os` provides
+  /// phys -> host translation so corruption lands in real application bytes.
+  Injector(memsim::MemorySystem& system, os::Os& os);
+  ~Injector();
+
+  Injector(const Injector&) = delete;
+  Injector& operator=(const Injector&) = delete;
+
+  /// Queue a single-bit flip at physical address `phys` (bit 0..7 within
+  /// that byte). Takes effect on the next DRAM fill of the line.
+  void inject_bit(std::uint64_t phys, unsigned bit);
+
+  /// Queue a whole-chip failure for the line containing `phys` (the
+  /// chipkill design point). `pattern` is the nibble corruption mask.
+  void inject_chip_kill(std::uint64_t phys, unsigned chip,
+                        std::uint8_t pattern = 0xF);
+
+  /// Apply a bit flip to application data immediately, bypassing DRAM and
+  /// ECC entirely (models an error while the line is cache-resident, and
+  /// gives experiments a direct knob for "ABFT must find this").
+  bool corrupt_virtual_now(void* vaddr, unsigned bit);
+
+  /// Uniformly sample `count` single-bit faults over a physical range.
+  void inject_uniform(std::uint64_t phys_start, std::uint64_t phys_end,
+                      std::uint64_t count, Rng& rng);
+
+  /// Expected raw-fault count for a region of `bytes` over `seconds`,
+  /// given the region's pre-correction fault rate (FIT/Mbit).
+  static double expected_faults(std::uint64_t bytes, double seconds,
+                                FitPerMbit rate);
+
+  [[nodiscard]] const InjectorStats& stats() const { return stats_; }
+  [[nodiscard]] std::size_t pending_lines() const { return pending_.size(); }
+
+  /// Force all pending faults to be applied as if their lines were read
+  /// now (used by tests and by scenarios that end with a flush).
+  void flush_pending();
+
+ private:
+  void on_dram_transfer(std::uint64_t line_addr, ecc::Scheme scheme,
+                        bool is_write);
+  void apply_line(std::uint64_t line_addr, ecc::Scheme scheme);
+  static unsigned chip_of_data_bit(ecc::Scheme scheme, unsigned bit_in_line);
+
+  memsim::MemorySystem& system_;
+  os::Os& os_;
+  std::unordered_map<std::uint64_t, std::vector<ecc::BitFlip>> pending_;
+  InjectorStats stats_;
+};
+
+}  // namespace abftecc::fault

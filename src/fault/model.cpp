@@ -1,0 +1,56 @@
+#include "fault/model.hpp"
+
+#include <algorithm>
+
+namespace abftecc::fault {
+
+double mttf_seconds(FitPerMbit rate, double capacity_mbit, double age_factor,
+                    double nodes) {
+  ABFTECC_REQUIRE(capacity_mbit > 0.0 && nodes > 0.0 && age_factor > 0.0);
+  const double per_second =
+      rate.failures_per_second(capacity_mbit) * age_factor * nodes;
+  ABFTECC_REQUIRE(per_second > 0.0);
+  return 1.0 / per_second;
+}
+
+double mttf_hetero_seconds(std::span<const RegionSpec> regions, double nodes) {
+  ABFTECC_REQUIRE(!regions.empty() && nodes > 0.0);
+  double per_second = 0.0;
+  for (const auto& r : regions)
+    per_second +=
+        r.rate.failures_per_second(r.capacity_mbit) * r.age_factor * nodes;
+  ABFTECC_REQUIRE(per_second > 0.0);
+  return 1.0 / per_second;
+}
+
+double expected_errors(double t0_seconds, double tau, double mttf) {
+  ABFTECC_REQUIRE(mttf > 0.0);
+  return t0_seconds * (1.0 + tau) / mttf;
+}
+
+double recovery_time_loss(double n_errors, double t_c_seconds) {
+  return n_errors * t_c_seconds;
+}
+
+double performance_benefit(double t0_seconds, double tau_ase,
+                           double tau_are) {
+  return t0_seconds * (tau_ase - tau_are);
+}
+
+double mttf_threshold_perf(double t_c_seconds, double tau_are,
+                           double tau_ase) {
+  ABFTECC_REQUIRE(tau_ase > tau_are);
+  return t_c_seconds * (1.0 + tau_are) / (tau_ase - tau_are);
+}
+
+double mttf_threshold_energy(double e_c_joules, double t0_seconds,
+                             double tau_are, double delta_e_joules) {
+  ABFTECC_REQUIRE(delta_e_joules > 0.0);
+  return e_c_joules * t0_seconds * (1.0 + tau_are) / delta_e_joules;
+}
+
+double mttf_threshold(double thr_perf, double thr_energy) {
+  return std::max(thr_perf, thr_energy);
+}
+
+}  // namespace abftecc::fault

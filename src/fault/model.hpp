@@ -1,0 +1,62 @@
+// Analytical fault models of Section 4, Equations (2)-(8).
+//
+// These drive the scaling studies (Figures 8-9): given per-region failure
+// rates (Table 5), memory capacities, node counts, and the measured
+// performance/energy impact ratios of each ECC strategy, they predict error
+// counts, ABFT recovery cost, and the MTTF thresholds below which ARE
+// (ABFT + relaxed ECC) stops paying off against ASE (ABFT + strong ECC).
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/units.hpp"
+#include "ecc/scheme.hpp"
+
+namespace abftecc::fault {
+
+/// One memory region with homogeneous ECC protection (a term of Eq. (3)).
+struct RegionSpec {
+  double capacity_mbit = 0.0;  ///< mc_i
+  FitPerMbit rate;             ///< fr_i (post-ECC, Table 5)
+  double age_factor = 1.0;     ///< f_i(A)
+};
+
+/// Eq. (2): MTTF = 1 / (FR * MC_a * f(A) * N), in seconds.
+double mttf_seconds(FitPerMbit rate, double capacity_mbit, double age_factor,
+                    double nodes);
+
+/// Eq. (3): heterogeneous-protection MTTF across regions, in seconds.
+double mttf_hetero_seconds(std::span<const RegionSpec> regions, double nodes);
+
+/// Eq. (4): N_e = T0 * (1 + tau) / MTTF_hetero.
+double expected_errors(double t0_seconds, double tau, double mttf_seconds);
+
+/// Eq. (5): T_c = N_e * t_c -- worst-case recovery time (one error per
+/// recovery, conservatively).
+double recovery_time_loss(double n_errors, double t_c_seconds);
+
+/// Eq. (6): delta-T = T0 * (tau_ase - tau_are).
+double performance_benefit(double t0_seconds, double tau_ase, double tau_are);
+
+/// Eq. (7): MTTF threshold for net performance benefit:
+/// MTTF_thr,t = t_c * (1 + tau_are) / (tau_ase - tau_are).
+/// Requires tau_ase > tau_are (otherwise relaxing never helps).
+double mttf_threshold_perf(double t_c_seconds, double tau_are, double tau_ase);
+
+/// Energy analogue of Eq. (7): with per-error ABFT recovery energy e_c (J)
+/// and per-run energy saving delta_e (J) over native time T0,
+/// MTTF_thr,en = e_c * T0 * (1 + tau_are) / delta_e.
+double mttf_threshold_energy(double e_c_joules, double t0_seconds,
+                             double tau_are, double delta_e_joules);
+
+/// Eq. (8): MTTF_thr = max(threshold_perf, threshold_energy).
+double mttf_threshold(double thr_perf, double thr_energy);
+
+/// Convenience: Table 5 rate for a scheme.
+inline FitPerMbit table5_rate(ecc::Scheme s) {
+  return ecc::properties(s).residual_fit;
+}
+
+}  // namespace abftecc::fault

@@ -1,0 +1,92 @@
+// Error-handling scenario classification (Section 4, Cases 1-4).
+//
+// Given whether the injected pattern is within strong ECC's correction
+// capability and within ABFT's, classify the scenario and derive the
+// recovery path + cost each of the two deployments (ARE = ABFT + relaxed
+// ECC, ASE = ABFT + strong ECC) takes.
+#pragma once
+
+#include <string_view>
+
+#include "common/units.hpp"
+
+namespace abftecc::fault {
+
+enum class Case {
+  kCase1BothCorrect,   ///< strong ECC and ABFT can both correct
+  kCase2AbftOnly,      ///< ABFT can, strong ECC cannot
+  kCase3EccOnly,       ///< strong ECC can, ABFT cannot
+  kCase4Neither,       ///< neither can: checkpoint/restart for both
+};
+
+constexpr Case classify(bool strong_ecc_correctable, bool abft_correctable) {
+  if (strong_ecc_correctable)
+    return abft_correctable ? Case::kCase1BothCorrect : Case::kCase3EccOnly;
+  return abft_correctable ? Case::kCase2AbftOnly : Case::kCase4Neither;
+}
+
+constexpr std::string_view to_string(Case c) {
+  switch (c) {
+    case Case::kCase1BothCorrect: return "Case1(both ECC+ABFT correct)";
+    case Case::kCase2AbftOnly: return "Case2(ABFT only)";
+    case Case::kCase3EccOnly: return "Case3(ECC only)";
+    case Case::kCase4Neither: return "Case4(neither)";
+  }
+  return "?";
+}
+
+/// How each deployment recovers in a given case.
+enum class RecoveryPath {
+  kEccInController,    ///< a few cycles, < ~1 pJ
+  kAbftCorrection,     ///< checksum / invariant repair, up to hundreds of J
+  kCheckpointRestart,  ///< fall back to the last checkpoint
+  kNone,               ///< error never materialized for this deployment
+};
+
+struct CaseOutcome {
+  RecoveryPath are;  ///< ABFT + relaxed ECC
+  RecoveryPath ase;  ///< ABFT + strong ECC
+};
+
+/// The recovery paths of Section 4's discussion. For Case 2 the ASE path
+/// depends on whether the platform exposes uncorrectable errors to the
+/// application (`ase_exposes_errors`); legacy systems panic instead.
+constexpr CaseOutcome outcome(Case c, bool ase_exposes_errors = false) {
+  switch (c) {
+    case Case::kCase1BothCorrect:
+      return {RecoveryPath::kAbftCorrection, RecoveryPath::kEccInController};
+    case Case::kCase2AbftOnly:
+      return {RecoveryPath::kAbftCorrection,
+              ase_exposes_errors ? RecoveryPath::kAbftCorrection
+                                 : RecoveryPath::kCheckpointRestart};
+    case Case::kCase3EccOnly:
+      return {RecoveryPath::kCheckpointRestart,
+              RecoveryPath::kEccInController};
+    case Case::kCase4Neither:
+      return {RecoveryPath::kCheckpointRestart,
+              RecoveryPath::kCheckpointRestart};
+  }
+  return {RecoveryPath::kNone, RecoveryPath::kNone};
+}
+
+/// Representative recovery costs used by the end-to-end case bench: energy
+/// per recovery event for each path, parameterized by problem scale for the
+/// ABFT path (Section 4: "up to hundreds of Joules, depending on the input
+/// numerical problem size").
+struct RecoveryCosts {
+  double ecc_pj = 1.0;
+  double abft_joules = 0.0;
+  double checkpoint_restart_joules = 0.0;
+
+  [[nodiscard]] double joules(RecoveryPath p) const {
+    switch (p) {
+      case RecoveryPath::kEccInController: return ecc_pj / kPicojoulesPerJoule;
+      case RecoveryPath::kAbftCorrection: return abft_joules;
+      case RecoveryPath::kCheckpointRestart: return checkpoint_restart_joules;
+      case RecoveryPath::kNone: return 0.0;
+    }
+    return 0.0;
+  }
+};
+
+}  // namespace abftecc::fault

@@ -1,0 +1,204 @@
+// Blocked dense factorizations: right-looking Cholesky (POTRF) and LU with
+// partial pivoting (GETRF), the regular algorithms FT-Cholesky / FT-HPL wrap.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstddef>
+#include <vector>
+
+#include "linalg/blas.hpp"
+
+namespace abftecc::linalg {
+
+enum class FactorStatus {
+  kOk,
+  kNotPositiveDefinite,  ///< Cholesky hit a non-positive pivot.
+  kSingular,             ///< LU hit an exactly-zero pivot column.
+};
+
+// ---------------------------------------------------------------------------
+// Cholesky
+// ---------------------------------------------------------------------------
+
+/// Unblocked lower Cholesky of a small square block, in place.
+template <MemTap Tap = NullTap>
+FactorStatus potf2(MatrixView a, Tap tap = {}) {
+  ABFTECC_REQUIRE(a.rows() == a.cols());
+  const std::size_t n = a.rows();
+  for (std::size_t j = 0; j < n; ++j) {
+    double d = a(j, j);
+    tap.read(&a(j, j));
+    for (std::size_t k = 0; k < j; ++k) {
+      tap.read(&a(j, k));
+      d -= a(j, k) * a(j, k);
+    }
+    if (d <= 0.0 || !std::isfinite(d)) return FactorStatus::kNotPositiveDefinite;
+    const double ljj = std::sqrt(d);
+    tap.write(&a(j, j));
+    a(j, j) = ljj;
+    const double inv = 1.0 / ljj;
+    for (std::size_t i = j + 1; i < n; ++i) {
+      double s = a(i, j);
+      tap.read(&a(i, j));
+      for (std::size_t k = 0; k < j; ++k) {
+        tap.read(&a(i, k));
+        tap.read(&a(j, k));
+        s -= a(i, k) * a(j, k);
+      }
+      tap.write(&a(i, j));
+      a(i, j) = s * inv;
+    }
+  }
+  return FactorStatus::kOk;
+}
+
+/// Blocked right-looking lower Cholesky, in place: A = L L^T, L overwrites
+/// the lower triangle (the strictly-upper triangle is left untouched).
+/// This is the 4-step loop of the paper's Section 2.1.
+template <MemTap Tap = NullTap>
+FactorStatus potrf(MatrixView a, std::size_t nb = kBlock, Tap tap = {}) {
+  ABFTECC_REQUIRE(a.rows() == a.cols());
+  const std::size_t n = a.rows();
+  for (std::size_t k = 0; k < n; k += nb) {
+    const std::size_t b = std::min(nb, n - k);
+    // (1) factor the diagonal block A11 = L11 L11^T
+    if (auto st = potf2(a.block(k, k, b, b), tap); st != FactorStatus::kOk)
+      return st;
+    if (k + b < n) {
+      const std::size_t rest = n - k - b;
+      // (2) panel solve: L21 = A21 L11^{-T}
+      trsm_right_lower_trans(ConstMatrixView(a.block(k, k, b, b)),
+                             a.block(k + b, k, rest, b), tap);
+      // (3) trailing update: A22 -= L21 L21^T (lower triangle only)
+      syrk_lower_sub(ConstMatrixView(a.block(k + b, k, rest, b)),
+                     a.block(k + b, k + b, rest, rest), tap);
+    }
+    // (4) recurse on the trailing matrix == continue the loop.
+  }
+  return FactorStatus::kOk;
+}
+
+// ---------------------------------------------------------------------------
+// LU with partial pivoting
+// ---------------------------------------------------------------------------
+
+/// Swap rows r1 and r2 across columns [c0, c1).
+template <MemTap Tap = NullTap>
+void swap_rows(MatrixView a, std::size_t r1, std::size_t r2, std::size_t c0,
+               std::size_t c1, Tap tap = {}) {
+  if (r1 == r2) return;
+  for (std::size_t j = c0; j < c1; ++j) {
+    tap.update(&a(r1, j));
+    tap.update(&a(r2, j));
+    std::swap(a(r1, j), a(r2, j));
+  }
+}
+
+/// Unblocked LU with partial pivoting on an m x n panel (m >= n), in place.
+/// piv[j] (global row index offset r0) records the row swapped into row j.
+template <MemTap Tap = NullTap>
+FactorStatus getf2(MatrixView a, std::size_t r0, std::vector<std::size_t>& piv,
+                   Tap tap = {}) {
+  const std::size_t m = a.rows(), n = a.cols();
+  ABFTECC_REQUIRE(m >= n);
+  for (std::size_t j = 0; j < n; ++j) {
+    // Pivot search down column j.
+    std::size_t p = j;
+    double best = std::abs(a(j, j));
+    for (std::size_t i = j; i < m; ++i) {
+      tap.read(&a(i, j));
+      const double v = std::abs(a(i, j));
+      if (v > best) {
+        best = v;
+        p = i;
+      }
+    }
+    piv.push_back(r0 + p);
+    if (best == 0.0) return FactorStatus::kSingular;
+    swap_rows(a, j, p, 0, n, tap);
+    tap.read(&a(j, j));
+    const double inv = 1.0 / a(j, j);
+    for (std::size_t i = j + 1; i < m; ++i) {
+      tap.update(&a(i, j));
+      a(i, j) *= inv;
+    }
+    // Rank-1 update of the trailing panel columns.
+    for (std::size_t k = j + 1; k < n; ++k) {
+      tap.read(&a(j, k));
+      const double ajk = a(j, k);
+      if (ajk == 0.0) continue;
+      for (std::size_t i = j + 1; i < m; ++i) {
+        tap.read(&a(i, j));
+        tap.update(&a(i, k));
+        a(i, k) -= a(i, j) * ajk;
+      }
+    }
+  }
+  return FactorStatus::kOk;
+}
+
+/// Blocked LU with partial pivoting, in place: P A = L U. `piv` holds, for
+/// each column j, the global row swapped with row j (LAPACK ipiv semantics).
+template <MemTap Tap = NullTap>
+FactorStatus getrf(MatrixView a, std::vector<std::size_t>& piv,
+                   std::size_t nb = kBlock, Tap tap = {}) {
+  const std::size_t m = a.rows(), n = a.cols();
+  piv.clear();
+  piv.reserve(std::min(m, n));
+  for (std::size_t k = 0; k < std::min(m, n); k += nb) {
+    const std::size_t b = std::min(nb, std::min(m, n) - k);
+    // Panel factorization with pivot search over the full remaining height.
+    const std::size_t piv_base = piv.size();
+    if (auto st = getf2(a.block(k, k, m - k, b), k, piv, tap);
+        st != FactorStatus::kOk)
+      return st;
+    // Apply the panel's row swaps to the columns left and right of it.
+    for (std::size_t j = 0; j < b; ++j) {
+      const std::size_t global = piv[piv_base + j];
+      swap_rows(a, k + j, global, 0, k, tap);
+      swap_rows(a, k + j, global, k + b, n, tap);
+    }
+    if (k + b < n) {
+      // U12 = L11^{-1} A12.
+      trsm_left_lower_unit(ConstMatrixView(a.block(k, k, b, b)),
+                           a.block(k, k + b, b, n - k - b), tap);
+      if (k + b < m) {
+        // A22 -= L21 U12.
+        gemm(-1.0, ConstMatrixView(a.block(k + b, k, m - k - b, b)),
+             ConstMatrixView(a.block(k, k + b, b, n - k - b)), 1.0,
+             a.block(k + b, k + b, m - k - b, n - k - b), tap);
+      }
+    }
+  }
+  return FactorStatus::kOk;
+}
+
+/// Apply recorded pivots to a right-hand side vector (forward order).
+inline void apply_pivots(std::span<double> x,
+                         std::span<const std::size_t> piv) {
+  for (std::size_t j = 0; j < piv.size(); ++j) std::swap(x[j], x[piv[j]]);
+}
+
+/// Solve A x = b given the in-place LU factorization of A and its pivots.
+/// x is overwritten from b.
+template <MemTap Tap = NullTap>
+void lu_solve(ConstMatrixView lu, std::span<const std::size_t> piv,
+              std::span<double> x, Tap tap = {}) {
+  apply_pivots(x, piv);
+  // L has a unit diagonal stored implicitly.
+  const std::size_t n = x.size();
+  for (std::size_t j = 0; j < n; ++j) {
+    tap.read(&x[j]);
+    const double xj = x[j];
+    if (xj == 0.0) continue;
+    for (std::size_t i = j + 1; i < n; ++i) {
+      tap.read(&lu(i, j));
+      tap.update(&x[i]);
+      x[i] -= lu(i, j) * xj;
+    }
+  }
+  trsv_upper(lu, x, tap);
+}
+
+}  // namespace abftecc::linalg

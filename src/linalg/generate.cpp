@@ -1,0 +1,39 @@
+#include "linalg/generate.hpp"
+
+#include "linalg/blas.hpp"
+
+namespace abftecc::linalg {
+
+namespace {
+
+std::vector<double> random_vector(std::size_t n, Rng& rng) {
+  std::vector<double> v(n);
+  for (auto& x : v) x = rng.uniform(-1.0, 1.0);
+  return v;
+}
+
+}  // namespace
+
+LinearSystem make_spd_system(std::size_t n, Rng& rng) {
+  LinearSystem sys;
+  sys.a = Matrix::random_spd(n, rng);
+  sys.x_true = random_vector(n, rng);
+  sys.b.assign(n, 0.0);
+  gemv(1.0, sys.a.view(), sys.x_true, 0.0, sys.b);
+  return sys;
+}
+
+LinearSystem make_general_system(std::size_t n, Rng& rng) {
+  LinearSystem sys;
+  sys.a = Matrix::random(n, n, rng);
+  // Diagonal dominance keeps LU with partial pivoting well away from
+  // breakdown for every seed used by tests and benches.
+  for (std::size_t i = 0; i < n; ++i)
+    sys.a(i, i) += static_cast<double>(n);
+  sys.x_true = random_vector(n, rng);
+  sys.b.assign(n, 0.0);
+  gemv(1.0, sys.a.view(), sys.x_true, 0.0, sys.b);
+  return sys;
+}
+
+}  // namespace abftecc::linalg

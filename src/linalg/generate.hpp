@@ -1,0 +1,25 @@
+// Workload generators for the evaluation kernels.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/matrix.hpp"
+#include "common/rng.hpp"
+
+namespace abftecc::linalg {
+
+/// A dense linear system A x = b with a known solution x_true.
+struct LinearSystem {
+  Matrix a;
+  std::vector<double> b;
+  std::vector<double> x_true;
+};
+
+/// SPD system for CG / Cholesky with a uniformly random true solution.
+LinearSystem make_spd_system(std::size_t n, Rng& rng);
+
+/// General (diagonally dominant, hence nonsingular) system for LU / HPL.
+LinearSystem make_general_system(std::size_t n, Rng& rng);
+
+}  // namespace abftecc::linalg

@@ -1,0 +1,117 @@
+// Householder QR factorization (GEQRF-style, in place) and the implicit-Q
+// application needed to solve with it.
+#pragma once
+
+#include <cmath>
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "linalg/blas.hpp"
+
+namespace abftecc::linalg {
+
+/// Householder QR of an m x n matrix (m >= n), in place: the upper triangle
+/// becomes R, the essential parts of the Householder vectors v_j (with the
+/// LAPACK convention v_j(j) = 1 implicit) are stored below the diagonal,
+/// and tau holds the reflector coefficients. `extra` columns at the right
+/// of `a` (e.g. appended checksum columns) are transformed along with the
+/// matrix but never factored.
+template <MemTap Tap = NullTap>
+void geqrf(MatrixView a, std::span<double> tau, std::size_t extra = 0,
+           Tap tap = {}) {
+  const std::size_t m = a.rows();
+  ABFTECC_REQUIRE(a.cols() >= extra);
+  const std::size_t n = a.cols() - extra;
+  ABFTECC_REQUIRE(m >= n && tau.size() == n);
+
+  for (std::size_t j = 0; j < n; ++j) {
+    // Build the reflector from column j below (and including) the diagonal.
+    double norm_sq = 0.0;
+    for (std::size_t i = j; i < m; ++i) {
+      tap.read(&a(i, j));
+      norm_sq += a(i, j) * a(i, j);
+    }
+    const double norm = std::sqrt(norm_sq);
+    if (norm == 0.0) {
+      tau[j] = 0.0;
+      continue;
+    }
+    tap.read(&a(j, j));
+    const double alpha = a(j, j);
+    const double beta = alpha >= 0.0 ? -norm : norm;
+    const double v0 = alpha - beta;  // un-normalized head of v
+    // tau = (beta - alpha) / beta with the v(j)=1 convention.
+    tau[j] = (beta - alpha) / beta;
+    const double inv_v0 = 1.0 / v0;
+    for (std::size_t i = j + 1; i < m; ++i) {
+      tap.update(&a(i, j));
+      a(i, j) *= inv_v0;  // store essential part of v
+    }
+    tap.write(&a(j, j));
+    a(j, j) = beta;  // R(j,j)
+
+    // Apply (I - tau v v^T) to the remaining columns, checksum columns
+    // included.
+    for (std::size_t c = j + 1; c < n + extra; ++c) {
+      tap.read(&a(j, c));
+      double s = a(j, c);  // v(j) = 1
+      for (std::size_t i = j + 1; i < m; ++i) {
+        tap.read(&a(i, j));
+        tap.read(&a(i, c));
+        s += a(i, j) * a(i, c);
+      }
+      s *= tau[j];
+      tap.update(&a(j, c));
+      a(j, c) -= s;
+      for (std::size_t i = j + 1; i < m; ++i) {
+        tap.read(&a(i, j));
+        tap.update(&a(i, c));
+        a(i, c) -= s * a(i, j);
+      }
+    }
+  }
+}
+
+/// y <- Q^T y for the implicit Q of a geqrf-factored matrix.
+template <MemTap Tap = NullTap>
+void apply_qt(ConstMatrixView a, std::span<const double> tau,
+              std::span<double> y, std::size_t extra = 0, Tap tap = {}) {
+  const std::size_t m = a.rows();
+  const std::size_t n = a.cols() - extra;
+  ABFTECC_REQUIRE(y.size() == m && tau.size() == n);
+  for (std::size_t j = 0; j < n; ++j) {
+    if (tau[j] == 0.0) continue;
+    tap.read(&y[j]);
+    double s = y[j];
+    for (std::size_t i = j + 1; i < m; ++i) {
+      tap.read(&a(i, j));
+      tap.read(&y[i]);
+      s += a(i, j) * y[i];
+    }
+    s *= tau[j];
+    tap.update(&y[j]);
+    y[j] -= s;
+    for (std::size_t i = j + 1; i < m; ++i) {
+      tap.read(&a(i, j));
+      tap.update(&y[i]);
+      y[i] -= s * a(i, j);
+    }
+  }
+}
+
+/// Least-squares / square solve after geqrf: x = R^-1 (Q^T b)[0..n).
+template <MemTap Tap = NullTap>
+void qr_solve(ConstMatrixView a, std::span<const double> tau,
+              std::span<const double> b, std::span<double> x,
+              std::size_t extra = 0, Tap tap = {}) {
+  const std::size_t m = a.rows();
+  const std::size_t n = a.cols() - extra;
+  ABFTECC_REQUIRE(b.size() == m && x.size() == n);
+  std::vector<double> qtb(b.begin(), b.end());
+  apply_qt(a, tau, qtb, extra, tap);
+  for (std::size_t i = 0; i < n; ++i) x[i] = qtb[i];
+  trsv_upper(a.block(0, 0, n, n), x, tap);
+}
+
+}  // namespace abftecc::linalg

@@ -1,0 +1,39 @@
+#include "memsim/address_map.hpp"
+
+#include "common/error.hpp"
+
+namespace abftecc::memsim {
+
+AddressMap::AddressMap(const DramOrganization& org, unsigned line_bytes)
+    : org_(org),
+      line_bytes_(line_bytes),
+      lines_per_row_(static_cast<unsigned>(org.row_bytes / line_bytes)),
+      ranks_per_channel_(org.dimms_per_channel * org.ranks_per_dimm) {
+  ABFTECC_REQUIRE(lines_per_row_ > 0);
+}
+
+DramAddress AddressMap::decompose(std::uint64_t phys_addr) const {
+  std::uint64_t line = phys_addr / line_bytes_;
+  DramAddress da;
+  da.channel = static_cast<unsigned>(line % org_.channels);
+  line /= org_.channels;
+  da.bank = static_cast<unsigned>(line % org_.banks_per_rank);
+  line /= org_.banks_per_rank;
+  da.column = static_cast<unsigned>(line % lines_per_row_);
+  line /= lines_per_row_;
+  da.rank = static_cast<unsigned>(line % ranks_per_channel_);
+  line /= ranks_per_channel_;
+  da.row = line;
+  return da;
+}
+
+std::uint64_t AddressMap::compose(const DramAddress& da) const {
+  std::uint64_t line = da.row;
+  line = line * ranks_per_channel_ + da.rank;
+  line = line * lines_per_row_ + da.column;
+  line = line * org_.banks_per_rank + da.bank;
+  line = line * org_.channels + da.channel;
+  return line * line_bytes_;
+}
+
+}  // namespace abftecc::memsim

@@ -1,0 +1,55 @@
+// Physical-address <-> DRAM-coordinate mapping.
+//
+// The scheme is line-interleaved: offset | channel | bank | column | rank |
+// row, so streaming accesses rotate across channels and banks (maximizing
+// parallelism) while successive lines on the same (channel,bank) advance the
+// column within one row (preserving open-page hits). The inverse mapping is
+// what Section 3.2.1 requires the OS to perform: converting a fault site
+// reported by the memory controller back into a physical address.
+#pragma once
+
+#include <cstdint>
+
+#include "memsim/config.hpp"
+
+namespace abftecc::memsim {
+
+/// Coordinates of one cache line in the DRAM system. `rank` is global
+/// within the channel (dimm folded in: rank = dimm * ranks_per_dimm + r).
+struct DramAddress {
+  unsigned channel = 0;
+  unsigned rank = 0;
+  unsigned bank = 0;
+  std::uint64_t row = 0;
+  unsigned column = 0;  ///< line-sized column within the row
+
+  friend bool operator==(const DramAddress&, const DramAddress&) = default;
+};
+
+/// A fault site as recorded by the MC's error registers (Section 3.1):
+/// chip/row/column granularity, i.e. a DramAddress plus the failing chip.
+struct FaultSite {
+  DramAddress where;
+  unsigned chip = 0;  ///< chip index within the rank
+  friend bool operator==(const FaultSite&, const FaultSite&) = default;
+};
+
+class AddressMap {
+ public:
+  explicit AddressMap(const DramOrganization& org, unsigned line_bytes = 64);
+
+  [[nodiscard]] DramAddress decompose(std::uint64_t phys_addr) const;
+  [[nodiscard]] std::uint64_t compose(const DramAddress& da) const;
+
+  [[nodiscard]] unsigned line_bytes() const { return line_bytes_; }
+  [[nodiscard]] unsigned lines_per_row() const { return lines_per_row_; }
+  [[nodiscard]] const DramOrganization& organization() const { return org_; }
+
+ private:
+  DramOrganization org_;
+  unsigned line_bytes_;
+  unsigned lines_per_row_;
+  unsigned ranks_per_channel_;
+};
+
+}  // namespace abftecc::memsim

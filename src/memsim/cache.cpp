@@ -1,0 +1,75 @@
+#include "memsim/cache.hpp"
+
+#include "common/error.hpp"
+
+namespace abftecc::memsim {
+
+Cache::Cache(const CacheConfig& cfg) : cfg_(cfg), num_sets_(cfg.num_sets()) {
+  ABFTECC_REQUIRE(num_sets_ > 0 && (num_sets_ & (num_sets_ - 1)) == 0);
+  ABFTECC_REQUIRE(cfg.ways > 0);
+  lines_.resize(num_sets_ * cfg.ways);
+}
+
+CacheAccess Cache::access(std::uint64_t addr, bool is_write) {
+  ++stats_.accesses;
+  const std::size_t set = set_index(addr);
+  const std::uint64_t tag = tag_of(addr);
+  Line* base = &lines_[set * cfg_.ways];
+
+  Line* lru_line = base;
+  for (unsigned w = 0; w < cfg_.ways; ++w) {
+    Line& line = base[w];
+    if (line.valid && line.tag == tag) {
+      line.lru = ++tick_;
+      line.dirty = line.dirty || is_write;
+      ++stats_.hits;
+      return CacheAccess{.hit = true};
+    }
+    if (!line.valid) {
+      lru_line = &line;  // prefer an invalid slot outright
+    } else if (lru_line->valid && line.lru < lru_line->lru) {
+      lru_line = &line;
+    }
+  }
+
+  ++stats_.misses;
+  CacheAccess result;
+  if (lru_line->valid) {
+    ++stats_.evictions;
+    result.evicted = true;
+    result.evicted_dirty = lru_line->dirty;
+    if (lru_line->dirty) ++stats_.dirty_evictions;
+    result.evicted_line_addr =
+        (lru_line->tag * num_sets_ + set) * cfg_.line_bytes;
+  }
+  lru_line->valid = true;
+  lru_line->tag = tag;
+  lru_line->dirty = is_write;
+  lru_line->lru = ++tick_;
+  return result;
+}
+
+bool Cache::invalidate(std::uint64_t addr) {
+  const std::size_t set = set_index(addr);
+  const std::uint64_t tag = tag_of(addr);
+  Line* base = &lines_[set * cfg_.ways];
+  for (unsigned w = 0; w < cfg_.ways; ++w) {
+    Line& line = base[w];
+    if (line.valid && line.tag == tag) {
+      line.valid = false;
+      return line.dirty;
+    }
+  }
+  return false;
+}
+
+bool Cache::contains(std::uint64_t addr) const {
+  const std::size_t set = set_index(addr);
+  const std::uint64_t tag = tag_of(addr);
+  const Line* base = &lines_[set * cfg_.ways];
+  for (unsigned w = 0; w < cfg_.ways; ++w)
+    if (base[w].valid && base[w].tag == tag) return true;
+  return false;
+}
+
+}  // namespace abftecc::memsim

@@ -1,0 +1,38 @@
+#include "memsim/config.hpp"
+
+namespace abftecc::memsim {
+
+SystemConfig SystemConfig::table3() {
+  SystemConfig c;
+  c.l1 = CacheConfig{16 * 1024, 4, 64, 1};
+  c.l2 = CacheConfig{8 * 1024 * 1024, 16, 64, 1};
+  c.capacity_bytes = 8ull * 1024 * 1024 * 1024;
+  return c;
+}
+
+SystemConfig SystemConfig::scaled(unsigned factor) {
+  SystemConfig c = table3();
+  c.l1.size_bytes /= factor;
+  if (c.l1.size_bytes < 2048) c.l1.size_bytes = 2048;
+  // The L2 shrinks twice as hard as the inputs so the scaled runs keep the
+  // paper's footprint >> LLC regime (3000^2 doubles vs 8MB there).
+  c.l2.size_bytes /= 4 * factor;
+  if (c.l2.size_bytes < 64 * 1024) c.l2.size_bytes = 64 * 1024;
+  // Shrink the DRAM fleet with the problem: one dual-rank DIMM per channel
+  // keeps bank parallelism while the standby floor scales with the smaller
+  // simulated node.
+  c.org.dimms_per_channel = 1;
+  c.org.ranks_per_dimm = 2;
+  c.power.standby_mw_per_chip = 3.0;
+  // One task on one of the four cores: charge only that core's dynamic
+  // share of the socket, keeping the memory:processor energy balance of
+  // the paper's memory-heavy node (see DESIGN.md calibration notes).
+  c.core.max_socket_watts = 8.0;
+  c.core.idle_socket_watts = 2.5;
+  // Keep enough rows/banks for realistic interleaving but shrink capacity so
+  // the page allocator's tables stay small.
+  c.capacity_bytes = 512ull * 1024 * 1024;
+  return c;
+}
+
+}  // namespace abftecc::memsim

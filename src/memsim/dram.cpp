@@ -1,0 +1,118 @@
+#include "memsim/dram.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace abftecc::memsim {
+
+DramSystem::DramSystem(const SystemConfig& cfg, const AddressMap& map)
+    : cfg_(cfg),
+      ranks_per_channel_(cfg.org.dimms_per_channel * cfg.org.ranks_per_dimm) {
+  ABFTECC_REQUIRE(map.organization().channels == cfg.org.channels);
+  ABFTECC_REQUIRE(cfg.org.channels % 2 == 0);  // lock-step pairing needs pairs
+  banks_.resize(static_cast<std::size_t>(cfg.org.channels) *
+                ranks_per_channel_ * cfg.org.banks_per_rank);
+  bus_free_.resize(cfg.org.channels, 0);
+}
+
+std::size_t DramSystem::bank_index(unsigned channel, unsigned rank,
+                                   unsigned bank) const {
+  return (static_cast<std::size_t>(channel) * ranks_per_channel_ + rank) *
+             cfg_.org.banks_per_rank +
+         bank;
+}
+
+DramAccessResult DramSystem::issue(const DramAddress& da, bool is_write,
+                                   const AccessShape& shape, Cycles now) {
+  const DramTiming& t = cfg_.timing;
+  const DramPower& p = cfg_.power;
+
+  // Channels involved: the mapped one, plus its lock-step partner when the
+  // shape spans two channels (chipkill).
+  unsigned chans[2] = {da.channel, da.channel};
+  unsigned nchan = 1;
+  if (shape.channels_used == 2) {
+    chans[1] = da.channel ^ 1u;
+    nchan = 2;
+  }
+
+  // Earliest start: request arrival, all involved banks ready, all involved
+  // buses free.
+  Cycles start = now;
+  for (unsigned c = 0; c < nchan; ++c) {
+    const Bank& b = banks_[bank_index(chans[c], da.rank, da.bank)];
+    start = std::max(start, b.ready);
+    start = std::max(start, bus_free_[chans[c]]);
+  }
+
+  // Row-buffer outcome is decided by the primary bank; lock-step partners
+  // mirror its row state by construction (same commands go to both).
+  bool row_hit = false;
+  Cycles command_latency = 0;
+  Picojoules energy = 0.0;
+  {
+    const Bank& b = banks_[bank_index(chans[0], da.rank, da.bank)];
+    row_hit = cfg_.row_policy == RowBufferPolicy::kOpenPage && b.row_valid &&
+              b.open_row == da.row;
+  }
+  // Lock-step pairs pay a small scheduling-synchronization latency: both
+  // channels' command buses must issue in unison.
+  const Cycles sync = (nchan == 2) ? 1 : 0;
+  if (row_hit) {
+    ++stats_.row_hits;
+    command_latency = t.tCL + sync;
+  } else {
+    ++stats_.row_misses;
+    ++stats_.activates;
+    bool needs_precharge = false;
+    {
+      const Bank& b = banks_[bank_index(chans[0], da.rank, da.bank)];
+      needs_precharge =
+          cfg_.row_policy == RowBufferPolicy::kOpenPage && b.row_valid;
+    }
+    command_latency = (needs_precharge ? t.tRP : 0) + t.tRCD + t.tCL + sync;
+    energy += p.act_pre_pj_per_chip * shape.chips_activated;
+  }
+
+  const Cycles data_done = start + command_latency + shape.burst_cycles;
+
+  // Burst + IO energy scales with chip-time: chips x (burst / full burst).
+  const double chip_time =
+      shape.chips_activated * (static_cast<double>(shape.burst_cycles) / 4.0);
+  energy += (is_write ? p.write_pj_per_chip : p.read_pj_per_chip) * chip_time;
+  energy += p.io_pj_per_chip * chip_time;
+
+  // Commit resource updates.
+  for (unsigned c = 0; c < nchan; ++c) {
+    Bank& b = banks_[bank_index(chans[c], da.rank, da.bank)];
+    b.ready = data_done + (is_write ? t.tWR : 0);
+    if (cfg_.row_policy == RowBufferPolicy::kOpenPage) {
+      b.open_row = da.row;
+      b.row_valid = true;
+    } else {
+      b.row_valid = false;
+      b.ready += t.tRP;  // auto-precharge
+    }
+    bus_free_[chans[c]] = data_done;
+  }
+
+  if (is_write)
+    ++stats_.writes;
+  else
+    ++stats_.reads;
+
+  return DramAccessResult{data_done, start, energy, row_hit};
+}
+
+Picojoules DramSystem::standby_energy_pj(double seconds) const {
+  // Every powered chip pays background power; ECC chips stay powered even
+  // when a region runs without ECC (they are "disabled or ignored",
+  // Section 3.1), so standby is scheme-independent -- matching the paper's
+  // observation that dynamic energy is the scheme-sensitive component.
+  const double chips = cfg_.org.total_chips();
+  const double mw = cfg_.power.standby_mw_per_chip * chips;
+  return mw * 1e-3 * seconds * kPicojoulesPerJoule;
+}
+
+}  // namespace abftecc::memsim

@@ -1,0 +1,74 @@
+#include "memsim/memory_controller.hpp"
+
+#include "common/error.hpp"
+
+namespace abftecc::memsim {
+
+bool MemoryController::set_range(const EccRange& range) {
+  ABFTECC_REQUIRE(range.start < range.end);
+  for (auto& slot : ranges_) {
+    if (!slot.has_value()) {
+      slot = range;
+      return true;
+    }
+  }
+  return false;
+}
+
+bool MemoryController::clear_range(std::uint64_t start) {
+  for (auto& slot : ranges_) {
+    if (slot.has_value() && slot->start == start) {
+      slot.reset();
+      return true;
+    }
+  }
+  return false;
+}
+
+bool MemoryController::reassign_range(std::uint64_t start, ecc::Scheme scheme) {
+  for (auto& slot : ranges_) {
+    if (slot.has_value() && slot->start == start) {
+      slot->scheme = scheme;
+      return true;
+    }
+  }
+  return false;
+}
+
+ecc::Scheme MemoryController::scheme_for(std::uint64_t phys_addr) const {
+  for (const auto& slot : ranges_) {
+    if (slot.has_value() && phys_addr >= slot->start && phys_addr < slot->end)
+      return slot->scheme;
+  }
+  return default_scheme_;
+}
+
+unsigned MemoryController::ranges_in_use() const {
+  unsigned n = 0;
+  for (const auto& slot : ranges_)
+    if (slot.has_value()) ++n;
+  return n;
+}
+
+void MemoryController::report_uncorrectable(const FaultSite& site,
+                                            std::uint64_t phys_addr,
+                                            Cycles cycle, ecc::Scheme scheme) {
+  ++uncorrectable_;
+  ErrorRecord& slot = errors_[next_error_slot_];
+  if (slot.valid) ++dropped_;  // ring wrapped before the OS drained it
+  slot = ErrorRecord{site, phys_addr, cycle, scheme, true};
+  next_error_slot_ = (next_error_slot_ + 1) % kErrorRegisters;
+  if (handler_) handler_(slot);
+}
+
+void MemoryController::note_corrected(ecc::Scheme scheme) {
+  ++corrected_;
+  correction_energy_ += ecc::properties(scheme).correction_energy_pj;
+}
+
+void MemoryController::clear_error_registers() {
+  for (auto& e : errors_) e.valid = false;
+  next_error_slot_ = 0;
+}
+
+}  // namespace abftecc::memsim

@@ -1,0 +1,120 @@
+// Memory controller with ABFT-directed flexible ECC (Section 3.1).
+//
+// Holds the paper's two register files:
+//  * ECC registers -- 16 registers describing up to 8 physical address
+//    ranges with a relaxed scheme; everything else uses the default
+//    (strong) scheme.
+//  * Error registers -- n = 6 slots recording fault sites
+//    (chip/row/column) of ECC-uncorrectable errors; both are
+//    "memory-mapped" in the sense that the OS layer reads them directly.
+// Uncorrectable errors raise an interrupt delivered to a registered
+// handler (the OS layer's ECC-error interrupt, Section 3.2.1).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <functional>
+#include <optional>
+
+#include "common/units.hpp"
+#include "ecc/scheme.hpp"
+#include "memsim/address_map.hpp"
+
+namespace abftecc::memsim {
+
+/// One ECC register pair: [start, end) physical range and its scheme.
+struct EccRange {
+  std::uint64_t start = 0;
+  std::uint64_t end = 0;  ///< exclusive
+  ecc::Scheme scheme = ecc::Scheme::kNone;
+};
+
+/// One error-register entry.
+struct ErrorRecord {
+  FaultSite site;
+  std::uint64_t phys_addr = 0;
+  Cycles cycle = 0;
+  ecc::Scheme scheme = ecc::Scheme::kNone;
+  bool valid = false;
+};
+
+class MemoryController {
+ public:
+  /// 16 ECC registers = 8 (start,end+scheme) ranges (Section 3.2.1).
+  static constexpr unsigned kMaxRanges = 8;
+  /// n = 6 error registers, chosen so >= n/2 error events fit within one
+  /// ABFT error-examination period (Section 3.1).
+  static constexpr unsigned kErrorRegisters = 6;
+
+  using InterruptHandler = std::function<void(const ErrorRecord&)>;
+
+  explicit MemoryController(ecc::Scheme default_scheme = ecc::Scheme::kChipkill)
+      : default_scheme_(default_scheme) {}
+
+  // --- ECC registers ------------------------------------------------------
+
+  /// Program a relaxed-ECC range. Returns false when all 8 register pairs
+  /// are in use (the caller may coalesce ranges, Section 3.2.1).
+  bool set_range(const EccRange& range);
+
+  /// Drop the range starting at `start` (free_ecc path). Returns false if
+  /// no such range is programmed.
+  bool clear_range(std::uint64_t start);
+
+  /// Re-program the scheme of an existing range (assign_ecc path).
+  bool reassign_range(std::uint64_t start, ecc::Scheme scheme);
+
+  void set_default_scheme(ecc::Scheme s) { default_scheme_ = s; }
+  [[nodiscard]] ecc::Scheme default_scheme() const { return default_scheme_; }
+
+  /// Scheme enforced for a physical address: the matching range's, or the
+  /// default. Checked by the MC on every request from the last-level cache.
+  [[nodiscard]] ecc::Scheme scheme_for(std::uint64_t phys_addr) const;
+
+  [[nodiscard]] unsigned ranges_in_use() const;
+  [[nodiscard]] const std::array<std::optional<EccRange>, kMaxRanges>& ranges()
+      const {
+    return ranges_;
+  }
+
+  // --- Error registers & interrupts ---------------------------------------
+
+  void set_interrupt_handler(InterruptHandler h) { handler_ = std::move(h); }
+
+  /// Record a detected-uncorrectable error and raise the interrupt. When all
+  /// n registers are full the oldest entry is overwritten (and counted as
+  /// dropped -- the scenario the register count n is sized to avoid).
+  void report_uncorrectable(const FaultSite& site, std::uint64_t phys_addr,
+                            Cycles cycle, ecc::Scheme scheme);
+
+  /// In-controller correction bookkeeping (Case 1 cost accounting).
+  void note_corrected(ecc::Scheme scheme);
+
+  [[nodiscard]] const std::array<ErrorRecord, kErrorRegisters>& error_registers()
+      const {
+    return errors_;
+  }
+  void clear_error_registers();
+
+  [[nodiscard]] std::uint64_t corrected_count() const { return corrected_; }
+  [[nodiscard]] std::uint64_t uncorrectable_count() const {
+    return uncorrectable_;
+  }
+  [[nodiscard]] std::uint64_t dropped_error_records() const { return dropped_; }
+  [[nodiscard]] Picojoules correction_energy_pj() const {
+    return correction_energy_;
+  }
+
+ private:
+  ecc::Scheme default_scheme_;
+  std::array<std::optional<EccRange>, kMaxRanges> ranges_{};
+  std::array<ErrorRecord, kErrorRegisters> errors_{};
+  unsigned next_error_slot_ = 0;
+  std::uint64_t corrected_ = 0;
+  std::uint64_t uncorrectable_ = 0;
+  std::uint64_t dropped_ = 0;
+  Picojoules correction_energy_ = 0.0;
+  InterruptHandler handler_;
+};
+
+}  // namespace abftecc::memsim

@@ -1,0 +1,111 @@
+#include "memsim/system.hpp"
+
+#include <algorithm>
+
+namespace abftecc::memsim {
+
+MemorySystem::MemorySystem(const SystemConfig& cfg, ecc::Scheme default_scheme)
+    : cfg_(cfg),
+      map_(cfg.org, cfg.l2.line_bytes),
+      l1_(cfg.l1),
+      l2_(cfg.l2),
+      dram_(cfg, map_),
+      mc_(default_scheme) {}
+
+AccessShape MemorySystem::shape_at(std::uint64_t phys, ecc::Scheme s) const {
+  if (shape_override_) {
+    if (auto shape = shape_override_(phys, s)) return *shape;
+  }
+  return shape_for(s);
+}
+
+void MemorySystem::classify_energy(std::uint64_t line_addr, Picojoules pj) {
+  stats_.dram_dynamic_pj += pj;
+  if (classifier_ && classifier_(line_addr))
+    stats_.dram_dynamic_abft_pj += pj;
+  else
+    stats_.dram_dynamic_other_pj += pj;
+}
+
+void MemorySystem::dram_request(std::uint64_t line_addr, bool is_write,
+                                bool blocking) {
+  const ecc::Scheme scheme = mc_.scheme_for(line_addr);
+  const AccessShape shape = shape_at(line_addr, scheme);
+  const DramAddress da = map_.decompose(line_addr);
+  const Cycles now = now_dram();
+  const DramAccessResult res = dram_.issue(da, is_write, shape, now);
+  classify_energy(line_addr, res.energy_pj);
+
+  if (is_write) ++stats_.writebacks;
+  // Fills apply pending faults through the decoder; writebacks clear them.
+  if (fill_hook_) fill_hook_(line_addr, scheme, is_write);
+
+  if (blocking) {
+    const double stall_dram = static_cast<double>(res.completion - now);
+    stats_.cpu_cycles += static_cast<std::uint64_t>(
+                             stall_dram * cfg_.core.cpu_per_dram_cycle()) +
+                         kMcOverheadCpuCycles;
+  }
+}
+
+void MemorySystem::access(std::uint64_t phys_addr, AccessKind kind) {
+  ++stats_.mem_refs;
+  // One memory instruction plus its addressing/FP companion: the kernels
+  // under study perform roughly one arithmetic op per operand touched.
+  stats_.instructions += 2;
+  stats_.cpu_cycles += 2;
+
+  const bool is_write = kind != AccessKind::kRead;
+  const std::uint64_t line =
+      phys_addr / cfg_.l1.line_bytes * cfg_.l1.line_bytes;
+
+  const CacheAccess a1 = l1_.access(line, is_write);
+  if (a1.hit) return;
+
+  stats_.cpu_cycles += cfg_.l2_latency_cycles;
+
+  // L1 victim writeback into L2 (write-back L1).
+  if (a1.evicted && a1.evicted_dirty) {
+    const CacheAccess wb = l2_.access(a1.evicted_line_addr, true);
+    if (!wb.hit) {
+      // Writeback miss: allocate in L2, posted fill from DRAM.
+      dram_request(a1.evicted_line_addr, false, /*blocking=*/false);
+      if (wb.evicted && wb.evicted_dirty)
+        dram_request(wb.evicted_line_addr, true, /*blocking=*/false);
+    }
+  }
+
+  // Demand access reaches L2 as a read fill; dirtiness lives in L1 until
+  // the line is written back.
+  const CacheAccess a2 = l2_.access(line, false);
+  if (a2.hit) return;
+
+  ++stats_.demand_misses;
+  if (classifier_ && classifier_(line))
+    ++stats_.demand_misses_abft;
+  else
+    ++stats_.demand_misses_other;
+
+  if (a2.evicted && a2.evicted_dirty)
+    dram_request(a2.evicted_line_addr, true, /*blocking=*/false);
+
+  dram_request(line, false, /*blocking=*/true);
+}
+
+Picojoules MemorySystem::processor_energy_pj() const {
+  const double ipc = std::min(stats_.ipc(), cfg_.core.peak_ipc);
+  const double watts =
+      cfg_.core.idle_socket_watts +
+      (cfg_.core.max_socket_watts - cfg_.core.idle_socket_watts) *
+          (ipc / cfg_.core.peak_ipc);
+  return watts * elapsed_seconds() * kPicojoulesPerJoule;
+}
+
+void MemorySystem::reset_stats() {
+  stats_ = {};
+  l1_.reset_stats();
+  l2_.reset_stats();
+  dram_.reset_stats();
+}
+
+}  // namespace abftecc::memsim

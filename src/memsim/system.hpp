@@ -1,0 +1,144 @@
+// Front end of the memory-system simulator: in-order core timing + L1/L2
+// caches + memory controller + DDR3 engine + energy accounting.
+//
+// Timing model: the cores are in-order (Table 3), so memory stall time is
+// additive -- total cycles = issued instructions (1 IPC base) + L2 hit
+// latencies + DRAM read stalls. Demand reads block; dirty writebacks are
+// posted, consuming DRAM bank/bus resources without stalling the core --
+// which is how strong-ECC access shapes degrade performance: they keep
+// channels busy longer and later demand reads queue behind them.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+
+#include "common/units.hpp"
+#include "ecc/scheme.hpp"
+#include "memsim/address_map.hpp"
+#include "memsim/cache.hpp"
+#include "memsim/config.hpp"
+#include "memsim/dram.hpp"
+#include "memsim/memory_controller.hpp"
+
+namespace abftecc::memsim {
+
+enum class AccessKind : std::uint8_t { kRead, kWrite, kUpdate };
+
+struct SystemStats {
+  std::uint64_t instructions = 0;
+  std::uint64_t cpu_cycles = 0;
+  std::uint64_t mem_refs = 0;
+  std::uint64_t demand_misses = 0;        ///< LLC (L2) demand misses
+  std::uint64_t demand_misses_abft = 0;   ///< ... to ABFT-protected blocks
+  std::uint64_t demand_misses_other = 0;  ///< ... to everything else
+  std::uint64_t writebacks = 0;           ///< posted DRAM writes
+  Picojoules dram_dynamic_pj = 0;
+  Picojoules dram_dynamic_abft_pj = 0;   ///< dynamic energy on ABFT blocks
+  Picojoules dram_dynamic_other_pj = 0;
+
+  [[nodiscard]] double ipc() const {
+    return cpu_cycles == 0 ? 0.0
+                           : static_cast<double>(instructions) /
+                                 static_cast<double>(cpu_cycles);
+  }
+};
+
+/// Per-access shape override used by the DGMS baseline; returns nullopt to
+/// use the scheme's default 64B shape.
+using ShapeOverride =
+    std::function<std::optional<AccessShape>(std::uint64_t phys_addr,
+                                             ecc::Scheme scheme)>;
+
+class MemorySystem {
+ public:
+  MemorySystem(const SystemConfig& cfg,
+               ecc::Scheme default_scheme = ecc::Scheme::kChipkill);
+
+  /// One memory reference from the core. kUpdate is a read-modify-write of
+  /// one location (single cache access that dirties the line).
+  void access(std::uint64_t phys_addr, AccessKind kind);
+
+  /// Account `n` non-memory instructions (1 cycle each, in-order).
+  void execute(std::uint64_t n) {
+    stats_.instructions += n;
+    stats_.cpu_cycles += n;
+  }
+
+  // --- wiring -------------------------------------------------------------
+
+  MemoryController& controller() { return mc_; }
+  const MemoryController& controller() const { return mc_; }
+  const AddressMap& address_map() const { return map_; }
+  const SystemConfig& config() const { return cfg_; }
+  DramSystem& dram() { return dram_; }
+
+  /// Classifier for Table 4 / energy attribution: true if the physical
+  /// address belongs to an ABFT-protected structure.
+  void set_region_classifier(std::function<bool(std::uint64_t)> f) {
+    classifier_ = std::move(f);
+  }
+
+  /// Called on every DRAM transfer with (line address, active scheme,
+  /// is_write). The fault-injection layer applies pending errors through
+  /// the scheme's decoder on fills, and discards pending errors on
+  /// writebacks (the write overwrites the corrupted DRAM cells).
+  void set_fill_hook(std::function<void(std::uint64_t, ecc::Scheme, bool)> f) {
+    fill_hook_ = std::move(f);
+  }
+
+  /// DGMS-style per-access granularity override.
+  void set_shape_override(ShapeOverride f) { shape_override_ = std::move(f); }
+
+  // --- results ------------------------------------------------------------
+
+  [[nodiscard]] const SystemStats& stats() const { return stats_; }
+  [[nodiscard]] const CacheStats& l1_stats() const { return l1_.stats(); }
+  [[nodiscard]] const CacheStats& l2_stats() const { return l2_.stats(); }
+  [[nodiscard]] const DramStats& dram_stats() const { return dram_.stats(); }
+
+  [[nodiscard]] double elapsed_seconds() const {
+    return static_cast<double>(stats_.cpu_cycles) /
+           (cfg_.core.clock_ghz * 1e9);
+  }
+  [[nodiscard]] Picojoules memory_dynamic_energy_pj() const {
+    return stats_.dram_dynamic_pj;
+  }
+  [[nodiscard]] Picojoules memory_standby_energy_pj() const {
+    return dram_.standby_energy_pj(elapsed_seconds());
+  }
+  [[nodiscard]] Picojoules memory_energy_pj() const {
+    return memory_dynamic_energy_pj() + memory_standby_energy_pj();
+  }
+  /// IPC-based linear scaling of socket power (paper Section 5 methodology).
+  [[nodiscard]] Picojoules processor_energy_pj() const;
+  [[nodiscard]] Picojoules system_energy_pj() const {
+    return memory_energy_pj() + processor_energy_pj();
+  }
+
+  void reset_stats();
+
+ private:
+  [[nodiscard]] Cycles now_dram() const {
+    return static_cast<Cycles>(static_cast<double>(stats_.cpu_cycles) /
+                               cfg_.core.cpu_per_dram_cycle());
+  }
+  [[nodiscard]] AccessShape shape_at(std::uint64_t phys, ecc::Scheme s) const;
+  void dram_request(std::uint64_t line_addr, bool is_write, bool blocking);
+  void classify_energy(std::uint64_t line_addr, Picojoules pj);
+
+  SystemConfig cfg_;
+  AddressMap map_;
+  Cache l1_;
+  Cache l2_;
+  DramSystem dram_;
+  MemoryController mc_;
+  SystemStats stats_;
+  std::function<bool(std::uint64_t)> classifier_;
+  std::function<void(std::uint64_t, ecc::Scheme, bool)> fill_hook_;
+  ShapeOverride shape_override_;
+  /// Fixed controller/queueing overhead added to every DRAM round trip.
+  static constexpr unsigned kMcOverheadCpuCycles = 12;
+};
+
+}  // namespace abftecc::memsim

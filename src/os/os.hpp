@@ -1,0 +1,140 @@
+// System-software layer (Section 3.2.1): ECC control APIs, virtual/physical
+// translation, ECC-error interrupt handling, and sysfs-style error exposure.
+//
+// "Virtual addresses" are the host pointers the application actually uses;
+// the Os maps each registered allocation onto physically-contiguous
+// simulated frames and programs the memory controller's ECC registers for
+// relaxed-ECC ranges. The MC's uncorrectable-error interrupt lands in
+// handle_ecc_interrupt(), which reproduces the paper's flow: read the
+// memory-mapped error registers, decide whether the corrupted data is
+// ABFT-protected, and either expose the virtual address to the runtime or
+// go to panic mode.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "ecc/scheme.hpp"
+#include "memsim/system.hpp"
+#include "os/page_allocator.hpp"
+
+namespace abftecc::os {
+
+/// One entry of the kernel->user shared error log ("via sysfs in linux").
+struct ExposedError {
+  const void* vaddr = nullptr;      ///< corrupted virtual address
+  std::uint64_t phys_addr = 0;
+  memsim::FaultSite site;
+  ecc::Scheme scheme = ecc::Scheme::kNone;
+  Cycles cycle = 0;
+  std::string region_name;
+};
+
+/// A registered allocation: host (virtual) range -> physical range.
+struct Region {
+  const std::byte* host_base = nullptr;
+  std::size_t size = 0;
+  std::uint64_t phys_base = 0;
+  std::uint64_t frames = 0;
+  ecc::Scheme scheme = ecc::Scheme::kChipkill;
+  bool abft_protected = false;
+  bool mc_range_programmed = false;
+  std::string name;
+};
+
+class Os {
+ public:
+  explicit Os(memsim::MemorySystem& system);
+  ~Os();
+
+  Os(const Os&) = delete;
+  Os& operator=(const Os&) = delete;
+
+  // --- ECC control APIs (paper Section 3.2.1) -----------------------------
+
+  /// void *malloc_ecc(size_t n, int ecc_type): contiguous physical pages
+  /// with `scheme` set in the MC's ECC registers. `abft_protected` marks
+  /// the region as covered by ABFT for interrupt routing and Table 4
+  /// classification. Returns nullptr when frames or MC registers run out.
+  void* malloc_ecc(std::size_t n, ecc::Scheme scheme,
+                   std::string name = {}, bool abft_protected = true);
+
+  /// void free_ecc(void *ptr): release memory, frames, and the MC range.
+  void free_ecc(void* ptr);
+
+  /// void assign_ecc(void *ptr, int ecc_type): retarget the ECC scheme of a
+  /// live malloc_ecc allocation (dynamic refinement).
+  bool assign_ecc(void* ptr, ecc::Scheme scheme);
+
+  /// Plain allocation under the node's default (strong) scheme; no MC ECC
+  /// register is consumed. Used for every structure ABFT does not cover.
+  void* malloc_plain(std::size_t n, std::string name = {});
+
+  // --- translation ---------------------------------------------------------
+
+  [[nodiscard]] std::optional<std::uint64_t> virt_to_phys(const void* p) const;
+  [[nodiscard]] std::optional<const void*> phys_to_virt(
+      std::uint64_t phys) const;
+  /// Writable host pointer for a physical address (fault-injection path).
+  [[nodiscard]] std::optional<std::byte*> phys_to_host(std::uint64_t phys);
+  [[nodiscard]] bool is_abft_protected_phys(std::uint64_t phys) const;
+  [[nodiscard]] const Region* region_of(const void* p) const;
+  [[nodiscard]] const Region* region_of_phys(std::uint64_t phys) const;
+
+  // --- interrupt handling & error exposure ---------------------------------
+
+  /// Installed into the MC by the constructor; public so tests can deliver
+  /// synthetic interrupts.
+  void handle_ecc_interrupt(const memsim::ErrorRecord& rec);
+
+  /// Drain the shared error log (ABFT's simplified verification reads this).
+  [[nodiscard]] bool has_exposed_errors() const { return !exposed_.empty(); }
+  std::vector<ExposedError> drain_exposed_errors();
+
+  // --- page retirement & data migration (Section 3.1) ---------------------
+
+  /// Retire the frame backing `vaddr` and migrate its whole allocation to
+  /// fresh contiguous frames (hard-fault response: "invoke OS to remap
+  /// data to the spare page frames"). The virtual address stays valid; the
+  /// physical mapping and the MC's ECC range move. The copy traffic is
+  /// charged to the memory system. Returns false if no spare contiguous
+  /// run exists.
+  bool retire_and_migrate(const void* vaddr);
+
+  /// Frames whose uncorrectable-error count reaches this threshold are
+  /// retired (with migration) automatically from the interrupt handler;
+  /// 0 disables the automatic path (default).
+  void set_auto_retire_threshold(unsigned n) { auto_retire_threshold_ = n; }
+
+  [[nodiscard]] std::uint64_t migrations() const { return migrations_; }
+
+  /// Panic mode: an uncorrectable error outside ABFT protection.
+  [[nodiscard]] std::uint64_t panic_count() const { return panics_; }
+  [[nodiscard]] bool panicked() const { return panics_ > 0; }
+  void clear_panic() { panics_ = 0; }
+
+  [[nodiscard]] PageAllocator& pages() { return pages_; }
+  [[nodiscard]] memsim::MemorySystem& system() { return system_; }
+
+ private:
+  struct Allocation;
+  void* allocate(std::size_t n, ecc::Scheme scheme, std::string name,
+                 bool abft_protected, bool program_mc);
+
+  memsim::MemorySystem& system_;
+  PageAllocator pages_;
+  std::vector<std::unique_ptr<Allocation>> allocations_;
+  std::deque<ExposedError> exposed_;
+  std::uint64_t panics_ = 0;
+  unsigned auto_retire_threshold_ = 0;
+  std::uint64_t migrations_ = 0;
+  std::unordered_map<std::uint64_t, unsigned> frame_fault_counts_;
+};
+
+}  // namespace abftecc::os

@@ -1,0 +1,80 @@
+#include "os/page_allocator.hpp"
+
+#include "common/error.hpp"
+
+namespace abftecc::os {
+
+PageAllocator::PageAllocator(std::uint64_t capacity_bytes,
+                             std::uint64_t page_bytes)
+    : page_bytes_(page_bytes) {
+  ABFTECC_REQUIRE(page_bytes > 0 && capacity_bytes % page_bytes == 0);
+  frames_.resize(capacity_bytes / page_bytes);
+}
+
+std::optional<std::uint64_t> PageAllocator::allocate_contiguous(
+    std::uint64_t count, ecc::Scheme ecc_type) {
+  ABFTECC_REQUIRE(count > 0);
+  if (count > frames_.size()) return std::nullopt;
+  // First-fit with a rotating hint; two passes cover the wrap.
+  for (int pass = 0; pass < 2; ++pass) {
+    const std::uint64_t begin = pass == 0 ? search_hint_ : 0;
+    const std::uint64_t end = pass == 0 ? frames_.size() : search_hint_;
+    std::uint64_t run = 0;
+    for (std::uint64_t i = begin; i + 1 <= end; ++i) {
+      run = (frames_[i].in_use || frames_[i].retired) ? 0 : run + 1;
+      if (run == count) {
+        const std::uint64_t first = i + 1 - count;
+        for (std::uint64_t f = first; f <= i; ++f) {
+          frames_[f].in_use = true;
+          frames_[f].ecc_type = ecc_type;
+        }
+        in_use_ += count;
+        search_hint_ = (i + 1) % frames_.size();
+        return first * page_bytes_;
+      }
+    }
+  }
+  return std::nullopt;
+}
+
+void PageAllocator::free_range(std::uint64_t phys_base, std::uint64_t count) {
+  ABFTECC_REQUIRE(phys_base % page_bytes_ == 0);
+  const std::uint64_t first = phys_base / page_bytes_;
+  ABFTECC_REQUIRE(first + count <= frames_.size());
+  for (std::uint64_t f = first; f < first + count; ++f) {
+    if (frames_[f].retired) continue;  // already pulled out of service
+    ABFTECC_REQUIRE(frames_[f].in_use);
+    frames_[f].in_use = false;
+    --in_use_;
+  }
+}
+
+void PageAllocator::set_ecc_type(std::uint64_t phys_base, std::uint64_t count,
+                                 ecc::Scheme ecc_type) {
+  const std::uint64_t first = phys_base / page_bytes_;
+  ABFTECC_REQUIRE(first + count <= frames_.size());
+  for (std::uint64_t f = first; f < first + count; ++f) {
+    ABFTECC_REQUIRE(frames_[f].in_use);
+    frames_[f].ecc_type = ecc_type;
+  }
+}
+
+void PageAllocator::retire_frame(std::uint64_t phys_addr) {
+  const std::uint64_t f = phys_addr / page_bytes_;
+  ABFTECC_REQUIRE(f < frames_.size());
+  if (frames_[f].retired) return;
+  if (frames_[f].in_use) {
+    frames_[f].in_use = false;
+    --in_use_;
+  }
+  frames_[f].retired = true;
+  ++retired_;
+}
+
+const PageFrame& PageAllocator::frame_at(std::uint64_t phys_addr) const {
+  const std::uint64_t f = phys_addr / page_bytes_;
+  ABFTECC_REQUIRE(f < frames_.size());
+  return frames_[f];
+}
+
+}  // namespace abftecc::os

@@ -1,0 +1,126 @@
+// Adaptive resilience policy: the paper's concluding claim made executable
+// ("the necessity and potential benefits of using a co-design and adaptive
+// policy to direct end-to-end, overall resilience").
+//
+// The Section 4 analysis gives a deciding MTTF threshold (Eqs. 7-8) below
+// which ARE (relaxed ECC + ABFT recovery) stops paying off. This policy
+// watches the error rate an ABFT region actually experiences and walks its
+// protection up or down the tier ladder (No_ECC <-> SECDED <-> chipkill)
+// through the OS's assign_ecc -- the "runtime ECC transition" the
+// architecture was built to allow. Hysteresis keeps it from flapping.
+#pragma once
+
+#include <algorithm>
+#include <array>
+#include <cstdint>
+
+#include "fault/model.hpp"
+#include "os/os.hpp"
+
+namespace abftecc::sim {
+
+class AdaptivePolicy {
+ public:
+  struct Options {
+    /// One ABFT recovery: time and energy (measured or estimated).
+    double t_c_seconds = 1.0;
+    double e_c_joules = 50.0;
+    /// Performance impact ratios of the relaxed vs strong deployments
+    /// (tau in the Section 4 models).
+    double tau_relaxed = 0.01;
+    double tau_strong = 0.05;
+    /// Native run time and per-run energy saving of relaxing (for the
+    /// energy threshold).
+    double t0_seconds = 3600.0;
+    double delta_e_joules = 500.0;
+    /// De-escalate only when the observed MTTF clears the threshold by
+    /// this factor (hysteresis against flapping).
+    double headroom = 4.0;
+    /// Epochs of calm required before de-escalating.
+    unsigned calm_epochs_to_relax = 3;
+  };
+
+  AdaptivePolicy(os::Os& os, void* region, ecc::Scheme initial, Options opt)
+      : os_(os), region_(region), opt_(opt), current_(initial) {
+    os_.assign_ecc(region_, current_);
+  }
+
+  /// Report one observation epoch: wall-clock covered and the number of
+  /// errors ABFT had to recover in the region. Returns the scheme in force
+  /// after the decision.
+  ecc::Scheme on_epoch(double elapsed_seconds,
+                       std::uint64_t abft_recoveries) {
+    elapsed_ += elapsed_seconds;
+    errors_ += abft_recoveries;
+
+    const double thr = threshold();
+    // Conservative observed MTTF: one phantom error keeps a quiet region
+    // from reporting an infinite MTTF off zero samples.
+    const double observed =
+        elapsed_ / (static_cast<double>(errors_) + 1.0);
+
+    if (abft_recoveries > 0 && observed < thr) {
+      calm_epochs_ = 0;
+      escalate();
+    } else if (observed > thr * opt_.headroom) {
+      if (++calm_epochs_ >= opt_.calm_epochs_to_relax) {
+        calm_epochs_ = 0;
+        deescalate();
+      }
+    } else {
+      calm_epochs_ = 0;
+    }
+    return current_;
+  }
+
+  /// Eq. (8): the deciding MTTF threshold for this deployment.
+  [[nodiscard]] double threshold() const {
+    const double thr_perf = fault::mttf_threshold_perf(
+        opt_.t_c_seconds, opt_.tau_relaxed, opt_.tau_strong);
+    const double thr_energy = fault::mttf_threshold_energy(
+        opt_.e_c_joules, opt_.t0_seconds, opt_.tau_relaxed,
+        opt_.delta_e_joules);
+    return fault::mttf_threshold(thr_perf, thr_energy);
+  }
+
+  [[nodiscard]] ecc::Scheme current() const { return current_; }
+  [[nodiscard]] std::uint64_t transitions() const { return transitions_; }
+  [[nodiscard]] double observed_mttf() const {
+    return elapsed_ / (static_cast<double>(errors_) + 1.0);
+  }
+
+ private:
+  static constexpr std::array<ecc::Scheme, 3> kLadder = {
+      ecc::Scheme::kNone, ecc::Scheme::kSecded, ecc::Scheme::kChipkill};
+
+  [[nodiscard]] unsigned rung() const {
+    for (unsigned i = 0; i < kLadder.size(); ++i)
+      if (kLadder[i] == current_) return i;
+    return 0;
+  }
+
+  void escalate() { set_rung(std::min<unsigned>(rung() + 1, 2)); }
+  void deescalate() { set_rung(rung() == 0 ? 0 : rung() - 1); }
+
+  void set_rung(unsigned r) {
+    if (kLadder[r] == current_) return;
+    current_ = kLadder[r];
+    os_.assign_ecc(region_, current_);
+    ++transitions_;
+    // A new protection tier resets the observation window: the error rate
+    // the region will now see is different.
+    elapsed_ = 0.0;
+    errors_ = 0;
+  }
+
+  os::Os& os_;
+  void* region_;
+  Options opt_;
+  ecc::Scheme current_;
+  double elapsed_ = 0.0;
+  std::uint64_t errors_ = 0;
+  unsigned calm_epochs_ = 0;
+  std::uint64_t transitions_ = 0;
+};
+
+}  // namespace abftecc::sim

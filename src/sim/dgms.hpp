@@ -1,0 +1,70 @@
+// DGMS baseline (Yoon et al., ISCA'12) -- the state-of-the-art flexible
+// ECC the paper compares against in Section 5.3.
+//
+// DGMS is ABFT-blind: it picks the ECC/access granularity per request from
+// a spatial-pattern prediction. We model its prediction controller as a
+// per-page saturating counter trained on miss-stream adjacency: accesses
+// that walk neighbouring lines of a page train it towards coarse-grained
+// (64B, chipkill over the lock-step channel pair); scattered accesses fall
+// back to fine-grained sub-ranked 16B SECDED transfers. High-locality
+// kernels (FT-DGEMM) therefore end up entirely on chipkill -- which is why
+// the paper's Figure 10 shows DGMS matching W_CK there while the
+// ABFT-directed scheme still relaxes ECC on the protected structures.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+
+#include "memsim/dram.hpp"
+
+namespace abftecc::sim {
+
+class DgmsController {
+ public:
+  explicit DgmsController(std::uint64_t page_bytes = 4096)
+      : page_bytes_(page_bytes) {}
+
+  /// ShapeOverride hook for MemorySystem: decides the access granularity
+  /// for one DRAM request and trains the predictor.
+  std::optional<memsim::AccessShape> shape(std::uint64_t phys_addr,
+                                           ecc::Scheme /*scheme*/) {
+    const std::uint64_t page = phys_addr / page_bytes_;
+    const std::uint64_t line = phys_addr / 64;
+    PageState& st = pages_[page];
+    if (st.seen) {
+      const std::uint64_t d =
+          line > st.last_line ? line - st.last_line : st.last_line - line;
+      if (d <= 1) {
+        if (st.counter < 3) ++st.counter;
+      } else {
+        if (st.counter > 0) --st.counter;
+      }
+    }
+    st.seen = true;
+    st.last_line = line;
+    if (st.counter >= 2) {
+      ++coarse_;
+      return memsim::shape_for(ecc::Scheme::kChipkill);
+    }
+    ++fine_;
+    return memsim::dgms_fine_shape();
+  }
+
+  [[nodiscard]] std::uint64_t coarse_accesses() const { return coarse_; }
+  [[nodiscard]] std::uint64_t fine_accesses() const { return fine_; }
+
+ private:
+  struct PageState {
+    std::uint64_t last_line = 0;
+    int counter = 1;  ///< starts fine-grained; spatial hits train it up
+    bool seen = false;
+  };
+
+  std::uint64_t page_bytes_;
+  std::unordered_map<std::uint64_t, PageState> pages_;
+  std::uint64_t coarse_ = 0;
+  std::uint64_t fine_ = 0;
+};
+
+}  // namespace abftecc::sim

@@ -1,0 +1,219 @@
+#include "sim/platform.hpp"
+
+#include <memory>
+
+#include "abft/ft_cg.hpp"
+#include "abft/ft_cholesky.hpp"
+#include "abft/ft_dgemm.hpp"
+#include "abft/ft_hpl.hpp"
+#include "abft/runtime.hpp"
+#include "common/rng.hpp"
+#include "linalg/generate.hpp"
+#include "os/os.hpp"
+#include "sim/dgms.hpp"
+#include "sim/tap.hpp"
+
+namespace abftecc::sim {
+
+namespace {
+
+/// One simulated node wired end to end.
+struct Node {
+  memsim::SystemConfig cfg;
+  std::unique_ptr<memsim::MemorySystem> sys;
+  std::unique_ptr<abftecc::os::Os> osl;
+  std::unique_ptr<abft::Runtime> rt;
+  std::unique_ptr<TapContext> ctx;
+  std::shared_ptr<DgmsController> dgms;
+  std::uint64_t abft_bytes = 0;
+  std::uint64_t total_bytes = 0;
+
+  explicit Node(const PlatformOptions& opt) {
+    cfg = memsim::SystemConfig::scaled(opt.cache_scale);
+    cfg.row_policy = opt.row_policy;
+    sys = std::make_unique<memsim::MemorySystem>(
+        cfg, spec(opt.strategy).default_scheme);
+    osl = std::make_unique<abftecc::os::Os>(*sys);
+    rt = std::make_unique<abft::Runtime>(osl.get());
+    ctx = std::make_unique<TapContext>(*osl, *sys);
+    if (opt.use_dgms) {
+      dgms = std::make_shared<DgmsController>(cfg.page_bytes);
+      auto predictor = dgms;
+      sys->set_shape_override(
+          [predictor](std::uint64_t phys, ecc::Scheme s) {
+            return predictor->shape(phys, s);
+          });
+    }
+  }
+
+  MatrixView abft_matrix(std::size_t rows, std::size_t cols,
+                         ecc::Scheme scheme, const char* name) {
+    const std::size_t bytes = rows * cols * sizeof(double);
+    void* p = osl->malloc_ecc(bytes, scheme, name, /*abft_protected=*/true);
+    ABFTECC_REQUIRE(p != nullptr);
+    abft_bytes += bytes;
+    total_bytes += bytes;
+    return MatrixView(static_cast<double*>(p), rows, cols, rows);
+  }
+
+  MatrixView plain_matrix(std::size_t rows, std::size_t cols,
+                          const char* name) {
+    const std::size_t bytes = rows * cols * sizeof(double);
+    void* p = osl->malloc_plain(bytes, name);
+    ABFTECC_REQUIRE(p != nullptr);
+    total_bytes += bytes;
+    return MatrixView(static_cast<double*>(p), rows, cols, rows);
+  }
+
+  std::span<double> abft_vector(std::size_t n, ecc::Scheme scheme,
+                                const char* name) {
+    auto m = abft_matrix(n, 1, scheme, name);
+    return {m.data(), n};
+  }
+};
+
+void copy_into(MatrixView dst, ConstMatrixView src) {
+  ABFTECC_REQUIRE(dst.rows() == src.rows() && dst.cols() == src.cols());
+  for (std::size_t j = 0; j < src.cols(); ++j)
+    for (std::size_t i = 0; i < src.rows(); ++i) dst(i, j) = src(i, j);
+}
+
+RunMetrics collect(Kernel k, const PlatformOptions& opt, const Node& node,
+                   const abft::FtStats& ft, abft::FtStatus status) {
+  RunMetrics m;
+  m.kernel = k;
+  m.strategy = opt.strategy;
+  m.sys = node.sys->stats();
+  m.l1 = node.sys->l1_stats();
+  m.l2 = node.sys->l2_stats();
+  m.dram = node.sys->dram_stats();
+  m.seconds = node.sys->elapsed_seconds();
+  m.ipc = m.sys.ipc();
+  m.mem_dynamic_pj = node.sys->memory_dynamic_energy_pj();
+  m.mem_standby_pj = node.sys->memory_standby_energy_pj();
+  m.processor_pj = node.sys->processor_energy_pj();
+  m.mem_dynamic_abft_pj = m.sys.dram_dynamic_abft_pj;
+  m.mem_dynamic_other_pj = m.sys.dram_dynamic_other_pj;
+  m.refs_abft = node.ctx->refs_abft();
+  m.refs_other = node.ctx->refs_other();
+  m.ft = ft;
+  m.status = status;
+  m.abft_bytes = node.abft_bytes;
+  m.total_bytes = node.total_bytes;
+  return m;
+}
+
+abft::FtOptions ft_options(const PlatformOptions& opt) {
+  abft::FtOptions fo;
+  fo.verify_period = opt.verify_period;
+  fo.hardware_assisted = opt.hardware_assisted;
+  return fo;
+}
+
+RunMetrics run_dgemm(const PlatformOptions& opt) {
+  Node node(opt);
+  const ecc::Scheme abft_scheme = spec(opt.strategy).abft_scheme;
+  const std::size_t n = opt.dgemm_dim;
+  Rng rng(opt.seed);
+  Matrix a_host = Matrix::random(n, n, rng);
+  Matrix b_host = Matrix::random(n, n, rng);
+
+  // Inputs are consumed once during encoding and are not ABFT-protected.
+  MatrixView a = node.plain_matrix(n, n, "dgemm.A");
+  MatrixView b = node.plain_matrix(n, n, "dgemm.B");
+  copy_into(a, a_host.view());
+  copy_into(b, b_host.view());
+
+  abft::FtDgemm::Buffers buf{
+      node.abft_matrix(n + 1, n, abft_scheme, "dgemm.Ac"),
+      node.abft_matrix(n, n + 1, abft_scheme, "dgemm.Br"),
+      node.abft_matrix(n + 1, n + 1, abft_scheme, "dgemm.Cf")};
+  abft::FtDgemm ft(ConstMatrixView(a), ConstMatrixView(b), buf,
+                   ft_options(opt), node.rt.get());
+  const abft::FtStatus st = ft.run(MemoryTap(*node.ctx));
+  return collect(Kernel::kDgemm, opt, node, ft.stats(), st);
+}
+
+RunMetrics run_cholesky(const PlatformOptions& opt) {
+  Node node(opt);
+  const ecc::Scheme abft_scheme = spec(opt.strategy).abft_scheme;
+  const std::size_t n = opt.cholesky_dim;
+  Rng rng(opt.seed);
+  Matrix a_host = Matrix::random_spd(n, rng);
+
+  MatrixView a = node.abft_matrix(n, n, abft_scheme, "cholesky.A");
+  copy_into(a, a_host.view());
+  MatrixView chk = node.abft_matrix(n, 2, abft_scheme, "cholesky.checksums");
+  abft::FtCholesky::Buffers buf{a, chk.col(0), chk.col(1)};
+  abft::FtCholesky ft(buf, ft_options(opt), node.rt.get());
+  const abft::FtStatus st = ft.run(MemoryTap(*node.ctx));
+  return collect(Kernel::kCholesky, opt, node, ft.stats(), st);
+}
+
+RunMetrics run_cg_impl(std::size_t dim, std::size_t iterations,
+                       const PlatformOptions& opt) {
+  Node node(opt);
+  const ecc::Scheme abft_scheme = spec(opt.strategy).abft_scheme;
+  const std::size_t n = dim;
+  Rng rng(opt.seed);
+  linalg::LinearSystem sys = linalg::make_spd_system(n, rng);
+
+  // FT-CG's ABFT region covers the vectors of Section 2.1 plus the static
+  // operator matrix, protected by per-column checksums (see DESIGN.md).
+  MatrixView a = node.abft_matrix(n, n, abft_scheme, "cg.A");
+  copy_into(a, sys.a.view());
+  MatrixView vecs = node.abft_matrix(n, 5, abft_scheme, "cg.vectors");
+  std::span<double> b = node.abft_vector(n, abft_scheme, "cg.b");
+  for (std::size_t i = 0; i < n; ++i) b[i] = sys.b[i];
+
+  abft::FtCg::Buffers buf{vecs.col(0), vecs.col(1), vecs.col(2), vecs.col(3),
+                          vecs.col(4)};
+  vecs.fill(0.0);
+  linalg::CgOptions cg_opt;
+  cg_opt.max_iterations = iterations;
+  cg_opt.tolerance = 1e-30;  // representative phase: run exactly N iterations
+  abft::FtCg ft(a, b, buf, cg_opt, ft_options(opt), node.rt.get());
+  const abft::FtCgResult res = ft.run(MemoryTap(*node.ctx));
+  // A non-converged representative phase is the expected outcome here.
+  const abft::FtStatus st = res.status == abft::FtStatus::kNumericalFailure
+                                ? abft::FtStatus::kOk
+                                : res.status;
+  return collect(Kernel::kCg, opt, node, ft.stats(), st);
+}
+
+RunMetrics run_hpl(const PlatformOptions& opt) {
+  Node node(opt);
+  const ecc::Scheme abft_scheme = spec(opt.strategy).abft_scheme;
+  const std::size_t n = opt.hpl_dim;
+  const std::size_t h = n / opt.hpl_processes;
+  Rng rng(opt.seed);
+  linalg::LinearSystem sys = linalg::make_general_system(n, rng);
+
+  abft::FtHpl::Buffers buf{
+      node.abft_matrix(n + h, n + 1, abft_scheme, "hpl.Ae"),
+      node.abft_matrix(h, n + 1, abft_scheme, "hpl.Uc")};
+  abft::FtHpl ft(sys.a.view(), sys.b, opt.hpl_processes, buf,
+                 ft_options(opt), node.rt.get());
+  const abft::FtStatus st = ft.factor(MemoryTap(*node.ctx));
+  return collect(Kernel::kHpl, opt, node, ft.stats(), st);
+}
+
+}  // namespace
+
+RunMetrics run_kernel(Kernel kernel, const PlatformOptions& opt) {
+  switch (kernel) {
+    case Kernel::kDgemm: return run_dgemm(opt);
+    case Kernel::kCholesky: return run_cholesky(opt);
+    case Kernel::kCg: return run_cg_impl(opt.cg_dim, opt.cg_iterations, opt);
+    case Kernel::kHpl: return run_hpl(opt);
+  }
+  ABFTECC_REQUIRE(!"unknown kernel");
+  return {};
+}
+
+RunMetrics run_cg_at_dim(std::size_t dim, std::size_t iterations,
+                         const PlatformOptions& opt) {
+  return run_cg_impl(dim, iterations, opt);
+}
+
+}  // namespace abftecc::sim

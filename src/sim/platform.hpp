@@ -1,0 +1,83 @@
+// Evaluation platform (paper Figure 4): run one ABFT kernel on the
+// simulated memory system under a chosen ECC strategy and collect every
+// quantity the paper's figures report.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "abft/common.hpp"
+#include "common/units.hpp"
+#include "memsim/config.hpp"
+#include "memsim/system.hpp"
+#include "sim/strategy.hpp"
+
+namespace abftecc::sim {
+
+enum class Kernel { kDgemm, kCholesky, kCg, kHpl };
+
+constexpr std::string_view kernel_name(Kernel k) {
+  switch (k) {
+    case Kernel::kDgemm: return "FT-DGEMM";
+    case Kernel::kCholesky: return "FT-Cholesky";
+    case Kernel::kCg: return "FT-CG";
+    case Kernel::kHpl: return "FT-HPL";
+  }
+  return "?";
+}
+
+struct PlatformOptions {
+  Strategy strategy = Strategy::kWholeChipkill;
+  // Scaled-down inputs (see DESIGN.md): the paper's 3000/8192 dims shrink
+  // together with the caches so footprint/LLC ratios stay comparable.
+  std::size_t dgemm_dim = 320;
+  std::size_t cholesky_dim = 448;
+  std::size_t cg_dim = 640;
+  std::size_t cg_iterations = 8;
+  std::size_t hpl_dim = 320;
+  std::size_t hpl_processes = 4;
+  std::size_t verify_period = 4;
+  bool hardware_assisted = false;
+  bool use_dgms = false;  ///< DGMS baseline instead of ABFT-directed ECC
+  std::uint64_t seed = 42;
+  unsigned cache_scale = 8;
+  memsim::RowBufferPolicy row_policy = memsim::RowBufferPolicy::kOpenPage;
+};
+
+struct RunMetrics {
+  Kernel kernel{};
+  Strategy strategy{};
+  memsim::SystemStats sys;
+  memsim::CacheStats l1, l2;
+  memsim::DramStats dram;
+  double seconds = 0.0;  ///< simulated wall-clock of the phase
+  double ipc = 0.0;
+  Picojoules mem_dynamic_pj = 0.0;
+  Picojoules mem_standby_pj = 0.0;
+  Picojoules processor_pj = 0.0;
+  Picojoules mem_dynamic_abft_pj = 0.0;
+  Picojoules mem_dynamic_other_pj = 0.0;
+  std::uint64_t refs_abft = 0;   ///< tap-level references, Table 4
+  std::uint64_t refs_other = 0;
+  abft::FtStats ft;
+  abft::FtStatus status = abft::FtStatus::kOk;
+  /// Bytes of relaxed-ECC (ABFT-protected) and total allocated data.
+  std::uint64_t abft_bytes = 0;
+  std::uint64_t total_bytes = 0;
+
+  [[nodiscard]] Picojoules memory_pj() const {
+    return mem_dynamic_pj + mem_standby_pj;
+  }
+  [[nodiscard]] Picojoules system_pj() const {
+    return memory_pj() + processor_pj;
+  }
+};
+
+/// Run `kernel` under `opt` on a fresh simulated node.
+RunMetrics run_kernel(Kernel kernel, const PlatformOptions& opt);
+
+/// FT-CG at an explicit dimension/iteration count (scaling studies).
+RunMetrics run_cg_at_dim(std::size_t dim, std::size_t iterations,
+                         const PlatformOptions& opt);
+
+}  // namespace abftecc::sim

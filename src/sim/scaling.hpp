@@ -1,0 +1,72 @@
+// Scaling studies with fault modeling (Section 5.2, Figures 8-9).
+//
+// Exactly the paper's methodology: measure a single FT-CG process on the
+// simulator, then extrapolate energy benefit and ABFT recovery cost to
+// large process counts analytically with the Section 4 fault models and
+// Table 5 error rates. Energy benefit = system energy saved by relaxing
+// ECC on the ABFT-protected data (baseline: W_CK for partial-chipkill
+// schemes, W_SD for P_SD+No_ECC). Recovery cost = expected number of
+// errors landing in the relaxed region x the energy of one ABFT recovery
+// (~ one matvec / one CG iteration, measured). Strong scaling shrinks the
+// per-process problem, which both erodes the benefit (more cache residency,
+// fewer DRAM accesses to save on) and cheapens recovery -- reproducing the
+// interior maximum of Figure 9.
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <vector>
+
+#include "sim/platform.hpp"
+#include "sim/strategy.hpp"
+
+namespace abftecc::sim {
+
+struct ScalePoint {
+  double processes = 0;
+  double energy_benefit_kj = 0.0;
+  double recovery_cost_kj = 0.0;
+  double expected_errors = 0.0;
+  double mttf_hetero_seconds = 0.0;
+};
+
+struct ScalingOptions {
+  /// Process counts to evaluate (paper: 100 .. 819200 weak, 100 .. 3200
+  /// strong).
+  std::vector<double> process_counts;
+  /// Simulated per-process matrix dimension at the base scale.
+  std::size_t base_dim = 640;
+  std::size_t iterations = 4;
+  /// Assumed full-solve iteration count multiplier: a production CG solve
+  /// runs ~dim iterations, our simulated phase runs `iterations`.
+  double production_iterations_per_dim = 1.0;
+  /// Parallel-efficiency loss per doubling (workload characterization
+  /// factor per [5, 37] in the paper).
+  double efficiency_loss_per_doubling = 0.03;
+  PlatformOptions platform;  ///< strategy is overridden per scheme
+};
+
+class ScalingStudy {
+ public:
+  explicit ScalingStudy(ScalingOptions opt) : opt_(std::move(opt)) {}
+
+  /// Weak scaling: per-process problem fixed at base_dim.
+  std::vector<ScalePoint> weak_scaling(Strategy partial_scheme);
+
+  /// Strong scaling: total problem fixed at the base count's aggregate;
+  /// per-process dimension shrinks as sqrt(base_processes / processes)
+  /// (memory per process ~ dim^2).
+  std::vector<ScalePoint> strong_scaling(Strategy partial_scheme);
+
+  /// Whole-ECC baseline a partial scheme is compared against.
+  static Strategy baseline_for(Strategy partial);
+
+ private:
+  ScalePoint evaluate(Strategy partial, double processes, std::size_t dim);
+  const RunMetrics& measured(Strategy s, std::size_t dim);
+
+  ScalingOptions opt_;
+  std::map<std::pair<int, std::size_t>, RunMetrics> cache_;
+};
+
+}  // namespace abftecc::sim

@@ -1,0 +1,55 @@
+// The six ECC strategies of the evaluation (Section 5.1).
+//
+// Each strategy names the scheme applied to data WITHOUT ABFT protection
+// (the node default, enforced for every unregistered page) and the scheme
+// malloc_ecc assigns to the ABFT-protected structures.
+#pragma once
+
+#include <array>
+#include <string_view>
+
+#include "ecc/scheme.hpp"
+
+namespace abftecc::sim {
+
+enum class Strategy {
+  kNoEcc,                 ///< test 1: ABFT without any ECC
+  kWholeChipkill,         ///< test 2 (W_CK): chipkill on all data
+  kPartialChipkillNoEcc,  ///< test 3 (P_CK+No_ECC)
+  kWholeSecded,           ///< test 4 (W_SD): SECDED on all data
+  kPartialSecdedNoEcc,    ///< test 5 (P_SD+No_ECC)
+  kPartialChipkillSecded  ///< test 6 (P_CK+P_SD)
+};
+
+inline constexpr std::array<Strategy, 6> kAllStrategies = {
+    Strategy::kNoEcc,        Strategy::kWholeChipkill,
+    Strategy::kPartialChipkillNoEcc, Strategy::kWholeSecded,
+    Strategy::kPartialSecdedNoEcc,   Strategy::kPartialChipkillSecded};
+
+struct StrategySpec {
+  Strategy strategy;
+  ecc::Scheme default_scheme;  ///< non-ABFT data
+  ecc::Scheme abft_scheme;     ///< ABFT-protected data
+  std::string_view label;      ///< paper's label
+};
+
+constexpr StrategySpec spec(Strategy s) {
+  using ecc::Scheme;
+  switch (s) {
+    case Strategy::kNoEcc:
+      return {s, Scheme::kNone, Scheme::kNone, "No_ECC"};
+    case Strategy::kWholeChipkill:
+      return {s, Scheme::kChipkill, Scheme::kChipkill, "W_CK"};
+    case Strategy::kPartialChipkillNoEcc:
+      return {s, Scheme::kChipkill, Scheme::kNone, "P_CK+No_ECC"};
+    case Strategy::kWholeSecded:
+      return {s, Scheme::kSecded, Scheme::kSecded, "W_SD"};
+    case Strategy::kPartialSecdedNoEcc:
+      return {s, Scheme::kSecded, Scheme::kNone, "P_SD+No_ECC"};
+    case Strategy::kPartialChipkillSecded:
+      return {s, Scheme::kChipkill, Scheme::kSecded, "P_CK+P_SD"};
+  }
+  return {s, Scheme::kNone, Scheme::kNone, "?"};
+}
+
+}  // namespace abftecc::sim

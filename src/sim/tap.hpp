@@ -1,0 +1,104 @@
+// MemoryTap: the sim-mode Tap policy (see common/tap.hpp).
+//
+// Every instrumented kernel reference is translated from its host (virtual)
+// address to a simulated physical address and issued to the MemorySystem.
+// Addresses inside Os-registered regions use the region's mapping;
+// everything else (stack temporaries, std::vector workspaces) is assigned
+// anonymous frames above the allocator's range -- those pages fall under
+// the node's default (strong) ECC scheme and count as non-ABFT traffic,
+// which is exactly how unregistered data behaves on the modeled machine.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "common/tap.hpp"
+#include "memsim/system.hpp"
+#include "os/os.hpp"
+
+namespace abftecc::sim {
+
+/// Shared state behind the copyable MemoryTap handles.
+class TapContext {
+ public:
+  TapContext(os::Os& os, memsim::MemorySystem& system)
+      : os_(os), system_(system), anon_base_(system.config().capacity_bytes),
+        page_(system.config().page_bytes) {}
+
+  void issue(const void* p, std::size_t bytes, memsim::AccessKind kind) {
+    const auto addr = reinterpret_cast<std::uintptr_t>(p);
+    // Fast path: same region as the previous reference.
+    std::uint64_t phys;
+    bool abft = false;
+    if (last_ != nullptr && addr >= last_begin_ && addr < last_end_) {
+      phys = last_phys_base_ + (addr - last_begin_);
+      abft = last_abft_;
+    } else if (const os::Region* r = os_.region_of(p); r != nullptr) {
+      last_ = r;
+      last_begin_ = reinterpret_cast<std::uintptr_t>(r->host_base);
+      last_end_ = last_begin_ + r->size;
+      last_phys_base_ = r->phys_base;
+      last_abft_ = r->abft_protected;
+      phys = r->phys_base + (addr - last_begin_);
+      abft = r->abft_protected;
+    } else {
+      phys = anonymous_phys(addr);
+    }
+    if (abft)
+      ++refs_abft_;
+    else
+      ++refs_other_;
+    // A reference that straddles a line boundary touches both lines.
+    system_.access(phys, kind);
+    const std::uint64_t line = 64;
+    if ((phys % line) + bytes > line)
+      system_.access(phys + bytes - 1, kind);
+  }
+
+  [[nodiscard]] std::uint64_t refs_abft() const { return refs_abft_; }
+  [[nodiscard]] std::uint64_t refs_other() const { return refs_other_; }
+
+ private:
+  std::uint64_t anonymous_phys(std::uintptr_t addr) {
+    const std::uintptr_t host_page = addr / page_;
+    auto [it, inserted] = anon_pages_.try_emplace(host_page, 0);
+    if (inserted) it->second = anon_base_ + (anon_next_++) * page_;
+    return it->second + addr % page_;
+  }
+
+  os::Os& os_;
+  memsim::MemorySystem& system_;
+  const os::Region* last_ = nullptr;
+  std::uintptr_t last_begin_ = 0, last_end_ = 0;
+  std::uint64_t last_phys_base_ = 0;
+  bool last_abft_ = false;
+  std::uint64_t anon_base_;
+  std::uint64_t page_;
+  std::uint64_t anon_next_ = 0;
+  std::unordered_map<std::uintptr_t, std::uint64_t> anon_pages_;
+  std::uint64_t refs_abft_ = 0;
+  std::uint64_t refs_other_ = 0;
+};
+
+/// Copyable handle passed by value through the kernels.
+class MemoryTap {
+ public:
+  explicit MemoryTap(TapContext& ctx) : ctx_(&ctx) {}
+
+  void read(const void* p, std::size_t n = sizeof(double)) {
+    ctx_->issue(p, n, memsim::AccessKind::kRead);
+  }
+  void write(const void* p, std::size_t n = sizeof(double)) {
+    ctx_->issue(p, n, memsim::AccessKind::kWrite);
+  }
+  void update(const void* p, std::size_t n = sizeof(double)) {
+    ctx_->issue(p, n, memsim::AccessKind::kUpdate);
+  }
+
+ private:
+  TapContext* ctx_;
+};
+
+static_assert(MemTap<MemoryTap>);
+
+}  // namespace abftecc::sim

@@ -1,0 +1,309 @@
+// Bit-level tests for the ECC substrate: GF(256) field axioms, exhaustive
+// SECDED single/double-bit behaviour, chipkill symbol correction, and the
+// cache-line codec end to end.
+#include <gtest/gtest.h>
+
+#include <array>
+#include <set>
+
+#include "common/rng.hpp"
+#include "ecc/chipkill.hpp"
+#include "ecc/codec.hpp"
+#include "ecc/gf256.hpp"
+#include "ecc/scheme.hpp"
+#include "ecc/secded.hpp"
+
+namespace abftecc::ecc {
+namespace {
+
+using G = Gf256;
+
+TEST(Gf256, AdditionIsXorAndSelfInverse) {
+  EXPECT_EQ(G::add(0x57, 0x83), 0x57 ^ 0x83);
+  for (unsigned a = 0; a < 256; ++a)
+    EXPECT_EQ(G::add(static_cast<G::Elem>(a), static_cast<G::Elem>(a)), 0);
+}
+
+TEST(Gf256, MultiplicationIdentityAndZero) {
+  for (unsigned a = 0; a < 256; ++a) {
+    EXPECT_EQ(G::mul(static_cast<G::Elem>(a), 1), a);
+    EXPECT_EQ(G::mul(static_cast<G::Elem>(a), 0), 0);
+  }
+}
+
+TEST(Gf256, EveryNonzeroElementHasInverse) {
+  for (unsigned a = 1; a < 256; ++a)
+    EXPECT_EQ(G::mul(static_cast<G::Elem>(a), G::inv(static_cast<G::Elem>(a))), 1)
+        << a;
+}
+
+TEST(Gf256, MultiplicationAssociativeOnSample) {
+  Rng rng(1);
+  for (int t = 0; t < 2000; ++t) {
+    const auto a = static_cast<G::Elem>(rng.below(256));
+    const auto b = static_cast<G::Elem>(rng.below(256));
+    const auto c = static_cast<G::Elem>(rng.below(256));
+    EXPECT_EQ(G::mul(G::mul(a, b), c), G::mul(a, G::mul(b, c)));
+    EXPECT_EQ(G::mul(a, G::add(b, c)), G::add(G::mul(a, b), G::mul(a, c)));
+  }
+}
+
+TEST(Gf256, ExpLogRoundTrip) {
+  for (unsigned i = 0; i < G::kGroupOrder; ++i)
+    EXPECT_EQ(G::log(G::exp(i)), i);
+}
+
+TEST(Gf256, PowMatchesRepeatedMul) {
+  G::Elem acc = 1;
+  const G::Elem a = 0x1D;
+  for (unsigned n = 0; n < 300; ++n) {
+    EXPECT_EQ(G::pow(a, n), acc);
+    acc = G::mul(acc, a);
+  }
+}
+
+// --- SECDED ---------------------------------------------------------------
+
+TEST(Secded, ColumnsAreDistinctAndOddWeight) {
+  std::set<std::uint8_t> seen;
+  for (unsigned bit = 0; bit < Secded::kCodeBits; ++bit) {
+    const std::uint8_t col = Secded::column(bit);
+    EXPECT_EQ(__builtin_popcount(col) % 2, 1) << bit;
+    EXPECT_TRUE(seen.insert(col).second) << "duplicate column " << bit;
+  }
+}
+
+TEST(Secded, CleanWordDecodesOk) {
+  Rng rng(2);
+  for (int t = 0; t < 100; ++t) {
+    SecdedWord w = Secded::encode(rng());
+    EXPECT_EQ(Secded::decode(w), DecodeStatus::kOk);
+  }
+}
+
+TEST(Secded, EverySingleBitErrorIsCorrected) {
+  Rng rng(3);
+  for (int t = 0; t < 20; ++t) {
+    const std::uint64_t data = rng();
+    for (unsigned bit = 0; bit < Secded::kCodeBits; ++bit) {
+      SecdedWord w = Secded::encode(data);
+      Secded::flip_bit(w, bit);
+      unsigned fixed = 999;
+      EXPECT_EQ(Secded::decode(w, &fixed), DecodeStatus::kCorrected);
+      EXPECT_EQ(fixed, bit);
+      EXPECT_EQ(w.data, data);
+    }
+  }
+}
+
+TEST(Secded, EveryDoubleBitErrorIsDetected) {
+  Rng rng(4);
+  const std::uint64_t data = rng();
+  for (unsigned b1 = 0; b1 < Secded::kCodeBits; ++b1) {
+    for (unsigned b2 = b1 + 1; b2 < Secded::kCodeBits; ++b2) {
+      SecdedWord w = Secded::encode(data);
+      Secded::flip_bit(w, b1);
+      Secded::flip_bit(w, b2);
+      EXPECT_EQ(Secded::decode(w), DecodeStatus::kDetectedUncorrectable)
+          << b1 << "," << b2;
+    }
+  }
+}
+
+TEST(Secded, TripleBitErrorNeverSilentlyAccepted) {
+  // 3-bit errors may mis-correct (fundamental SECDED limit) but must never
+  // decode as kOk.
+  Rng rng(5);
+  for (int t = 0; t < 500; ++t) {
+    SecdedWord w = Secded::encode(rng());
+    std::set<unsigned> bits;
+    while (bits.size() < 3) bits.insert(static_cast<unsigned>(rng.below(72)));
+    for (const unsigned b : bits) Secded::flip_bit(w, b);
+    EXPECT_NE(Secded::decode(w), DecodeStatus::kOk);
+  }
+}
+
+// --- Chipkill ---------------------------------------------------------------
+
+std::array<std::uint8_t, Chipkill::kDataSymbols> random_data(Rng& rng) {
+  std::array<std::uint8_t, Chipkill::kDataSymbols> d{};
+  for (auto& v : d) v = static_cast<std::uint8_t>(rng.below(256));
+  return d;
+}
+
+TEST(Chipkill, EncodeExtractRoundTrip) {
+  Rng rng(6);
+  const auto data = random_data(rng);
+  const auto cw = Chipkill::encode(data);
+  std::array<std::uint8_t, Chipkill::kDataSymbols> out{};
+  Chipkill::extract(cw, out);
+  EXPECT_EQ(out, data);
+}
+
+TEST(Chipkill, CleanWordDecodesOk) {
+  Rng rng(7);
+  auto cw = Chipkill::encode(random_data(rng));
+  EXPECT_EQ(Chipkill::decode(cw), DecodeStatus::kOk);
+}
+
+TEST(Chipkill, EverySingleSymbolErrorIsCorrected) {
+  Rng rng(8);
+  const auto data = random_data(rng);
+  for (unsigned sym = 0; sym < Chipkill::kTotalSymbols; ++sym) {
+    for (unsigned pattern = 1; pattern < 256; pattern += 37) {
+      auto cw = Chipkill::encode(data);
+      cw[sym] ^= static_cast<std::uint8_t>(pattern);
+      unsigned bad = 999;
+      EXPECT_EQ(Chipkill::decode(cw, &bad), DecodeStatus::kCorrected);
+      EXPECT_EQ(bad, sym);
+      std::array<std::uint8_t, Chipkill::kDataSymbols> out{};
+      Chipkill::extract(cw, out);
+      EXPECT_EQ(out, data);
+    }
+  }
+}
+
+TEST(Chipkill, DoubleSymbolErrorsAreDetected) {
+  Rng rng(9);
+  const auto data = random_data(rng);
+  for (int t = 0; t < 2000; ++t) {
+    auto cw = Chipkill::encode(data);
+    unsigned s1 = static_cast<unsigned>(rng.below(Chipkill::kTotalSymbols));
+    unsigned s2;
+    do {
+      s2 = static_cast<unsigned>(rng.below(Chipkill::kTotalSymbols));
+    } while (s2 == s1);
+    cw[s1] ^= static_cast<std::uint8_t>(1 + rng.below(255));
+    cw[s2] ^= static_cast<std::uint8_t>(1 + rng.below(255));
+    EXPECT_EQ(Chipkill::decode(cw), DecodeStatus::kDetectedUncorrectable);
+  }
+}
+
+// --- Scheme properties -------------------------------------------------------
+
+TEST(Scheme, PropertiesMatchTable5AndGeometry) {
+  EXPECT_DOUBLE_EQ(properties(Scheme::kNone).residual_fit.value, 5000.0);
+  EXPECT_DOUBLE_EQ(properties(Scheme::kSecded).residual_fit.value, 1300.0);
+  EXPECT_DOUBLE_EQ(properties(Scheme::kChipkill).residual_fit.value, 0.02);
+  EXPECT_EQ(properties(Scheme::kChipkill).channels_per_access, 2u);
+  EXPECT_EQ(properties(Scheme::kChipkill).chips_per_access, 36u);
+  EXPECT_EQ(properties(Scheme::kSecded).chips_per_access, 18u);
+  EXPECT_DOUBLE_EQ(properties(Scheme::kSecded).storage_overhead, 0.125);
+}
+
+// --- Line codec ---------------------------------------------------------------
+
+std::array<std::uint8_t, kLineBytes> random_line(Rng& rng) {
+  std::array<std::uint8_t, kLineBytes> line{};
+  for (auto& b : line) b = static_cast<std::uint8_t>(rng.below(256));
+  return line;
+}
+
+TEST(LineCodec, NoEccLeavesCorruptionSilently) {
+  Rng rng(10);
+  auto line = random_line(rng);
+  const auto orig = line;
+  const BitFlip flip{137, false};
+  const auto res = LineCodec::process_line(Scheme::kNone, line, {&flip, 1});
+  EXPECT_EQ(res.status, DecodeStatus::kOk);
+  EXPECT_TRUE(res.silent_corruption);
+  EXPECT_NE(line, orig);
+}
+
+TEST(LineCodec, SecdedCorrectsSingleBitPerWord) {
+  Rng rng(11);
+  auto line = random_line(rng);
+  const auto orig = line;
+  // One flip in each of the 8 words: all corrected independently.
+  std::vector<BitFlip> flips;
+  for (unsigned w = 0; w < 8; ++w) flips.push_back({w * 64 + w * 3, false});
+  const auto res = LineCodec::process_line(Scheme::kSecded, line, flips);
+  EXPECT_EQ(res.status, DecodeStatus::kCorrected);
+  EXPECT_EQ(res.corrected_words, 8u);
+  EXPECT_FALSE(res.silent_corruption);
+  EXPECT_EQ(line, orig);
+}
+
+TEST(LineCodec, SecdedDetectsDoubleBitInWord) {
+  Rng rng(12);
+  auto line = random_line(rng);
+  const std::vector<BitFlip> flips = {{3, false}, {40, false}};
+  const auto res = LineCodec::process_line(Scheme::kSecded, line, flips);
+  EXPECT_EQ(res.status, DecodeStatus::kDetectedUncorrectable);
+  EXPECT_EQ(res.uncorrectable_words, 1u);
+}
+
+TEST(LineCodec, SecdedCheckBitFlipCorrectedWithoutDataDamage) {
+  Rng rng(13);
+  auto line = random_line(rng);
+  const auto orig = line;
+  const BitFlip flip{17, true};  // check bit of word 2
+  const auto res = LineCodec::process_line(Scheme::kSecded, line, {&flip, 1});
+  EXPECT_EQ(res.status, DecodeStatus::kCorrected);
+  EXPECT_EQ(line, orig);
+}
+
+TEST(LineCodec, ChipkillCorrectsMultiBitWithinOneChip) {
+  Rng rng(14);
+  auto line = random_line(rng);
+  const auto orig = line;
+  // 5 flips, all within data byte 7 (one chip's symbol).
+  std::vector<BitFlip> flips;
+  for (unsigned b : {56u, 57u, 59u, 61u, 63u}) flips.push_back({7 * 8 + b % 8, false});
+  const auto res = LineCodec::process_line(Scheme::kChipkill, line, flips);
+  EXPECT_EQ(res.status, DecodeStatus::kCorrected);
+  EXPECT_EQ(line, orig);
+}
+
+TEST(LineCodec, ChipkillDetectsTwoChipCorruption) {
+  Rng rng(15);
+  auto line = random_line(rng);
+  const std::vector<BitFlip> flips = {{0, false}, {80, false}};  // bytes 0, 10
+  const auto res = LineCodec::process_line(Scheme::kChipkill, line, flips);
+  EXPECT_EQ(res.status, DecodeStatus::kDetectedUncorrectable);
+}
+
+TEST(LineCodec, ChipkillSurvivesWholeChipKill) {
+  Rng rng(16);
+  for (unsigned chip = 0; chip < Chipkill::kTotalSymbols; chip += 5) {
+    auto line = random_line(rng);
+    const auto orig = line;
+    const auto res = LineCodec::kill_chip(Scheme::kChipkill, line, chip, 0xF);
+    EXPECT_EQ(res.status, DecodeStatus::kCorrected) << chip;
+    EXPECT_EQ(line, orig);
+    EXPECT_FALSE(res.silent_corruption);
+  }
+}
+
+TEST(LineCodec, SecdedDiesOnWholeChipKill) {
+  // A full x4 chip failure corrupts 4 bits of every word: beyond SECDED.
+  Rng rng(17);
+  auto line = random_line(rng);
+  const auto res = LineCodec::kill_chip(Scheme::kSecded, line, 3, 0xF);
+  EXPECT_EQ(res.status, DecodeStatus::kDetectedUncorrectable);
+  EXPECT_EQ(res.uncorrectable_words, 8u);
+}
+
+TEST(LineCodec, SecdedCorrectsSingleBitChipPattern) {
+  // Pattern 0x1 = one stuck bit line in the chip: 1 bit per word, corrected.
+  Rng rng(18);
+  auto line = random_line(rng);
+  const auto orig = line;
+  const auto res = LineCodec::kill_chip(Scheme::kSecded, line, 9, 0x1);
+  EXPECT_EQ(res.status, DecodeStatus::kCorrected);
+  EXPECT_EQ(res.corrected_words, 8u);
+  EXPECT_EQ(line, orig);
+}
+
+TEST(LineCodec, NoEccChipKillIsSilent) {
+  Rng rng(19);
+  auto line = random_line(rng);
+  const auto orig = line;
+  const auto res = LineCodec::kill_chip(Scheme::kNone, line, 2, 0xF);
+  EXPECT_EQ(res.status, DecodeStatus::kOk);
+  EXPECT_TRUE(res.silent_corruption);
+  EXPECT_NE(line, orig);
+}
+
+}  // namespace
+}  // namespace abftecc::ecc

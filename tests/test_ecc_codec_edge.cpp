@@ -1,0 +1,133 @@
+// Edge cases of the cache-line codec: check-storage corruption, boundary
+// chips, mixed fault merging, and the chip_flips expansion used by the
+// injector to model simultaneous faults.
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "ecc/chipkill.hpp"
+#include "ecc/codec.hpp"
+#include "ecc/secded.hpp"
+
+namespace abftecc::ecc {
+namespace {
+
+std::array<std::uint8_t, kLineBytes> random_line(Rng& rng) {
+  std::array<std::uint8_t, kLineBytes> line{};
+  for (auto& b : line) b = static_cast<std::uint8_t>(rng.below(256));
+  return line;
+}
+
+TEST(LineCodecEdge, ChipkillCheckSymbolFlipCorrectedWithoutDataDamage) {
+  Rng rng(1);
+  auto line = random_line(rng);
+  const auto orig = line;
+  // Check-bit index space: codeword 1, check symbol 2, bit 5.
+  const BitFlip flip{1 * Chipkill::kCheckSymbols * 8 + 2 * 8 + 5, true};
+  const auto res = LineCodec::process_line(Scheme::kChipkill, line, {&flip, 1});
+  EXPECT_EQ(res.status, DecodeStatus::kCorrected);
+  EXPECT_EQ(line, orig);
+  EXPECT_FALSE(res.silent_corruption);
+}
+
+TEST(LineCodecEdge, ChipkillCheckChipKillCorrected) {
+  Rng rng(2);
+  for (unsigned chip = 0; chip < Chipkill::kCheckSymbols; ++chip) {
+    auto line = random_line(rng);
+    const auto orig = line;
+    const auto res = LineCodec::kill_chip(Scheme::kChipkill, line, chip, 0xF);
+    EXPECT_EQ(res.status, DecodeStatus::kCorrected) << chip;
+    EXPECT_EQ(line, orig);
+  }
+}
+
+TEST(LineCodecEdge, SecdedCheckChipKillDetectedOrCorrected) {
+  // Chips 16 and 17 hold the SECDED check bits; a full kill corrupts 4
+  // check bits per word -- even-weight syndrome, detected.
+  Rng rng(3);
+  auto line = random_line(rng);
+  const auto res = LineCodec::kill_chip(Scheme::kSecded, line, 17, 0xF);
+  EXPECT_EQ(res.status, DecodeStatus::kDetectedUncorrectable);
+  // A single stuck check-bit line: corrected, data untouched.
+  auto line2 = random_line(rng);
+  const auto orig2 = line2;
+  const auto res2 = LineCodec::kill_chip(Scheme::kSecded, line2, 16, 0x1);
+  EXPECT_EQ(res2.status, DecodeStatus::kCorrected);
+  EXPECT_EQ(line2, orig2);
+}
+
+TEST(LineCodecEdge, FourBitChipPatternMayAliasSilentlyUnderSecded) {
+  // Documented SECDED limit: the four columns of one x4 chip can XOR to
+  // zero, turning a whole-chip failure into silent corruption -- one of
+  // the Case-2 scenarios that motivate chipkill (Section 4).
+  Rng rng(4);
+  auto line = random_line(rng);
+  const auto orig = line;
+  const auto res = LineCodec::kill_chip(Scheme::kSecded, line, 4, 0xF);
+  EXPECT_EQ(res.status, DecodeStatus::kOk);
+  EXPECT_TRUE(res.silent_corruption);
+  EXPECT_NE(line, orig);
+}
+
+TEST(LineCodecEdge, MergedFlipsOnTwoChipsBeatChipkill) {
+  // The injector merges simultaneous faults into one decode: two chips'
+  // worth of flips in one pass must be DETECTED, not corrected pairwise.
+  Rng rng(5);
+  auto line = random_line(rng);
+  std::vector<BitFlip> flips;
+  for (const unsigned chip : {8u, 9u})
+    for (const auto& f : LineCodec::chip_flips(Scheme::kChipkill, chip, 0x3))
+      flips.push_back(f);
+  const auto res = LineCodec::process_line(Scheme::kChipkill, line, flips);
+  EXPECT_EQ(res.status, DecodeStatus::kDetectedUncorrectable);
+}
+
+TEST(LineCodecEdge, ChipFlipsGeometryPerScheme) {
+  // x4 data chip under SECDED: 4 bits in each of 8 words = 32 flips.
+  EXPECT_EQ(LineCodec::chip_flips(Scheme::kSecded, 3, 0xF).size(), 32u);
+  EXPECT_EQ(LineCodec::chip_flips(Scheme::kSecded, 3, 0x1).size(), 8u);
+  // Chipkill chip: one byte per codeword half = 16 bit flips at 0xF
+  // (pattern replicated to both nibbles).
+  EXPECT_EQ(LineCodec::chip_flips(Scheme::kChipkill, 10, 0xF).size(), 16u);
+  // No-ECC chip: data bits only.
+  EXPECT_EQ(LineCodec::chip_flips(Scheme::kNone, 15, 0xF).size(), 32u);
+}
+
+TEST(LineCodecEdge, BoundaryChipsAccepted) {
+  Rng rng(6);
+  auto line = random_line(rng);
+  EXPECT_NO_THROW(LineCodec::kill_chip(Scheme::kNone, line, 15));
+  EXPECT_NO_THROW(LineCodec::kill_chip(Scheme::kSecded, line, 17));
+  EXPECT_NO_THROW(LineCodec::kill_chip(Scheme::kChipkill, line, 35));
+  EXPECT_THROW(LineCodec::kill_chip(Scheme::kNone, line, 16),
+               ContractViolation);
+  EXPECT_THROW(LineCodec::kill_chip(Scheme::kSecded, line, 18),
+               ContractViolation);
+  EXPECT_THROW(LineCodec::kill_chip(Scheme::kChipkill, line, 36),
+               ContractViolation);
+}
+
+TEST(LineCodecEdge, EmptyFlipListIsClean) {
+  Rng rng(7);
+  auto line = random_line(rng);
+  const auto orig = line;
+  const auto res = LineCodec::process_line(Scheme::kSecded, line, {});
+  EXPECT_EQ(res.status, DecodeStatus::kOk);
+  EXPECT_EQ(line, orig);
+}
+
+TEST(LineCodecEdge, AllSchemesHandleFlipInLastByte) {
+  Rng rng(8);
+  for (const auto scheme :
+       {Scheme::kNone, Scheme::kSecded, Scheme::kChipkill}) {
+    auto line = random_line(rng);
+    const BitFlip flip{511, false};
+    const auto res = LineCodec::process_line(scheme, line, {&flip, 1});
+    if (scheme == Scheme::kNone)
+      EXPECT_TRUE(res.silent_corruption);
+    else
+      EXPECT_EQ(res.status, DecodeStatus::kCorrected);
+  }
+}
+
+}  // namespace
+}  // namespace abftecc::ecc

@@ -1,0 +1,106 @@
+// Generalized RS codec: x8 chipkill (RS(19,16)) and cross-geometry
+// properties shared with the x4 instantiation.
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "ecc/rs.hpp"
+
+namespace abftecc::ecc {
+namespace {
+
+template <typename Code>
+typename Code::Codeword random_codeword(Rng& rng) {
+  std::array<std::uint8_t, Code::kDataSymbols> d{};
+  for (auto& v : d) v = static_cast<std::uint8_t>(rng.below(256));
+  return Code::encode(d);
+}
+
+TEST(ChipkillX8, Geometry) {
+  EXPECT_EQ(ChipkillX8::kTotalSymbols, 19u);
+  EXPECT_EQ(ChipkillX8::kDataSymbols, 16u);
+  // 3 check chips per 16 data chips = the paper's 18.75% overhead.
+  EXPECT_NEAR(static_cast<double>(ChipkillX8::kCheckSymbols) /
+                  ChipkillX8::kDataSymbols,
+              0.1875, 1e-12);
+}
+
+TEST(ChipkillX8, EncodeExtractRoundTrip) {
+  Rng rng(1);
+  std::array<std::uint8_t, ChipkillX8::kDataSymbols> d{};
+  for (auto& v : d) v = static_cast<std::uint8_t>(rng.below(256));
+  const auto cw = ChipkillX8::encode(d);
+  std::array<std::uint8_t, ChipkillX8::kDataSymbols> out{};
+  ChipkillX8::extract(cw, out);
+  EXPECT_EQ(out, d);
+  auto copy = cw;
+  EXPECT_EQ(ChipkillX8::decode(copy), DecodeStatus::kOk);
+}
+
+TEST(ChipkillX8, EverySingleSymbolErrorCorrected) {
+  Rng rng(2);
+  const auto cw = random_codeword<ChipkillX8>(rng);
+  for (unsigned sym = 0; sym < ChipkillX8::kTotalSymbols; ++sym) {
+    for (unsigned pattern = 1; pattern < 256; pattern += 29) {
+      auto c = cw;
+      c[sym] ^= static_cast<std::uint8_t>(pattern);
+      unsigned bad = 999;
+      ASSERT_EQ(ChipkillX8::decode(c, &bad), DecodeStatus::kCorrected);
+      EXPECT_EQ(bad, sym);
+      EXPECT_EQ(c, cw);
+    }
+  }
+}
+
+TEST(ChipkillX8, DoubleSymbolErrorsDetected) {
+  Rng rng(3);
+  const auto cw = random_codeword<ChipkillX8>(rng);
+  for (int t = 0; t < 2000; ++t) {
+    auto c = cw;
+    const unsigned s1 =
+        static_cast<unsigned>(rng.below(ChipkillX8::kTotalSymbols));
+    unsigned s2;
+    do {
+      s2 = static_cast<unsigned>(rng.below(ChipkillX8::kTotalSymbols));
+    } while (s2 == s1);
+    c[s1] ^= static_cast<std::uint8_t>(1 + rng.below(255));
+    c[s2] ^= static_cast<std::uint8_t>(1 + rng.below(255));
+    EXPECT_EQ(ChipkillX8::decode(c), DecodeStatus::kDetectedUncorrectable);
+  }
+}
+
+// Cross-geometry property sweep over several instantiations.
+template <typename Code>
+void exercise_code(std::uint64_t seed) {
+  Rng rng(seed);
+  const auto cw = random_codeword<Code>(rng);
+  // Clean decode.
+  auto c = cw;
+  ASSERT_EQ(Code::decode(c), DecodeStatus::kOk);
+  // Single-symbol random errors corrected, 200 samples.
+  for (int t = 0; t < 200; ++t) {
+    c = cw;
+    const auto sym = static_cast<unsigned>(rng.below(Code::kTotalSymbols));
+    c[sym] ^= static_cast<std::uint8_t>(1 + rng.below(255));
+    ASSERT_EQ(Code::decode(c), DecodeStatus::kCorrected);
+    ASSERT_EQ(c, cw);
+  }
+  // Double-symbol errors detected, 200 samples.
+  for (int t = 0; t < 200; ++t) {
+    c = cw;
+    const auto s1 = static_cast<unsigned>(rng.below(Code::kTotalSymbols));
+    const auto s2 =
+        (s1 + 1 + static_cast<unsigned>(rng.below(Code::kTotalSymbols - 1))) %
+        Code::kTotalSymbols;
+    c[s1] ^= static_cast<std::uint8_t>(1 + rng.below(255));
+    c[s2] ^= static_cast<std::uint8_t>(1 + rng.below(255));
+    ASSERT_EQ(Code::decode(c), DecodeStatus::kDetectedUncorrectable);
+  }
+}
+
+TEST(RsCode, X4ChipkillGeometryProperties) { exercise_code<RsCode<36, 4>>(10); }
+TEST(RsCode, X8ChipkillGeometryProperties) { exercise_code<RsCode<19, 3>>(11); }
+TEST(RsCode, WideSymbolCode) { exercise_code<RsCode<72, 4>>(12); }
+TEST(RsCode, MinimalSscDsdCode) { exercise_code<RsCode<8, 3>>(13); }
+
+}  // namespace
+}  // namespace abftecc::ecc

@@ -1,0 +1,244 @@
+// Fault layer: injector end-to-end through DRAM fills + ECC decode + MC
+// error registers + OS interrupt, plus the Section 4 analytical models and
+// Case 1-4 classification.
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "fault/injector.hpp"
+#include "fault/model.hpp"
+#include "fault/scenario.hpp"
+#include "memsim/system.hpp"
+#include "os/os.hpp"
+
+namespace abftecc::fault {
+namespace {
+
+struct Rig {
+  memsim::MemorySystem sys;
+  os::Os os;
+  Injector inj;
+  explicit Rig(ecc::Scheme default_scheme)
+      : sys(memsim::SystemConfig::scaled(8), default_scheme),
+        os(sys),
+        inj(sys, os) {}
+
+  /// Allocate one ABFT-protected page with `scheme`, fill with a pattern.
+  std::uint8_t* alloc(ecc::Scheme scheme) {
+    auto* p = static_cast<std::uint8_t*>(
+        os.malloc_ecc(4096, scheme, "data", true));
+    for (int i = 0; i < 4096; ++i) p[i] = static_cast<std::uint8_t>(i * 7);
+    return p;
+  }
+
+  void touch_line(const void* vaddr) {
+    const auto phys = os.virt_to_phys(vaddr);
+    ASSERT_TRUE(phys.has_value());
+    sys.access(*phys, memsim::AccessKind::kRead);
+  }
+};
+
+TEST(Injector, SecdedCorrectsSingleBitOnFill) {
+  Rig rig(ecc::Scheme::kChipkill);
+  auto* p = rig.alloc(ecc::Scheme::kSecded);
+  const std::uint8_t before = p[10];
+  const auto phys = rig.os.virt_to_phys(p + 10);
+  rig.inj.inject_bit(*phys, 3);
+  rig.touch_line(p + 10);  // fill applies + decodes
+  EXPECT_EQ(p[10], before);  // corrected
+  EXPECT_EQ(rig.inj.stats().corrected_by_ecc, 1u);
+  EXPECT_EQ(rig.sys.controller().corrected_count(), 1u);
+  EXPECT_EQ(rig.inj.stats().uncorrectable, 0u);
+  EXPECT_FALSE(rig.os.has_exposed_errors());
+}
+
+TEST(Injector, NoEccCorruptionIsSilent) {
+  Rig rig(ecc::Scheme::kChipkill);
+  auto* p = rig.alloc(ecc::Scheme::kNone);
+  const std::uint8_t before = p[100];
+  const auto phys = rig.os.virt_to_phys(p + 100);
+  rig.inj.inject_bit(*phys, 0);
+  rig.touch_line(p + 100);
+  EXPECT_EQ(p[100], static_cast<std::uint8_t>(before ^ 1u));
+  EXPECT_EQ(rig.inj.stats().silent_corruptions, 1u);
+  EXPECT_FALSE(rig.os.has_exposed_errors());
+  EXPECT_FALSE(rig.os.panicked());
+}
+
+TEST(Injector, SecdedDoubleBitRaisesInterruptAndExposure) {
+  Rig rig(ecc::Scheme::kChipkill);
+  auto* p = rig.alloc(ecc::Scheme::kSecded);
+  const auto phys = rig.os.virt_to_phys(p);
+  rig.inj.inject_bit(*phys, 0);
+  rig.inj.inject_bit(*phys + 1, 1);  // same 64-bit word, second bit
+  rig.touch_line(p);
+  EXPECT_EQ(rig.inj.stats().uncorrectable, 1u);
+  EXPECT_EQ(rig.sys.controller().uncorrectable_count(), 1u);
+  ASSERT_TRUE(rig.os.has_exposed_errors());
+  const auto errors = rig.os.drain_exposed_errors();
+  ASSERT_EQ(errors.size(), 1u);
+  EXPECT_EQ(errors[0].scheme, ecc::Scheme::kSecded);
+  // Fault site recorded with the line's DRAM coordinates.
+  EXPECT_EQ(errors[0].phys_addr / 64 * 64, *phys / 64 * 64);
+}
+
+TEST(Injector, UncorrectableOutsideAbftPanics) {
+  Rig rig(ecc::Scheme::kSecded);
+  auto* p = static_cast<std::uint8_t*>(rig.os.malloc_plain(4096, "os-data"));
+  std::memset(p, 0x5A, 4096);
+  const auto phys = rig.os.virt_to_phys(p);
+  rig.inj.inject_bit(*phys, 0);
+  rig.inj.inject_bit(*phys + 1, 1);
+  rig.sys.access(*phys, memsim::AccessKind::kRead);
+  EXPECT_TRUE(rig.os.panicked());
+  EXPECT_FALSE(rig.os.has_exposed_errors());
+}
+
+TEST(Injector, ChipKillSurvivedUnderChipkillEcc) {
+  Rig rig(ecc::Scheme::kChipkill);
+  auto* p = rig.alloc(ecc::Scheme::kChipkill);
+  const std::uint8_t before = p[0];
+  const auto phys = rig.os.virt_to_phys(p);
+  rig.inj.inject_chip_kill(*phys, 7);
+  rig.touch_line(p);
+  EXPECT_EQ(p[0], before);
+  EXPECT_GE(rig.inj.stats().corrected_by_ecc, 1u);
+  EXPECT_EQ(rig.inj.stats().uncorrectable, 0u);
+}
+
+TEST(Injector, ChipKillFatalUnderSecded) {
+  Rig rig(ecc::Scheme::kChipkill);
+  auto* p = rig.alloc(ecc::Scheme::kSecded);
+  const auto phys = rig.os.virt_to_phys(p);
+  rig.inj.inject_chip_kill(*phys, 3);
+  rig.touch_line(p);
+  EXPECT_EQ(rig.inj.stats().uncorrectable, 1u);
+  EXPECT_TRUE(rig.os.has_exposed_errors());
+}
+
+TEST(Injector, WritebackClearsPendingFault) {
+  Rig rig(ecc::Scheme::kChipkill);
+  auto* p = rig.alloc(ecc::Scheme::kSecded);
+  const auto phys = rig.os.virt_to_phys(p);
+  // Load the line into the caches first, THEN inject: the fault sits in
+  // DRAM while the cached copy is clean.
+  rig.sys.access(*phys, memsim::AccessKind::kWrite);  // dirty in L1
+  rig.inj.inject_bit(*phys, 2);
+  EXPECT_EQ(rig.inj.pending_lines(), 1u);
+  // Push the dirty line out: stream over the caches.
+  const auto span = 4 * rig.sys.config().l2.size_bytes;
+  for (std::uint64_t a = 1 << 20; a < (1 << 20) + span; a += 64)
+    rig.sys.access(a, memsim::AccessKind::kWrite);
+  EXPECT_EQ(rig.inj.pending_lines(), 0u);
+  EXPECT_GE(rig.inj.stats().cleared_by_writeback, 1u);
+  EXPECT_EQ(rig.inj.stats().corrected_by_ecc, 0u);
+}
+
+TEST(Injector, CorruptVirtualNowBypassesEcc) {
+  Rig rig(ecc::Scheme::kChipkill);
+  auto* p = rig.alloc(ecc::Scheme::kChipkill);
+  const std::uint8_t before = p[5];
+  rig.inj.corrupt_virtual_now(p + 5, 4);
+  EXPECT_EQ(p[5], static_cast<std::uint8_t>(before ^ 0x10));
+}
+
+TEST(Injector, UniformInjectionAndFlush) {
+  Rig rig(ecc::Scheme::kChipkill);
+  auto* p = rig.alloc(ecc::Scheme::kNone);
+  const auto phys = rig.os.virt_to_phys(p);
+  Rng rng(7);
+  rig.inj.inject_uniform(*phys, *phys + 4096, 20, rng);
+  EXPECT_EQ(rig.inj.stats().injected_flips, 20u);
+  rig.inj.flush_pending();
+  EXPECT_EQ(rig.inj.pending_lines(), 0u);
+  EXPECT_GE(rig.inj.stats().silent_corruptions, 1u);
+}
+
+TEST(Injector, ExpectedFaultsMatchesHandComputation) {
+  // 1 GB at 5000 FIT/Mbit for one hour.
+  const double mbit = 1024.0 * 1024 * 1024 * 8 / 1e6;
+  const double expected = 5000.0 * mbit / 1e9;  // failures per hour
+  EXPECT_NEAR(Injector::expected_faults(1ull << 30, 3600.0,
+                                        FitPerMbit{5000.0}),
+              expected, expected * 1e-9);
+}
+
+// --- Analytical models (Eqs 2-8) --------------------------------------------
+
+TEST(Model, MttfInverseInCapacityAndNodes) {
+  const auto rate = FitPerMbit{1000.0};
+  const double m1 = mttf_seconds(rate, 100.0, 1.0, 1.0);
+  EXPECT_NEAR(mttf_seconds(rate, 200.0, 1.0, 1.0), m1 / 2, m1 * 1e-12);
+  EXPECT_NEAR(mttf_seconds(rate, 100.0, 1.0, 10.0), m1 / 10, m1 * 1e-12);
+  EXPECT_NEAR(mttf_seconds(rate, 100.0, 2.0, 1.0), m1 / 2, m1 * 1e-12);
+}
+
+TEST(Model, HeterogeneousMttfCombinesRegions) {
+  std::vector<RegionSpec> regions{{100.0, FitPerMbit{1000.0}, 1.0},
+                                  {100.0, FitPerMbit{1000.0}, 1.0}};
+  const double hetero = mttf_hetero_seconds(regions, 1.0);
+  const double single = mttf_seconds(FitPerMbit{1000.0}, 100.0, 1.0, 1.0);
+  EXPECT_NEAR(hetero, single / 2, single * 1e-12);
+}
+
+TEST(Model, ExpectedErrorsEquation4) {
+  // T0=1000s, tau=0.1, MTTF=100s -> 11 errors.
+  EXPECT_NEAR(expected_errors(1000.0, 0.1, 100.0), 11.0, 1e-9);
+}
+
+TEST(Model, ThresholdEquation7) {
+  // t_c=2s, tau_are=0.0, tau_ase=0.1 -> threshold 20s.
+  EXPECT_NEAR(mttf_threshold_perf(2.0, 0.0, 0.1), 20.0, 1e-12);
+  // Benefit > loss exactly at the threshold.
+  const double mttf = 20.0;
+  const double ne = expected_errors(1000.0, 0.0, mttf);
+  EXPECT_NEAR(recovery_time_loss(ne, 2.0),
+              performance_benefit(1000.0, 0.1, 0.0), 1e-9);
+}
+
+TEST(Model, ThresholdEquation8TakesMax) {
+  EXPECT_DOUBLE_EQ(mttf_threshold(10.0, 30.0), 30.0);
+  EXPECT_DOUBLE_EQ(mttf_threshold(50.0, 30.0), 50.0);
+}
+
+TEST(Model, EnergyThresholdScalesWithRecoveryCost) {
+  const double t1 = mttf_threshold_energy(10.0, 100.0, 0.0, 1000.0);
+  const double t2 = mttf_threshold_energy(20.0, 100.0, 0.0, 1000.0);
+  EXPECT_NEAR(t2, 2 * t1, 1e-12);
+}
+
+// --- Case classification -----------------------------------------------------
+
+TEST(Scenario, FourCasesClassified) {
+  EXPECT_EQ(classify(true, true), Case::kCase1BothCorrect);
+  EXPECT_EQ(classify(false, true), Case::kCase2AbftOnly);
+  EXPECT_EQ(classify(true, false), Case::kCase3EccOnly);
+  EXPECT_EQ(classify(false, false), Case::kCase4Neither);
+}
+
+TEST(Scenario, OutcomesFollowSection4) {
+  auto o1 = outcome(Case::kCase1BothCorrect);
+  EXPECT_EQ(o1.are, RecoveryPath::kAbftCorrection);
+  EXPECT_EQ(o1.ase, RecoveryPath::kEccInController);
+  auto o2 = outcome(Case::kCase2AbftOnly, false);
+  EXPECT_EQ(o2.ase, RecoveryPath::kCheckpointRestart);
+  auto o2b = outcome(Case::kCase2AbftOnly, true);
+  EXPECT_EQ(o2b.ase, RecoveryPath::kAbftCorrection);
+  auto o3 = outcome(Case::kCase3EccOnly);
+  EXPECT_EQ(o3.are, RecoveryPath::kCheckpointRestart);
+  auto o4 = outcome(Case::kCase4Neither);
+  EXPECT_EQ(o4.are, RecoveryPath::kCheckpointRestart);
+  EXPECT_EQ(o4.ase, RecoveryPath::kCheckpointRestart);
+}
+
+TEST(Scenario, RecoveryCostsOrdering) {
+  RecoveryCosts costs{1.0, 50.0, 5000.0};
+  EXPECT_LT(costs.joules(RecoveryPath::kEccInController),
+            costs.joules(RecoveryPath::kAbftCorrection));
+  EXPECT_LT(costs.joules(RecoveryPath::kAbftCorrection),
+            costs.joules(RecoveryPath::kCheckpointRestart));
+  EXPECT_DOUBLE_EQ(costs.joules(RecoveryPath::kNone), 0.0);
+}
+
+}  // namespace
+}  // namespace abftecc::fault

@@ -1,0 +1,198 @@
+// Tests for the system-software layer: page allocation, the three ECC
+// control APIs, translation, interrupt routing and panic behaviour.
+#include <gtest/gtest.h>
+
+#include "memsim/system.hpp"
+#include "os/os.hpp"
+#include "os/page_allocator.hpp"
+
+namespace abftecc::os {
+namespace {
+
+TEST(PageAllocator, AllocatesContiguousRuns) {
+  PageAllocator pa(64 * 4096, 4096);
+  const auto a = pa.allocate_contiguous(4, ecc::Scheme::kNone);
+  ASSERT_TRUE(a.has_value());
+  const auto b = pa.allocate_contiguous(4, ecc::Scheme::kSecded);
+  ASSERT_TRUE(b.has_value());
+  EXPECT_NE(*a, *b);
+  EXPECT_EQ(pa.frames_in_use(), 8u);
+  EXPECT_EQ(pa.frame_at(*a).ecc_type, ecc::Scheme::kNone);
+  EXPECT_EQ(pa.frame_at(*b).ecc_type, ecc::Scheme::kSecded);
+}
+
+TEST(PageAllocator, ExhaustionReturnsNullopt) {
+  PageAllocator pa(4 * 4096, 4096);
+  EXPECT_TRUE(pa.allocate_contiguous(4, ecc::Scheme::kNone).has_value());
+  EXPECT_FALSE(pa.allocate_contiguous(1, ecc::Scheme::kNone).has_value());
+}
+
+TEST(PageAllocator, FreeMakesRoomAndFirstFitReusesIt) {
+  PageAllocator pa(8 * 4096, 4096);
+  const auto a = pa.allocate_contiguous(4, ecc::Scheme::kNone);
+  const auto b = pa.allocate_contiguous(4, ecc::Scheme::kNone);
+  ASSERT_TRUE(a && b);
+  pa.free_range(*a, 4);
+  const auto c = pa.allocate_contiguous(4, ecc::Scheme::kNone);
+  ASSERT_TRUE(c.has_value());
+  EXPECT_EQ(*c, *a);
+}
+
+TEST(PageAllocator, FragmentationBlocksLargeRuns) {
+  PageAllocator pa(8 * 4096, 4096);
+  auto a = pa.allocate_contiguous(3, ecc::Scheme::kNone);
+  auto b = pa.allocate_contiguous(2, ecc::Scheme::kNone);
+  auto c = pa.allocate_contiguous(3, ecc::Scheme::kNone);
+  ASSERT_TRUE(a && b && c);
+  pa.free_range(*a, 3);
+  pa.free_range(*c, 3);
+  // 6 frames free but split 3+3: a 4-frame run must fail.
+  EXPECT_FALSE(pa.allocate_contiguous(4, ecc::Scheme::kNone).has_value());
+  EXPECT_TRUE(pa.allocate_contiguous(3, ecc::Scheme::kNone).has_value());
+}
+
+TEST(PageAllocator, SetEccTypeUpdatesFrames) {
+  PageAllocator pa(8 * 4096, 4096);
+  const auto a = pa.allocate_contiguous(2, ecc::Scheme::kNone);
+  ASSERT_TRUE(a.has_value());
+  pa.set_ecc_type(*a, 2, ecc::Scheme::kChipkill);
+  EXPECT_EQ(pa.frame_at(*a + 4096).ecc_type, ecc::Scheme::kChipkill);
+}
+
+class OsTest : public ::testing::Test {
+ protected:
+  OsTest()
+      : sys_(memsim::SystemConfig::scaled(8), ecc::Scheme::kChipkill),
+        os_(sys_) {}
+  memsim::MemorySystem sys_;
+  Os os_;
+};
+
+TEST_F(OsTest, MallocEccProgramsControllerRange) {
+  void* p = os_.malloc_ecc(10000, ecc::Scheme::kNone, "m");
+  ASSERT_NE(p, nullptr);
+  const auto phys = os_.virt_to_phys(p);
+  ASSERT_TRUE(phys.has_value());
+  EXPECT_EQ(sys_.controller().scheme_for(*phys), ecc::Scheme::kNone);
+  EXPECT_EQ(sys_.controller().ranges_in_use(), 1u);
+  os_.free_ecc(p);
+  EXPECT_EQ(sys_.controller().ranges_in_use(), 0u);
+}
+
+TEST_F(OsTest, MallocPlainUsesDefaultScheme) {
+  void* p = os_.malloc_plain(4096, "plain");
+  ASSERT_NE(p, nullptr);
+  const auto phys = os_.virt_to_phys(p);
+  ASSERT_TRUE(phys.has_value());
+  EXPECT_EQ(sys_.controller().scheme_for(*phys), ecc::Scheme::kChipkill);
+  EXPECT_EQ(sys_.controller().ranges_in_use(), 0u);
+}
+
+TEST_F(OsTest, TranslationRoundTrips) {
+  auto* p = static_cast<std::byte*>(os_.malloc_ecc(8192, ecc::Scheme::kSecded));
+  ASSERT_NE(p, nullptr);
+  const auto phys = os_.virt_to_phys(p + 5000);
+  ASSERT_TRUE(phys.has_value());
+  const auto back = os_.phys_to_virt(*phys);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(*back, p + 5000);
+}
+
+TEST_F(OsTest, UnknownPointerDoesNotTranslate) {
+  int local = 0;
+  EXPECT_FALSE(os_.virt_to_phys(&local).has_value());
+  EXPECT_FALSE(os_.phys_to_virt(1ull << 40).has_value());
+}
+
+TEST_F(OsTest, AssignEccRetargetsScheme) {
+  void* p = os_.malloc_ecc(4096, ecc::Scheme::kNone);
+  ASSERT_NE(p, nullptr);
+  ASSERT_TRUE(os_.assign_ecc(p, ecc::Scheme::kSecded));
+  const auto phys = os_.virt_to_phys(p);
+  EXPECT_EQ(sys_.controller().scheme_for(*phys), ecc::Scheme::kSecded);
+  EXPECT_EQ(os_.pages().frame_at(*phys).ecc_type, ecc::Scheme::kSecded);
+  int local = 0;
+  EXPECT_FALSE(os_.assign_ecc(&local, ecc::Scheme::kNone));
+}
+
+TEST_F(OsTest, MallocEccFailsWhenControllerRegistersExhausted) {
+  std::vector<void*> ptrs;
+  for (int i = 0; i < 8; ++i) {
+    void* p = os_.malloc_ecc(4096, ecc::Scheme::kNone);
+    ASSERT_NE(p, nullptr) << i;
+    ptrs.push_back(p);
+  }
+  EXPECT_EQ(os_.malloc_ecc(4096, ecc::Scheme::kNone), nullptr);
+  // Frames were not leaked by the failed attempt.
+  const auto used = os_.pages().frames_in_use();
+  os_.free_ecc(ptrs.back());
+  EXPECT_EQ(os_.pages().frames_in_use(), used - 1);
+  EXPECT_NE(os_.malloc_ecc(4096, ecc::Scheme::kNone), nullptr);
+}
+
+TEST_F(OsTest, InterruptOnAbftRegionExposesVirtualAddress) {
+  auto* p = static_cast<std::byte*>(
+      os_.malloc_ecc(8192, ecc::Scheme::kNone, "matrix", true));
+  ASSERT_NE(p, nullptr);
+  const auto phys = os_.virt_to_phys(p + 640);
+  memsim::ErrorRecord rec;
+  rec.phys_addr = *phys;
+  rec.scheme = ecc::Scheme::kNone;
+  rec.valid = true;
+  os_.handle_ecc_interrupt(rec);
+  ASSERT_TRUE(os_.has_exposed_errors());
+  const auto errors = os_.drain_exposed_errors();
+  ASSERT_EQ(errors.size(), 1u);
+  EXPECT_EQ(errors[0].vaddr, p + 640);
+  EXPECT_EQ(errors[0].region_name, "matrix");
+  EXPECT_FALSE(os_.panicked());
+  EXPECT_FALSE(os_.has_exposed_errors());
+}
+
+TEST_F(OsTest, InterruptOutsideAbftRegionPanics) {
+  void* p = os_.malloc_plain(4096, "kernel-data");
+  const auto phys = os_.virt_to_phys(p);
+  memsim::ErrorRecord rec;
+  rec.phys_addr = *phys;
+  rec.valid = true;
+  os_.handle_ecc_interrupt(rec);
+  EXPECT_TRUE(os_.panicked());
+  EXPECT_EQ(os_.panic_count(), 1u);
+  EXPECT_FALSE(os_.has_exposed_errors());
+  os_.clear_panic();
+  EXPECT_FALSE(os_.panicked());
+}
+
+TEST_F(OsTest, InterruptViaControllerPathEndToEnd) {
+  // Reported through the MC (as the fault layer does), not directly.
+  auto* p = static_cast<std::byte*>(
+      os_.malloc_ecc(4096, ecc::Scheme::kNone, "abft-data", true));
+  const auto phys = os_.virt_to_phys(p);
+  memsim::FaultSite site;
+  sys_.controller().report_uncorrectable(site, *phys, 123,
+                                         ecc::Scheme::kNone);
+  ASSERT_TRUE(os_.has_exposed_errors());
+  EXPECT_EQ(os_.drain_exposed_errors()[0].vaddr, p);
+}
+
+TEST_F(OsTest, RegionOfFindsOwnerAndRespectsBounds) {
+  auto* p = static_cast<std::byte*>(os_.malloc_ecc(4096, ecc::Scheme::kNone));
+  const Region* r = os_.region_of(p + 100);
+  ASSERT_NE(r, nullptr);
+  EXPECT_TRUE(r->abft_protected);
+  EXPECT_EQ(os_.region_of(p + (1 << 20)), nullptr);
+}
+
+TEST_F(OsTest, PhysToHostGivesWritableBytes) {
+  auto* p = static_cast<std::byte*>(os_.malloc_ecc(4096, ecc::Scheme::kNone));
+  p[7] = std::byte{0x5A};
+  const auto phys = os_.virt_to_phys(p);
+  auto host = os_.phys_to_host(*phys);
+  ASSERT_TRUE(host.has_value());
+  EXPECT_EQ((*host)[7], std::byte{0x5A});
+  (*host)[7] = std::byte{0xA5};
+  EXPECT_EQ(p[7], std::byte{0xA5});
+}
+
+}  // namespace
+}  // namespace abftecc::os

@@ -1,0 +1,135 @@
+// Tests for the sim layer: MemoryTap translation (regions, line straddles,
+// anonymous pages), strategy specs, and the DGMS spatial predictor.
+#include <gtest/gtest.h>
+
+#include "memsim/system.hpp"
+#include "os/os.hpp"
+#include "sim/dgms.hpp"
+#include "sim/strategy.hpp"
+#include "common/rng.hpp"
+#include "sim/tap.hpp"
+
+namespace abftecc::sim {
+namespace {
+
+struct Rig {
+  memsim::MemorySystem sys;
+  os::Os os;
+  TapContext ctx;
+  Rig()
+      : sys(memsim::SystemConfig::scaled(8), ecc::Scheme::kChipkill),
+        os(sys),
+        ctx(os, sys) {}
+};
+
+TEST(MemoryTapTest, RegisteredRegionTranslatesToItsFrames) {
+  Rig rig;
+  auto* p = static_cast<double*>(
+      rig.os.malloc_ecc(4096, ecc::Scheme::kNone, "m", true));
+  MemoryTap tap(rig.ctx);
+  tap.read(p);
+  // The access must land on the region's physical page and be classified
+  // as ABFT (fill hook sees the relaxed scheme).
+  EXPECT_EQ(rig.ctx.refs_abft(), 1u);
+  EXPECT_EQ(rig.ctx.refs_other(), 0u);
+  EXPECT_EQ(rig.sys.stats().mem_refs, 1u);
+}
+
+TEST(MemoryTapTest, UnregisteredDataGoesToAnonymousFrames) {
+  Rig rig;
+  std::vector<double> local(64);
+  MemoryTap tap(rig.ctx);
+  tap.read(&local[0]);
+  tap.read(&local[1]);
+  EXPECT_EQ(rig.ctx.refs_other(), 2u);
+  EXPECT_EQ(rig.ctx.refs_abft(), 0u);
+  // Anonymous frames live above the allocator's capacity: default scheme.
+  EXPECT_EQ(rig.sys.stats().demand_misses_other,
+            rig.sys.stats().demand_misses);
+}
+
+TEST(MemoryTapTest, AnonymousPagesAreStable) {
+  // Two references to the same host page map to the same simulated frame:
+  // the second hits the cache.
+  Rig rig;
+  std::vector<double> local(8);
+  MemoryTap tap(rig.ctx);
+  tap.read(&local[0]);
+  const auto misses = rig.sys.stats().demand_misses;
+  tap.read(&local[0]);
+  EXPECT_EQ(rig.sys.stats().demand_misses, misses);
+}
+
+TEST(MemoryTapTest, StraddlingReferenceTouchesBothLines) {
+  Rig rig;
+  auto* p = static_cast<std::uint8_t*>(
+      rig.os.malloc_ecc(4096, ecc::Scheme::kNone, "m", true));
+  MemoryTap tap(rig.ctx);
+  tap.read(p + 60, 8);  // crosses the 64B boundary
+  EXPECT_EQ(rig.sys.stats().mem_refs, 2u);
+}
+
+TEST(MemoryTapTest, CopiedHandlesShareState) {
+  Rig rig;
+  std::vector<double> local(4);
+  MemoryTap tap(rig.ctx);
+  MemoryTap copy = tap;
+  tap.read(&local[0]);
+  copy.read(&local[1]);
+  EXPECT_EQ(rig.ctx.refs_other(), 2u);
+}
+
+TEST(StrategySpec, MatchesPaperDefinitions) {
+  EXPECT_EQ(spec(Strategy::kNoEcc).default_scheme, ecc::Scheme::kNone);
+  EXPECT_EQ(spec(Strategy::kWholeChipkill).abft_scheme,
+            ecc::Scheme::kChipkill);
+  EXPECT_EQ(spec(Strategy::kPartialChipkillNoEcc).default_scheme,
+            ecc::Scheme::kChipkill);
+  EXPECT_EQ(spec(Strategy::kPartialChipkillNoEcc).abft_scheme,
+            ecc::Scheme::kNone);
+  EXPECT_EQ(spec(Strategy::kPartialChipkillSecded).abft_scheme,
+            ecc::Scheme::kSecded);
+  EXPECT_EQ(spec(Strategy::kPartialSecdedNoEcc).default_scheme,
+            ecc::Scheme::kSecded);
+  for (const auto s : kAllStrategies)
+    EXPECT_FALSE(spec(s).label.empty());
+}
+
+TEST(Dgms, SequentialStreamTrainsCoarse) {
+  DgmsController dgms;
+  std::uint64_t coarse_at_end = 0;
+  for (std::uint64_t line = 0; line < 64; ++line) {
+    const auto shape = dgms.shape(line * 64, ecc::Scheme::kChipkill);
+    ASSERT_TRUE(shape.has_value());
+    if (line == 63) coarse_at_end = shape->channels_used;
+  }
+  EXPECT_EQ(coarse_at_end, 2u);  // chipkill lock-step
+  EXPECT_GT(dgms.coarse_accesses(), dgms.fine_accesses());
+}
+
+TEST(Dgms, ScatteredAccessesStayFine) {
+  DgmsController dgms;
+  Rng rng(5);
+  unsigned fine = 0;
+  for (int i = 0; i < 200; ++i) {
+    // Random lines within one page: adjacency is rare.
+    const std::uint64_t line = rng.below(64);
+    const auto shape = dgms.shape(line * 64, ecc::Scheme::kChipkill);
+    if (shape->channels_used == 1) ++fine;
+  }
+  EXPECT_GT(fine, 100u);
+}
+
+TEST(Dgms, PerPageIndependence) {
+  DgmsController dgms;
+  // Train page 0 coarse.
+  for (std::uint64_t line = 0; line < 32; ++line)
+    dgms.shape(line * 64, ecc::Scheme::kChipkill);
+  // A fresh page starts fine-grained.
+  const auto shape = dgms.shape(1 << 20, ecc::Scheme::kChipkill);
+  EXPECT_EQ(shape->channels_used, 1u);
+  EXPECT_EQ(shape->chips_activated, 5u);
+}
+
+}  // namespace
+}  // namespace abftecc::sim
