@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_dual_checksums"
+  "../bench/ablation_dual_checksums.pdb"
+  "CMakeFiles/ablation_dual_checksums.dir/ablation_dual_checksums.cpp.o"
+  "CMakeFiles/ablation_dual_checksums.dir/ablation_dual_checksums.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_dual_checksums.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_error_registers"
+  "../bench/ablation_error_registers.pdb"
+  "CMakeFiles/ablation_error_registers.dir/ablation_error_registers.cpp.o"
+  "CMakeFiles/ablation_error_registers.dir/ablation_error_registers.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_error_registers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_verification_period"
+  "../bench/ablation_verification_period.pdb"
+  "CMakeFiles/ablation_verification_period.dir/ablation_verification_period.cpp.o"
+  "CMakeFiles/ablation_verification_period.dir/ablation_verification_period.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_verification_period.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/cases_end_to_end"
+  "../bench/cases_end_to_end.pdb"
+  "CMakeFiles/cases_end_to_end.dir/cases_end_to_end.cpp.o"
+  "CMakeFiles/cases_end_to_end.dir/cases_end_to_end.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cases_end_to_end.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

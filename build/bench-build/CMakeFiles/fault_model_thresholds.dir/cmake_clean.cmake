@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fault_model_thresholds"
+  "../bench/fault_model_thresholds.pdb"
+  "CMakeFiles/fault_model_thresholds.dir/fault_model_thresholds.cpp.o"
+  "CMakeFiles/fault_model_thresholds.dir/fault_model_thresholds.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fault_model_thresholds.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig5_memory_energy"
+  "../bench/fig5_memory_energy.pdb"
+  "CMakeFiles/fig5_memory_energy.dir/fig5_memory_energy.cpp.o"
+  "CMakeFiles/fig5_memory_energy.dir/fig5_memory_energy.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_memory_energy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig6_system_energy"
+  "../bench/fig6_system_energy.pdb"
+  "CMakeFiles/fig6_system_energy.dir/fig6_system_energy.cpp.o"
+  "CMakeFiles/fig6_system_energy.dir/fig6_system_energy.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_system_energy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

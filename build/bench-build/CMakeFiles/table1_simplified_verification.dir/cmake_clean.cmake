@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table1_simplified_verification"
+  "../bench/table1_simplified_verification.pdb"
+  "CMakeFiles/table1_simplified_verification.dir/table1_simplified_verification.cpp.o"
+  "CMakeFiles/table1_simplified_verification.dir/table1_simplified_verification.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_simplified_verification.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table4_access_classification"
+  "../bench/table4_access_classification.pdb"
+  "CMakeFiles/table4_access_classification.dir/table4_access_classification.cpp.o"
+  "CMakeFiles/table4_access_classification.dir/table4_access_classification.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table4_access_classification.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

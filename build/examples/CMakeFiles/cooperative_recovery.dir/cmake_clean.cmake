@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cooperative_recovery.dir/cooperative_recovery.cpp.o"
+  "CMakeFiles/cooperative_recovery.dir/cooperative_recovery.cpp.o.d"
+  "cooperative_recovery"
+  "cooperative_recovery.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cooperative_recovery.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ft_solver.dir/ft_solver.cpp.o"
+  "CMakeFiles/ft_solver.dir/ft_solver.cpp.o.d"
+  "ft_solver"
+  "ft_solver.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ft_solver.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scaling_advisor.dir/scaling_advisor.cpp.o"
+  "CMakeFiles/scaling_advisor.dir/scaling_advisor.cpp.o.d"
+  "scaling_advisor"
+  "scaling_advisor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scaling_advisor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abftecc_abft.dir/checksum.cpp.o"
+  "CMakeFiles/abftecc_abft.dir/checksum.cpp.o.d"
+  "CMakeFiles/abftecc_abft.dir/runtime.cpp.o"
+  "CMakeFiles/abftecc_abft.dir/runtime.cpp.o.d"
+  "libabftecc_abft.a"
+  "libabftecc_abft.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abftecc_abft.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libabftecc_abft.a"
+)

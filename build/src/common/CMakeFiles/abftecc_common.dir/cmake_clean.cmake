@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abftecc_common.dir/matrix.cpp.o"
+  "CMakeFiles/abftecc_common.dir/matrix.cpp.o.d"
+  "libabftecc_common.a"
+  "libabftecc_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abftecc_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

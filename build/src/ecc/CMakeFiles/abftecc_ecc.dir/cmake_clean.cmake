@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abftecc_ecc.dir/codec.cpp.o"
+  "CMakeFiles/abftecc_ecc.dir/codec.cpp.o.d"
+  "CMakeFiles/abftecc_ecc.dir/secded.cpp.o"
+  "CMakeFiles/abftecc_ecc.dir/secded.cpp.o.d"
+  "libabftecc_ecc.a"
+  "libabftecc_ecc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abftecc_ecc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

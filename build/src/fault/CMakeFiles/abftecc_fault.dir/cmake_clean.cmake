@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abftecc_fault.dir/injector.cpp.o"
+  "CMakeFiles/abftecc_fault.dir/injector.cpp.o.d"
+  "CMakeFiles/abftecc_fault.dir/model.cpp.o"
+  "CMakeFiles/abftecc_fault.dir/model.cpp.o.d"
+  "libabftecc_fault.a"
+  "libabftecc_fault.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abftecc_fault.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

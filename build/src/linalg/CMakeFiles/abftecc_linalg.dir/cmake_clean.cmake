@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abftecc_linalg.dir/generate.cpp.o"
+  "CMakeFiles/abftecc_linalg.dir/generate.cpp.o.d"
+  "libabftecc_linalg.a"
+  "libabftecc_linalg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abftecc_linalg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/memsim/address_map.cpp" "src/memsim/CMakeFiles/abftecc_memsim.dir/address_map.cpp.o" "gcc" "src/memsim/CMakeFiles/abftecc_memsim.dir/address_map.cpp.o.d"
+  "/root/repo/src/memsim/cache.cpp" "src/memsim/CMakeFiles/abftecc_memsim.dir/cache.cpp.o" "gcc" "src/memsim/CMakeFiles/abftecc_memsim.dir/cache.cpp.o.d"
+  "/root/repo/src/memsim/config.cpp" "src/memsim/CMakeFiles/abftecc_memsim.dir/config.cpp.o" "gcc" "src/memsim/CMakeFiles/abftecc_memsim.dir/config.cpp.o.d"
+  "/root/repo/src/memsim/dram.cpp" "src/memsim/CMakeFiles/abftecc_memsim.dir/dram.cpp.o" "gcc" "src/memsim/CMakeFiles/abftecc_memsim.dir/dram.cpp.o.d"
+  "/root/repo/src/memsim/memory_controller.cpp" "src/memsim/CMakeFiles/abftecc_memsim.dir/memory_controller.cpp.o" "gcc" "src/memsim/CMakeFiles/abftecc_memsim.dir/memory_controller.cpp.o.d"
+  "/root/repo/src/memsim/system.cpp" "src/memsim/CMakeFiles/abftecc_memsim.dir/system.cpp.o" "gcc" "src/memsim/CMakeFiles/abftecc_memsim.dir/system.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/abftecc_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/ecc/CMakeFiles/abftecc_ecc.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

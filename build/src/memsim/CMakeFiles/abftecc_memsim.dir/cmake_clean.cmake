@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abftecc_memsim.dir/address_map.cpp.o"
+  "CMakeFiles/abftecc_memsim.dir/address_map.cpp.o.d"
+  "CMakeFiles/abftecc_memsim.dir/cache.cpp.o"
+  "CMakeFiles/abftecc_memsim.dir/cache.cpp.o.d"
+  "CMakeFiles/abftecc_memsim.dir/config.cpp.o"
+  "CMakeFiles/abftecc_memsim.dir/config.cpp.o.d"
+  "CMakeFiles/abftecc_memsim.dir/dram.cpp.o"
+  "CMakeFiles/abftecc_memsim.dir/dram.cpp.o.d"
+  "CMakeFiles/abftecc_memsim.dir/memory_controller.cpp.o"
+  "CMakeFiles/abftecc_memsim.dir/memory_controller.cpp.o.d"
+  "CMakeFiles/abftecc_memsim.dir/system.cpp.o"
+  "CMakeFiles/abftecc_memsim.dir/system.cpp.o.d"
+  "libabftecc_memsim.a"
+  "libabftecc_memsim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abftecc_memsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

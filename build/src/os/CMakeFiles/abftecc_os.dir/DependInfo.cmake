@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/os/os.cpp" "src/os/CMakeFiles/abftecc_os.dir/os.cpp.o" "gcc" "src/os/CMakeFiles/abftecc_os.dir/os.cpp.o.d"
+  "/root/repo/src/os/page_allocator.cpp" "src/os/CMakeFiles/abftecc_os.dir/page_allocator.cpp.o" "gcc" "src/os/CMakeFiles/abftecc_os.dir/page_allocator.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/abftecc_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/ecc/CMakeFiles/abftecc_ecc.dir/DependInfo.cmake"
+  "/root/repo/build/src/memsim/CMakeFiles/abftecc_memsim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abftecc_os.dir/os.cpp.o"
+  "CMakeFiles/abftecc_os.dir/os.cpp.o.d"
+  "CMakeFiles/abftecc_os.dir/page_allocator.cpp.o"
+  "CMakeFiles/abftecc_os.dir/page_allocator.cpp.o.d"
+  "libabftecc_os.a"
+  "libabftecc_os.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abftecc_os.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abftecc_sim.dir/platform.cpp.o"
+  "CMakeFiles/abftecc_sim.dir/platform.cpp.o.d"
+  "CMakeFiles/abftecc_sim.dir/scaling.cpp.o"
+  "CMakeFiles/abftecc_sim.dir/scaling.cpp.o.d"
+  "libabftecc_sim.a"
+  "libabftecc_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abftecc_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_abft_cg.dir/test_abft_cg.cpp.o"
+  "CMakeFiles/test_abft_cg.dir/test_abft_cg.cpp.o.d"
+  "test_abft_cg"
+  "test_abft_cg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_abft_cg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

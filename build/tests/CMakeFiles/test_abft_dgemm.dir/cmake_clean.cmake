@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_abft_dgemm.dir/test_abft_dgemm.cpp.o"
+  "CMakeFiles/test_abft_dgemm.dir/test_abft_dgemm.cpp.o.d"
+  "test_abft_dgemm"
+  "test_abft_dgemm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_abft_dgemm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

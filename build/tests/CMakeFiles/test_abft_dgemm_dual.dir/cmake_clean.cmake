@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_abft_dgemm_dual.dir/test_abft_dgemm_dual.cpp.o"
+  "CMakeFiles/test_abft_dgemm_dual.dir/test_abft_dgemm_dual.cpp.o.d"
+  "test_abft_dgemm_dual"
+  "test_abft_dgemm_dual.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_abft_dgemm_dual.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_abft_ftlu.dir/test_abft_ftlu.cpp.o"
+  "CMakeFiles/test_abft_ftlu.dir/test_abft_ftlu.cpp.o.d"
+  "test_abft_ftlu"
+  "test_abft_ftlu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_abft_ftlu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

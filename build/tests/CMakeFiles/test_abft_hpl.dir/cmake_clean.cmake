@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_abft_hpl.dir/test_abft_hpl.cpp.o"
+  "CMakeFiles/test_abft_hpl.dir/test_abft_hpl.cpp.o.d"
+  "test_abft_hpl"
+  "test_abft_hpl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_abft_hpl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

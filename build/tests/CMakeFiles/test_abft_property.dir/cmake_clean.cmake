@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_abft_property.dir/test_abft_property.cpp.o"
+  "CMakeFiles/test_abft_property.dir/test_abft_property.cpp.o.d"
+  "test_abft_property"
+  "test_abft_property.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_abft_property.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_abft_runtime.dir/test_abft_runtime.cpp.o"
+  "CMakeFiles/test_abft_runtime.dir/test_abft_runtime.cpp.o.d"
+  "test_abft_runtime"
+  "test_abft_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_abft_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_common.cpp" "tests/CMakeFiles/test_common.dir/test_common.cpp.o" "gcc" "tests/CMakeFiles/test_common.dir/test_common.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/abftecc_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/fault/CMakeFiles/abftecc_fault.dir/DependInfo.cmake"
+  "/root/repo/build/src/abft/CMakeFiles/abftecc_abft.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/abftecc_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/os/CMakeFiles/abftecc_os.dir/DependInfo.cmake"
+  "/root/repo/build/src/memsim/CMakeFiles/abftecc_memsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/ecc/CMakeFiles/abftecc_ecc.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/abftecc_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

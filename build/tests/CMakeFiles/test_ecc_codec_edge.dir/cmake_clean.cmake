@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ecc_codec_edge.dir/test_ecc_codec_edge.cpp.o"
+  "CMakeFiles/test_ecc_codec_edge.dir/test_ecc_codec_edge.cpp.o.d"
+  "test_ecc_codec_edge"
+  "test_ecc_codec_edge.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ecc_codec_edge.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

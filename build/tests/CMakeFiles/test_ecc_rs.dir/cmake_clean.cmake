@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ecc_rs.dir/test_ecc_rs.cpp.o"
+  "CMakeFiles/test_ecc_rs.dir/test_ecc_rs.cpp.o.d"
+  "test_ecc_rs"
+  "test_ecc_rs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ecc_rs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

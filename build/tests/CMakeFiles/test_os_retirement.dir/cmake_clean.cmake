@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_os_retirement.dir/test_os_retirement.cpp.o"
+  "CMakeFiles/test_os_retirement.dir/test_os_retirement.cpp.o.d"
+  "test_os_retirement"
+  "test_os_retirement.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_os_retirement.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
