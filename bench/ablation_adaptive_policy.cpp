@@ -40,10 +40,11 @@ struct EpochCosts {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   using namespace abftecc;
-  bench::header("Ablation: adaptive ECC policy vs static deployments",
-                "SC'13 conclusion (co-design & adaptive policy)");
+  bench::Report rep(argc, argv,
+                    "Ablation: adaptive ECC policy vs static deployments",
+                    "SC'13 conclusion (co-design & adaptive policy)");
 
   // Error weather per epoch (raw fault arrivals in the region, i.e. what a
   // no-ECC tier would hand to ABFT).
@@ -96,6 +97,11 @@ int main() {
   bench::row({"adaptive", bench::fmt(adaptive_j, 0)});
   std::printf("transitions taken: %llu\n",
               static_cast<unsigned long long>(policy.transitions()));
+  rep.scalar("static_no_ecc_joules", static_none_j);
+  rep.scalar("static_secded_joules", static_sd_j);
+  rep.scalar("static_chipkill_joules", static_ck_j);
+  rep.scalar("adaptive_joules", adaptive_j);
+  rep.scalar("transitions", static_cast<double>(policy.transitions()));
   std::printf(
       "\nexpected: adaptive beats static chipkill in calm weather and "
       "static No_ECC during the burst.\n");

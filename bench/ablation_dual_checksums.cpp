@@ -77,10 +77,11 @@ struct DualBufs {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   using namespace abftecc;
-  bench::header("Ablation: single vs dual checksum vectors (FT-DGEMM)",
-                "SC'13 Sec. 2.1 'sophisticated checksum vectors'");
+  bench::Report rep(argc, argv,
+                    "Ablation: single vs dual checksum vectors (FT-DGEMM)",
+                    "SC'13 Sec. 2.1 'sophisticated checksum vectors'");
   const std::size_t n = 64;
 
   // Clean-run overhead.
@@ -111,6 +112,7 @@ int main() {
     std::printf("clean-run time at n=%zu: single %.3fs, dual %.3fs (+%s)\n\n",
                 4 * n, t_single, t_dual,
                 bench::fmt_pct(t_dual / t_single - 1.0).c_str());
+    rep.scalar("clean_run_dual_overhead", t_dual / t_single - 1.0);
   }
 
   bench::row({"errors", "scheme", "corrected", "refused", "silent-wrong"});
@@ -123,6 +125,11 @@ int main() {
                 std::to_string(s.refused), std::to_string(s.silent_wrong)});
     bench::row({"", "dual", std::to_string(d.corrected),
                 std::to_string(d.refused), std::to_string(d.silent_wrong)});
+    const std::string key = "errors" + std::to_string(errors);
+    rep.scalar(key + ".single_corrected", s.corrected);
+    rep.scalar(key + ".single_silent_wrong", s.silent_wrong);
+    rep.scalar(key + ".dual_corrected", d.corrected);
+    rep.scalar(key + ".dual_silent_wrong", d.silent_wrong);
   }
   std::printf(
       "\nexpected: dual corrects strictly more multi-error trials at "

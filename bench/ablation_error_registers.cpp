@@ -8,10 +8,10 @@
 #include "fault/injector.hpp"
 #include "os/os.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace abftecc;
-  bench::header("Ablation: MC error-register depth (n = 6)",
-                "SC'13 Sec. 3.1 register sizing");
+  bench::Report rep(argc, argv, "Ablation: MC error-register depth (n = 6)",
+                    "SC'13 Sec. 3.1 register sizing");
   bench::row({"burst", "recorded", "exposed", "dropped"});
   for (unsigned burst = 1; burst <= 12; ++burst) {
     memsim::MemorySystem sys(memsim::SystemConfig::scaled(8),
@@ -36,6 +36,9 @@ int main() {
                 std::to_string(sys.controller().uncorrectable_count()),
                 std::to_string(os.drain_exposed_errors().size()),
                 std::to_string(sys.controller().dropped_error_records())});
+    rep.scalar(
+        "burst" + std::to_string(burst) + ".dropped",
+        static_cast<double>(sys.controller().dropped_error_records()));
   }
   std::printf(
       "\nexpected: with n = 6 registers, bursts beyond 6 overwrite older "

@@ -9,19 +9,21 @@
 #include "bench/report.hpp"
 #include "sim/platform.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace abftecc;
   using namespace abftecc::sim;
-  bench::header("Ablation: row-buffer policy vs partial-ECC savings",
-                "SC'13 Sec. 5.1 row-buffer discussion");
+  PlatformOptions base;
+  bench::Report rep(argc, argv,
+                    "Ablation: row-buffer policy vs partial-ECC savings",
+                    "SC'13 Sec. 5.1 row-buffer discussion", base);
   for (const auto policy : {memsim::RowBufferPolicy::kOpenPage,
                             memsim::RowBufferPolicy::kClosedPage}) {
-    std::printf("-- %s page --\n",
-                policy == memsim::RowBufferPolicy::kOpenPage ? "open"
-                                                             : "closed");
+    const char* pname =
+        policy == memsim::RowBufferPolicy::kOpenPage ? "open" : "closed";
+    std::printf("-- %s page --\n", pname);
     bench::row({"kernel", "rowhit", "W_CK dyn", "P_CK dyn", "dyn saving"});
     for (const auto kernel : {Kernel::kDgemm, Kernel::kCg}) {
-      PlatformOptions whole;
+      PlatformOptions whole = base;
       whole.row_policy = policy;
       whole.strategy = Strategy::kWholeChipkill;
       const RunMetrics w = run_kernel(kernel, whole);
@@ -33,6 +35,12 @@ int main() {
                   bench::fmt_sci(joules(w.mem_dynamic_pj)) + "J",
                   bench::fmt_sci(joules(p.mem_dynamic_pj)) + "J",
                   bench::fmt_pct(1.0 - p.mem_dynamic_pj / w.mem_dynamic_pj)});
+      const std::string kn =
+          std::string(pname) + "/" + std::string(kernel_name(kernel));
+      rep.add_run(kn + "/W_CK", w);
+      rep.add_run(kn + "/P_CK", p);
+      rep.scalar(kn + ".dynamic_saving",
+                 1.0 - p.mem_dynamic_pj / w.mem_dynamic_pj);
     }
     std::printf("\n");
   }

@@ -8,14 +8,13 @@
 #include "bench/report.hpp"
 #include "sim/platform.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace abftecc;
   using namespace abftecc::sim;
-  bench::header("Ablation: verification period", "SC'13 Sec. 2.1 / 3.2.2");
-
   PlatformOptions base;
   base.strategy = Strategy::kWholeChipkill;
-  bench::print_config(base);
+  bench::Report rep(argc, argv, "Ablation: verification period",
+                    "SC'13 Sec. 2.1 / 3.2.2", base);
 
   // Verification-free floor: one giant period.
   PlatformOptions floor_opt = base;
@@ -36,6 +35,11 @@ int main() {
                 bench::fmt(mh.seconds, 4),
                 bench::fmt_pct(mh.seconds / floor_s - 1.0),
                 std::to_string(mf.ft.verifications)});
+    const std::string key = "period" + std::to_string(period);
+    rep.add_run(key + "/full", mf);
+    rep.add_run(key + "/hw_assisted", mh);
+    rep.scalar(key + ".full_overhead", mf.seconds / floor_s - 1.0);
+    rep.scalar(key + ".hw_overhead", mh.seconds / floor_s - 1.0);
   }
   std::printf(
       "\nexpected: full-verification overhead grows steeply as the period "

@@ -96,7 +96,8 @@ struct Deployment {
   }
 };
 
-void run_case(const char* label, fault::Case expected,
+void run_case(bench::Report& rep, const char* slug, const char* label,
+              fault::Case expected,
               const std::function<void(Deployment&)>& inject) {
   Deployment are(ecc::Scheme::kNone);      // P_CK+No_ECC
   Deployment ase(ecc::Scheme::kChipkill);  // strong ECC everywhere
@@ -110,27 +111,33 @@ void run_case(const char* label, fault::Case expected,
               o_are.result_correct ? "correct" : "LOST");
   std::printf("  ASE (ABFT+chipkill): %-24s result %s\n\n",
               o_ase.path.c_str(), o_ase.result_correct ? "correct" : "LOST");
+  const std::string key(slug);
+  rep.note(key + ".are_path", o_are.path);
+  rep.note(key + ".are_result", o_are.result_correct ? "correct" : "lost");
+  rep.note(key + ".ase_path", o_ase.path);
+  rep.note(key + ".ase_result", o_ase.result_correct ? "correct" : "lost");
 }
 
 }  // namespace
 }  // namespace abftecc
 
-int main() {
+int main(int argc, char** argv) {
   using namespace abftecc;
-  bench::header("Section 4 Cases 1-4: end-to-end error handling",
-                "SC'13 Sec. 4 classification");
+  bench::Report rep(argc, argv,
+                    "Section 4 Cases 1-4: end-to-end error handling",
+                    "SC'13 Sec. 4 classification");
 
   // Case 1: a single DRAM bit flip, correctable by both sides. ASE fixes
   // it in the controller for ~1 pJ; ARE pays an ABFT verification pass.
-  run_case("single bit flip in one element", fault::Case::kCase1BothCorrect,
-           [](Deployment& d) {
+  run_case(rep, "case1", "single bit flip in one element",
+           fault::Case::kCase1BothCorrect, [](Deployment& d) {
              d.inj.inject_bit(d.phys_of(&d.buf.cf(10, 12)) + 6, 3);
            });
 
   // Case 2: two chips of the same line corrupted -- two bad symbols per
   // codeword, beyond chipkill's SSC-DSD -- while the damaged elements sit
   // in one matrix column, squarely inside ABFT's correction capability.
-  run_case("two-chip corruption (beyond chipkill, within ABFT)",
+  run_case(rep, "case2", "two-chip corruption (beyond chipkill, within ABFT)",
            fault::Case::kCase2AbftOnly, [](Deployment& d) {
              const std::uint64_t line =
                  d.phys_of(&d.buf.cf(24, 24)) / 64 * 64;
@@ -144,8 +151,8 @@ int main() {
   // Case 3: four single-bit flips forming a 2x2 row/column grid. Strong
   // ECC corrects each flip independently; under relaxed ECC they reach the
   // application and the checksum residuals cannot be paired.
-  run_case("2x2 grid of single-bit flips", fault::Case::kCase3EccOnly,
-           [](Deployment& d) {
+  run_case(rep, "case3", "2x2 grid of single-bit flips",
+           fault::Case::kCase3EccOnly, [](Deployment& d) {
              for (double* e : {&d.buf.cf(10, 20), &d.buf.cf(10, 30),
                                &d.buf.cf(40, 20), &d.buf.cf(40, 30)})
                d.inj.inject_bit(d.phys_of(e) + 6, 2);
@@ -153,7 +160,7 @@ int main() {
 
   // Case 4: corruption while the lines are cache-resident (ECC never sees
   // it on either deployment) in an ambiguous grid: both sides fall back.
-  run_case("cache-window burst, ambiguous pattern",
+  run_case(rep, "case4", "cache-window burst, ambiguous pattern",
            fault::Case::kCase4Neither, [](Deployment& d) {
              for (double* e : {&d.buf.cf(10, 20), &d.buf.cf(10, 30),
                                &d.buf.cf(40, 20), &d.buf.cf(40, 30)}) {

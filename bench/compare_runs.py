@@ -1,0 +1,130 @@
+#!/usr/bin/env python3
+"""Diff two bench-report JSON files produced with `<bench binary> --json`.
+
+Runs are matched by label, scalars by name. Prints per-run deltas for the
+headline quantities (cycles, IPC, simulated seconds, memory/system energy)
+and flags relative changes beyond a threshold.
+
+Usage:
+    python3 bench/compare_runs.py baseline.json candidate.json [--threshold 0.02]
+
+Exit status: 0 if no quantity moved by more than the threshold, 1 otherwise
+(so CI can gate on it), 2 on usage/schema errors.
+"""
+import argparse
+import json
+import sys
+
+RUN_FIELDS = [
+    ("cycles", lambda r: r["cycles"]),
+    ("ipc", lambda r: r["ipc"]),
+    ("seconds", lambda r: r["seconds"]),
+    ("memory_pj", lambda r: r["energy"]["memory_pj"]),
+    ("system_pj", lambda r: r["energy"]["system_pj"]),
+    ("errors_corrected", lambda r: r["ft"]["errors_corrected"]),
+]
+
+
+def die(msg):
+    print(msg, file=sys.stderr)
+    sys.exit(2)
+
+
+def load(path):
+    try:
+        with open(path) as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        die(f"error: cannot read {path}: {e}")
+    if doc.get("schema_version") != 1:
+        die(f"error: {path}: unsupported schema_version "
+            f"{doc.get('schema_version')!r}")
+    return doc
+
+
+def rel_delta(old, new):
+    if old == new:
+        return 0.0
+    if old == 0:
+        return float("inf")
+    return (new - old) / abs(old)
+
+
+def fmt_delta(d):
+    if d == float("inf"):
+        return "+inf"
+    return f"{d:+.2%}"
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("baseline")
+    ap.add_argument("candidate")
+    ap.add_argument("--threshold", type=float, default=0.02,
+                    help="relative change that counts as a difference "
+                         "(default 0.02 = 2%%)")
+    args = ap.parse_args()
+
+    base = load(args.baseline)
+    cand = load(args.candidate)
+    if base["experiment"] != cand["experiment"]:
+        print(f"note: comparing different experiments: "
+              f"{base['experiment']!r} vs {cand['experiment']!r}")
+
+    flagged = 0
+    base_runs = {r["label"]: r for r in base["runs"]}
+    cand_runs = {r["label"]: r for r in cand["runs"]}
+
+    only_base = sorted(set(base_runs) - set(cand_runs))
+    only_cand = sorted(set(cand_runs) - set(base_runs))
+    for label in only_base:
+        print(f"run only in baseline: {label}")
+    for label in only_cand:
+        print(f"run only in candidate: {label}")
+    flagged += len(only_base) + len(only_cand)
+
+    shared = [r["label"] for r in base["runs"] if r["label"] in cand_runs]
+    if shared:
+        print(f"{'run':<40} {'field':<18} {'baseline':>14} {'candidate':>14} "
+              f"{'delta':>8}")
+    for label in shared:
+        b, c = base_runs[label], cand_runs[label]
+        for name, get in RUN_FIELDS:
+            try:
+                vb, vc = get(b), get(c)
+            except KeyError:
+                continue
+            d = rel_delta(vb, vc)
+            mark = ""
+            if abs(d) > args.threshold:
+                flagged += 1
+                mark = "  <-- "
+            if vb != vc or abs(d) > args.threshold:
+                print(f"{label:<40} {name:<18} {vb:>14.6g} {vc:>14.6g} "
+                      f"{fmt_delta(d):>8}{mark}")
+
+    sb, sc = base.get("scalars", {}), cand.get("scalars", {})
+    for name in sorted(set(sb) | set(sc)):
+        if name not in sb:
+            print(f"scalar only in candidate: {name} = {sc[name]:.6g}")
+            continue
+        if name not in sc:
+            print(f"scalar only in baseline: {name} = {sb[name]:.6g}")
+            continue
+        d = rel_delta(sb[name], sc[name])
+        if abs(d) > args.threshold:
+            flagged += 1
+            print(f"scalar {name}: {sb[name]:.6g} -> {sc[name]:.6g} "
+                  f"({fmt_delta(d)})  <--")
+
+    if flagged:
+        print(f"\n{flagged} difference(s) beyond threshold "
+              f"{args.threshold:.0%}")
+        return 1
+    print("no differences beyond threshold "
+          f"{args.threshold:.0%} ({len(shared)} runs compared)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -9,19 +9,23 @@
 #include "bench/report.hpp"
 #include "fault/model.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace abftecc;
   using namespace abftecc::fault;
-  bench::header("Eq. (7)-(8): MTTF thresholds for ARE vs ASE",
-                "SC'13 Sec. 4 Case 1 analysis");
+  bench::Report rep(argc, argv, "Eq. (7)-(8): MTTF thresholds for ARE vs ASE",
+                    "SC'13 Sec. 4 Case 1 analysis");
 
   std::printf("-- performance threshold (Eq. 7): MTTF_thr,t = t_c (1+tau_are) "
               "/ (tau_ase - tau_are) --\n");
   bench::row({"t_c(s)", "gap=2%", "gap=5%", "gap=10%", "gap=20%"});
   for (const double tc : {0.01, 0.1, 1.0, 10.0}) {
     std::vector<std::string> cells{bench::fmt(tc, 2)};
-    for (const double gap : {0.02, 0.05, 0.10, 0.20})
+    for (const double gap : {0.02, 0.05, 0.10, 0.20}) {
       cells.push_back(bench::fmt_sci(mttf_threshold_perf(tc, 0.0, gap)) + "s");
+      rep.scalar("mttf_thr_perf.tc" + bench::fmt(tc, 2) + ".gap" +
+                     bench::fmt(gap, 2),
+                 mttf_threshold_perf(tc, 0.0, gap));
+    }
     bench::row(cells);
   }
 
@@ -44,6 +48,7 @@ int main() {
     const double mttf = mttf_seconds(table5_rate(s), node_mbit, 1.0, 1.0);
     bench::row({std::string(ecc::to_string(s)), bench::fmt_sci(mttf),
                 bench::fmt_sci(mttf / 3600.0)});
+    rep.scalar("mttf_seconds." + std::string(ecc::to_string(s)), mttf);
   }
   std::printf("\nEq. (8): MTTF_thr = max(threshold_perf, threshold_energy); "
               "deploy ARE when achieved MTTF exceeds it.\n");

@@ -9,12 +9,12 @@
 #include "bench/report.hpp"
 #include "sim/platform.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace abftecc;
   using namespace abftecc::sim;
-  bench::header("Figure 10: DGMS vs ABFT-directed ECC", "SC'13 Fig. 10");
   PlatformOptions base;
-  bench::print_config(base);
+  bench::Report rep(argc, argv, "Figure 10: DGMS vs ABFT-directed ECC",
+                    "SC'13 Fig. 10", base);
 
   for (const auto kernel : {Kernel::kDgemm, Kernel::kCg}) {
     PlatformOptions none = base;
@@ -44,6 +44,14 @@ int main() {
                 bench::fmt_pct(1.0 - m_ours.seconds / m_dgms.seconds).c_str(),
                 bench::fmt_pct(1.0 - m_ours.memory_pj() / m_dgms.memory_pj())
                     .c_str());
+    const std::string kn(kernel_name(kernel));
+    rep.add_run(kn + "/No_ECC", m_none);
+    rep.add_run(kn + "/DGMS", m_dgms);
+    rep.add_run(kn + "/ours", m_ours);
+    rep.scalar(kn + ".time_saving_vs_dgms",
+               1.0 - m_ours.seconds / m_dgms.seconds);
+    rep.scalar(kn + ".memory_energy_saving_vs_dgms",
+               1.0 - m_ours.memory_pj() / m_dgms.memory_pj());
   }
   std::printf(
       "paper anchors: DGEMM ours beats DGMS by ~18%% time / ~49%% memory "

@@ -44,13 +44,19 @@ struct Breakdown {
     }
   }
 
-  void print(const char* name) const {
+  void print(const char* name, bench::Report& rep) const {
     const double overhead = std::max(total - plain, verify + checksum);
     const double v = verify / overhead;
     const double c = 1.0 - v;
     bench::row({name, bench::fmt(plain, 3) + "s", bench::fmt(total, 3) + "s",
                 bench::fmt_pct(overhead / plain), bench::fmt_pct(c),
                 bench::fmt_pct(v)});
+    const std::string kn(name);
+    rep.scalar(kn + ".plain_seconds", plain);
+    rep.scalar(kn + ".ft_seconds", total);
+    rep.scalar(kn + ".overhead", overhead / plain);
+    rep.scalar(kn + ".checksum_share", c);
+    rep.scalar(kn + ".verify_share", v);
   }
 };
 
@@ -143,7 +149,7 @@ Breakdown bench_cg(std::size_t n, std::size_t iters, std::size_t repeats) {
 }  // namespace
 }  // namespace abftecc
 
-int main() {
+int main(int argc, char** argv) {
 #if defined(_OPENMP)
   // This harness measures phase ATTRIBUTION (checksum vs verification
   // share), not throughput: single-threaded runs keep the wall-clock
@@ -151,13 +157,13 @@ int main() {
   omp_set_num_threads(1);
 #endif
   using namespace abftecc;
-  bench::header("Figure 3: ABFT overhead breakdown",
-                "SC'13 Fig. 3 (+ overhead context of Sec. 3.2.2)");
+  bench::Report rep(argc, argv, "Figure 3: ABFT overhead breakdown",
+                    "SC'13 Fig. 3 (+ overhead context of Sec. 3.2.2)");
   bench::row({"kernel", "plain", "ft-total", "overhead", "checksum%",
               "verify%"});
-  bench_dgemm(384, 7).print("FT-DGEMM");
-  bench_cholesky(512, 7).print("FT-Cholesky");
-  bench_cg(768, 150, 5).print("FT-Pred-CG");
+  bench_dgemm(384, 7).print("FT-DGEMM", rep);
+  bench_cholesky(512, 7).print("FT-Cholesky", rep);
+  bench_cg(768, 150, 5).print("FT-Pred-CG", rep);
   std::printf(
       "\npaper shape: verification dominates the ABFT overhead for all three "
       "kernels.\n");

@@ -9,14 +9,15 @@
 // dynamic energy is far more scheme-sensitive than standby.
 #include "bench/sweep.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace abftecc;
   using namespace abftecc::sim;
-  bench::header("Figure 5: memory energy by ECC strategy", "SC'13 Fig. 5");
   PlatformOptions base;
-  bench::print_config(base);
+  bench::Report rep(argc, argv, "Figure 5: memory energy by ECC strategy",
+                    "SC'13 Fig. 5", base);
 
   const bench::Sweep sweep = bench::run_sweep(base);
+  bench::add_sweep(rep, sweep);
   for (const auto kernel : bench::kSweepKernels) {
     const auto& none = sweep.at(kernel, Strategy::kNoEcc);
     const double base_mem = none.memory_pj();
@@ -38,6 +39,11 @@ int main() {
                 "(P_CK+P_SD)\n\n",
                 bench::fmt_pct(1.0 - pck.memory_pj() / wck.memory_pj()).c_str(),
                 bench::fmt_pct(1.0 - pckpsd.memory_pj() / wck.memory_pj()).c_str());
+    const std::string kn(kernel_name(kernel));
+    rep.scalar(kn + ".saving_pck_vs_wck",
+               1.0 - pck.memory_pj() / wck.memory_pj());
+    rep.scalar(kn + ".saving_pckpsd_vs_wck",
+               1.0 - pckpsd.memory_pj() / wck.memory_pj());
   }
   std::printf(
       "paper anchors: FT-CG W_CK +68%% memory energy; savings 49%%/38%% "

@@ -7,14 +7,15 @@
 // SECDED saves up to 5% (FT-DGEMM).
 #include "bench/sweep.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace abftecc;
   using namespace abftecc::sim;
-  bench::header("Figure 6: system energy by ECC strategy", "SC'13 Fig. 6");
   PlatformOptions base;
-  bench::print_config(base);
+  bench::Report rep(argc, argv, "Figure 6: system energy by ECC strategy",
+                    "SC'13 Fig. 6", base);
 
   const bench::Sweep sweep = bench::run_sweep(base);
+  bench::add_sweep(rep, sweep);
   for (const auto kernel : bench::kSweepKernels) {
     const auto& none = sweep.at(kernel, Strategy::kNoEcc);
     const double base_sys = none.system_pj();
@@ -36,6 +37,11 @@ int main() {
                 "%s\n\n",
                 bench::fmt_pct(1.0 - pck.system_pj() / wck.system_pj()).c_str(),
                 bench::fmt_pct(1.0 - psd.system_pj() / wsd.system_pj()).c_str());
+    const std::string kn(kernel_name(kernel));
+    rep.scalar(kn + ".system_saving_pck_vs_wck",
+               1.0 - pck.system_pj() / wck.system_pj());
+    rep.scalar(kn + ".system_saving_psd_vs_wsd",
+               1.0 - psd.system_pj() / wsd.system_pj());
   }
   std::printf(
       "paper anchors: partial chipkill saves up to 22/8/25/10%% "

@@ -7,14 +7,15 @@
 // parallelism hides part of the ECC access latency.
 #include "bench/sweep.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace abftecc;
   using namespace abftecc::sim;
-  bench::header("Figure 7: performance (IPC) by ECC strategy", "SC'13 Fig. 7");
   PlatformOptions base;
-  bench::print_config(base);
+  bench::Report rep(argc, argv, "Figure 7: performance (IPC) by ECC strategy",
+                    "SC'13 Fig. 7", base);
 
   const bench::Sweep sweep = bench::run_sweep(base);
+  bench::add_sweep(rep, sweep);
   bench::row({"strategy", "FT-DGEMM", "FT-Cholesky", "FT-CG", "FT-HPL"});
   for (const auto strategy : kAllStrategies) {
     std::vector<std::string> cells{std::string(spec(strategy).label)};
@@ -38,6 +39,9 @@ int main() {
                 std::string(kernel_name(kernel)).c_str(),
                 bench::fmt_pct(ipc_max / ipc_min - 1.0).c_str(),
                 bench::fmt_pct(e_max / e_min - 1.0).c_str());
+    const std::string kn(kernel_name(kernel));
+    rep.scalar(kn + ".ipc_spread", ipc_max / ipc_min - 1.0);
+    rep.scalar(kn + ".memory_energy_spread", e_max / e_min - 1.0);
   }
   std::printf(
       "\npaper shape: partial-ECC IPC ~= No_ECC IPC; performance spread < "

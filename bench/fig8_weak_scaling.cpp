@@ -8,17 +8,16 @@
 #include "bench/report.hpp"
 #include "sim/scaling.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace abftecc;
   using namespace abftecc::sim;
-  bench::header("Figure 8: weak scaling, energy benefit vs recovery cost",
-                "SC'13 Fig. 8");
-
   ScalingOptions opt;
   opt.process_counts = {100, 3200, 12800, 51200, 204800, 819200};
   opt.base_dim = 640;
   opt.iterations = 4;
-  bench::print_config(opt.platform);
+  bench::Report rep(argc, argv,
+                    "Figure 8: weak scaling, energy benefit vs recovery cost",
+                    "SC'13 Fig. 8", opt.platform);
   std::printf("Table 5 residual rates: No_ECC 5000, SECDED 1300, chipkill "
               "0.02 FIT/Mbit\n\n");
   ScalingStudy study(opt);
@@ -37,6 +36,11 @@ int main() {
                   bench::fmt_sci(p.recovery_cost_kj),
                   bench::fmt_sci(p.expected_errors),
                   bench::fmt_sci(p.mttf_hetero_seconds)});
+      const std::string key = std::string(spec(scheme).label) + "@" +
+                              bench::fmt(p.processes, 0);
+      rep.scalar(key + ".benefit_kj", p.energy_benefit_kj);
+      rep.scalar(key + ".recovery_kj", p.recovery_cost_kj);
+      rep.scalar(key + ".expected_errors", p.expected_errors);
     }
     std::printf("\n");
   }

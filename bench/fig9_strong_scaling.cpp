@@ -9,17 +9,16 @@
 #include "bench/report.hpp"
 #include "sim/scaling.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace abftecc;
   using namespace abftecc::sim;
-  bench::header("Figure 9: strong scaling, energy benefit vs recovery cost",
-                "SC'13 Fig. 9");
-
   ScalingOptions opt;
   opt.process_counts = {100, 200, 400, 800, 1600, 3200};
   opt.base_dim = 640;
   opt.iterations = 4;
-  bench::print_config(opt.platform);
+  bench::Report rep(
+      argc, argv, "Figure 9: strong scaling, energy benefit vs recovery cost",
+      "SC'13 Fig. 9", opt.platform);
   ScalingStudy study(opt);
 
   for (const auto scheme :
@@ -36,6 +35,11 @@ int main() {
                   bench::fmt_sci(p.recovery_cost_kj),
                   bench::fmt_sci(p.expected_errors),
                   bench::fmt_sci(p.mttf_hetero_seconds)});
+      const std::string key = std::string(spec(scheme).label) + "@" +
+                              bench::fmt(p.processes, 0);
+      rep.scalar(key + ".benefit_kj", p.energy_benefit_kj);
+      rep.scalar(key + ".recovery_kj", p.recovery_cost_kj);
+      rep.scalar(key + ".expected_errors", p.expected_errors);
     }
     std::printf("\n");
   }

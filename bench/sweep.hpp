@@ -36,4 +36,13 @@ inline Sweep run_sweep(const sim::PlatformOptions& base) {
   return sweep;
 }
 
+/// Record every sweep cell in the report as "<kernel>/<strategy>".
+inline void add_sweep(Report& rep, const Sweep& sweep) {
+  for (const auto kernel : kSweepKernels)
+    for (const auto strategy : sim::kAllStrategies)
+      rep.add_run(std::string(sim::kernel_name(kernel)) + "/" +
+                      std::string(sim::spec(strategy).label),
+                  sweep.at(kernel, strategy));
+}
+
 }  // namespace abftecc::bench

@@ -10,14 +10,13 @@
 // Paper: FT-DGEMM 8.6%, FT-Cholesky 6.0%, FT-Pred-CG 12.2%.
 #include "bench/report.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace abftecc;
   using namespace abftecc::sim;
-  bench::header("Table 1: simplified verification speedup", "SC'13 Table 1");
-
   PlatformOptions base;
   base.strategy = Strategy::kWholeChipkill;  // "without any ECC relaxing"
-  bench::print_config(base);
+  bench::Report rep(argc, argv, "Table 1: simplified verification speedup",
+                    "SC'13 Table 1", base);
 
   bench::row({"kernel", "full(s)", "simplified(s)", "improvement",
               "paper"});
@@ -40,6 +39,10 @@ int main() {
     bench::row({std::string(kernel_name(r.kernel)), bench::fmt(mf.seconds, 4),
                 bench::fmt(mh.seconds, 4), bench::fmt_pct(improvement),
                 r.paper});
+    const std::string kn(kernel_name(r.kernel));
+    rep.add_run(kn + "/full", mf);
+    rep.add_run(kn + "/hw_assisted", mh);
+    rep.scalar(kn + ".improvement", improvement);
   }
   std::printf(
       "\npaper shape: every kernel speeds up; CG (invariant check = full "

@@ -9,14 +9,14 @@
 // Paper ratios: FT-DGEMM 654, FT-Cholesky 14, FT-CG 3, FT-HPL 20.
 #include "bench/report.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace abftecc;
   using namespace abftecc::sim;
-  bench::header("Table 4: accesses with/without ABFT protection",
-                "SC'13 Table 4");
   PlatformOptions opt;
   opt.strategy = Strategy::kWholeChipkill;
-  bench::print_config(opt);
+  bench::Report rep(argc, argv,
+                    "Table 4: accesses with/without ABFT protection",
+                    "SC'13 Table 4", opt);
 
   bench::row({"kernel", "#ref w/ ABFT", "#ref w/o", "ratio", "LLC-miss w/",
               "LLC-miss w/o"}, 16);
@@ -42,6 +42,11 @@ int main() {
                 ratio, std::to_string(m.sys.demand_misses_abft),
                 std::to_string(m.sys.demand_misses_other)},
                16);
+    rep.add_run(std::string(kernel_name(r.kernel)), m);
+    if (m.refs_other != 0)
+      rep.scalar(std::string(kernel_name(r.kernel)) + ".abft_ref_ratio",
+                 static_cast<double>(m.refs_abft) /
+                     static_cast<double>(m.refs_other));
   }
   std::printf(
       "\npaper shape: FT-DGEMM's traffic is overwhelmingly ABFT-protected "

@@ -5,6 +5,7 @@
 #include <chrono>
 #include <cstdint>
 #include <string>
+#include <string_view>
 
 namespace abftecc::abft {
 
@@ -15,6 +16,16 @@ enum class FtStatus {
                       ///< fall back to checkpoint/restart
   kNumericalFailure,  ///< substrate breakdown (non-SPD, singular, divergence)
 };
+
+constexpr std::string_view to_string(FtStatus s) {
+  switch (s) {
+    case FtStatus::kOk: return "ok";
+    case FtStatus::kCorrectedErrors: return "corrected_errors";
+    case FtStatus::kUncorrectable: return "uncorrectable";
+    case FtStatus::kNumericalFailure: return "numerical_failure";
+  }
+  return "?";
+}
 
 /// Accumulated per-run ABFT accounting. Wall-clock phase timers feed the
 /// Figure 3 overhead breakdown and the Table 1 simplified-verification

@@ -135,6 +135,7 @@ class FtCg {
   FtStatus verify_and_correct(const linalg::JacobiPreconditioner& m,
                               double& rho, Tap tap = {}) {
     ++stats_.verifications;
+    ScopedPhase phase(rt_, obs::EventKind::kVerify, "ft_cg.verify");
     if (opt_.hardware_assisted && rt_ != nullptr &&
         rt_->hardware_assisted_available()) {
       PhaseTimer t(stats_.verify_seconds);
@@ -143,6 +144,7 @@ class FtCg {
       ++stats_.hw_notifications_used;
       ++stats_.errors_detected;
       PhaseTimer tc(stats_.correct_seconds);
+      ScopedPhase recover(rt_, obs::EventKind::kRecover, "ft_cg.recover");
       repair(m, rho, tap);
       ++stats_.errors_corrected;
       return FtStatus::kCorrectedErrors;

@@ -142,6 +142,7 @@ class FtCholesky {
   template <MemTap Tap = NullTap>
   FtStatus verify_and_correct(std::size_t k, Tap tap = {}) {
     ++stats_.verifications;
+    ScopedPhase phase(rt_, obs::EventKind::kVerify, "ft_cholesky.verify");
     if (opt_.hardware_assisted && rt_ != nullptr &&
         rt_->hardware_assisted_available()) {
       PhaseTimer t(stats_.verify_seconds);
@@ -337,6 +338,7 @@ class FtCholesky {
 
   template <MemTap Tap>
   FtStatus correct_from_notifications(std::size_t k, Tap tap) {
+    ScopedPhase phase(rt_, obs::EventKind::kRecover, "ft_cholesky.recover");
     const std::size_t n = buf_.a.rows();
     for (const auto& e : rt_->drain_located_errors()) {
       if (e.structure_id != struct_id_) continue;

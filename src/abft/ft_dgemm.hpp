@@ -83,6 +83,7 @@ class FtDgemm {
   template <MemTap Tap = NullTap>
   FtStatus verify_and_correct(Tap tap = {}) {
     ++stats_.verifications;
+    ScopedPhase phase(rt_, obs::EventKind::kVerify, "ft_dgemm.verify");
     if (opt_.hardware_assisted && rt_ != nullptr &&
         rt_->hardware_assisted_available()) {
       PhaseTimer t(stats_.verify_seconds);
@@ -105,6 +106,7 @@ class FtDgemm {
   template <MemTap Tap>
   void encode(Tap tap) {
     PhaseTimer t(stats_.encode_seconds);
+    ScopedPhase phase(rt_, obs::EventKind::kEncode, "ft_dgemm.encode");
     const std::size_t m = a_.rows(), n = b_.cols(), kk = a_.cols();
     // A^c: copy A and append the column-sum row.
     for (std::size_t j = 0; j < kk; ++j) {
@@ -140,6 +142,7 @@ class FtDgemm {
   /// Repair elements named by the OS error log using one column scan each.
   template <MemTap Tap>
   FtStatus correct_from_notifications(Tap tap) {
+    ScopedPhase phase(rt_, obs::EventKind::kRecover, "ft_dgemm.recover");
     const std::size_t m = a_.rows(), n = b_.cols();
     for (const auto& e : rt_->drain_located_errors()) {
       if (e.structure_id != struct_id_) continue;
@@ -234,6 +237,7 @@ class FtDgemm {
     if (bad_cols.empty() && bad_rows.empty()) return FtStatus::kOk;
 
     PhaseTimer t(stats_.correct_seconds);
+    ScopedPhase recover(rt_, obs::EventKind::kRecover, "ft_dgemm.recover");
     stats_.errors_detected += std::max(bad_cols.size(), bad_rows.size());
 
     // Case A: one bad row, k bad columns -> all errors in that row.

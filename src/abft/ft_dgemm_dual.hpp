@@ -80,6 +80,7 @@ class FtDgemmDual {
   template <MemTap Tap = NullTap>
   FtStatus verify_and_correct(Tap tap = {}) {
     ++stats_.verifications;
+    ScopedPhase phase(rt_, obs::EventKind::kVerify, "ft_dgemm_dual.verify");
     PhaseTimer t(stats_.verify_seconds);
     return full_verify(tap);
   }

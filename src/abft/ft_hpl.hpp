@@ -180,6 +180,7 @@ class FtHpl {
   template <MemTap Tap = NullTap>
   FtStatus verify_active(Tap tap = {}) {
     ++stats_.verifications;
+    ScopedPhase phase(rt_, obs::EventKind::kVerify, "ft_hpl.verify");
     if (opt_.hardware_assisted && rt_ != nullptr &&
         rt_->hardware_assisted_available()) {
       PhaseTimer t(stats_.verify_seconds);

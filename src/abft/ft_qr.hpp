@@ -89,6 +89,7 @@ class FtQr {
   template <MemTap Tap = NullTap>
   FtStatus verify_and_correct(Tap tap = {}) {
     ++stats_.verifications;
+    ScopedPhase phase(rt_, obs::EventKind::kVerify, "ft_qr.verify");
     if (opt_.hardware_assisted && rt_ != nullptr &&
         rt_->hardware_assisted_available()) {
       PhaseTimer t(stats_.verify_seconds);

@@ -1,5 +1,7 @@
 #include "abft/runtime.hpp"
 
+#include "obs/metrics.hpp"
+
 namespace abftecc::abft {
 
 std::size_t Runtime::register_structure(std::string name, const double* base,
@@ -15,6 +17,8 @@ void Runtime::unregister_structure(std::size_t id) {
 std::vector<LocatedError> Runtime::drain_located_errors() {
   std::vector<LocatedError> out;
   if (os_ == nullptr) return out;
+  auto& tracer = obs::default_tracer();
+  const std::uint64_t now = os_->system().stats().cpu_cycles;
   for (const auto& e : os_->drain_exposed_errors()) {
     LocatedError le;
     le.structure_id = npos;
@@ -32,7 +36,13 @@ std::vector<LocatedError> Runtime::drain_located_errors() {
         break;
       }
     }
+    tracer.instant(obs::EventKind::kErrorLocated, now, e.phys_addr,
+                   le.structure_id, le.element_index);
     out.push_back(std::move(le));
+  }
+  if (!out.empty()) {
+    obs::default_registry().counter("abft.errors_located").add(out.size());
+    tracer.instant(obs::EventKind::kErrorsDrained, now, 0, out.size());
   }
   return out;
 }

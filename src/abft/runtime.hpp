@@ -14,6 +14,7 @@
 #include <string_view>
 #include <vector>
 
+#include "obs/trace.hpp"
 #include "os/os.hpp"
 
 namespace abftecc::abft {
@@ -67,6 +68,40 @@ class Runtime {
 
   os::Os* os_;
   std::vector<Structure> structures_;
+};
+
+/// Scoped trace marker for a kernel phase (verify / recover / encode):
+/// emits one Chrome complete event spanning the phase in simulated cycles.
+/// With no attached Os (pure-software ABFT) there is no cycle clock and the
+/// phase is recorded at ts 0 with zero duration; with the tracer disabled
+/// (the default) construction and destruction are branch-only.
+class ScopedPhase {
+ public:
+  ScopedPhase(Runtime* rt, obs::EventKind kind, const char* tag)
+      : rt_(rt),
+        kind_(kind),
+        tag_(tag),
+        start_(obs::default_tracer().enabled() ? now() : 0) {}
+  ~ScopedPhase() {
+    auto& tracer = obs::default_tracer();
+    if (!tracer.enabled()) return;
+    const std::uint64_t end = now();
+    tracer.complete(kind_, tag_, start_, end - start_);
+  }
+  ScopedPhase(const ScopedPhase&) = delete;
+  ScopedPhase& operator=(const ScopedPhase&) = delete;
+
+ private:
+  [[nodiscard]] std::uint64_t now() const {
+    return rt_ != nullptr && rt_->os() != nullptr
+               ? rt_->os()->system().stats().cpu_cycles
+               : 0;
+  }
+
+  Runtime* rt_;
+  obs::EventKind kind_;
+  const char* tag_;
+  std::uint64_t start_;
 };
 
 }  // namespace abftecc::abft

@@ -4,6 +4,8 @@
 
 #include "common/error.hpp"
 #include "ecc/chipkill.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace abftecc::fault {
 
@@ -29,6 +31,9 @@ void Injector::inject_bit(std::uint64_t phys, unsigned bit) {
       static_cast<unsigned>((phys - line) * 8 + bit);
   pending_[line].push_back(ecc::BitFlip{bit_in_line, false});
   ++stats_.injected_flips;
+  obs::default_registry().counter("fault.injected_flips").add();
+  obs::default_tracer().instant(obs::EventKind::kFaultInject,
+                                system_.stats().cpu_cycles, phys, bit);
 }
 
 void Injector::inject_chip_kill(std::uint64_t phys, unsigned chip,
@@ -40,6 +45,10 @@ void Injector::inject_chip_kill(std::uint64_t phys, unsigned chip,
   pending_[line].push_back(
       ecc::BitFlip{0x10000u | (chip << 8) | pattern, true});
   ++stats_.injected_chip_kills;
+  obs::default_registry().counter("fault.injected_chip_kills").add();
+  obs::default_tracer().instant(obs::EventKind::kChipKillInject,
+                                system_.stats().cpu_cycles, phys, chip,
+                                pattern);
 }
 
 bool Injector::corrupt_virtual_now(void* vaddr, unsigned bit) {
@@ -48,6 +57,12 @@ bool Injector::corrupt_virtual_now(void* vaddr, unsigned bit) {
   *p ^= static_cast<std::uint8_t>(1u << bit);
   ++stats_.injected_flips;
   ++stats_.silent_corruptions;
+  obs::default_registry().counter("fault.injected_flips").add();
+  obs::default_registry().counter("fault.silent_corruptions").add();
+  const auto phys = os_.virt_to_phys(vaddr);
+  obs::default_tracer().instant(obs::EventKind::kSilentCorruption,
+                                system_.stats().cpu_cycles,
+                                phys.value_or(0), bit);
   return true;
 }
 
@@ -89,6 +104,12 @@ void Injector::on_dram_transfer(std::uint64_t line_addr, ecc::Scheme scheme,
   if (is_write) {
     // The writeback rewrites the DRAM cells: pending corruption is gone.
     stats_.cleared_by_writeback += it->second.size();
+    obs::default_registry()
+        .counter("fault.cleared_by_writeback")
+        .add(it->second.size());
+    obs::default_tracer().instant(obs::EventKind::kFaultCleared,
+                                  system_.stats().cpu_cycles, line_addr,
+                                  it->second.size());
     pending_.erase(it);
     return;
   }
@@ -136,10 +157,21 @@ void Injector::apply_line(std::uint64_t line_addr, ecc::Scheme scheme) {
   auto& mc = system_.controller();
   if (agg.corrected_words > 0) {
     stats_.corrected_by_ecc += agg.corrected_words;
+    obs::default_registry()
+        .counter("fault.corrected_by_ecc")
+        .add(agg.corrected_words);
+    obs::default_tracer().instant(obs::EventKind::kEccCorrected,
+                                  system_.stats().cpu_cycles, line_addr,
+                                  agg.corrected_words);
     for (unsigned i = 0; i < agg.corrected_words; ++i)
       mc.note_corrected(scheme);
   }
-  if (agg.silent_corruption) ++stats_.silent_corruptions;
+  if (agg.silent_corruption) {
+    ++stats_.silent_corruptions;
+    obs::default_registry().counter("fault.silent_corruptions").add();
+    obs::default_tracer().instant(obs::EventKind::kSilentCorruption,
+                                  system_.stats().cpu_cycles, line_addr);
+  }
   if (agg.status == ecc::DecodeStatus::kDetectedUncorrectable) {
     ++stats_.uncorrectable;
     memsim::FaultSite site;

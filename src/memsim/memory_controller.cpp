@@ -1,6 +1,8 @@
 #include "memsim/memory_controller.hpp"
 
 #include "common/error.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace abftecc::memsim {
 
@@ -54,8 +56,14 @@ void MemoryController::report_uncorrectable(const FaultSite& site,
                                             std::uint64_t phys_addr,
                                             Cycles cycle, ecc::Scheme scheme) {
   ++uncorrectable_;
+  obs::default_registry().counter("mc.uncorrectable").add();
+  obs::default_tracer().instant(obs::EventKind::kEccUncorrectable, cycle,
+                                phys_addr, site.chip);
   ErrorRecord& slot = errors_[next_error_slot_];
-  if (slot.valid) ++dropped_;  // ring wrapped before the OS drained it
+  if (slot.valid) {
+    ++dropped_;  // ring wrapped before the OS drained it
+    obs::default_registry().counter("mc.error_records_dropped").add();
+  }
   slot = ErrorRecord{site, phys_addr, cycle, scheme, true};
   next_error_slot_ = (next_error_slot_ + 1) % kErrorRegisters;
   if (handler_) handler_(slot);
@@ -63,6 +71,7 @@ void MemoryController::report_uncorrectable(const FaultSite& site,
 
 void MemoryController::note_corrected(ecc::Scheme scheme) {
   ++corrected_;
+  obs::default_registry().counter("mc.corrected").add();
   correction_energy_ += ecc::properties(scheme).correction_energy_pj;
 }
 

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "obs/trace.hpp"
+
 namespace abftecc::memsim {
 
 MemorySystem::MemorySystem(const SystemConfig& cfg, ecc::Scheme default_scheme)
@@ -10,7 +12,19 @@ MemorySystem::MemorySystem(const SystemConfig& cfg, ecc::Scheme default_scheme)
       l1_(cfg.l1),
       l2_(cfg.l2),
       dram_(cfg, map_),
-      mc_(default_scheme) {}
+      mc_(default_scheme),
+      miss_stall_hist_(obs::default_registry().histogram(
+          "memsim.demand_miss_stall_cycles",
+          obs::Histogram::exponential_bounds(16.0, 2.0, 10))),
+      queue_delay_hist_(obs::default_registry().histogram(
+          "memsim.queue_delay_dram_cycles",
+          obs::Histogram::exponential_bounds(1.0, 2.0, 10))),
+      dram_access_none_(
+          obs::default_registry().counter("memsim.dram_access.none")),
+      dram_access_secded_(
+          obs::default_registry().counter("memsim.dram_access.secded")),
+      dram_access_chipkill_(
+          obs::default_registry().counter("memsim.dram_access.chipkill")) {}
 
 AccessShape MemorySystem::shape_at(std::uint64_t phys, ecc::Scheme s) const {
   if (shape_override_) {
@@ -36,15 +50,30 @@ void MemorySystem::dram_request(std::uint64_t line_addr, bool is_write,
   const DramAccessResult res = dram_.issue(da, is_write, shape, now);
   classify_energy(line_addr, res.energy_pj);
 
+  switch (scheme) {
+    case ecc::Scheme::kNone: dram_access_none_.add(); break;
+    case ecc::Scheme::kSecded: dram_access_secded_.add(); break;
+    case ecc::Scheme::kChipkill: dram_access_chipkill_.add(); break;
+  }
+  // Queueing delay: how long the request waited for bank/bus resources
+  // (0 on an idle channel).
+  queue_delay_hist_.observe(
+      res.start > now ? static_cast<double>(res.start - now) : 0.0);
+
   if (is_write) ++stats_.writebacks;
   // Fills apply pending faults through the decoder; writebacks clear them.
   if (fill_hook_) fill_hook_(line_addr, scheme, is_write);
 
   if (blocking) {
     const double stall_dram = static_cast<double>(res.completion - now);
-    stats_.cpu_cycles += static_cast<std::uint64_t>(
-                             stall_dram * cfg_.core.cpu_per_dram_cycle()) +
-                         kMcOverheadCpuCycles;
+    const std::uint64_t stall_cpu =
+        static_cast<std::uint64_t>(stall_dram *
+                                   cfg_.core.cpu_per_dram_cycle()) +
+        kMcOverheadCpuCycles;
+    miss_stall_hist_.observe(static_cast<double>(stall_cpu));
+    obs::default_tracer().instant(obs::EventKind::kDemandMiss,
+                                  stats_.cpu_cycles, line_addr, stall_cpu);
+    stats_.cpu_cycles += stall_cpu;
   }
 }
 
@@ -106,6 +135,10 @@ void MemorySystem::reset_stats() {
   l1_.reset_stats();
   l2_.reset_stats();
   dram_.reset_stats();
+  // The obs registry aggregates the same quantities (miss histograms,
+  // per-scheme access counters); a stats reset that left it running would
+  // double-count the warm-up phase in every per-run report.
+  obs::default_registry().reset();
 }
 
 }  // namespace abftecc::memsim

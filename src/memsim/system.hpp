@@ -20,6 +20,7 @@
 #include "memsim/config.hpp"
 #include "memsim/dram.hpp"
 #include "memsim/memory_controller.hpp"
+#include "obs/metrics.hpp"
 
 namespace abftecc::memsim {
 
@@ -134,6 +135,13 @@ class MemorySystem {
   DramSystem dram_;
   MemoryController mc_;
   SystemStats stats_;
+  // Cached instruments from obs::default_registry(): demand-miss round-trip
+  // latency, controller queueing delay, and per-scheme DRAM access shapes.
+  obs::Histogram& miss_stall_hist_;
+  obs::Histogram& queue_delay_hist_;
+  obs::Counter& dram_access_none_;
+  obs::Counter& dram_access_secded_;
+  obs::Counter& dram_access_chipkill_;
   std::function<bool(std::uint64_t)> classifier_;
   std::function<void(std::uint64_t, ecc::Scheme, bool)> fill_hook_;
   ShapeOverride shape_override_;

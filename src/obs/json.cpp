@@ -1,0 +1,270 @@
+#include "obs/json.hpp"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+
+namespace abftecc::obs {
+
+std::string json_escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+void JsonWriter::comma() {
+  if (pending_key_) {
+    pending_key_ = false;
+    return;  // the key already placed the separator
+  }
+  if (have_value_.back()) out_ += ',';
+  have_value_.back() = true;
+}
+
+JsonWriter& JsonWriter::begin_object() {
+  comma();
+  out_ += '{';
+  have_value_.push_back(false);
+  return *this;
+}
+
+JsonWriter& JsonWriter::end_object() {
+  out_ += '}';
+  have_value_.pop_back();
+  return *this;
+}
+
+JsonWriter& JsonWriter::begin_array() {
+  comma();
+  out_ += '[';
+  have_value_.push_back(false);
+  return *this;
+}
+
+JsonWriter& JsonWriter::end_array() {
+  out_ += ']';
+  have_value_.pop_back();
+  return *this;
+}
+
+JsonWriter& JsonWriter::key(std::string_view k) {
+  if (have_value_.back()) out_ += ',';
+  have_value_.back() = true;
+  out_ += '"';
+  out_ += json_escape(k);
+  out_ += "\":";
+  pending_key_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::string_view v) {
+  comma();
+  out_ += '"';
+  out_ += json_escape(v);
+  out_ += '"';
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(double v) {
+  if (!std::isfinite(v)) return null();
+  comma();
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.17g", v);
+  out_ += buf;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(bool v) {
+  comma();
+  out_ += v ? "true" : "false";
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::uint64_t v) {
+  comma();
+  out_ += std::to_string(v);
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::int64_t v) {
+  comma();
+  out_ += std::to_string(v);
+  return *this;
+}
+
+JsonWriter& JsonWriter::null() {
+  comma();
+  out_ += "null";
+  return *this;
+}
+
+JsonWriter& JsonWriter::raw(std::string_view json) {
+  comma();
+  out_ += json;
+  return *this;
+}
+
+namespace {
+
+/// Recursive-descent JSON acceptor over a string_view cursor.
+struct Parser {
+  std::string_view s;
+  std::size_t i = 0;
+  int depth = 0;
+  static constexpr int kMaxDepth = 256;
+
+  void skip_ws() {
+    while (i < s.size() && (s[i] == ' ' || s[i] == '\t' || s[i] == '\n' ||
+                            s[i] == '\r'))
+      ++i;
+  }
+  bool eat(char c) {
+    if (i < s.size() && s[i] == c) {
+      ++i;
+      return true;
+    }
+    return false;
+  }
+
+  bool string() {
+    if (!eat('"')) return false;
+    while (i < s.size()) {
+      const char c = s[i++];
+      if (c == '"') return true;
+      if (static_cast<unsigned char>(c) < 0x20) return false;
+      if (c == '\\') {
+        if (i >= s.size()) return false;
+        const char e = s[i++];
+        if (e == 'u') {
+          for (int k = 0; k < 4; ++k)
+            if (i >= s.size() || !std::isxdigit(
+                                     static_cast<unsigned char>(s[i++])))
+              return false;
+        } else if (e != '"' && e != '\\' && e != '/' && e != 'b' &&
+                   e != 'f' && e != 'n' && e != 'r' && e != 't') {
+          return false;
+        }
+      }
+    }
+    return false;
+  }
+
+  bool number() {
+    const std::size_t start = i;
+    eat('-');
+    if (eat('0')) {
+      // no leading zeros
+    } else {
+      if (i >= s.size() || !std::isdigit(static_cast<unsigned char>(s[i])))
+        return false;
+      while (i < s.size() && std::isdigit(static_cast<unsigned char>(s[i])))
+        ++i;
+    }
+    if (eat('.')) {
+      if (i >= s.size() || !std::isdigit(static_cast<unsigned char>(s[i])))
+        return false;
+      while (i < s.size() && std::isdigit(static_cast<unsigned char>(s[i])))
+        ++i;
+    }
+    if (i < s.size() && (s[i] == 'e' || s[i] == 'E')) {
+      ++i;
+      if (i < s.size() && (s[i] == '+' || s[i] == '-')) ++i;
+      if (i >= s.size() || !std::isdigit(static_cast<unsigned char>(s[i])))
+        return false;
+      while (i < s.size() && std::isdigit(static_cast<unsigned char>(s[i])))
+        ++i;
+    }
+    return i > start;
+  }
+
+  bool literal(std::string_view word) {
+    if (s.substr(i, word.size()) != word) return false;
+    i += word.size();
+    return true;
+  }
+
+  bool value() {
+    if (++depth > kMaxDepth) return false;
+    skip_ws();
+    bool ok = false;
+    if (i >= s.size()) {
+      ok = false;
+    } else if (s[i] == '{') {
+      ++i;
+      skip_ws();
+      if (eat('}')) {
+        ok = true;
+      } else {
+        while (true) {
+          skip_ws();
+          if (!string()) break;
+          skip_ws();
+          if (!eat(':')) break;
+          if (!value()) break;
+          skip_ws();
+          if (eat('}')) {
+            ok = true;
+            break;
+          }
+          if (!eat(',')) break;
+        }
+      }
+    } else if (s[i] == '[') {
+      ++i;
+      skip_ws();
+      if (eat(']')) {
+        ok = true;
+      } else {
+        while (true) {
+          if (!value()) break;
+          skip_ws();
+          if (eat(']')) {
+            ok = true;
+            break;
+          }
+          if (!eat(',')) break;
+        }
+      }
+    } else if (s[i] == '"') {
+      ok = string();
+    } else if (s[i] == 't') {
+      ok = literal("true");
+    } else if (s[i] == 'f') {
+      ok = literal("false");
+    } else if (s[i] == 'n') {
+      ok = literal("null");
+    } else {
+      ok = number();
+    }
+    --depth;
+    return ok;
+  }
+};
+
+}  // namespace
+
+bool json_valid(std::string_view s) {
+  Parser p{s};
+  if (!p.value()) return false;
+  p.skip_ws();
+  return p.i == s.size();
+}
+
+}  // namespace abftecc::obs

@@ -1,0 +1,69 @@
+// Minimal JSON emission for the observability subsystem: a streaming
+// writer (used by the metric sinks, the Chrome-trace exporter, and the
+// bench reporter) and a strict validator (used by tests to assert the
+// exported documents are well formed without an external parser).
+//
+// The writer produces canonical output: keys in the order written, doubles
+// via %.17g (shortest round-trippable), non-finite doubles as null (JSON
+// has no NaN/Inf).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace abftecc::obs {
+
+/// Escape a string for inclusion inside JSON quotes.
+std::string json_escape(std::string_view s);
+
+/// Streaming JSON writer with automatic comma placement.
+class JsonWriter {
+ public:
+  JsonWriter& begin_object();
+  JsonWriter& end_object();
+  JsonWriter& begin_array();
+  JsonWriter& end_array();
+
+  /// Object key; must be followed by a value or a begin_*.
+  JsonWriter& key(std::string_view k);
+
+  JsonWriter& value(std::string_view v);
+  JsonWriter& value(const char* v) { return value(std::string_view(v)); }
+  JsonWriter& value(double v);
+  JsonWriter& value(bool v);
+  JsonWriter& value(std::uint64_t v);
+  JsonWriter& value(std::int64_t v);
+  JsonWriter& value(int v) { return value(static_cast<std::int64_t>(v)); }
+  JsonWriter& value(unsigned v) { return value(static_cast<std::uint64_t>(v)); }
+  JsonWriter& null();
+
+  /// Splice a pre-serialized JSON value verbatim (e.g. Registry::to_json()).
+  JsonWriter& raw(std::string_view json);
+
+  /// key + value in one call.
+  template <typename T>
+  JsonWriter& field(std::string_view k, T v) {
+    key(k);
+    return value(v);
+  }
+
+  [[nodiscard]] const std::string& str() const { return out_; }
+  std::string take() { return std::move(out_); }
+
+ private:
+  void comma();
+
+  std::string out_;
+  /// true = a value has already been written at this nesting level.
+  std::vector<bool> have_value_{false};
+  bool pending_key_ = false;
+};
+
+/// Strict recursive-descent check that `s` is one complete JSON value.
+/// Returns true iff the whole input parses. No document is built: this is
+/// the validator the test suite runs over exported traces and reports.
+bool json_valid(std::string_view s);
+
+}  // namespace abftecc::obs

@@ -3,6 +3,8 @@
 #include <cstdlib>
 
 #include "common/error.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace abftecc::os {
 
@@ -179,10 +181,17 @@ bool Os::retire_and_migrate(const void* vaddr) {
   pages_.free_range(r.phys_base, r.frames);
   r.phys_base = *new_base;
   ++migrations_;
+  obs::default_registry().counter("os.migrations").add();
+  obs::default_tracer().instant(obs::EventKind::kPageRetired,
+                                system_.stats().cpu_cycles, bad_phys);
   return true;
 }
 
 void Os::handle_ecc_interrupt(const memsim::ErrorRecord& rec) {
+  auto& registry = obs::default_registry();
+  auto& tracer = obs::default_tracer();
+  registry.counter("os.ecc_interrupts").add();
+  tracer.instant(obs::EventKind::kEccInterrupt, rec.cycle, rec.phys_addr);
   // Read the memory-mapped registers (rec carries their content), derive
   // the physical address from the fault site, and route.
   const Region* r = region_of_phys(rec.phys_addr);
@@ -190,8 +199,12 @@ void Os::handle_ecc_interrupt(const memsim::ErrorRecord& rec) {
     // Not covered by ABFT: the conservative strategy of existing systems --
     // panic (checkpoint/restart at application level).
     ++panics_;
+    registry.counter("os.panics").add();
+    tracer.instant(obs::EventKind::kPanic, rec.cycle, rec.phys_addr);
     return;
   }
+  registry.counter("os.errors_exposed").add();
+  tracer.instant(obs::EventKind::kErrorExposed, rec.cycle, rec.phys_addr);
   ExposedError e;
   e.vaddr = r->host_base + (rec.phys_addr - r->phys_base);
   e.phys_addr = rec.phys_addr;

@@ -1,5 +1,8 @@
 #include "sim/platform.hpp"
 
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
 #include <memory>
 
 #include "abft/ft_cg.hpp"
@@ -9,11 +12,93 @@
 #include "abft/runtime.hpp"
 #include "common/rng.hpp"
 #include "linalg/generate.hpp"
+#include "obs/trace.hpp"
 #include "os/os.hpp"
 #include "sim/dgms.hpp"
 #include "sim/tap.hpp"
 
 namespace abftecc::sim {
+
+namespace {
+
+void print_usage(const char* prog) {
+  std::printf(
+      "usage: %s [options]\n"
+      "  --json <path>          write a machine-readable report (JSON)\n"
+      "  --trace <path>         write a Chrome trace_event JSON timeline\n"
+      "  --trace-capacity <n>   event ring size (default 8192; raise so\n"
+      "                         demand misses don't evict rare chain events)\n"
+      "  --seed <n>             RNG seed for the generated inputs\n"
+      "  --verify-period <n>    ABFT verification period (panels/iterations)\n"
+      "  --cache-scale <n>      divide the Table 3 cache sizes by n\n"
+      "  --dgemm-dim <n>        FT-DGEMM matrix dimension\n"
+      "  --cholesky-dim <n>     FT-Cholesky matrix dimension\n"
+      "  --cg-dim <n>           FT-CG system dimension\n"
+      "  --cg-iters <n>         FT-CG iteration count\n"
+      "  --hpl-dim <n>          FT-HPL matrix dimension\n"
+      "  --hpl-procs <n>        FT-HPL simulated process count\n"
+      "  --closed-page          use the closed-page row-buffer policy\n"
+      "  --hw-assisted          enable hardware-assisted (simplified) verify\n"
+      "  --help                 show this message\n",
+      prog);
+}
+
+}  // namespace
+
+CliReport parse_cli(int argc, char** argv, PlatformOptions& opt) {
+  CliReport out;
+  auto need_value = [&](int i) -> const char* {
+    if (i + 1 >= argc) {
+      std::fprintf(stderr, "%s: missing value for %s\n", argv[0], argv[i]);
+      std::exit(2);
+    }
+    return argv[i + 1];
+  };
+  auto as_size = [&](int i) {
+    return static_cast<std::size_t>(std::strtoull(need_value(i), nullptr, 10));
+  };
+  for (int i = 1; i < argc; ++i) {
+    const char* a = argv[i];
+    if (std::strcmp(a, "--json") == 0) {
+      out.json_path = need_value(i), ++i;
+    } else if (std::strcmp(a, "--trace") == 0) {
+      out.trace_path = need_value(i), ++i;
+      obs::default_tracer().enable();
+    } else if (std::strcmp(a, "--trace-capacity") == 0) {
+      obs::default_tracer().set_capacity(as_size(i)), ++i;
+    } else if (std::strcmp(a, "--seed") == 0) {
+      opt.seed = std::strtoull(need_value(i), nullptr, 10), ++i;
+    } else if (std::strcmp(a, "--verify-period") == 0) {
+      opt.verify_period = as_size(i), ++i;
+    } else if (std::strcmp(a, "--cache-scale") == 0) {
+      opt.cache_scale =
+          static_cast<unsigned>(std::strtoul(need_value(i), nullptr, 10)),
+      ++i;
+    } else if (std::strcmp(a, "--dgemm-dim") == 0) {
+      opt.dgemm_dim = as_size(i), ++i;
+    } else if (std::strcmp(a, "--cholesky-dim") == 0) {
+      opt.cholesky_dim = as_size(i), ++i;
+    } else if (std::strcmp(a, "--cg-dim") == 0) {
+      opt.cg_dim = as_size(i), ++i;
+    } else if (std::strcmp(a, "--cg-iters") == 0) {
+      opt.cg_iterations = as_size(i), ++i;
+    } else if (std::strcmp(a, "--hpl-dim") == 0) {
+      opt.hpl_dim = as_size(i), ++i;
+    } else if (std::strcmp(a, "--hpl-procs") == 0) {
+      opt.hpl_processes = as_size(i), ++i;
+    } else if (std::strcmp(a, "--closed-page") == 0) {
+      opt.row_policy = memsim::RowBufferPolicy::kClosedPage;
+    } else if (std::strcmp(a, "--hw-assisted") == 0) {
+      opt.hardware_assisted = true;
+    } else if (std::strcmp(a, "--help") == 0) {
+      print_usage(argv[0]);
+      std::exit(0);
+    } else {
+      std::fprintf(stderr, "%s: ignoring unknown flag '%s'\n", argv[0], a);
+    }
+  }
+  return out;
+}
 
 namespace {
 

@@ -73,6 +73,18 @@ struct RunMetrics {
   }
 };
 
+/// Output destinations requested on a bench binary's command line.
+struct CliReport {
+  std::string json_path;   ///< --json <path>: schema-stable machine report
+  std::string trace_path;  ///< --trace <path>: Chrome trace_event JSON
+};
+
+/// Parse the common bench CLI flags shared by every experiment binary,
+/// applying overrides to `opt` in place. Unknown flags warn and are
+/// ignored so older scripts keep working; `--help` prints usage and
+/// exits. `--trace` additionally enables the global tracer.
+CliReport parse_cli(int argc, char** argv, PlatformOptions& opt);
+
 /// Run `kernel` under `opt` on a fresh simulated node.
 RunMetrics run_kernel(Kernel kernel, const PlatformOptions& opt);
 

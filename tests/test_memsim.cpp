@@ -10,6 +10,7 @@
 #include "memsim/dram.hpp"
 #include "memsim/memory_controller.hpp"
 #include "memsim/system.hpp"
+#include "obs/metrics.hpp"
 
 namespace abftecc::memsim {
 namespace {
@@ -372,6 +373,36 @@ TEST(MemorySystem, SchemeForConsultsEccRegisters) {
   ASSERT_EQ(seen.size(), 2u);
   EXPECT_EQ(seen[0], ecc::Scheme::kNone);
   EXPECT_EQ(seen[1], ecc::Scheme::kChipkill);
+}
+
+// Regression: reset_stats must clear every layer's statistics (L1, L2,
+// DRAM, the front-end counters) AND the obs metrics registry, or per-run
+// reports double-count the warm-up phase.
+TEST(System, ResetStatsClearsAllLayersAndMetricsRegistry) {
+  MemorySystem sys(SystemConfig::scaled(8), ecc::Scheme::kSecded);
+  for (std::uint64_t a = 0; a < 64 * 1024; a += 64)
+    sys.access(a, AccessKind::kRead);
+  ASSERT_GT(sys.stats().mem_refs, 0u);
+  ASSERT_GT(sys.stats().demand_misses, 0u);
+  ASSERT_GT(sys.l1_stats().accesses, 0u);
+  ASSERT_GT(sys.l2_stats().accesses, 0u);
+  ASSERT_GT(sys.dram_stats().reads, 0u);
+  auto& reg = obs::default_registry();
+  ASSERT_GT(reg.counter("memsim.dram_access.secded").value(), 0u);
+
+  sys.reset_stats();
+
+  EXPECT_EQ(sys.stats().mem_refs, 0u);
+  EXPECT_EQ(sys.stats().cpu_cycles, 0u);
+  EXPECT_EQ(sys.stats().demand_misses, 0u);
+  EXPECT_EQ(sys.stats().dram_dynamic_pj, 0.0);
+  EXPECT_EQ(sys.l1_stats().accesses, 0u);
+  EXPECT_EQ(sys.l1_stats().misses, 0u);
+  EXPECT_EQ(sys.l2_stats().accesses, 0u);
+  EXPECT_EQ(sys.l2_stats().misses, 0u);
+  EXPECT_EQ(sys.dram_stats().reads, 0u);
+  EXPECT_EQ(sys.dram_stats().activates, 0u);
+  EXPECT_EQ(reg.counter("memsim.dram_access.secded").value(), 0u);
 }
 
 }  // namespace

@@ -1,0 +1,299 @@
+// Tests for the observability subsystem: JSON emission/validation, the
+// metrics registry, the event tracer ring, and an end-to-end check that a
+// single injected DRAM fault leaves the full cooperative chain -- inject,
+// ECC decode, OS interrupt, error exposure, ABFT recovery -- in the trace.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "abft/ft_dgemm.hpp"
+#include "abft/runtime.hpp"
+#include "common/rng.hpp"
+#include "fault/injector.hpp"
+#include "obs/json.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "os/os.hpp"
+#include "sim/tap.hpp"
+
+namespace abftecc::obs {
+namespace {
+
+// ---------------------------------------------------------------- JSON --
+
+TEST(Json, WriterProducesValidNestedDocument) {
+  JsonWriter w;
+  w.begin_object();
+  w.field("name", "histo \"quoted\"\nline");
+  w.field("count", std::uint64_t{42});
+  w.field("mean", 1.5);
+  w.field("enabled", true);
+  w.key("buckets");
+  w.begin_array();
+  w.value(1).value(2).value(3);
+  w.end_array();
+  w.key("nothing");
+  w.null();
+  w.end_object();
+  EXPECT_TRUE(json_valid(w.str()));
+  EXPECT_NE(w.str().find("\\\"quoted\\\""), std::string::npos);
+  EXPECT_NE(w.str().find("\\n"), std::string::npos);
+}
+
+TEST(Json, ValidatorRejectsMalformedInput) {
+  EXPECT_TRUE(json_valid("{\"a\": [1, 2.5e3, null, true, \"x\"]}"));
+  EXPECT_FALSE(json_valid(""));
+  EXPECT_FALSE(json_valid("{"));
+  EXPECT_FALSE(json_valid("{\"a\":}"));
+  EXPECT_FALSE(json_valid("[1,]"));
+  EXPECT_FALSE(json_valid("1 2"));
+  EXPECT_FALSE(json_valid("{\"a\" 1}"));
+  EXPECT_FALSE(json_valid("nul"));
+}
+
+TEST(Json, RawSplicesPreSerializedValue) {
+  JsonWriter inner;
+  inner.begin_object().field("x", 1).end_object();
+  JsonWriter w;
+  w.begin_object().key("nested").raw(inner.str()).field("y", 2).end_object();
+  EXPECT_TRUE(json_valid(w.str()));
+  EXPECT_EQ(w.str(), "{\"nested\":{\"x\":1},\"y\":2}");
+}
+
+// ------------------------------------------------------------- metrics --
+
+TEST(Metrics, HistogramBucketBoundariesAreInclusiveUpperBounds) {
+  Histogram h({1.0, 2.0, 4.0});
+  ASSERT_EQ(h.num_buckets(), 4u);  // 3 bounds + overflow
+  h.observe(0.5);  // <= 1        -> bucket 0
+  h.observe(1.0);  // == bound 0  -> bucket 0 (le semantics)
+  h.observe(1.5);  //              -> bucket 1
+  h.observe(2.0);  // == bound 1  -> bucket 1
+  h.observe(4.0);  // == bound 2  -> bucket 2
+  h.observe(4.5);  // > last      -> overflow
+  EXPECT_EQ(h.bucket_count(0), 2u);
+  EXPECT_EQ(h.bucket_count(1), 2u);
+  EXPECT_EQ(h.bucket_count(2), 1u);
+  EXPECT_EQ(h.bucket_count(3), 1u);
+  EXPECT_EQ(h.count(), 6u);
+  EXPECT_DOUBLE_EQ(h.max(), 4.5);
+  EXPECT_DOUBLE_EQ(h.sum(), 0.5 + 1.0 + 1.5 + 2.0 + 4.0 + 4.5);
+  EXPECT_DOUBLE_EQ(h.upper_bound(0), 1.0);
+  EXPECT_TRUE(std::isinf(h.upper_bound(3)));
+}
+
+TEST(Metrics, ExponentialBoundsBuildGeometricLadder) {
+  const auto bounds = Histogram::exponential_bounds(16.0, 2.0, 10);
+  ASSERT_EQ(bounds.size(), 10u);
+  EXPECT_DOUBLE_EQ(bounds.front(), 16.0);
+  EXPECT_DOUBLE_EQ(bounds.back(), 16.0 * 512.0);
+  EXPECT_TRUE(std::is_sorted(bounds.begin(), bounds.end()));
+}
+
+TEST(Metrics, RegistryResetZeroesValuesButKeepsRegistrations) {
+  Registry reg;
+  Counter& c = reg.counter("test.counter");
+  Gauge& g = reg.gauge("test.gauge");
+  Histogram& h = reg.histogram("test.histo", {10.0});
+  c.add(5);
+  g.set(3.5);
+  h.observe(7.0);
+  reg.reset();
+  EXPECT_EQ(c.value(), 0u);
+  EXPECT_DOUBLE_EQ(g.value(), 0.0);
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_DOUBLE_EQ(h.max(), 0.0);
+  // Cached references stay live and re-registration returns the same
+  // instrument.
+  c.add(2);
+  EXPECT_EQ(reg.counter("test.counter").value(), 2u);
+  EXPECT_EQ(&reg.counter("test.counter"), &c);
+  EXPECT_EQ(&reg.histogram("test.histo", {}), &h);
+  EXPECT_EQ(reg.size(), 3u);
+}
+
+TEST(Metrics, SnapshotAndJsonSinkAreWellFormed) {
+  Registry reg;
+  reg.counter("a.hits").add(3);
+  reg.gauge("b.level").set(0.25);
+  reg.histogram("c.lat", {1.0, 2.0}).observe(1.5);
+  const MetricsSnapshot snap = reg.snapshot();
+  ASSERT_EQ(snap.counters.size(), 1u);
+  EXPECT_EQ(snap.counters[0].first, "a.hits");
+  EXPECT_EQ(snap.counters[0].second, 3u);
+  ASSERT_EQ(snap.histograms.size(), 1u);
+  EXPECT_EQ(snap.histograms[0].buckets.size(), 3u);
+  EXPECT_TRUE(json_valid(reg.to_json()));
+}
+
+// -------------------------------------------------------------- tracer --
+
+TEST(Trace, DisabledTracerRecordsNothing) {
+  Tracer t(8);
+  t.instant(EventKind::kFaultInject, 1, 0x40);
+  EXPECT_EQ(t.size(), 0u);
+  EXPECT_EQ(t.recorded(), 0u);
+}
+
+TEST(Trace, RingWrapsOverwritingOldestAndCountsDrops) {
+  Tracer t(4);
+  t.enable();
+  for (std::uint64_t i = 0; i < 10; ++i)
+    t.instant(EventKind::kDemandMiss, 100 + i, 64 * i);
+  EXPECT_EQ(t.size(), 4u);
+  EXPECT_EQ(t.recorded(), 10u);
+  EXPECT_EQ(t.dropped(), 6u);
+  const auto events = t.snapshot();
+  ASSERT_EQ(events.size(), 4u);
+  // Survivors are the newest four, oldest first.
+  for (std::size_t i = 0; i < 4; ++i) {
+    EXPECT_EQ(events[i].seq, 6 + i);
+    EXPECT_EQ(events[i].ts, 106 + i);
+  }
+}
+
+std::vector<long long> extract_ts(const std::string& json) {
+  std::vector<long long> out;
+  std::size_t pos = 0;
+  while ((pos = json.find("\"ts\":", pos)) != std::string::npos) {
+    pos += 5;
+    out.push_back(std::strtoll(json.c_str() + pos, nullptr, 10));
+  }
+  return out;
+}
+
+TEST(Trace, ChromeTraceJsonIsValidAndMonotonic) {
+  Tracer t(64);
+  t.enable();
+  // Record deliberately out of ts order: export must sort.
+  t.instant(EventKind::kEccInterrupt, 500, 0x1000);
+  t.complete(EventKind::kVerify, "ft_test.verify", 120, 30);
+  t.instant(EventKind::kFaultInject, 100, 0x1000, 3);
+  t.complete(EventKind::kRecover, "ft_test.recover", 400, 50, 0x1000);
+  const std::string json = t.chrome_trace_json();
+  EXPECT_TRUE(json_valid(json));
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("\"fault.inject\""), std::string::npos);
+  EXPECT_NE(json.find("\"ft_test.recover\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"i\""), std::string::npos);
+  const auto ts = extract_ts(json);
+  ASSERT_EQ(ts.size(), 4u);
+  EXPECT_TRUE(std::is_sorted(ts.begin(), ts.end()));
+}
+
+TEST(Trace, SetCapacityResizesAndClears) {
+  Tracer t(4);
+  t.enable();
+  t.instant(EventKind::kPanic, 1);
+  t.set_capacity(16);
+  EXPECT_EQ(t.size(), 0u);
+  EXPECT_EQ(t.capacity(), 16u);
+  t.instant(EventKind::kPanic, 2);
+  EXPECT_EQ(t.size(), 1u);
+}
+
+// -------------------------------------------------- end-to-end chain --
+
+bool has_kind(const std::vector<TraceEvent>& events, EventKind k) {
+  return std::any_of(events.begin(), events.end(),
+                     [&](const TraceEvent& e) { return e.kind == k; });
+}
+
+std::uint64_t line_of_kind(const std::vector<TraceEvent>& events,
+                           EventKind k) {
+  for (const auto& e : events)
+    if (e.kind == k) return e.addr / 64;
+  return ~std::uint64_t{0};
+}
+
+TEST(ObsIntegration, InjectedFaultLeavesFullCooperativeChainInTrace) {
+  auto& tracer = default_tracer();
+  auto& reg = default_registry();
+  tracer.set_capacity(1 << 15);
+  tracer.enable();
+  reg.reset();
+
+  memsim::MemorySystem sys(memsim::SystemConfig::scaled(8),
+                           ecc::Scheme::kChipkill);
+  os::Os osl(sys);
+  abft::Runtime rt(&osl);
+  sim::TapContext ctx(osl, sys);
+  fault::Injector inj(sys, osl);
+
+  const std::size_t n = 32;
+  Rng rng(11);
+  Matrix a = Matrix::random(n, n, rng), b = Matrix::random(n, n, rng);
+  auto alloc = [&](std::size_t r, std::size_t c, const char* name) {
+    void* p = osl.malloc_ecc(r * c * sizeof(double), ecc::Scheme::kSecded,
+                             name, /*abft_protected=*/true);
+    return MatrixView(static_cast<double*>(p), r, c, r);
+  };
+  abft::FtDgemm::Buffers buf{alloc(n + 1, n, "Ac"), alloc(n, n + 1, "Br"),
+                             alloc(n + 1, n + 1, "Cf")};
+  abft::FtOptions fo;
+  fo.hardware_assisted = true;
+  abft::FtDgemm ft(a.view(), b.view(), buf, fo, &rt);
+  ASSERT_EQ(ft.run(sim::MemoryTap(ctx)), abft::FtStatus::kOk);
+
+  // Push the result out of the caches so the injected DRAM corruption is
+  // what the next read decodes.
+  void* flush = osl.malloc_plain(4 * sys.config().l2.size_bytes, "flush");
+  const auto fp = *osl.virt_to_phys(flush);
+  for (std::uint64_t o = 0; o < 4 * sys.config().l2.size_bytes; o += 64)
+    sys.access(fp + o, memsim::AccessKind::kRead);
+  osl.free_ecc(flush);
+  tracer.clear();  // keep only the fault chain in the ring
+
+  // A double-bit flip in one SECDED word: detected but uncorrectable at
+  // the controller, well inside ABFT's single-element repair capability.
+  const std::uint64_t phys = *osl.virt_to_phys(&buf.cf(3, 4));
+  inj.inject_bit(phys, 0);
+  inj.inject_bit(phys + 1, 1);
+  sys.access(phys, memsim::AccessKind::kRead);  // decode -> interrupt
+
+  const abft::FtStatus st = ft.verify_and_correct(sim::MemoryTap(ctx));
+  EXPECT_NE(st, abft::FtStatus::kUncorrectable);
+  EXPECT_GE(ft.stats().hw_notifications_used, 1u);
+  EXPECT_GE(ft.stats().errors_corrected, 1u);
+
+  const auto events = tracer.snapshot();
+  EXPECT_TRUE(has_kind(events, EventKind::kFaultInject));
+  EXPECT_TRUE(has_kind(events, EventKind::kEccUncorrectable));
+  EXPECT_TRUE(has_kind(events, EventKind::kEccInterrupt));
+  EXPECT_TRUE(has_kind(events, EventKind::kErrorExposed));
+  EXPECT_TRUE(has_kind(events, EventKind::kErrorsDrained));
+  EXPECT_TRUE(has_kind(events, EventKind::kErrorLocated));
+  EXPECT_TRUE(has_kind(events, EventKind::kVerify));
+  EXPECT_TRUE(has_kind(events, EventKind::kRecover));
+
+  // Every stage of the chain names the same cache line.
+  const std::uint64_t line = phys / 64;
+  EXPECT_EQ(line_of_kind(events, EventKind::kFaultInject), line);
+  EXPECT_EQ(line_of_kind(events, EventKind::kEccUncorrectable), line);
+  EXPECT_EQ(line_of_kind(events, EventKind::kEccInterrupt), line);
+  EXPECT_EQ(line_of_kind(events, EventKind::kErrorExposed), line);
+
+  // The chain also shows up in the metrics registry.
+  EXPECT_GE(reg.counter("fault.injected_flips").value(), 2u);
+  EXPECT_GE(reg.counter("mc.uncorrectable").value(), 1u);
+  EXPECT_GE(reg.counter("os.ecc_interrupts").value(), 1u);
+  EXPECT_GE(reg.counter("os.errors_exposed").value(), 1u);
+  EXPECT_GE(reg.counter("abft.errors_located").value(), 1u);
+
+  // And the exported timeline is a valid, monotonic Chrome trace.
+  const std::string json = tracer.chrome_trace_json();
+  EXPECT_TRUE(json_valid(json));
+  const auto ts = extract_ts(json);
+  EXPECT_TRUE(std::is_sorted(ts.begin(), ts.end()));
+
+  tracer.enable(false);
+  tracer.clear();
+  reg.reset();
+}
+
+}  // namespace
+}  // namespace abftecc::obs
