@@ -11,6 +11,7 @@
 #include "fault/model.hpp"
 #include "os/os.hpp"
 #include "sim/adaptive.hpp"
+#include "sim/platform.hpp"
 
 namespace {
 
@@ -53,9 +54,8 @@ int main(int argc, char** argv) {
   for (int i = 0; i < 5; ++i) weather.push_back(40.0);   // hard-fault burst
   for (int i = 0; i < 10; ++i) weather.push_back(0.0);   // calm again
 
-  memsim::MemorySystem sys(memsim::SystemConfig::scaled(8),
-                           ecc::Scheme::kChipkill);
-  os::Os os(sys);
+  sim::Session s = sim::Session::Builder().build();
+  os::Os& os = s.os();
   void* region = os.malloc_ecc(4096, ecc::Scheme::kNone, "adaptive", true);
 
   sim::AdaptivePolicy::Options popt;

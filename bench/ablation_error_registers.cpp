@@ -7,6 +7,7 @@
 #include "bench/report.hpp"
 #include "fault/injector.hpp"
 #include "os/os.hpp"
+#include "sim/platform.hpp"
 
 int main(int argc, char** argv) {
   using namespace abftecc;
@@ -14,12 +15,11 @@ int main(int argc, char** argv) {
                     "SC'13 Sec. 3.1 register sizing");
   bench::row({"burst", "recorded", "exposed", "dropped"});
   for (unsigned burst = 1; burst <= 12; ++burst) {
-    memsim::MemorySystem sys(memsim::SystemConfig::scaled(8),
-                             ecc::Scheme::kChipkill);
-    os::Os os(sys);
-    fault::Injector inj(sys, os);
-    auto* p = static_cast<std::uint8_t*>(
-        os.malloc_ecc(64 * 1024, ecc::Scheme::kSecded, "data", true));
+    sim::Session s = sim::Session::Builder()
+                         .strategy(sim::Strategy::kPartialChipkillSecded)
+                         .build();
+    auto* p = reinterpret_cast<std::uint8_t*>(
+        s.abft_vector(8 * 1024, "data").data());
     for (std::size_t i = 0; i < 64 * 1024; ++i)
       p[i] = static_cast<std::uint8_t>(i);
     // `burst` double-bit (uncorrectable) errors on distinct lines, all
@@ -27,18 +27,19 @@ int main(int argc, char** argv) {
     // drains the sysfs log eagerly per interrupt, so the registers
     // themselves are what the burst stresses: drop counting happens there.
     for (unsigned e = 0; e < burst; ++e) {
-      const auto phys = *os.virt_to_phys(p + 64 * (e + 1));
-      inj.inject_bit(phys, 0);
-      inj.inject_bit(phys + 1, 1);
-      sys.access(phys, memsim::AccessKind::kRead);
+      const auto phys = *s.os().virt_to_phys(p + 64 * (e + 1));
+      s.injector().inject_bit(phys, 0);
+      s.injector().inject_bit(phys + 1, 1);
+      s.memory().access(phys, memsim::AccessKind::kRead);
     }
-    bench::row({std::to_string(burst),
-                std::to_string(sys.controller().uncorrectable_count()),
-                std::to_string(os.drain_exposed_errors().size()),
-                std::to_string(sys.controller().dropped_error_records())});
+    bench::row(
+        {std::to_string(burst),
+         std::to_string(s.memory().controller().uncorrectable_count()),
+         std::to_string(s.os().drain_exposed_errors().size()),
+         std::to_string(s.memory().controller().dropped_error_records())});
     rep.scalar(
         "burst" + std::to_string(burst) + ".dropped",
-        static_cast<double>(sys.controller().dropped_error_records()));
+        static_cast<double>(s.memory().controller().dropped_error_records()));
   }
   std::printf(
       "\nexpected: with n = 6 registers, bursts beyond 6 overwrite older "

@@ -17,7 +17,7 @@
 #include "fault/injector.hpp"
 #include "fault/scenario.hpp"
 #include "os/os.hpp"
-#include "sim/tap.hpp"
+#include "sim/platform.hpp"
 
 namespace abftecc {
 namespace {
@@ -28,48 +28,28 @@ struct Outcome {
 };
 
 struct Deployment {
-  memsim::MemorySystem sys;
-  os::Os os;
-  abft::Runtime rt;
-  sim::TapContext ctx;
-  fault::Injector inj;
+  sim::Session s;
   Matrix a, b, ref;
   abft::FtDgemm::Buffers buf;
   std::unique_ptr<abft::FtDgemm> ft;
 
-  explicit Deployment(ecc::Scheme abft_scheme)
-      : sys(memsim::SystemConfig::scaled(8), ecc::Scheme::kChipkill),
-        os(sys),
-        rt(&os),
-        ctx(os, sys),
-        inj(sys, os) {
+  explicit Deployment(sim::Strategy strategy)
+      : s(sim::Session::Builder().strategy(strategy).build()) {
     const std::size_t n = 64;
     Rng rng(7);
     a = Matrix::random(n, n, rng);
     b = Matrix::random(n, n, rng);
     ref = Matrix(n, n);
     linalg::gemm(1.0, a.view(), b.view(), 0.0, ref.view());
-    auto alloc = [&](std::size_t r, std::size_t c, const char* name) {
-      void* p = os.malloc_ecc(r * c * 8, abft_scheme, name, true);
-      return MatrixView(static_cast<double*>(p), r, c, r);
-    };
-    buf = {alloc(n + 1, n, "Ac"), alloc(n, n + 1, "Br"),
-           alloc(n + 1, n + 1, "Cf")};
+    buf = {s.abft_matrix(n + 1, n, "Ac"), s.abft_matrix(n, n + 1, "Br"),
+           s.abft_matrix(n + 1, n + 1, "Cf")};
     ft = std::make_unique<abft::FtDgemm>(a.view(), b.view(), buf,
-                                         abft::FtOptions{}, &rt);
-    ft->run(sim::MemoryTap(ctx));
-    flush_caches();
+                                         abft::FtOptions{}, &s.runtime());
+    ft->run(s.tap());
+    s.flush_caches();
   }
 
-  void flush_caches() {
-    void* fl = os.malloc_plain(4 * sys.config().l2.size_bytes, "flush");
-    const auto fp = *os.virt_to_phys(fl);
-    for (std::uint64_t o = 0; o < 4 * sys.config().l2.size_bytes; o += 64)
-      sys.access(fp + o, memsim::AccessKind::kRead);
-    os.free_ecc(fl);
-  }
-
-  std::uint64_t phys_of(double* p) { return *os.virt_to_phys(p); }
+  std::uint64_t phys_of(double* p) { return *s.os().virt_to_phys(p); }
 
   /// Touch every protected line (the application reading its data), then
   /// run one ABFT verification and classify the outcome.
@@ -77,10 +57,10 @@ struct Deployment {
     Outcome out;
     for (std::size_t j = 0; j <= 64; ++j)
       for (std::size_t i = 0; i <= 64; ++i)
-        sys.access(phys_of(&buf.cf(i, j)), memsim::AccessKind::kRead);
-    const bool hw_notified = os.has_exposed_errors();
-    const auto ecc_corrected = sys.controller().corrected_count();
-    const auto st = ft->verify_and_correct(sim::MemoryTap(ctx));
+        s.memory().access(phys_of(&buf.cf(i, j)), memsim::AccessKind::kRead);
+    const bool hw_notified = s.os().has_exposed_errors();
+    const auto ecc_corrected = s.memory().controller().corrected_count();
+    const auto st = ft->verify_and_correct(s.tap());
     out.result_correct = max_abs_diff(ft->result(), ref.view()) < 1e-7;
     if (st == abft::FtStatus::kUncorrectable || !out.result_correct) {
       out.path = "checkpoint/restart";
@@ -99,8 +79,8 @@ struct Deployment {
 void run_case(bench::Report& rep, const char* slug, const char* label,
               fault::Case expected,
               const std::function<void(Deployment&)>& inject) {
-  Deployment are(ecc::Scheme::kNone);      // P_CK+No_ECC
-  Deployment ase(ecc::Scheme::kChipkill);  // strong ECC everywhere
+  Deployment are(sim::Strategy::kPartialChipkillNoEcc);  // ABFT + relaxed
+  Deployment ase(sim::Strategy::kWholeChipkill);  // strong ECC everywhere
   inject(are);
   inject(ase);
   const Outcome o_are = are.resolve();
@@ -131,7 +111,7 @@ int main(int argc, char** argv) {
   // it in the controller for ~1 pJ; ARE pays an ABFT verification pass.
   run_case(rep, "case1", "single bit flip in one element",
            fault::Case::kCase1BothCorrect, [](Deployment& d) {
-             d.inj.inject_bit(d.phys_of(&d.buf.cf(10, 12)) + 6, 3);
+             d.s.injector().inject_bit(d.phys_of(&d.buf.cf(10, 12)) + 6, 3);
            });
 
   // Case 2: two chips of the same line corrupted -- two bad symbols per
@@ -144,8 +124,8 @@ int main(int argc, char** argv) {
              // Chips 8 and 9 carry high-mantissa bytes: detectable,
              // precisely repairable damage confined to one matrix column,
              // but two failed symbols per codeword -- beyond SSC-DSD.
-             d.inj.inject_chip_kill(line, 8, 0xF);
-             d.inj.inject_chip_kill(line, 9, 0xF);
+             d.s.injector().inject_chip_kill(line, 8, 0xF);
+             d.s.injector().inject_chip_kill(line, 9, 0xF);
            });
 
   // Case 3: four single-bit flips forming a 2x2 row/column grid. Strong
@@ -155,7 +135,7 @@ int main(int argc, char** argv) {
            fault::Case::kCase3EccOnly, [](Deployment& d) {
              for (double* e : {&d.buf.cf(10, 20), &d.buf.cf(10, 30),
                                &d.buf.cf(40, 20), &d.buf.cf(40, 30)})
-               d.inj.inject_bit(d.phys_of(e) + 6, 2);
+               d.s.injector().inject_bit(d.phys_of(e) + 6, 2);
            });
 
   // Case 4: corruption while the lines are cache-resident (ECC never sees
@@ -165,7 +145,7 @@ int main(int argc, char** argv) {
              for (double* e : {&d.buf.cf(10, 20), &d.buf.cf(10, 30),
                                &d.buf.cf(40, 20), &d.buf.cf(40, 30)}) {
                *e += 3.0;
-               d.inj.corrupt_virtual_now(e, 0);  // flag as injected
+               d.s.injector().corrupt_virtual_now(e, 0);  // flag as injected
                *e = d.ref(10, 20) >= 0 ? *e : *e;  // keep magnitudes equal
              }
              // Equal magnitudes defeat residual pairing deterministically.

@@ -23,64 +23,57 @@
 #include "abft/runtime.hpp"
 #include "fault/injector.hpp"
 #include "os/os.hpp"
-#include "sim/tap.hpp"
+#include "sim/platform.hpp"
 
 int main() {
   using namespace abftecc;
   constexpr std::size_t n = 96;
 
-  // A node: memory system (chipkill default), OS, ABFT runtime, injector.
-  memsim::MemorySystem sys(memsim::SystemConfig::scaled(8),
-                           ecc::Scheme::kChipkill);
-  os::Os os(sys);
-  abft::Runtime runtime(&os);
-  sim::TapContext tap_ctx(os, sys);
-  fault::Injector injector(sys, os);
+  // A node behind the Session facade: memory system (chipkill default),
+  // OS, ABFT runtime, tap, injector -- wired as P_CK+P_SD, the paper's
+  // cooperative design point.
+  sim::Session s = sim::Session::Builder()
+                       .strategy(sim::Strategy::kPartialChipkillSecded)
+                       .hardware_assisted()
+                       .build();
 
   std::printf("[1] malloc_ecc: ABFT structures under SECDED, rest chipkill\n");
-  auto alloc = [&](std::size_t r, std::size_t c, const char* name) {
-    void* p = os.malloc_ecc(r * c * sizeof(double), ecc::Scheme::kSecded,
-                            name, /*abft_protected=*/true);
-    return MatrixView(static_cast<double*>(p), r, c, r);
-  };
-  abft::FtDgemm::Buffers buf{alloc(n + 1, n, "Ac"), alloc(n, n + 1, "Br"),
-                             alloc(n + 1, n + 1, "Cf")};
+  abft::FtDgemm::Buffers buf{s.abft_matrix(n + 1, n, "Ac"),
+                             s.abft_matrix(n, n + 1, "Br"),
+                             s.abft_matrix(n + 1, n + 1, "Cf")};
   std::printf("    MC ECC registers in use: %u of %u\n",
-              sys.controller().ranges_in_use(),
+              s.memory().controller().ranges_in_use(),
               memsim::MemoryController::kMaxRanges);
 
   Rng rng(11);
   Matrix a = Matrix::random(n, n, rng), b = Matrix::random(n, n, rng);
   abft::FtOptions opt;
   opt.hardware_assisted = true;  // Section 3.2.2 cooperative mode
-  abft::FtDgemm ft(a.view(), b.view(), buf, opt, &runtime);
-  sim::MemoryTap tap(tap_ctx);
+  abft::FtDgemm ft(a.view(), b.view(), buf, opt, &s.runtime());
+  sim::MemoryTap tap = s.tap();
   ft.run(tap);
   std::printf("    multiply finished (%llu hw-checks, no errors)\n",
               static_cast<unsigned long long>(ft.stats().verifications));
 
   // Push the result to DRAM so the fault lands in memory, not a cache.
-  void* flusher = os.malloc_plain(4 * sys.config().l2.size_bytes, "flush");
-  const auto fphys = *os.virt_to_phys(flusher);
-  for (std::uint64_t off = 0; off < 4 * sys.config().l2.size_bytes; off += 64)
-    sys.access(fphys + off, memsim::AccessKind::kRead);
+  s.flush_caches();
 
   std::printf("[2] chip failure under C(5,7)'s cache line (2 stuck DQ lines)\n");
   double* victim = &buf.cf(5, 7);
-  const auto vphys = *os.virt_to_phys(victim);
-  injector.inject_chip_kill(vphys, 4, 0x3);
+  const auto vphys = *s.os().virt_to_phys(victim);
+  s.injector().inject_chip_kill(vphys, 4, 0x3);
 
   std::printf("[3] application touches the line -> SECDED detects, cannot "
               "correct\n");
-  sys.access(vphys, memsim::AccessKind::kRead);
+  s.memory().access(vphys, memsim::AccessKind::kRead);
   std::printf("    MC: %llu uncorrectable, error registers hold the fault "
               "site\n",
               static_cast<unsigned long long>(
-                  sys.controller().uncorrectable_count()));
+                  s.memory().controller().uncorrectable_count()));
 
   std::printf("[4] OS interrupt handler: ABFT page -> expose, don't panic "
               "(panics: %llu)\n",
-              static_cast<unsigned long long>(os.panic_count()));
+              static_cast<unsigned long long>(s.os().panic_count()));
 
   std::printf("[5] ABFT simplified verification repairs the element\n");
   const abft::FtStatus st = ft.verify_and_correct(tap);

@@ -1,0 +1,248 @@
+#include "campaign/campaign.hpp"
+
+#include <atomic>
+#include <cmath>
+#include <mutex>
+#include <thread>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "fault/injector.hpp"
+#include "obs/json.hpp"
+#include "os/os.hpp"
+
+namespace abftecc::campaign {
+
+const Rate& CampaignResult::rate(Outcome o) const {
+  switch (o) {
+    case Outcome::kCorrected: return corrected;
+    case Outcome::kDetectedUncorrected: return detected_uncorrected;
+    case Outcome::kSilentDataCorruption: return silent_data_corruption;
+    case Outcome::kBenignMasked: return benign_masked;
+  }
+  return corrected;
+}
+
+Interval wilson_interval(std::uint64_t k, std::uint64_t n, double z) {
+  if (n == 0) return {0.0, 1.0};
+  const double nn = static_cast<double>(n);
+  const double p = static_cast<double>(k) / nn;
+  const double zz = z * z;
+  const double denom = 1.0 + zz / nn;
+  const double center = p + zz / (2.0 * nn);
+  const double margin =
+      z * std::sqrt(p * (1.0 - p) / nn + zz / (4.0 * nn * nn));
+  // Pin the exact endpoints: mathematically lo = 0 at k = 0 and hi = 1 at
+  // k = n, but the quotient can round to 0.999... in floating point.
+  return {k == 0 ? 0.0 : std::max(0.0, (center - margin) / denom),
+          k == n ? 1.0 : std::min(1.0, (center + margin) / denom)};
+}
+
+Outcome classify(abft::FtStatus status, bool output_correct, bool panicked,
+                 std::uint64_t errors_corrected) {
+  // Any reported-but-unrepaired failure means checkpoint/restart: the
+  // result is not trusted even if it happens to be numerically close.
+  if (panicked || status == abft::FtStatus::kUncorrectable ||
+      status == abft::FtStatus::kNumericalFailure)
+    return Outcome::kDetectedUncorrected;
+  if (!output_correct) return Outcome::kSilentDataCorruption;
+  return errors_corrected > 0 ? Outcome::kCorrected : Outcome::kBenignMasked;
+}
+
+namespace {
+
+TrialOutcome run_trial(const CampaignOptions& opt, const GoldenRun& golden,
+                       std::uint32_t index) {
+  TrialOutcome t;
+  t.index = index;
+  t.seed = opt.campaign_seed ^ index;
+  Rng rng(t.seed);
+
+  sim::Session s =
+      sim::Session::Builder(opt.platform).private_observability().build();
+
+  // Injection time: a uniform point in the golden reference stream. The
+  // trial replays the golden execution exactly until the fault lands, so
+  // the index is always reached.
+  t.inject_ref = 1 + rng.below(golden.total_refs);
+  s.tap_context().set_ref_trigger(t.inject_ref, [&] {
+    const auto ranges = s.os().abft_phys_ranges();
+    std::uint64_t total = 0;
+    for (const auto& [begin, end] : ranges) total += end - begin;
+    if (total == 0) return;  // strategy with no ABFT allocations
+    std::uint64_t off = rng.below(total);
+    std::uint64_t phys = 0;
+    for (const auto& [begin, end] : ranges) {
+      const std::uint64_t len = end - begin;
+      if (off < len) {
+        phys = begin + off;
+        break;
+      }
+      off -= len;
+    }
+    t.fault_phys = phys;
+    auto& inj = s.injector();
+    switch (opt.fault.kind) {
+      case FaultKind::kSingleBit:
+        t.fault_bit = static_cast<unsigned>(rng.below(8));
+        inj.inject_bit(phys, t.fault_bit);
+        break;
+      case FaultKind::kDoubleBit: {
+        // Two distinct flips in one 64-bit word.
+        const std::uint64_t word = phys & ~std::uint64_t{7};
+        const auto b1 = static_cast<unsigned>(rng.below(64));
+        auto b2 = static_cast<unsigned>(rng.below(63));
+        if (b2 >= b1) ++b2;
+        inj.inject_bit(word + b1 / 8, b1 % 8);
+        inj.inject_bit(word + b2 / 8, b2 % 8);
+        t.fault_bit = b1;
+        break;
+      }
+      case FaultKind::kChipKill:
+        t.fault_bit = static_cast<unsigned>(rng.below(16));
+        inj.inject_chip_kill(phys, t.fault_bit, opt.fault.chip_pattern);
+        break;
+    }
+    // Materialize immediately, as if the corrupted line were read now:
+    // the fault goes through the scheme's decoder instead of waiting for
+    // a fill that might never come (or a writeback that would erase it).
+    inj.flush_pending();
+  });
+
+  const sim::RunMetrics m = s.run(opt.kernel);
+
+  const std::vector<double>& result = s.last_result();
+  double max_err = 0.0;
+  bool comparable = result.size() == golden.result.size();
+  for (std::size_t i = 0; comparable && i < result.size(); ++i) {
+    const double d = std::fabs(result[i] - golden.result[i]);
+    if (std::isnan(d) || d > max_err) max_err = d;
+  }
+  const bool correct = comparable && max_err <= opt.tolerance;
+
+  const fault::InjectorStats& ist = s.injector().stats();
+  t.ecc_corrected = ist.corrected_by_ecc;
+  t.ecc_uncorrectable = ist.uncorrectable;
+  t.silent_corruptions = ist.silent_corruptions;
+  t.cleared_by_writeback = ist.cleared_by_writeback;
+  t.materialized = ist.corrected_by_ecc + ist.uncorrectable +
+                       ist.silent_corruptions + ist.cleared_by_writeback >
+                   0;
+  t.abft_detected = m.ft.errors_detected;
+  t.abft_corrected = m.ft.errors_corrected;
+  t.panicked = s.os().panicked();
+  t.status = m.status;
+  t.max_abs_error = max_err;
+  t.sim_seconds = m.seconds;
+  t.outcome = classify(m.status, correct, t.panicked,
+                       ist.corrected_by_ecc + m.ft.errors_corrected);
+  return t;
+}
+
+Rate make_rate(std::uint64_t count, std::uint64_t total) {
+  Rate r;
+  r.count = count;
+  r.total = total;
+  r.fraction =
+      total == 0 ? 0.0
+                 : static_cast<double>(count) / static_cast<double>(total);
+  const Interval iv = wilson_interval(count, total);
+  r.wilson_lo = iv.lo;
+  r.wilson_hi = iv.hi;
+  return r;
+}
+
+}  // namespace
+
+GoldenRun run_golden(const CampaignOptions& opt) {
+  GoldenRun golden;
+  sim::Session g =
+      sim::Session::Builder(opt.platform).private_observability().build();
+  golden.metrics = g.run(opt.kernel);
+  golden.total_refs = golden.metrics.refs_abft + golden.metrics.refs_other;
+  golden.result = g.last_result();
+  return golden;
+}
+
+CampaignResult run_campaign(const CampaignOptions& opt,
+                            const GoldenRun& golden,
+                            const Progress& progress) {
+  ABFTECC_REQUIRE(opt.trials > 0);
+  ABFTECC_REQUIRE(golden.total_refs > 0);
+  CampaignResult out;
+  out.options = opt;
+  out.golden = golden.metrics;
+
+  out.trials.resize(opt.trials);
+  std::atomic<std::size_t> next{0};
+  std::atomic<std::size_t> done{0};
+  std::mutex progress_mu;
+  auto worker = [&] {
+    for (;;) {
+      const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= opt.trials) return;
+      out.trials[i] = run_trial(opt, golden, static_cast<std::uint32_t>(i));
+      const std::size_t d = done.fetch_add(1, std::memory_order_relaxed) + 1;
+      if (progress) {
+        const std::lock_guard<std::mutex> lock(progress_mu);
+        progress(d, opt.trials);
+      }
+    }
+  };
+  const unsigned nthreads = std::max(1u, opt.threads);
+  std::vector<std::thread> pool;
+  pool.reserve(nthreads - 1);
+  for (unsigned i = 1; i < nthreads; ++i) pool.emplace_back(worker);
+  worker();  // the calling thread participates
+  for (auto& th : pool) th.join();
+
+  std::array<std::uint64_t, kAllOutcomes.size()> counts{};
+  for (const TrialOutcome& t : out.trials) {
+    ++counts[static_cast<std::size_t>(t.outcome)];
+    if (!t.materialized) ++out.unclassified;
+  }
+  const std::uint64_t n = opt.trials;
+  out.corrected =
+      make_rate(counts[static_cast<std::size_t>(Outcome::kCorrected)], n);
+  out.detected_uncorrected = make_rate(
+      counts[static_cast<std::size_t>(Outcome::kDetectedUncorrected)], n);
+  out.silent_data_corruption = make_rate(
+      counts[static_cast<std::size_t>(Outcome::kSilentDataCorruption)], n);
+  out.benign_masked =
+      make_rate(counts[static_cast<std::size_t>(Outcome::kBenignMasked)], n);
+  return out;
+}
+
+CampaignResult run_campaign(const CampaignOptions& opt,
+                            const Progress& progress) {
+  return run_campaign(opt, run_golden(opt), progress);
+}
+
+void write_trial_jsonl(std::FILE* f, const CampaignOptions& opt,
+                       const TrialOutcome& t) {
+  obs::JsonWriter w;
+  w.begin_object()
+      .field("trial", static_cast<std::uint64_t>(t.index))
+      .field("seed", t.seed)
+      .field("kernel", sim::kernel_name(opt.kernel))
+      .field("strategy", sim::spec(opt.platform.strategy).label)
+      .field("fault", to_string(opt.fault.kind))
+      .field("outcome", to_string(t.outcome))
+      .field("status", abft::to_string(t.status))
+      .field("inject_ref", t.inject_ref)
+      .field("fault_phys", t.fault_phys)
+      .field("fault_bit", t.fault_bit)
+      .field("ecc_corrected", t.ecc_corrected)
+      .field("ecc_uncorrectable", t.ecc_uncorrectable)
+      .field("silent_corruptions", t.silent_corruptions)
+      .field("cleared_by_writeback", t.cleared_by_writeback)
+      .field("abft_detected", t.abft_detected)
+      .field("abft_corrected", t.abft_corrected)
+      .field("panicked", t.panicked)
+      .field("materialized", t.materialized)
+      .field("max_abs_error", t.max_abs_error)
+      .end_object();
+  std::fprintf(f, "%s\n", w.str().c_str());
+}
+
+}  // namespace abftecc::campaign

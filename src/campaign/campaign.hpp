@@ -1,0 +1,199 @@
+// Monte Carlo fault-injection campaign engine (paper Section 5 / BIFIT
+// methodology): N independent trials of one (kernel, strategy,
+// fault-scenario) triple, each on its own fully isolated simulated node
+// (sim::Session with private observability), run on a std::thread pool.
+//
+// Determinism contract: trial i derives everything random from
+// `campaign_seed ^ i` (xoshiro seeded through splitmix64, so the xor'd
+// seeds are decorrelated), the kernel inputs come from the shared
+// platform seed, and trials share no mutable state -- the same campaign
+// seed therefore reproduces bit-identical per-trial outcomes regardless
+// of thread count or scheduling.
+//
+// Each trial picks a uniformly random reference index in the golden run's
+// tap stream and a uniformly random byte of the live ABFT-protected
+// physical ranges, queues the scenario's fault there mid-run, and forces
+// it to materialize through the ECC decoder immediately (as if the line
+// were read), so every trial resolves through the real cooperative path:
+// ECC correction, MC error registers + OS interrupt + runtime drain, or
+// silent corruption left for ABFT. The outcome is judged against a
+// fault-free golden run of the same configuration.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <cstdio>
+#include <functional>
+#include <string_view>
+#include <vector>
+
+#include "abft/common.hpp"
+#include "sim/platform.hpp"
+
+namespace abftecc::campaign {
+
+/// Per-trial verdict (the paper's fault-injection taxonomy).
+enum class Outcome : std::uint8_t {
+  kCorrected,            ///< run finished correct and an error was corrected
+                         ///< (by ECC or by ABFT)
+  kDetectedUncorrected,  ///< the stack reported the fault but could not
+                         ///< repair it (ABFT uncorrectable, kernel failure,
+                         ///< or OS panic): checkpoint/restart territory
+  kSilentDataCorruption, ///< wrong result, nothing detected anything
+  kBenignMasked,         ///< correct result with no correction performed
+                         ///< (fault overwritten or in dead data)
+};
+
+inline constexpr std::array<Outcome, 4> kAllOutcomes = {
+    Outcome::kCorrected, Outcome::kDetectedUncorrected,
+    Outcome::kSilentDataCorruption, Outcome::kBenignMasked};
+
+constexpr std::string_view to_string(Outcome o) {
+  switch (o) {
+    case Outcome::kCorrected: return "corrected";
+    case Outcome::kDetectedUncorrected: return "detected_uncorrected";
+    case Outcome::kSilentDataCorruption: return "silent_data_corruption";
+    case Outcome::kBenignMasked: return "benign_masked";
+  }
+  return "?";
+}
+
+enum class FaultKind : std::uint8_t {
+  kSingleBit,  ///< one DRAM bit flip (Table 5's dominant event)
+  kDoubleBit,  ///< two flips in one 64-bit word: SECDED's guaranteed
+               ///< detected-uncorrectable pattern
+  kChipKill,   ///< whole-chip failure with a stuck-bit-line pattern
+};
+
+constexpr std::string_view to_string(FaultKind k) {
+  switch (k) {
+    case FaultKind::kSingleBit: return "single_bit";
+    case FaultKind::kDoubleBit: return "double_bit";
+    case FaultKind::kChipKill: return "chip_kill";
+  }
+  return "?";
+}
+
+struct FaultScenario {
+  FaultKind kind = FaultKind::kSingleBit;
+  /// Nibble corruption mask for kChipKill (0x3 = two stuck bit-lines).
+  std::uint8_t chip_pattern = 0x3;
+};
+
+struct CampaignOptions {
+  sim::Kernel kernel = sim::Kernel::kDgemm;
+  /// Shared per-trial node configuration. `platform.seed` seeds the kernel
+  /// INPUTS and is identical across trials (one golden run serves all);
+  /// per-trial randomness comes from campaign_seed instead.
+  sim::PlatformOptions platform;
+  FaultScenario fault;
+  std::size_t trials = 256;
+  unsigned threads = 1;
+  std::uint64_t campaign_seed = 7;
+  /// Max |element| deviation from the golden result still counted correct
+  /// (ABFT checksum corrections reconstruct values to roundoff, not bits).
+  double tolerance = 1e-6;
+};
+
+/// Everything deterministic about one trial. Host wall-clock quantities
+/// are deliberately excluded so identical seeds serialize identically.
+struct TrialOutcome {
+  std::uint32_t index = 0;
+  std::uint64_t seed = 0;
+  Outcome outcome = Outcome::kBenignMasked;
+  abft::FtStatus status = abft::FtStatus::kOk;
+  std::uint64_t inject_ref = 0;  ///< 1-based tap reference of the injection
+  std::uint64_t fault_phys = 0;
+  unsigned fault_bit = 0;  ///< bit for bit flips, chip for chip kills
+  std::uint64_t ecc_corrected = 0;
+  std::uint64_t ecc_uncorrectable = 0;
+  std::uint64_t silent_corruptions = 0;
+  std::uint64_t cleared_by_writeback = 0;
+  std::uint64_t abft_detected = 0;
+  std::uint64_t abft_corrected = 0;
+  bool panicked = false;
+  /// The injected fault went through some resolution path (decode,
+  /// silent corruption, or writeback clear). A false value means the
+  /// injection was lost -- the campaign counts it as unclassified.
+  bool materialized = false;
+  double max_abs_error = 0.0;  ///< vs. the golden result
+  /// Simulated time of the trial's run. NOT part of the determinism
+  /// surface (and excluded from the JSONL): kernels with anonymous
+  /// std::vector workspaces map those pages by host heap address, which
+  /// varies with thread scheduling, so cycle counts can wobble by a cache
+  /// miss or two. Outcome fields never depend on timing.
+  double sim_seconds = 0.0;
+};
+
+/// A fraction of trials with its Wilson score interval.
+struct Rate {
+  std::uint64_t count = 0;
+  std::uint64_t total = 0;
+  double fraction = 0.0;
+  double wilson_lo = 0.0;
+  double wilson_hi = 0.0;
+};
+
+struct CampaignResult {
+  CampaignOptions options;
+  sim::RunMetrics golden;  ///< the fault-free reference run
+  std::vector<TrialOutcome> trials;  ///< indexed by trial
+  Rate corrected;
+  Rate detected_uncorrected;
+  Rate silent_data_corruption;
+  Rate benign_masked;
+  /// Trials whose fault never materialized (see TrialOutcome); the CI
+  /// smoke gate requires this to be zero.
+  std::uint64_t unclassified = 0;
+
+  [[nodiscard]] const Rate& rate(Outcome o) const;
+};
+
+struct Interval {
+  double lo = 0.0;
+  double hi = 1.0;
+};
+
+/// Wilson score interval for k successes in n trials at critical value z
+/// (1.96 = 95%). Well-behaved at k = 0 and k = n, unlike the normal
+/// approximation.
+[[nodiscard]] Interval wilson_interval(std::uint64_t k, std::uint64_t n,
+                                       double z = 1.96);
+
+/// Pure classification rule applied to each trial (unit-testable).
+/// `errors_corrected` is the sum of ECC- and ABFT-corrected errors.
+[[nodiscard]] Outcome classify(abft::FtStatus status, bool output_correct,
+                               bool panicked, std::uint64_t errors_corrected);
+
+using Progress = std::function<void(std::size_t done, std::size_t total)>;
+
+/// The fault-free reference run every trial is judged against.
+struct GoldenRun {
+  sim::RunMetrics metrics;
+  std::vector<double> result;
+  std::uint64_t total_refs = 0;
+};
+
+/// Execute the fault-free reference run for `opt`. Callers running several
+/// campaigns in one process should compute every golden run up front,
+/// before any trial pool exists: golden cycle counts are sensitive to host
+/// heap layout (see TrialOutcome::sim_seconds), and pre-pool main-thread
+/// allocation history is the same on every invocation.
+[[nodiscard]] GoldenRun run_golden(const CampaignOptions& opt);
+
+/// Run the campaign: options.trials independent trials against `golden`
+/// on max(1, options.threads) threads. `progress` (optional) is invoked
+/// under a lock after each finished trial.
+[[nodiscard]] CampaignResult run_campaign(const CampaignOptions& opt,
+                                          const GoldenRun& golden,
+                                          const Progress& progress = {});
+
+/// Convenience: run_golden + run_campaign in one call.
+[[nodiscard]] CampaignResult run_campaign(const CampaignOptions& opt,
+                                          const Progress& progress = {});
+
+/// One JSON object per line, deterministic fields only (see TrialOutcome).
+void write_trial_jsonl(std::FILE* f, const CampaignOptions& opt,
+                       const TrialOutcome& t);
+
+}  // namespace abftecc::campaign

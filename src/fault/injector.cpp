@@ -15,14 +15,20 @@ std::uint64_t line_of(std::uint64_t phys) { return phys / kLine * kLine; }
 }  // namespace
 
 Injector::Injector(memsim::MemorySystem& system, os::Os& os)
-    : system_(system), os_(os) {
-  system_.set_fill_hook(
+    : system_(system), os_(os),
+      chained_hook_(std::move(system.hooks().fill_hook)) {
+  // Chain: the injector decodes pending faults first, then any observer
+  // that was already installed still sees the (now corrected) transfer.
+  system_.hooks().fill_hook =
       [this](std::uint64_t line, ecc::Scheme scheme, bool is_write) {
         on_dram_transfer(line, scheme, is_write);
-      });
+        if (chained_hook_) chained_hook_(line, scheme, is_write);
+      };
 }
 
-Injector::~Injector() { system_.set_fill_hook(nullptr); }
+Injector::~Injector() {
+  system_.hooks().fill_hook = std::move(chained_hook_);
+}
 
 void Injector::inject_bit(std::uint64_t phys, unsigned bit) {
   ABFTECC_REQUIRE(bit < 8);

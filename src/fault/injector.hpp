@@ -79,6 +79,9 @@ class Injector {
 
   memsim::MemorySystem& system_;
   os::Os& os_;
+  /// Fill hook that was installed before this injector; called after the
+  /// injector's own handler and restored on destruction.
+  std::function<void(std::uint64_t, ecc::Scheme, bool)> chained_hook_;
   std::unordered_map<std::uint64_t, std::vector<ecc::BitFlip>> pending_;
   InjectorStats stats_;
 };

@@ -6,7 +6,8 @@
 
 namespace abftecc::memsim {
 
-MemorySystem::MemorySystem(const SystemConfig& cfg, ecc::Scheme default_scheme)
+MemorySystem::MemorySystem(const SystemConfig& cfg, ecc::Scheme default_scheme,
+                           Hooks hooks)
     : cfg_(cfg),
       map_(cfg.org, cfg.l2.line_bytes),
       l1_(cfg.l1),
@@ -24,18 +25,19 @@ MemorySystem::MemorySystem(const SystemConfig& cfg, ecc::Scheme default_scheme)
       dram_access_secded_(
           obs::default_registry().counter("memsim.dram_access.secded")),
       dram_access_chipkill_(
-          obs::default_registry().counter("memsim.dram_access.chipkill")) {}
+          obs::default_registry().counter("memsim.dram_access.chipkill")),
+      hooks_(std::move(hooks)) {}
 
 AccessShape MemorySystem::shape_at(std::uint64_t phys, ecc::Scheme s) const {
-  if (shape_override_) {
-    if (auto shape = shape_override_(phys, s)) return *shape;
+  if (hooks_.shape_override) {
+    if (auto shape = hooks_.shape_override(phys, s)) return *shape;
   }
   return shape_for(s);
 }
 
 void MemorySystem::classify_energy(std::uint64_t line_addr, Picojoules pj) {
   stats_.dram_dynamic_pj += pj;
-  if (classifier_ && classifier_(line_addr))
+  if (hooks_.region_classifier && hooks_.region_classifier(line_addr))
     stats_.dram_dynamic_abft_pj += pj;
   else
     stats_.dram_dynamic_other_pj += pj;
@@ -62,7 +64,7 @@ void MemorySystem::dram_request(std::uint64_t line_addr, bool is_write,
 
   if (is_write) ++stats_.writebacks;
   // Fills apply pending faults through the decoder; writebacks clear them.
-  if (fill_hook_) fill_hook_(line_addr, scheme, is_write);
+  if (hooks_.fill_hook) hooks_.fill_hook(line_addr, scheme, is_write);
 
   if (blocking) {
     const double stall_dram = static_cast<double>(res.completion - now);
@@ -110,7 +112,7 @@ void MemorySystem::access(std::uint64_t phys_addr, AccessKind kind) {
   if (a2.hit) return;
 
   ++stats_.demand_misses;
-  if (classifier_ && classifier_(line))
+  if (hooks_.region_classifier && hooks_.region_classifier(line))
     ++stats_.demand_misses_abft;
   else
     ++stats_.demand_misses_other;

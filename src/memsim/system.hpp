@@ -51,10 +51,29 @@ using ShapeOverride =
     std::function<std::optional<AccessShape>(std::uint64_t phys_addr,
                                              ecc::Scheme scheme)>;
 
+/// Cross-layer instrumentation points of the memory system, gathered into
+/// one aggregate passed at construction (or edited through hooks()). The
+/// layers install themselves here -- os::Os owns region_classifier,
+/// fault::Injector chains itself onto fill_hook -- and harness code adds
+/// its own observers on top.
+struct Hooks {
+  /// Classifier for Table 4 / energy attribution: true if the physical
+  /// address belongs to an ABFT-protected structure.
+  std::function<bool(std::uint64_t)> region_classifier;
+  /// Called on every DRAM transfer with (line address, active scheme,
+  /// is_write). The fault-injection layer applies pending errors through
+  /// the scheme's decoder on fills, and discards pending errors on
+  /// writebacks (the write overwrites the corrupted DRAM cells).
+  std::function<void(std::uint64_t, ecc::Scheme, bool)> fill_hook;
+  /// DGMS-style per-access granularity override.
+  ShapeOverride shape_override;
+};
+
 class MemorySystem {
  public:
   MemorySystem(const SystemConfig& cfg,
-               ecc::Scheme default_scheme = ecc::Scheme::kChipkill);
+               ecc::Scheme default_scheme = ecc::Scheme::kChipkill,
+               Hooks hooks = {});
 
   /// One memory reference from the core. kUpdate is a read-modify-write of
   /// one location (single cache access that dirties the line).
@@ -74,22 +93,25 @@ class MemorySystem {
   const SystemConfig& config() const { return cfg_; }
   DramSystem& dram() { return dram_; }
 
-  /// Classifier for Table 4 / energy attribution: true if the physical
-  /// address belongs to an ABFT-protected structure.
+  /// The live hook set (see Hooks). Mutable so layers can chain onto an
+  /// already-installed hook instead of silently replacing it.
+  [[nodiscard]] Hooks& hooks() { return hooks_; }
+  [[nodiscard]] const Hooks& hooks() const { return hooks_; }
+
+  [[deprecated("pass memsim::Hooks at construction or edit hooks()")]]
   void set_region_classifier(std::function<bool(std::uint64_t)> f) {
-    classifier_ = std::move(f);
+    hooks_.region_classifier = std::move(f);
   }
 
-  /// Called on every DRAM transfer with (line address, active scheme,
-  /// is_write). The fault-injection layer applies pending errors through
-  /// the scheme's decoder on fills, and discards pending errors on
-  /// writebacks (the write overwrites the corrupted DRAM cells).
+  [[deprecated("pass memsim::Hooks at construction or edit hooks()")]]
   void set_fill_hook(std::function<void(std::uint64_t, ecc::Scheme, bool)> f) {
-    fill_hook_ = std::move(f);
+    hooks_.fill_hook = std::move(f);
   }
 
-  /// DGMS-style per-access granularity override.
-  void set_shape_override(ShapeOverride f) { shape_override_ = std::move(f); }
+  [[deprecated("pass memsim::Hooks at construction or edit hooks()")]]
+  void set_shape_override(ShapeOverride f) {
+    hooks_.shape_override = std::move(f);
+  }
 
   // --- results ------------------------------------------------------------
 
@@ -142,9 +164,7 @@ class MemorySystem {
   obs::Counter& dram_access_none_;
   obs::Counter& dram_access_secded_;
   obs::Counter& dram_access_chipkill_;
-  std::function<bool(std::uint64_t)> classifier_;
-  std::function<void(std::uint64_t, ecc::Scheme, bool)> fill_hook_;
-  ShapeOverride shape_override_;
+  Hooks hooks_;
   /// Fixed controller/queueing overhead added to every DRAM round trip.
   static constexpr unsigned kMcOverheadCpuCycles = 12;
 };

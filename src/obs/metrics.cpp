@@ -203,9 +203,25 @@ std::string Registry::to_json() const {
   return w.take();
 }
 
-Registry& default_registry() {
-  static Registry registry;
-  return registry;
+namespace {
+
+Registry*& registry_slot() {
+  thread_local Registry* slot = nullptr;
+  return slot;
 }
+
+}  // namespace
+
+Registry& default_registry() {
+  if (Registry* r = registry_slot(); r != nullptr) return *r;
+  thread_local Registry owned;
+  return owned;
+}
+
+RegistryScope::RegistryScope(Registry& r) : prev_(registry_slot()) {
+  registry_slot() = &r;
+}
+
+RegistryScope::~RegistryScope() { registry_slot() = prev_; }
 
 }  // namespace abftecc::obs

@@ -4,7 +4,9 @@
 //
 // Design constraints, in order:
 //  * hot-path cost: an update is one add on a cached reference -- no name
-//    lookup, no allocation, no lock (the simulator is single-threaded);
+//    lookup, no allocation, no lock (instruments are thread-confined:
+//    every thread sees its own default_registry(), so parallel campaign
+//    trials never share an instrument);
 //  * stable identity: instruments live as long as the registry, so layers
 //    cache `Counter&`/`Histogram&` at construction and update blindly;
 //  * resettable values: `Registry::reset()` zeroes every instrument but
@@ -146,7 +148,23 @@ class Registry {
   std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;
 };
 
-/// Process-wide registry the simulation layers record into.
+/// Registry the simulation layers on this thread record into. Each thread
+/// gets its own lazily-created instance (parallel campaign trials cannot
+/// race on counters), and RegistryScope overrides it for a lexical scope.
 Registry& default_registry();
+
+/// RAII override of this thread's default_registry(): install `r`, restore
+/// the previous binding on destruction. Scopes nest; destroy them LIFO.
+/// sim::Session uses this to give each session private instruments.
+class RegistryScope {
+ public:
+  explicit RegistryScope(Registry& r);
+  ~RegistryScope();
+  RegistryScope(const RegistryScope&) = delete;
+  RegistryScope& operator=(const RegistryScope&) = delete;
+
+ private:
+  Registry* prev_;
+};
 
 }  // namespace abftecc::obs

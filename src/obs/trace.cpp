@@ -142,9 +142,25 @@ bool Tracer::write_chrome_trace(const std::string& path) const {
   return std::fclose(f) == 0 && ok;
 }
 
-Tracer& default_tracer() {
-  static Tracer tracer;
-  return tracer;
+namespace {
+
+Tracer*& tracer_slot() {
+  thread_local Tracer* slot = nullptr;
+  return slot;
 }
+
+}  // namespace
+
+Tracer& default_tracer() {
+  if (Tracer* t = tracer_slot(); t != nullptr) return *t;
+  thread_local Tracer owned;
+  return owned;
+}
+
+TracerScope::TracerScope(Tracer& t) : prev_(tracer_slot()) {
+  tracer_slot() = &t;
+}
+
+TracerScope::~TracerScope() { tracer_slot() = prev_; }
 
 }  // namespace abftecc::obs

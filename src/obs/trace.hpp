@@ -126,8 +126,22 @@ class Tracer {
   bool enabled_ = false;
 };
 
-/// Process-wide tracer every instrumented layer records into. Disabled
+/// Tracer the instrumented layers on this thread record into. Disabled
 /// until something (a test, or a bench binary's --trace flag) enables it.
+/// Per-thread like obs::default_registry(), and overridable the same way.
 Tracer& default_tracer();
+
+/// RAII override of this thread's default_tracer(); same nesting contract
+/// as obs::RegistryScope.
+class TracerScope {
+ public:
+  explicit TracerScope(Tracer& t);
+  ~TracerScope();
+  TracerScope(const TracerScope&) = delete;
+  TracerScope& operator=(const TracerScope&) = delete;
+
+ private:
+  Tracer* prev_;
+};
 
 }  // namespace abftecc::obs

@@ -18,13 +18,13 @@ Os::Os(memsim::MemorySystem& system)
       pages_(system.config().capacity_bytes, system.config().page_bytes) {
   system_.controller().set_interrupt_handler(
       [this](const memsim::ErrorRecord& rec) { handle_ecc_interrupt(rec); });
-  system_.set_region_classifier(
-      [this](std::uint64_t phys) { return is_abft_protected_phys(phys); });
+  system_.hooks().region_classifier =
+      [this](std::uint64_t phys) { return is_abft_protected_phys(phys); };
 }
 
 Os::~Os() {
   system_.controller().set_interrupt_handler(nullptr);
-  system_.set_region_classifier(nullptr);
+  system_.hooks().region_classifier = nullptr;
 }
 
 void* Os::allocate(std::size_t n, ecc::Scheme scheme, std::string name,
@@ -139,6 +139,16 @@ std::optional<std::byte*> Os::phys_to_host(std::uint64_t phys) {
 bool Os::is_abft_protected_phys(std::uint64_t phys) const {
   const Region* r = region_of_phys(phys);
   return r != nullptr && r->abft_protected;
+}
+
+std::vector<std::pair<std::uint64_t, std::uint64_t>> Os::abft_phys_ranges()
+    const {
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> out;
+  for (const auto& a : allocations_) {
+    const Region& r = a->region;
+    if (r.abft_protected) out.emplace_back(r.phys_base, r.phys_base + r.size);
+  }
+  return out;
 }
 
 bool Os::retire_and_migrate(const void* vaddr) {

@@ -18,6 +18,7 @@
 #include <optional>
 #include <string>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "ecc/scheme.hpp"
@@ -86,6 +87,11 @@ class Os {
   [[nodiscard]] bool is_abft_protected_phys(std::uint64_t phys) const;
   [[nodiscard]] const Region* region_of(const void* p) const;
   [[nodiscard]] const Region* region_of_phys(std::uint64_t phys) const;
+
+  /// Physical [begin, end) ranges of the live ABFT-protected allocations.
+  /// Fault campaigns sample injection sites uniformly over these bytes.
+  [[nodiscard]] std::vector<std::pair<std::uint64_t, std::uint64_t>>
+  abft_phys_ranges() const;
 
   // --- interrupt handling & error exposure ---------------------------------
 

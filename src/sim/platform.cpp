@@ -4,6 +4,8 @@
 #include <cstdlib>
 #include <cstring>
 #include <memory>
+#include <optional>
+#include <utility>
 
 #include "abft/ft_cg.hpp"
 #include "abft/ft_cholesky.hpp"
@@ -11,11 +13,11 @@
 #include "abft/ft_hpl.hpp"
 #include "abft/runtime.hpp"
 #include "common/rng.hpp"
+#include "fault/injector.hpp"
 #include "linalg/generate.hpp"
 #include "obs/trace.hpp"
 #include "os/os.hpp"
 #include "sim/dgms.hpp"
-#include "sim/tap.hpp"
 
 namespace abftecc::sim {
 
@@ -41,6 +43,19 @@ void print_usage(const char* prog) {
       "  --hw-assisted          enable hardware-assisted (simplified) verify\n"
       "  --help                 show this message\n",
       prog);
+}
+
+void copy_into(MatrixView dst, ConstMatrixView src) {
+  ABFTECC_REQUIRE(dst.rows() == src.rows() && dst.cols() == src.cols());
+  for (std::size_t j = 0; j < src.cols(); ++j)
+    for (std::size_t i = 0; i < src.rows(); ++i) dst(i, j) = src(i, j);
+}
+
+abft::FtOptions ft_options(const PlatformOptions& opt) {
+  abft::FtOptions fo;
+  fo.verify_period = opt.verify_period;
+  fo.hardware_assisted = opt.hardware_assisted;
+  return fo;
 }
 
 }  // namespace
@@ -100,35 +115,53 @@ CliReport parse_cli(int argc, char** argv, PlatformOptions& opt) {
   return out;
 }
 
-namespace {
-
-/// One simulated node wired end to end.
-struct Node {
+/// The wired node. Member order is load-bearing: the obs scopes precede
+/// the MemorySystem so a private registry is already installed when the
+/// system caches its instrument references, and the destructor tears the
+/// layers down in reverse (Injector and Os unhook themselves while the
+/// MemorySystem is still alive) before the scopes restore the thread's
+/// previous obs bindings.
+struct Session::Impl {
+  PlatformOptions opt;
+  std::unique_ptr<obs::Registry> own_registry;
+  std::unique_ptr<obs::Tracer> own_tracer;
+  std::optional<obs::RegistryScope> registry_scope;
+  std::optional<obs::TracerScope> tracer_scope;
   memsim::SystemConfig cfg;
+  std::shared_ptr<DgmsController> dgms;
   std::unique_ptr<memsim::MemorySystem> sys;
   std::unique_ptr<abftecc::os::Os> osl;
   std::unique_ptr<abft::Runtime> rt;
   std::unique_ptr<TapContext> ctx;
-  std::shared_ptr<DgmsController> dgms;
+  std::unique_ptr<fault::Injector> inj;
+  void* flusher = nullptr;  ///< lazily allocated flush_caches() buffer
   std::uint64_t abft_bytes = 0;
   std::uint64_t total_bytes = 0;
+  std::vector<double> last_result;
 
-  explicit Node(const PlatformOptions& opt) {
+  Impl(const PlatformOptions& o, memsim::Hooks hooks, bool private_obs)
+      : opt(o) {
+    if (private_obs) {
+      own_registry = std::make_unique<obs::Registry>();
+      own_tracer = std::make_unique<obs::Tracer>();
+      registry_scope.emplace(*own_registry);
+      tracer_scope.emplace(*own_tracer);
+    }
     cfg = memsim::SystemConfig::scaled(opt.cache_scale);
     cfg.row_policy = opt.row_policy;
-    sys = std::make_unique<memsim::MemorySystem>(
-        cfg, spec(opt.strategy).default_scheme);
-    osl = std::make_unique<abftecc::os::Os>(*sys);
-    rt = std::make_unique<abft::Runtime>(osl.get());
-    ctx = std::make_unique<TapContext>(*osl, *sys);
     if (opt.use_dgms) {
       dgms = std::make_shared<DgmsController>(cfg.page_bytes);
       auto predictor = dgms;
-      sys->set_shape_override(
-          [predictor](std::uint64_t phys, ecc::Scheme s) {
-            return predictor->shape(phys, s);
-          });
+      hooks.shape_override = [predictor](std::uint64_t phys, ecc::Scheme s) {
+        return predictor->shape(phys, s);
+      };
     }
+    sys = std::make_unique<memsim::MemorySystem>(
+        cfg, spec(opt.strategy).default_scheme, std::move(hooks));
+    osl = std::make_unique<abftecc::os::Os>(*sys);
+    rt = std::make_unique<abft::Runtime>(osl.get());
+    ctx = std::make_unique<TapContext>(*osl, *sys);
+    inj = std::make_unique<fault::Injector>(*sys, *osl);
   }
 
   MatrixView abft_matrix(std::size_t rows, std::size_t cols,
@@ -155,150 +188,230 @@ struct Node {
     auto m = abft_matrix(n, 1, scheme, name);
     return {m.data(), n};
   }
+
+  RunMetrics collect(Kernel k, const abft::FtStats& ft,
+                     abft::FtStatus status) const {
+    RunMetrics m;
+    m.kernel = k;
+    m.strategy = opt.strategy;
+    m.sys = sys->stats();
+    m.l1 = sys->l1_stats();
+    m.l2 = sys->l2_stats();
+    m.dram = sys->dram_stats();
+    m.seconds = sys->elapsed_seconds();
+    m.ipc = m.sys.ipc();
+    m.mem_dynamic_pj = sys->memory_dynamic_energy_pj();
+    m.mem_standby_pj = sys->memory_standby_energy_pj();
+    m.processor_pj = sys->processor_energy_pj();
+    m.mem_dynamic_abft_pj = m.sys.dram_dynamic_abft_pj;
+    m.mem_dynamic_other_pj = m.sys.dram_dynamic_other_pj;
+    m.refs_abft = ctx->refs_abft();
+    m.refs_other = ctx->refs_other();
+    m.ft = ft;
+    m.status = status;
+    m.abft_bytes = abft_bytes;
+    m.total_bytes = total_bytes;
+    return m;
+  }
+
+  void capture(ConstMatrixView v) {
+    last_result.clear();
+    last_result.reserve(v.rows() * v.cols());
+    for (std::size_t i = 0; i < v.rows(); ++i)
+      for (std::size_t j = 0; j < v.cols(); ++j)
+        last_result.push_back(v(i, j));
+  }
+
+  void capture(std::span<const double> v) {
+    last_result.assign(v.begin(), v.end());
+  }
+
+  RunMetrics run_dgemm() {
+    const ecc::Scheme abft_scheme = spec(opt.strategy).abft_scheme;
+    const std::size_t n = opt.dgemm_dim;
+    Rng rng(opt.seed);
+    Matrix a_host = Matrix::random(n, n, rng);
+    Matrix b_host = Matrix::random(n, n, rng);
+
+    // Inputs are consumed once during encoding and are not ABFT-protected.
+    MatrixView a = plain_matrix(n, n, "dgemm.A");
+    MatrixView b = plain_matrix(n, n, "dgemm.B");
+    copy_into(a, a_host.view());
+    copy_into(b, b_host.view());
+
+    abft::FtDgemm::Buffers buf{abft_matrix(n + 1, n, abft_scheme, "dgemm.Ac"),
+                               abft_matrix(n, n + 1, abft_scheme, "dgemm.Br"),
+                               abft_matrix(n + 1, n + 1, abft_scheme,
+                                           "dgemm.Cf")};
+    abft::FtDgemm ft(ConstMatrixView(a), ConstMatrixView(b), buf,
+                     ft_options(opt), rt.get());
+    const abft::FtStatus st = ft.run(MemoryTap(*ctx));
+    capture(ft.result());
+    return collect(Kernel::kDgemm, ft.stats(), st);
+  }
+
+  RunMetrics run_cholesky() {
+    const ecc::Scheme abft_scheme = spec(opt.strategy).abft_scheme;
+    const std::size_t n = opt.cholesky_dim;
+    Rng rng(opt.seed);
+    Matrix a_host = Matrix::random_spd(n, rng);
+
+    MatrixView a = abft_matrix(n, n, abft_scheme, "cholesky.A");
+    copy_into(a, a_host.view());
+    MatrixView chk = abft_matrix(n, 2, abft_scheme, "cholesky.checksums");
+    abft::FtCholesky::Buffers buf{a, chk.col(0), chk.col(1)};
+    abft::FtCholesky ft(buf, ft_options(opt), rt.get());
+    const abft::FtStatus st = ft.run(MemoryTap(*ctx));
+    capture(ConstMatrixView(a));
+    return collect(Kernel::kCholesky, ft.stats(), st);
+  }
+
+  RunMetrics run_cg(std::size_t dim, std::size_t iterations) {
+    const ecc::Scheme abft_scheme = spec(opt.strategy).abft_scheme;
+    const std::size_t n = dim;
+    Rng rng(opt.seed);
+    linalg::LinearSystem lin = linalg::make_spd_system(n, rng);
+
+    // FT-CG's ABFT region covers the vectors of Section 2.1 plus the static
+    // operator matrix, protected by per-column checksums (see DESIGN.md).
+    MatrixView a = abft_matrix(n, n, abft_scheme, "cg.A");
+    copy_into(a, lin.a.view());
+    MatrixView vecs = abft_matrix(n, 5, abft_scheme, "cg.vectors");
+    std::span<double> b = abft_vector(n, abft_scheme, "cg.b");
+    for (std::size_t i = 0; i < n; ++i) b[i] = lin.b[i];
+
+    abft::FtCg::Buffers buf{vecs.col(0), vecs.col(1), vecs.col(2),
+                            vecs.col(3), vecs.col(4)};
+    vecs.fill(0.0);
+    linalg::CgOptions cg_opt;
+    cg_opt.max_iterations = iterations;
+    cg_opt.tolerance = 1e-30;  // representative phase: run exactly N iters
+    abft::FtCg ft(a, b, buf, cg_opt, ft_options(opt), rt.get());
+    const abft::FtCgResult res = ft.run(MemoryTap(*ctx));
+    // A non-converged representative phase is the expected outcome here.
+    const abft::FtStatus st = res.status == abft::FtStatus::kNumericalFailure
+                                  ? abft::FtStatus::kOk
+                                  : res.status;
+    capture(std::span<const double>(vecs.col(0).data(), n));
+    return collect(Kernel::kCg, ft.stats(), st);
+  }
+
+  RunMetrics run_hpl() {
+    const ecc::Scheme abft_scheme = spec(opt.strategy).abft_scheme;
+    const std::size_t n = opt.hpl_dim;
+    const std::size_t h = n / opt.hpl_processes;
+    Rng rng(opt.seed);
+    linalg::LinearSystem lin = linalg::make_general_system(n, rng);
+
+    abft::FtHpl::Buffers buf{abft_matrix(n + h, n + 1, abft_scheme, "hpl.Ae"),
+                             abft_matrix(h, n + 1, abft_scheme, "hpl.Uc")};
+    abft::FtHpl ft(lin.a.view(), lin.b, opt.hpl_processes, buf,
+                   ft_options(opt), rt.get());
+    const abft::FtStatus st = ft.factor(MemoryTap(*ctx));
+    // Back-substitution result: the quantity campaigns compare. Untapped:
+    // the representative (timed) phase is the factorization.
+    std::vector<double> x(n, 0.0);
+    if (st != abft::FtStatus::kUncorrectable) ft.solve(x);
+    last_result = std::move(x);
+    return collect(Kernel::kHpl, ft.stats(), st);
+  }
 };
 
-void copy_into(MatrixView dst, ConstMatrixView src) {
-  ABFTECC_REQUIRE(dst.rows() == src.rows() && dst.cols() == src.cols());
-  for (std::size_t j = 0; j < src.cols(); ++j)
-    for (std::size_t i = 0; i < src.rows(); ++i) dst(i, j) = src(i, j);
+Session::Session(std::unique_ptr<Impl> impl) : impl_(std::move(impl)) {}
+Session::~Session() = default;
+Session::Session(Session&&) noexcept = default;
+Session& Session::operator=(Session&&) noexcept = default;
+
+memsim::MemorySystem& Session::memory() { return *impl_->sys; }
+abftecc::os::Os& Session::os() { return *impl_->osl; }
+abft::Runtime& Session::runtime() { return *impl_->rt; }
+fault::Injector& Session::injector() { return *impl_->inj; }
+TapContext& Session::tap_context() { return *impl_->ctx; }
+
+obs::Registry& Session::metrics() {
+  return impl_->own_registry ? *impl_->own_registry : obs::default_registry();
 }
 
-RunMetrics collect(Kernel k, const PlatformOptions& opt, const Node& node,
-                   const abft::FtStats& ft, abft::FtStatus status) {
-  RunMetrics m;
-  m.kernel = k;
-  m.strategy = opt.strategy;
-  m.sys = node.sys->stats();
-  m.l1 = node.sys->l1_stats();
-  m.l2 = node.sys->l2_stats();
-  m.dram = node.sys->dram_stats();
-  m.seconds = node.sys->elapsed_seconds();
-  m.ipc = m.sys.ipc();
-  m.mem_dynamic_pj = node.sys->memory_dynamic_energy_pj();
-  m.mem_standby_pj = node.sys->memory_standby_energy_pj();
-  m.processor_pj = node.sys->processor_energy_pj();
-  m.mem_dynamic_abft_pj = m.sys.dram_dynamic_abft_pj;
-  m.mem_dynamic_other_pj = m.sys.dram_dynamic_other_pj;
-  m.refs_abft = node.ctx->refs_abft();
-  m.refs_other = node.ctx->refs_other();
-  m.ft = ft;
-  m.status = status;
-  m.abft_bytes = node.abft_bytes;
-  m.total_bytes = node.total_bytes;
-  return m;
+obs::Tracer& Session::tracer() {
+  return impl_->own_tracer ? *impl_->own_tracer : obs::default_tracer();
 }
 
-abft::FtOptions ft_options(const PlatformOptions& opt) {
-  abft::FtOptions fo;
-  fo.verify_period = opt.verify_period;
-  fo.hardware_assisted = opt.hardware_assisted;
-  return fo;
+const PlatformOptions& Session::options() const { return impl_->opt; }
+
+ecc::Scheme Session::abft_scheme() const {
+  return spec(impl_->opt.strategy).abft_scheme;
 }
 
-RunMetrics run_dgemm(const PlatformOptions& opt) {
-  Node node(opt);
-  const ecc::Scheme abft_scheme = spec(opt.strategy).abft_scheme;
-  const std::size_t n = opt.dgemm_dim;
-  Rng rng(opt.seed);
-  Matrix a_host = Matrix::random(n, n, rng);
-  Matrix b_host = Matrix::random(n, n, rng);
-
-  // Inputs are consumed once during encoding and are not ABFT-protected.
-  MatrixView a = node.plain_matrix(n, n, "dgemm.A");
-  MatrixView b = node.plain_matrix(n, n, "dgemm.B");
-  copy_into(a, a_host.view());
-  copy_into(b, b_host.view());
-
-  abft::FtDgemm::Buffers buf{
-      node.abft_matrix(n + 1, n, abft_scheme, "dgemm.Ac"),
-      node.abft_matrix(n, n + 1, abft_scheme, "dgemm.Br"),
-      node.abft_matrix(n + 1, n + 1, abft_scheme, "dgemm.Cf")};
-  abft::FtDgemm ft(ConstMatrixView(a), ConstMatrixView(b), buf,
-                   ft_options(opt), node.rt.get());
-  const abft::FtStatus st = ft.run(MemoryTap(*node.ctx));
-  return collect(Kernel::kDgemm, opt, node, ft.stats(), st);
+MatrixView Session::abft_matrix(std::size_t rows, std::size_t cols,
+                                const char* name) {
+  return impl_->abft_matrix(rows, cols, abft_scheme(), name);
 }
 
-RunMetrics run_cholesky(const PlatformOptions& opt) {
-  Node node(opt);
-  const ecc::Scheme abft_scheme = spec(opt.strategy).abft_scheme;
-  const std::size_t n = opt.cholesky_dim;
-  Rng rng(opt.seed);
-  Matrix a_host = Matrix::random_spd(n, rng);
-
-  MatrixView a = node.abft_matrix(n, n, abft_scheme, "cholesky.A");
-  copy_into(a, a_host.view());
-  MatrixView chk = node.abft_matrix(n, 2, abft_scheme, "cholesky.checksums");
-  abft::FtCholesky::Buffers buf{a, chk.col(0), chk.col(1)};
-  abft::FtCholesky ft(buf, ft_options(opt), node.rt.get());
-  const abft::FtStatus st = ft.run(MemoryTap(*node.ctx));
-  return collect(Kernel::kCholesky, opt, node, ft.stats(), st);
+MatrixView Session::abft_matrix(std::size_t rows, std::size_t cols,
+                                ecc::Scheme scheme, const char* name) {
+  return impl_->abft_matrix(rows, cols, scheme, name);
 }
 
-RunMetrics run_cg_impl(std::size_t dim, std::size_t iterations,
-                       const PlatformOptions& opt) {
-  Node node(opt);
-  const ecc::Scheme abft_scheme = spec(opt.strategy).abft_scheme;
-  const std::size_t n = dim;
-  Rng rng(opt.seed);
-  linalg::LinearSystem sys = linalg::make_spd_system(n, rng);
-
-  // FT-CG's ABFT region covers the vectors of Section 2.1 plus the static
-  // operator matrix, protected by per-column checksums (see DESIGN.md).
-  MatrixView a = node.abft_matrix(n, n, abft_scheme, "cg.A");
-  copy_into(a, sys.a.view());
-  MatrixView vecs = node.abft_matrix(n, 5, abft_scheme, "cg.vectors");
-  std::span<double> b = node.abft_vector(n, abft_scheme, "cg.b");
-  for (std::size_t i = 0; i < n; ++i) b[i] = sys.b[i];
-
-  abft::FtCg::Buffers buf{vecs.col(0), vecs.col(1), vecs.col(2), vecs.col(3),
-                          vecs.col(4)};
-  vecs.fill(0.0);
-  linalg::CgOptions cg_opt;
-  cg_opt.max_iterations = iterations;
-  cg_opt.tolerance = 1e-30;  // representative phase: run exactly N iterations
-  abft::FtCg ft(a, b, buf, cg_opt, ft_options(opt), node.rt.get());
-  const abft::FtCgResult res = ft.run(MemoryTap(*node.ctx));
-  // A non-converged representative phase is the expected outcome here.
-  const abft::FtStatus st = res.status == abft::FtStatus::kNumericalFailure
-                                ? abft::FtStatus::kOk
-                                : res.status;
-  return collect(Kernel::kCg, opt, node, ft.stats(), st);
+MatrixView Session::plain_matrix(std::size_t rows, std::size_t cols,
+                                 const char* name) {
+  return impl_->plain_matrix(rows, cols, name);
 }
 
-RunMetrics run_hpl(const PlatformOptions& opt) {
-  Node node(opt);
-  const ecc::Scheme abft_scheme = spec(opt.strategy).abft_scheme;
-  const std::size_t n = opt.hpl_dim;
-  const std::size_t h = n / opt.hpl_processes;
-  Rng rng(opt.seed);
-  linalg::LinearSystem sys = linalg::make_general_system(n, rng);
-
-  abft::FtHpl::Buffers buf{
-      node.abft_matrix(n + h, n + 1, abft_scheme, "hpl.Ae"),
-      node.abft_matrix(h, n + 1, abft_scheme, "hpl.Uc")};
-  abft::FtHpl ft(sys.a.view(), sys.b, opt.hpl_processes, buf,
-                 ft_options(opt), node.rt.get());
-  const abft::FtStatus st = ft.factor(MemoryTap(*node.ctx));
-  return collect(Kernel::kHpl, opt, node, ft.stats(), st);
+std::span<double> Session::abft_vector(std::size_t n, const char* name) {
+  return impl_->abft_vector(n, abft_scheme(), name);
 }
 
-}  // namespace
+std::span<double> Session::abft_vector(std::size_t n, ecc::Scheme scheme,
+                                       const char* name) {
+  return impl_->abft_vector(n, scheme, name);
+}
 
-RunMetrics run_kernel(Kernel kernel, const PlatformOptions& opt) {
+std::uint64_t Session::abft_bytes() const { return impl_->abft_bytes; }
+std::uint64_t Session::total_bytes() const { return impl_->total_bytes; }
+
+void Session::flush_caches() {
+  const std::size_t bytes = 4 * impl_->cfg.l2.size_bytes;
+  if (impl_->flusher == nullptr) {
+    impl_->flusher = impl_->osl->malloc_plain(bytes, "session.flush");
+    ABFTECC_REQUIRE(impl_->flusher != nullptr);
+  }
+  const std::uint64_t phys = *impl_->osl->virt_to_phys(impl_->flusher);
+  for (std::uint64_t off = 0; off < bytes; off += 64)
+    impl_->sys->access(phys + off, memsim::AccessKind::kRead);
+}
+
+RunMetrics Session::run(Kernel kernel) {
   switch (kernel) {
-    case Kernel::kDgemm: return run_dgemm(opt);
-    case Kernel::kCholesky: return run_cholesky(opt);
-    case Kernel::kCg: return run_cg_impl(opt.cg_dim, opt.cg_iterations, opt);
-    case Kernel::kHpl: return run_hpl(opt);
+    case Kernel::kDgemm: return impl_->run_dgemm();
+    case Kernel::kCholesky: return impl_->run_cholesky();
+    case Kernel::kCg:
+      return impl_->run_cg(impl_->opt.cg_dim, impl_->opt.cg_iterations);
+    case Kernel::kHpl: return impl_->run_hpl();
   }
   ABFTECC_REQUIRE(!"unknown kernel");
   return {};
 }
 
+RunMetrics Session::run_cg(std::size_t dim, std::size_t iterations) {
+  return impl_->run_cg(dim, iterations);
+}
+
+const std::vector<double>& Session::last_result() const {
+  return impl_->last_result;
+}
+
+Session Session::Builder::build() {
+  return Session(
+      std::make_unique<Impl>(opt_, std::move(hooks_), private_obs_));
+}
+
+RunMetrics run_kernel(Kernel kernel, const PlatformOptions& opt) {
+  return Session::Builder(opt).build().run(kernel);
+}
+
 RunMetrics run_cg_at_dim(std::size_t dim, std::size_t iterations,
                          const PlatformOptions& opt) {
-  return run_cg_impl(dim, iterations, opt);
+  return Session::Builder(opt).build().run_cg(dim, iterations);
 }
 
 }  // namespace abftecc::sim

@@ -4,13 +4,28 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
+#include <span>
 #include <string>
+#include <vector>
 
 #include "abft/common.hpp"
+#include "common/matrix.hpp"
 #include "common/units.hpp"
 #include "memsim/config.hpp"
 #include "memsim/system.hpp"
 #include "sim/strategy.hpp"
+#include "sim/tap.hpp"
+
+namespace abftecc::abft {
+class Runtime;
+}
+namespace abftecc::fault {
+class Injector;
+}
+namespace abftecc::obs {
+class Tracer;
+}
 
 namespace abftecc::sim {
 
@@ -73,6 +88,143 @@ struct RunMetrics {
   }
 };
 
+/// One fully wired simulated node behind a single facade (paper Figure 4):
+/// MemorySystem -> Os -> abft::Runtime -> TapContext, with a
+/// fault::Injector chained into the DRAM-transfer hook. Construct through
+/// Session::Builder; every bench harness, example, and campaign trial goes
+/// through here instead of hand-wiring the layers.
+///
+/// A Session is one node. run() may be called repeatedly (stats
+/// accumulate, each run allocates fresh kernel buffers); harnesses that
+/// want per-run isolation build a fresh Session per run, which is exactly
+/// what the run_kernel() convenience wrapper does.
+class Session {
+ public:
+  class Builder;
+
+  ~Session();
+  Session(Session&&) noexcept;
+  Session& operator=(Session&&) noexcept;
+
+  // --- wired components ----------------------------------------------------
+
+  [[nodiscard]] memsim::MemorySystem& memory();
+  [[nodiscard]] os::Os& os();
+  [[nodiscard]] abft::Runtime& runtime();
+  [[nodiscard]] fault::Injector& injector();
+  [[nodiscard]] TapContext& tap_context();
+  [[nodiscard]] MemoryTap tap() { return MemoryTap(tap_context()); }
+  /// Instruments this session records into: the thread's defaults, or the
+  /// session-private pair under Builder::private_observability().
+  [[nodiscard]] obs::Registry& metrics();
+  [[nodiscard]] obs::Tracer& tracer();
+  [[nodiscard]] const PlatformOptions& options() const;
+  /// Scheme malloc_ecc assigns to ABFT-protected structures here
+  /// (spec(strategy).abft_scheme).
+  [[nodiscard]] ecc::Scheme abft_scheme() const;
+
+  // --- allocation ----------------------------------------------------------
+
+  /// ABFT-protected allocation under the strategy's relaxed scheme (or an
+  /// explicit one); counted in abft_bytes()/total_bytes().
+  MatrixView abft_matrix(std::size_t rows, std::size_t cols, const char* name);
+  MatrixView abft_matrix(std::size_t rows, std::size_t cols,
+                         ecc::Scheme scheme, const char* name);
+  /// Plain allocation under the node's default (strong) scheme.
+  MatrixView plain_matrix(std::size_t rows, std::size_t cols,
+                          const char* name);
+  std::span<double> abft_vector(std::size_t n, const char* name);
+  std::span<double> abft_vector(std::size_t n, ecc::Scheme scheme,
+                                const char* name);
+  [[nodiscard]] std::uint64_t abft_bytes() const;
+  [[nodiscard]] std::uint64_t total_bytes() const;
+
+  /// Stream a scratch buffer 4x the LLC through the node so dirty kernel
+  /// lines are written back to DRAM -- the standard idiom before injecting
+  /// DRAM faults that must survive until the next fill.
+  void flush_caches();
+
+  // --- running kernels -----------------------------------------------------
+
+  /// Generate the kernel's inputs from options().seed, allocate its ABFT
+  /// buffers, and run it to completion on this node.
+  RunMetrics run(Kernel kernel);
+  /// FT-CG at an explicit dimension/iteration count (scaling studies).
+  RunMetrics run_cg(std::size_t dim, std::size_t iterations);
+  /// Logical output of the last run(): the row-major result matrix
+  /// (FT-DGEMM), factored matrix (FT-Cholesky), or solution vector
+  /// (FT-CG/FT-HPL). Fault campaigns compare this against a golden run.
+  [[nodiscard]] const std::vector<double>& last_result() const;
+
+ private:
+  friend class Builder;
+  struct Impl;
+  explicit Session(std::unique_ptr<Impl> impl);
+  std::unique_ptr<Impl> impl_;
+};
+
+/// Builder-style front door: options -> build() -> run(Kernel) -> RunMetrics.
+class Session::Builder {
+ public:
+  Builder() = default;
+  explicit Builder(const PlatformOptions& opt) : opt_(opt) {}
+
+  Builder& options(const PlatformOptions& o) {
+    opt_ = o;
+    return *this;
+  }
+  Builder& strategy(Strategy s) {
+    opt_.strategy = s;
+    return *this;
+  }
+  Builder& seed(std::uint64_t s) {
+    opt_.seed = s;
+    return *this;
+  }
+  Builder& verify_period(std::size_t p) {
+    opt_.verify_period = p;
+    return *this;
+  }
+  Builder& hardware_assisted(bool on = true) {
+    opt_.hardware_assisted = on;
+    return *this;
+  }
+  Builder& use_dgms(bool on = true) {
+    opt_.use_dgms = on;
+    return *this;
+  }
+  Builder& cache_scale(unsigned s) {
+    opt_.cache_scale = s;
+    return *this;
+  }
+  Builder& row_policy(memsim::RowBufferPolicy p) {
+    opt_.row_policy = p;
+    return *this;
+  }
+  /// Extra hooks merged into the node wiring. The injector chains itself
+  /// after a fill_hook installed here; shape_override is taken verbatim
+  /// unless use_dgms replaces it.
+  Builder& hooks(memsim::Hooks h) {
+    hooks_ = std::move(h);
+    return *this;
+  }
+  /// Give the session its own Registry + Tracer, installed as this
+  /// thread's obs defaults for the session's whole lifetime (stacked
+  /// sessions on one thread must be destroyed LIFO). Campaign trials use
+  /// this so parallel sessions never share instruments.
+  Builder& private_observability(bool on = true) {
+    private_obs_ = on;
+    return *this;
+  }
+
+  [[nodiscard]] Session build();
+
+ private:
+  PlatformOptions opt_;
+  memsim::Hooks hooks_;
+  bool private_obs_ = false;
+};
+
 /// Output destinations requested on a bench binary's command line.
 struct CliReport {
   std::string json_path;   ///< --json <path>: schema-stable machine report
@@ -85,7 +237,8 @@ struct CliReport {
 /// exits. `--trace` additionally enables the global tracer.
 CliReport parse_cli(int argc, char** argv, PlatformOptions& opt);
 
-/// Run `kernel` under `opt` on a fresh simulated node.
+/// Run `kernel` under `opt` on a fresh simulated node: a thin wrapper over
+/// Session::Builder(opt).build().run(kernel).
 RunMetrics run_kernel(Kernel kernel, const PlatformOptions& opt);
 
 /// FT-CG at an explicit dimension/iteration count (scaling studies).

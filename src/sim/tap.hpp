@@ -10,7 +10,9 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <unordered_map>
+#include <utility>
 
 #include "common/tap.hpp"
 #include "memsim/system.hpp"
@@ -53,6 +55,22 @@ class TapContext {
     const std::uint64_t line = 64;
     if ((phys % line) + bytes > line)
       system_.access(phys + bytes - 1, kind);
+    if (trigger_ && refs_abft_ + refs_other_ >= trigger_at_) {
+      // One-shot: clear before firing so the callback may itself issue
+      // accesses (fault materialization reads lines through the system).
+      auto fn = std::move(trigger_);
+      trigger_ = nullptr;
+      fn();
+    }
+  }
+
+  /// Fire `fn` exactly once, right after the `at`-th reference (1-based)
+  /// issues. The campaign engine uses this to inject a fault at a
+  /// deterministic point in the middle of a run; `at` past the run's total
+  /// reference count never fires.
+  void set_ref_trigger(std::uint64_t at, std::function<void()> fn) {
+    trigger_at_ = at;
+    trigger_ = std::move(fn);
   }
 
   [[nodiscard]] std::uint64_t refs_abft() const { return refs_abft_; }
@@ -78,6 +96,8 @@ class TapContext {
   std::unordered_map<std::uintptr_t, std::uint64_t> anon_pages_;
   std::uint64_t refs_abft_ = 0;
   std::uint64_t refs_other_ = 0;
+  std::uint64_t trigger_at_ = 0;
+  std::function<void()> trigger_;
 };
 
 /// Copyable handle passed by value through the kernels.

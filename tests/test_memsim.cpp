@@ -3,6 +3,8 @@
 // front-end's stat/energy accounting.
 #include <gtest/gtest.h>
 
+#include <utility>
+
 #include "ecc/scheme.hpp"
 #include "memsim/address_map.hpp"
 #include "memsim/cache.hpp"
@@ -317,7 +319,7 @@ TEST(MemorySystem, ChipkillForcedPrefetchGivesNoFillBenefit) {
 
 TEST(MemorySystem, ClassifierSplitsDemandMisses) {
   MemorySystem sys(SystemConfig::scaled(8), ecc::Scheme::kSecded);
-  sys.set_region_classifier([](std::uint64_t a) { return a < 1024; });
+  sys.hooks().region_classifier = [](std::uint64_t a) { return a < 1024; };
   sys.access(0, AccessKind::kRead);     // abft
   sys.access(1 << 20, AccessKind::kRead);  // other
   EXPECT_EQ(sys.stats().demand_misses_abft, 1u);
@@ -344,13 +346,46 @@ TEST(MemorySystem, WritebacksArePosted) {
 TEST(MemorySystem, FillHookSeesDemandFills) {
   MemorySystem sys(SystemConfig::scaled(8), ecc::Scheme::kSecded);
   std::uint64_t fills = 0;
-  sys.set_fill_hook([&](std::uint64_t, ecc::Scheme s, bool is_write) {
+  sys.hooks().fill_hook = [&](std::uint64_t, ecc::Scheme s, bool is_write) {
     if (!is_write) ++fills;
     EXPECT_EQ(s, ecc::Scheme::kSecded);
-  });
+  };
   sys.access(0, AccessKind::kRead);
   sys.access(4096, AccessKind::kRead);
   EXPECT_EQ(fills, 2u);
+}
+
+TEST(MemorySystem, HooksAtConstruction) {
+  // The whole hook set can be supplied up front, before the first access.
+  memsim::Hooks hooks;
+  std::uint64_t abft_fills = 0;
+  hooks.region_classifier = [](std::uint64_t a) { return a < 1024; };
+  hooks.fill_hook = [&](std::uint64_t a, ecc::Scheme, bool is_write) {
+    if (!is_write && a < 1024) ++abft_fills;
+  };
+  MemorySystem sys(SystemConfig::scaled(8), ecc::Scheme::kSecded,
+                   std::move(hooks));
+  sys.access(0, AccessKind::kRead);
+  sys.access(1 << 20, AccessKind::kRead);
+  EXPECT_EQ(abft_fills, 1u);
+  EXPECT_EQ(sys.stats().demand_misses_abft, 1u);
+  EXPECT_EQ(sys.stats().demand_misses_other, 1u);
+}
+
+TEST(MemorySystem, DeprecatedSettersStillForwardToHooks) {
+  // The pre-Hooks setter API must keep working until callers migrate.
+  MemorySystem sys(SystemConfig::scaled(8), ecc::Scheme::kSecded);
+  std::uint64_t fills = 0;
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+  sys.set_region_classifier([](std::uint64_t a) { return a < 1024; });
+  sys.set_fill_hook([&](std::uint64_t, ecc::Scheme, bool) { ++fills; });
+#pragma GCC diagnostic pop
+  EXPECT_TRUE(static_cast<bool>(sys.hooks().region_classifier));
+  EXPECT_TRUE(static_cast<bool>(sys.hooks().fill_hook));
+  sys.access(0, AccessKind::kRead);
+  EXPECT_EQ(fills, 1u);
+  EXPECT_EQ(sys.stats().demand_misses_abft, 1u);
 }
 
 TEST(MemorySystem, ProcessorEnergyScalesWithTimeAndIpc) {
@@ -365,9 +400,9 @@ TEST(MemorySystem, SchemeForConsultsEccRegisters) {
   MemorySystem sys(SystemConfig::scaled(8), ecc::Scheme::kChipkill);
   ASSERT_TRUE(sys.controller().set_range({0, 4096, ecc::Scheme::kNone}));
   std::vector<ecc::Scheme> seen;
-  sys.set_fill_hook([&](std::uint64_t, ecc::Scheme s, bool) {
+  sys.hooks().fill_hook = [&](std::uint64_t, ecc::Scheme s, bool) {
     seen.push_back(s);
-  });
+  };
   sys.access(64, AccessKind::kRead);     // in range: no ECC
   sys.access(1 << 20, AccessKind::kRead);  // outside: chipkill
   ASSERT_EQ(seen.size(), 2u);

@@ -7,6 +7,7 @@
 #include <algorithm>
 #include <cstdlib>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "abft/ft_dgemm.hpp"
@@ -293,6 +294,56 @@ TEST(ObsIntegration, InjectedFaultLeavesFullCooperativeChainInTrace) {
   tracer.enable(false);
   tracer.clear();
   reg.reset();
+}
+
+// ----------------------------------------------------- thread confinement --
+
+// Regression for the campaign engine: default_registry() hands each thread
+// its own instance, so concurrent sessions never race (or even see) each
+// other's counters.
+TEST(Metrics, DefaultRegistryIsPerThread) {
+  constexpr int kThreads = 8;
+  constexpr std::uint64_t kIncrements = 10000;
+  std::vector<std::thread> pool;
+  std::vector<std::uint64_t> observed(kThreads, 0);
+  pool.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t)
+    pool.emplace_back([&observed, t] {
+      auto& c = default_registry().counter("test.thread_local");
+      for (std::uint64_t i = 0; i < kIncrements; ++i) c.add();
+      observed[static_cast<std::size_t>(t)] = c.value();
+    });
+  for (auto& th : pool) th.join();
+  // Every thread saw exactly its own increments -- no cross-talk, no torn
+  // counts -- and none of them leaked into this thread's registry.
+  for (const std::uint64_t v : observed) EXPECT_EQ(v, kIncrements);
+  EXPECT_EQ(default_registry().counter("test.thread_local").value(), 0u);
+}
+
+TEST(Metrics, RegistryScopeOverridesAndRestoresThreadDefault) {
+  Registry& before = default_registry();
+  Registry mine;
+  {
+    RegistryScope scope(mine);
+    EXPECT_EQ(&default_registry(), &mine);
+    Registry inner;
+    {
+      RegistryScope nested(inner);
+      EXPECT_EQ(&default_registry(), &inner);
+    }
+    EXPECT_EQ(&default_registry(), &mine);  // LIFO restore
+  }
+  EXPECT_EQ(&default_registry(), &before);
+}
+
+TEST(Trace, TracerScopeOverridesAndRestoresThreadDefault) {
+  Tracer& before = default_tracer();
+  Tracer mine;
+  {
+    TracerScope scope(mine);
+    EXPECT_EQ(&default_tracer(), &mine);
+  }
+  EXPECT_EQ(&default_tracer(), &before);
 }
 
 }  // namespace

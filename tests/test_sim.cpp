@@ -2,11 +2,14 @@
 // anonymous pages), strategy specs, and the DGMS spatial predictor.
 #include <gtest/gtest.h>
 
+#include "common/rng.hpp"
+#include "fault/injector.hpp"
 #include "memsim/system.hpp"
+#include "obs/metrics.hpp"
 #include "os/os.hpp"
 #include "sim/dgms.hpp"
+#include "sim/platform.hpp"
 #include "sim/strategy.hpp"
-#include "common/rng.hpp"
 #include "sim/tap.hpp"
 
 namespace abftecc::sim {
@@ -129,6 +132,75 @@ TEST(Dgms, PerPageIndependence) {
   const auto shape = dgms.shape(1 << 20, ecc::Scheme::kChipkill);
   EXPECT_EQ(shape->channels_used, 1u);
   EXPECT_EQ(shape->chips_activated, 5u);
+}
+
+// ------------------------------------------------------------- session --
+
+TEST(Session, BuilderWiresTheWholeNode) {
+  Session s = Session::Builder()
+                  .strategy(Strategy::kPartialChipkillSecded)
+                  .seed(9)
+                  .build();
+  EXPECT_EQ(s.options().strategy, Strategy::kPartialChipkillSecded);
+  EXPECT_EQ(s.options().seed, 9u);
+  EXPECT_EQ(s.abft_scheme(), ecc::Scheme::kSecded);
+
+  // Allocation flows through the OS and is byte-accounted.
+  MatrixView m = s.abft_matrix(16, 16, "m");
+  EXPECT_NE(m.data(), nullptr);
+  EXPECT_GE(s.abft_bytes(), 16u * 16u * sizeof(double));
+  EXPECT_GE(s.total_bytes(), s.abft_bytes());
+  EXPECT_TRUE(s.os().virt_to_phys(m.data()).has_value());
+
+  // The injector is wired into the memory system's fill path.
+  s.injector().inject_bit(*s.os().virt_to_phys(m.data()), 0);
+  s.injector().flush_pending();
+  EXPECT_EQ(s.injector().stats().corrected_by_ecc, 1u);
+}
+
+TEST(Session, RunProducesMetricsAndResult) {
+  PlatformOptions opt;
+  opt.strategy = Strategy::kPartialChipkillSecded;
+  opt.dgemm_dim = 32;
+  Session s = Session::Builder(opt).build();
+  const RunMetrics m = s.run(Kernel::kDgemm);
+  EXPECT_EQ(m.kernel, Kernel::kDgemm);
+  EXPECT_EQ(m.status, abft::FtStatus::kOk);
+  EXPECT_GT(m.seconds, 0.0);
+  EXPECT_GT(m.refs_abft, 0u);
+  EXPECT_EQ(s.last_result().size(), 32u * 32u);
+}
+
+TEST(Session, RunKernelWrapperMatchesExplicitSession) {
+  PlatformOptions opt;
+  opt.strategy = Strategy::kWholeSecded;
+  opt.dgemm_dim = 32;
+  const RunMetrics a = run_kernel(Kernel::kDgemm, opt);
+  const RunMetrics b = Session::Builder(opt).build().run(Kernel::kDgemm);
+  EXPECT_EQ(a.sys.instructions, b.sys.instructions);
+  EXPECT_EQ(a.refs_abft, b.refs_abft);
+  EXPECT_EQ(a.refs_other, b.refs_other);
+  EXPECT_EQ(a.ft.verifications, b.ft.verifications);
+}
+
+TEST(Session, PrivateObservabilityKeepsThreadDefaultsClean) {
+  obs::Registry& outer = obs::default_registry();
+  const auto before = outer.counter("memsim.dram_access.secded").value();
+  {
+    Session s = Session::Builder()
+                    .strategy(Strategy::kWholeSecded)
+                    .private_observability()
+                    .build();
+    // Inside the session's lifetime the thread default IS the private one.
+    EXPECT_EQ(&obs::default_registry(), &s.metrics());
+    MatrixView m = s.abft_matrix(16, 16, "m");
+    for (std::size_t i = 0; i < 16; ++i)
+      s.memory().access(*s.os().virt_to_phys(&m(i, 0)),
+                        memsim::AccessKind::kRead);
+    EXPECT_GT(s.metrics().counter("memsim.dram_access.secded").value(), 0u);
+  }
+  EXPECT_EQ(&obs::default_registry(), &outer);
+  EXPECT_EQ(outer.counter("memsim.dram_access.secded").value(), before);
 }
 
 }  // namespace

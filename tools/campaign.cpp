@@ -1,0 +1,303 @@
+// `campaign`: Monte Carlo fault-injection campaigns over the simulated
+// node (see src/campaign/). Emits the schema-stable bench::Report JSON
+// (--json) plus a per-trial JSON-lines log (--jsonl), and prints
+// per-kernel outcome rates with Wilson 95% intervals.
+//
+// Exit status: 0 on success, 1 if any trial's outcome was unclassified
+// (its injected fault never materialized) -- the CI smoke gate.
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench/report.hpp"
+#include "campaign/campaign.hpp"
+
+namespace {
+
+using abftecc::campaign::CampaignOptions;
+using abftecc::campaign::CampaignResult;
+using abftecc::campaign::FaultKind;
+using abftecc::campaign::Outcome;
+using abftecc::campaign::Rate;
+using abftecc::sim::Kernel;
+using abftecc::sim::Strategy;
+
+constexpr Kernel kAllKernels[] = {Kernel::kDgemm, Kernel::kCholesky,
+                                  Kernel::kCg, Kernel::kHpl};
+
+void print_usage(const char* prog) {
+  std::printf(
+      "usage: %s [options]\n"
+      "  --kernel <k>      dgemm | cholesky | cg | hpl | all (default dgemm)\n"
+      "  --trials <n>      trials per kernel (default 256)\n"
+      "  --threads <n>     worker threads (default: hardware concurrency)\n"
+      "  --seed <n>        campaign seed; trial i uses seed^i (default 7)\n"
+      "  --input-seed <n>  kernel-input seed shared by all trials\n"
+      "  --strategy <s>    no_ecc | w_ck | p_ck_no | w_sd | p_sd_no |\n"
+      "                    p_ck_sd (default p_ck_sd, the cooperative\n"
+      "                    ABFT-under-SECDED design point)\n"
+      "  --fault <f>       single_bit | double_bit | chip_kill\n"
+      "  --tolerance <x>   max |error| vs golden still 'correct' (1e-6)\n"
+      "  --jsonl <path>    per-trial JSON-lines log\n"
+      "  --json <path>     schema-stable campaign report\n"
+      "plus the shared platform flags (--dgemm-dim, --cache-scale, ...);\n"
+      "campaign defaults shrink the inputs so 256-trial sweeps stay fast.\n",
+      prog);
+}
+
+bool parse_kernel(const char* v, std::vector<Kernel>& out) {
+  if (std::strcmp(v, "all") == 0) {
+    out.assign(std::begin(kAllKernels), std::end(kAllKernels));
+    return true;
+  }
+  if (std::strcmp(v, "dgemm") == 0) return out = {Kernel::kDgemm}, true;
+  if (std::strcmp(v, "cholesky") == 0) return out = {Kernel::kCholesky}, true;
+  if (std::strcmp(v, "cg") == 0) return out = {Kernel::kCg}, true;
+  if (std::strcmp(v, "hpl") == 0) return out = {Kernel::kHpl}, true;
+  return false;
+}
+
+bool parse_strategy(const char* v, Strategy& out) {
+  if (std::strcmp(v, "no_ecc") == 0) return out = Strategy::kNoEcc, true;
+  if (std::strcmp(v, "w_ck") == 0) return out = Strategy::kWholeChipkill, true;
+  if (std::strcmp(v, "p_ck_no") == 0)
+    return out = Strategy::kPartialChipkillNoEcc, true;
+  if (std::strcmp(v, "w_sd") == 0) return out = Strategy::kWholeSecded, true;
+  if (std::strcmp(v, "p_sd_no") == 0)
+    return out = Strategy::kPartialSecdedNoEcc, true;
+  if (std::strcmp(v, "p_ck_sd") == 0)
+    return out = Strategy::kPartialChipkillSecded, true;
+  return false;
+}
+
+bool parse_fault(const char* v, FaultKind& out) {
+  if (std::strcmp(v, "single_bit") == 0)
+    return out = FaultKind::kSingleBit, true;
+  if (std::strcmp(v, "double_bit") == 0)
+    return out = FaultKind::kDoubleBit, true;
+  if (std::strcmp(v, "chip_kill") == 0)
+    return out = FaultKind::kChipKill, true;
+  return false;
+}
+
+std::string kernel_slug(Kernel k) {
+  switch (k) {
+    case Kernel::kDgemm: return "dgemm";
+    case Kernel::kCholesky: return "cholesky";
+    case Kernel::kCg: return "cg";
+    case Kernel::kHpl: return "hpl";
+  }
+  return "?";
+}
+
+void print_rates(const CampaignResult& r) {
+  auto line = [](const char* name, const Rate& rate) {
+    std::printf("  %-24s %6llu  %7.4f  [%.4f, %.4f]\n", name,
+                static_cast<unsigned long long>(rate.count), rate.fraction,
+                rate.wilson_lo, rate.wilson_hi);
+  };
+  std::printf("  %-24s %6s  %7s  %s\n", "outcome", "count", "frac",
+              "wilson 95%");
+  line("corrected", r.corrected);
+  line("detected_uncorrected", r.detected_uncorrected);
+  line("silent_data_corruption", r.silent_data_corruption);
+  line("benign_masked", r.benign_masked);
+  if (r.unclassified > 0)
+    std::printf("  UNCLASSIFIED trials: %llu\n",
+                static_cast<unsigned long long>(r.unclassified));
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<Kernel> kernels = {Kernel::kDgemm};
+  CampaignOptions base;
+  base.threads = std::max(1u, std::thread::hardware_concurrency());
+  std::string jsonl_path;
+  std::uint64_t input_seed = 42;
+  bool strategy_given = false;
+
+  // Split argv: campaign-specific flags are consumed here, everything
+  // else (--json/--trace/platform dims) is forwarded to bench::Report's
+  // shared parser.
+  std::vector<char*> fwd = {argv[0]};
+  auto need_value = [&](int i) -> const char* {
+    if (i + 1 >= argc) {
+      std::fprintf(stderr, "%s: missing value for %s\n", argv[0], argv[i]);
+      std::exit(2);
+    }
+    return argv[i + 1];
+  };
+  for (int i = 1; i < argc; ++i) {
+    const char* a = argv[i];
+    if (std::strcmp(a, "--kernel") == 0) {
+      if (!parse_kernel(need_value(i), kernels)) {
+        std::fprintf(stderr, "%s: unknown kernel '%s'\n", argv[0], argv[i + 1]);
+        return 2;
+      }
+      ++i;
+    } else if (std::strcmp(a, "--trials") == 0) {
+      base.trials = std::strtoull(need_value(i), nullptr, 10), ++i;
+    } else if (std::strcmp(a, "--threads") == 0) {
+      base.threads =
+          static_cast<unsigned>(std::strtoul(need_value(i), nullptr, 10));
+      ++i;
+    } else if (std::strcmp(a, "--seed") == 0) {
+      base.campaign_seed = std::strtoull(need_value(i), nullptr, 10), ++i;
+    } else if (std::strcmp(a, "--input-seed") == 0) {
+      input_seed = std::strtoull(need_value(i), nullptr, 10), ++i;
+    } else if (std::strcmp(a, "--strategy") == 0) {
+      if (!parse_strategy(need_value(i), base.platform.strategy)) {
+        std::fprintf(stderr, "%s: unknown strategy '%s'\n", argv[0],
+                     argv[i + 1]);
+        return 2;
+      }
+      strategy_given = true;
+      ++i;
+    } else if (std::strcmp(a, "--fault") == 0) {
+      if (!parse_fault(need_value(i), base.fault.kind)) {
+        std::fprintf(stderr, "%s: unknown fault kind '%s'\n", argv[0],
+                     argv[i + 1]);
+        return 2;
+      }
+      ++i;
+    } else if (std::strcmp(a, "--tolerance") == 0) {
+      base.tolerance = std::strtod(need_value(i), nullptr), ++i;
+    } else if (std::strcmp(a, "--jsonl") == 0) {
+      jsonl_path = need_value(i), ++i;
+    } else if (std::strcmp(a, "--help") == 0) {
+      print_usage(argv[0]);
+      return 0;
+    } else {
+      fwd.push_back(argv[i]);
+    }
+  }
+
+  // Campaign-friendly input sizes: a trial costs one full simulated run,
+  // so the figure-scale defaults (320..640) would make 256-trial sweeps
+  // take hours. Platform flags forwarded below still override these.
+  if (!strategy_given)
+    base.platform.strategy = Strategy::kPartialChipkillSecded;
+  base.platform.dgemm_dim = 96;
+  base.platform.cholesky_dim = 96;
+  base.platform.cg_dim = 160;
+  base.platform.cg_iterations = 3;
+  base.platform.hpl_dim = 96;
+  base.platform.seed = input_seed;
+
+  abftecc::bench::Report report(static_cast<int>(fwd.size()), fwd.data(),
+                                "Fault-injection campaign",
+                                "Section 5 fault-injection methodology",
+                                base.platform);
+  base.platform.seed = input_seed;  // campaign flag wins over --seed leftovers
+
+  std::FILE* jsonl = nullptr;
+  if (!jsonl_path.empty()) {
+    jsonl = std::fopen(jsonl_path.c_str(), "w");
+    if (jsonl == nullptr) {
+      std::fprintf(stderr, "%s: cannot open '%s' for writing\n", argv[0],
+                   jsonl_path.c_str());
+      return 2;
+    }
+  }
+
+  std::printf("campaign: %zu trial(s)/kernel, %u thread(s), seed %llu, "
+              "fault %s, strategy %s\n\n",
+              base.trials, base.threads,
+              static_cast<unsigned long long>(base.campaign_seed),
+              std::string(to_string(base.fault.kind)).c_str(),
+              std::string(abftecc::sim::spec(base.platform.strategy).label)
+                  .c_str());
+
+  // All golden runs happen up front, before any trial pool exists: golden
+  // cycle counts are sensitive to host heap layout (anonymous workspace
+  // pages map by host address), and the pre-pool main-thread allocation
+  // history is the only one that is identical on every invocation.
+  std::vector<abftecc::campaign::GoldenRun> goldens;
+  goldens.reserve(kernels.size());
+  for (const Kernel k : kernels) {
+    CampaignOptions opt = base;
+    opt.kernel = k;
+    goldens.push_back(abftecc::campaign::run_golden(opt));
+    std::printf("  [%s] golden run: %llu tap refs\n", kernel_slug(k).c_str(),
+                static_cast<unsigned long long>(goldens.back().total_refs));
+  }
+  std::printf("\n");
+
+  std::uint64_t total_unclassified = 0;
+  for (std::size_t ki = 0; ki < kernels.size(); ++ki) {
+    const Kernel k = kernels[ki];
+    CampaignOptions opt = base;
+    opt.kernel = k;
+
+    const auto t0 = std::chrono::steady_clock::now();
+    std::size_t last_decile = 0;
+    const CampaignResult res = abftecc::campaign::run_campaign(
+        opt, goldens[ki], [&](std::size_t done, std::size_t total) {
+          const std::size_t decile = 10 * done / total;
+          if (decile > last_decile) {
+            last_decile = decile;
+            std::printf("  [%s] %zu/%zu trials\n", kernel_slug(k).c_str(),
+                        done, total);
+            std::fflush(stdout);
+          }
+        });
+    const double wall =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+            .count();
+
+    std::printf("%s: %zu trials in %.2fs wall (%.1f trials/s)\n",
+                std::string(kernel_name(k)).c_str(), opt.trials, wall,
+                static_cast<double>(opt.trials) / wall);
+    print_rates(res);
+    std::printf("\n");
+
+    // Golden reference run, with the host-measured FT phase timers zeroed
+    // so rerunning the same seed writes a byte-identical report.
+    abftecc::sim::RunMetrics golden = res.golden;
+    golden.ft.encode_seconds = 0.0;
+    golden.ft.verify_seconds = 0.0;
+    golden.ft.correct_seconds = 0.0;
+    report.add_run("golden/" + std::string(kernel_name(k)), golden);
+
+    const std::string slug = kernel_slug(k);
+    auto rate_scalars = [&](const char* name, const Rate& r) {
+      report.scalar(slug + "." + name + "_fraction", r.fraction);
+      report.scalar(slug + "." + name + "_wilson_lo", r.wilson_lo);
+      report.scalar(slug + "." + name + "_wilson_hi", r.wilson_hi);
+    };
+    rate_scalars("corrected", res.corrected);
+    rate_scalars("detected_uncorrected", res.detected_uncorrected);
+    rate_scalars("silent_data_corruption", res.silent_data_corruption);
+    rate_scalars("benign_masked", res.benign_masked);
+    report.scalar(slug + ".trials", static_cast<double>(opt.trials));
+    report.scalar(slug + ".unclassified",
+                  static_cast<double>(res.unclassified));
+    total_unclassified += res.unclassified;
+
+    if (jsonl != nullptr)
+      for (const auto& t : res.trials)
+        abftecc::campaign::write_trial_jsonl(jsonl, opt, t);
+  }
+
+  report.note("campaign_seed", std::to_string(base.campaign_seed));
+  report.note("fault", std::string(to_string(base.fault.kind)));
+  report.note("ft_phase_timers",
+              "host wall-clock encode/verify/correct timers zeroed for "
+              "deterministic reruns");
+
+  if (jsonl != nullptr) {
+    std::fclose(jsonl);
+    std::printf("wrote per-trial JSON lines: %s\n", jsonl_path.c_str());
+  }
+  if (total_unclassified > 0) {
+    std::fprintf(stderr, "campaign: %llu unclassified trial(s)\n",
+                 static_cast<unsigned long long>(total_unclassified));
+    return 1;
+  }
+  return 0;
+}
