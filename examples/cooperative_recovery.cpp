@@ -16,13 +16,28 @@
 //      repairs exactly that element from one column checksum -- the
 //      "simplified verification" of Section 3.2.2.
 //
+// Then the recovery escalation ladder for the faults steps 1-5 cannot
+// absorb (paper Section 4, Case 4):
+//
+//   6. A multi-error pattern ABFT cannot locate -> tier 2: the damaged
+//      blocks are recomputed from the pristine inputs.
+//   7. An uncorrectable error OUTSIDE ABFT's checksum space -> the OS
+//      offers it to the ladder instead of panicking; the manager demands
+//      a rollback to the last checksummed checkpoint and restores it.
+//   8. A checkpoint whose storage itself rotted -> the Fletcher-64
+//      verification refuses the restore; the corruption is detected,
+//      never copied back over live data.
+//
 //   build/examples/cooperative_recovery
 #include <cstdio>
+
+#include <string>
 
 #include "abft/ft_dgemm.hpp"
 #include "abft/runtime.hpp"
 #include "fault/injector.hpp"
 #include "os/os.hpp"
+#include "recovery/manager.hpp"
 #include "sim/platform.hpp"
 
 int main() {
@@ -88,5 +103,84 @@ int main() {
               err);
   std::printf("%s\n", err < 1e-8 ? "cooperative recovery: SUCCESS"
                                  : "cooperative recovery: FAILED");
-  return err < 1e-8 ? 0 : 1;
+  if (err >= 1e-8) return 1;
+
+  // --- the escalation ladder (Case 4) ------------------------------------
+
+  std::printf("\n[6] ladder tier 2: ambiguous 2x2 error grid mid-multiply\n");
+  sim::Session s2 = sim::Session::Builder()
+                        .strategy(sim::Strategy::kPartialChipkillSecded)
+                        .ladder()
+                        .build();
+  recovery::RecoveryManager* rm = s2.recovery();
+  abft::FtDgemm::Buffers buf2{s2.abft_matrix(n + 1, n, "Ac2"),
+                              s2.abft_matrix(n, n + 1, "Br2"),
+                              s2.abft_matrix(n + 1, n + 1, "Cf2")};
+  Rng rng2(12);
+  Matrix a2 = Matrix::random(n, n, rng2), b2 = Matrix::random(n, n, rng2);
+  abft::FtDgemm ft2(a2.view(), b2.view(), buf2, {}, &s2.runtime());
+  // Four equal hits forming a grid: row/column residual pairing is
+  // ambiguous, so plain ABFT correction refuses (Case 4) and the ladder's
+  // block recompute from the pristine inputs takes over.
+  s2.tap_context().set_ref_trigger(120000, [&] {
+    buf2.cf(10, 20) += 1000.0;
+    buf2.cf(10, 30) += 1000.0;
+    buf2.cf(40, 20) += 1000.0;
+    buf2.cf(40, 30) += 1000.0;
+  });
+  const abft::FtStatus st2 = ft2.run(s2.tap());
+  Matrix ref2(n, n);
+  linalg::gemm(1.0, a2.view(), b2.view(), 0.0, ref2.view());
+  const double err2 = max_abs_diff(ft2.result(), ref2.view());
+  std::printf("    status: %s, block recomputes: %llu, max error: %.3g\n",
+              std::string(to_string(st2)).c_str(),
+              static_cast<unsigned long long>(rm->stats().recomputes), err2);
+
+  std::printf("[7] ladder tier 3: uncorrectable OUTSIDE ABFT -> rollback, "
+              "not panic\n");
+  // A plain (chipkill) scratch region, checkpointed by the ladder.
+  MatrixView scratch = s2.plain_matrix(16, 16, "solver.state");
+  for (std::size_t i = 0; i < 16; ++i)
+    for (std::size_t j = 0; j < 16; ++j) scratch(i, j) = 1.0;
+  const auto sid = rm->store().track("solver.state", scratch.data(),
+                                     16 * 16 * sizeof(double));
+  rm->commit(1);
+  // Two flips in different bytes of one word: two chipkill symbols, the
+  // guaranteed detected-uncorrectable pattern for the default scheme.
+  const auto sphys = *s2.os().virt_to_phys(scratch.data());
+  s2.flush_caches();
+  s2.injector().inject_bit(sphys, 3);
+  s2.injector().inject_bit(sphys + 3, 5);
+  s2.memory().access(sphys, memsim::AccessKind::kRead);
+  std::printf("    panics: %llu, escalations: %llu, rollback demanded: %s\n",
+              static_cast<unsigned long long>(s2.os().panic_count()),
+              static_cast<unsigned long long>(s2.os().escalations()),
+              rm->rollback_demanded() ? "yes" : "no");
+  bool ok7 = s2.os().panic_count() == 0 && rm->rollback_demanded();
+  if (ok7 && rm->try_rollback() &&
+      rm->rollback() == recovery::RestoreResult::kOk) {
+    ok7 = scratch(0, 0) == 1.0;
+    std::printf("    restored from checkpoint, corrupted word healed: %s\n",
+                ok7 ? "yes" : "no");
+  } else {
+    ok7 = false;
+  }
+
+  std::printf("[8] a rotten checkpoint is detected, never restored\n");
+  rm->commit(2);
+  rm->store().snapshot_bytes(sid)[17] ^= std::byte{0x20};  // storage decay
+  scratch(2, 2) = -4.0;  // live corruption a restore would want to undo
+  const recovery::RestoreResult rr = rm->store().restore();
+  const bool ok8 =
+      rr == recovery::RestoreResult::kCorrupted && scratch(2, 2) == -4.0;
+  std::printf("    restore(): %s, live data untouched: %s\n",
+              std::string(to_string(rr)).c_str(),
+              scratch(2, 2) == -4.0 ? "yes" : "no");
+  rm->store().untrack(sid);
+
+  const bool ladder_ok = err2 < 1e-6 && rm->stats().recomputes > 0 &&
+                         ok7 && ok8;
+  std::printf("%s\n", ladder_ok ? "escalation ladder: SUCCESS"
+                                : "escalation ladder: FAILED");
+  return ladder_ok ? 0 : 1;
 }

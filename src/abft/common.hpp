@@ -15,6 +15,8 @@ enum class FtStatus {
   kUncorrectable,     ///< error pattern beyond ABFT capability: caller must
                       ///< fall back to checkpoint/restart
   kNumericalFailure,  ///< substrate breakdown (non-SPD, singular, divergence)
+  kUnrecoverable,     ///< the whole recovery ladder (recompute + rollback)
+                      ///< was exhausted; result must not be trusted
 };
 
 constexpr std::string_view to_string(FtStatus s) {
@@ -23,6 +25,7 @@ constexpr std::string_view to_string(FtStatus s) {
     case FtStatus::kCorrectedErrors: return "corrected_errors";
     case FtStatus::kUncorrectable: return "uncorrectable";
     case FtStatus::kNumericalFailure: return "numerical_failure";
+    case FtStatus::kUnrecoverable: return "unrecoverable";
   }
   return "?";
 }

@@ -22,6 +22,7 @@
 #include "abft/common.hpp"
 #include "abft/runtime.hpp"
 #include "linalg/blas.hpp"
+#include "recovery/manager.hpp"
 
 namespace abftecc::abft {
 
@@ -54,26 +55,54 @@ class FtDgemm {
   FtDgemm& operator=(const FtDgemm&) = delete;
 
   /// Full run: encode, multiply with periodic verification, final verify.
+  /// With a RecoveryManager attached to the runtime the kernel walks the
+  /// escalation ladder instead of surfacing kUncorrectable: per-block
+  /// recompute from the plain inputs, then rollback to the last verified
+  /// checkpoint (the ac/br/cf buffers are tracked for the duration of the
+  /// run and committed after every clean verification), then
+  /// kUnrecoverable.
   template <MemTap Tap = NullTap>
   FtStatus run(Tap tap = {}) {
+    recovery::RecoveryManager* rm =
+        rt_ != nullptr ? rt_->recovery() : nullptr;
+    TrackedBuffers tracked;
+    if (rm != nullptr) {
+      rm->begin_run();
+      tracked.attach(rm->store(), buf_);
+    }
     encode(tap);
+    if (rm != nullptr) {
+      // A fault that hit the plain inputs during encode is invisible to the
+      // product checksums but poisons every block. The OS escalation hook
+      // raises the demand flag; restore the pristine input checkpoint the
+      // caller committed before construction, then re-encode.
+      if (rm->rollback_demanded()) {
+        if (!rm->try_rollback() ||
+            rm->rollback() != recovery::RestoreResult::kOk)
+          return fail_unrecoverable(rm);
+        encode(tap);
+      }
+      // Epoch 0: encoded-but-unmultiplied state, now covering ac/br/cf too.
+      rm->commit(0);
+    }
     const std::size_t kk = a_.cols();
     const std::size_t kb = linalg::kBlock;
+    kdone_ = 0;
     std::size_t blocks_since_verify = 0;
-    for (std::size_t k0 = 0; k0 < kk; k0 += kb) {
-      const std::size_t klen = std::min(kb, kk - k0);
-      linalg::gemm(1.0,
-                   ConstMatrixView(buf_.ac.block(0, k0, buf_.ac.rows(), klen)),
-                   ConstMatrixView(buf_.br.block(k0, 0, klen, buf_.br.cols())),
-                   1.0, buf_.cf, tap);
-      if (++blocks_since_verify >= opt_.verify_period) {
+    while (kdone_ < kk) {
+      const std::size_t klen = std::min(kb, kk - kdone_);
+      linalg::gemm(
+          1.0, ConstMatrixView(buf_.ac.block(0, kdone_, buf_.ac.rows(), klen)),
+          ConstMatrixView(buf_.br.block(kdone_, 0, klen, buf_.br.cols())), 1.0,
+          buf_.cf, tap);
+      kdone_ += klen;
+      if (++blocks_since_verify >= opt_.verify_period || kdone_ == kk) {
         blocks_since_verify = 0;
-        const FtStatus st = verify_and_correct(tap);
-        if (st == FtStatus::kUncorrectable) return st;
+        const FtStatus st = checked_verify(rm, tap);
+        if (st == FtStatus::kUncorrectable || st == FtStatus::kUnrecoverable)
+          return st;
       }
     }
-    const FtStatus st = verify_and_correct(tap);
-    if (st == FtStatus::kUncorrectable) return st;
     return stats_.errors_corrected > 0 ? FtStatus::kCorrectedErrors
                                        : FtStatus::kOk;
   }
@@ -103,6 +132,122 @@ class FtDgemm {
   [[nodiscard]] const Buffers& buffers() const { return buf_; }
 
  private:
+  /// RAII registration of the kernel buffers in the checkpoint store for
+  /// the duration of one run().
+  struct TrackedBuffers {
+    recovery::CheckpointStore* store = nullptr;
+    recovery::CheckpointStore::RangeId ids[3] = {};
+
+    void attach(recovery::CheckpointStore& s, Buffers& b) {
+      store = &s;
+      ids[0] = s.track("ft_dgemm.ac", b.ac.data(),
+                       b.ac.ld() * b.ac.cols() * sizeof(double));
+      ids[1] = s.track("ft_dgemm.br", b.br.data(),
+                       b.br.ld() * b.br.cols() * sizeof(double));
+      ids[2] = s.track("ft_dgemm.cf", b.cf.data(),
+                       b.cf.ld() * b.cf.cols() * sizeof(double));
+    }
+    ~TrackedBuffers() {
+      if (store == nullptr) return;
+      for (const auto id : ids) store->untrack(id);
+    }
+    TrackedBuffers() = default;
+    TrackedBuffers(const TrackedBuffers&) = delete;
+    TrackedBuffers& operator=(const TrackedBuffers&) = delete;
+  };
+
+  /// One ladder episode around a verification point. Loops until the state
+  /// verifies clean or a tier budget runs out; every iteration either
+  /// terminates or consumes recompute/rollback budget, so it is bounded.
+  template <MemTap Tap>
+  FtStatus checked_verify(recovery::RecoveryManager* rm, Tap tap) {
+    bool recompute_pending = false;
+    for (;;) {
+      const FtStatus st = verify_and_correct(tap);
+      if (rm == nullptr) return st;
+      // An OS-demanded rollback overrides a clean checksum verdict: the
+      // corruption sits outside ABFT's checksum space (tier 3 directly).
+      if (rm->rollback_demanded()) {
+        if (!attempt_rollback(rm)) return fail_unrecoverable(rm);
+        recompute_pending = false;
+        continue;
+      }
+      if (st != FtStatus::kUncorrectable) {
+        if (recompute_pending) rm->recompute_succeeded();
+        if (st == FtStatus::kOk || st == FtStatus::kCorrectedErrors)
+          rm->checkpoint_tick(kdone_);
+        return st;
+      }
+      // tier 2: regenerate the implicated rows/columns from the inputs.
+      if (rm->try_recompute()) {
+        recompute_from_inputs(tap);
+        recompute_pending = true;
+        continue;
+      }
+      // tier 3: rewind to the last verified checkpoint.
+      if (attempt_rollback(rm)) {
+        recompute_pending = false;
+        continue;
+      }
+      return fail_unrecoverable(rm);  // tier 4
+    }
+  }
+
+  /// Verified restore; on success rewinds the k-progress to the restored
+  /// epoch so run() resumes from there.
+  bool attempt_rollback(recovery::RecoveryManager* rm) {
+    if (!rm->try_rollback()) return false;
+    if (rm->rollback() != recovery::RestoreResult::kOk) return false;
+    kdone_ = static_cast<std::size_t>(rm->store().epoch());
+    return true;
+  }
+
+  FtStatus fail_unrecoverable(recovery::RecoveryManager* rm) {
+    rm->mark_unrecoverable();
+    return FtStatus::kUnrecoverable;
+  }
+
+  /// Tier 2: recompute every payload element of the rows/columns the last
+  /// failed verification implicated, straight from the plain inputs
+  /// (c(i,j) = sum_{k<kdone_} a(i,k) b(k,j)), then refresh the checksum
+  /// entries those rows/columns feed. Heals corruption in ac/br as well:
+  /// the recomputed values bypass the encoded copies entirely.
+  template <MemTap Tap>
+  void recompute_from_inputs(Tap tap) {
+    PhaseTimer t(stats_.correct_seconds);
+    ScopedPhase phase(rt_, obs::EventKind::kRecover, "ft_dgemm.recompute");
+    const std::size_t m = a_.rows(), n = b_.cols();
+    std::vector<char> row_done(m, 0);
+    for (const std::size_t i : last_bad_rows_) {
+      row_done[i] = 1;
+      for (std::size_t j = 0; j < n; ++j) recompute_cell(i, j, tap);
+      refresh_checksum_entry(i, n, tap);
+    }
+    for (const std::size_t j : last_bad_cols_) {
+      for (std::size_t i = 0; i < m; ++i)
+        if (row_done[i] == 0) recompute_cell(i, j, tap);
+      refresh_checksum_entry(m, j, tap);
+    }
+    // Column sums changed wherever a bad row crossed a clean column.
+    for (const std::size_t i : last_bad_rows_) {
+      (void)i;
+      for (std::size_t j = 0; j < n; ++j) refresh_checksum_entry(m, j, tap);
+      break;  // one full refresh covers every column
+    }
+  }
+
+  template <MemTap Tap>
+  void recompute_cell(std::size_t i, std::size_t j, Tap tap) {
+    double s = 0.0;
+    for (std::size_t k = 0; k < kdone_; ++k) {
+      tap.read(&a_(i, k));
+      tap.read(&b_(k, j));
+      s += a_(i, k) * b_(k, j);
+    }
+    tap.write(&buf_.cf(i, j));
+    buf_.cf(i, j) = s;
+  }
+
   template <MemTap Tap>
   void encode(Tap tap) {
     PhaseTimer t(stats_.encode_seconds);
@@ -234,6 +379,10 @@ class FtDgemm {
       if (std::abs(colres[j]) > threshold) bad_cols.push_back(j);
     for (std::size_t i = 0; i < m; ++i)
       if (std::abs(rowres[i]) > threshold) bad_rows.push_back(i);
+    // Remember the implicated coordinates: a kUncorrectable verdict hands
+    // them to the tier-2 recompute.
+    last_bad_rows_ = bad_rows;
+    last_bad_cols_ = bad_cols;
     if (bad_cols.empty() && bad_rows.empty()) return FtStatus::kOk;
 
     PhaseTimer t(stats_.correct_seconds);
@@ -306,6 +455,8 @@ class FtDgemm {
   std::size_t struct_id_ = 0;
   double scale_ = 1.0;
   FtStats stats_;
+  std::size_t kdone_ = 0;  ///< k columns accumulated into cf so far
+  std::vector<std::size_t> last_bad_rows_, last_bad_cols_;
 };
 
 }  // namespace abftecc::abft

@@ -25,6 +25,7 @@
 #include "abft/common.hpp"
 #include "abft/runtime.hpp"
 #include "linalg/qr.hpp"
+#include "recovery/manager.hpp"
 
 namespace abftecc::abft {
 
@@ -35,9 +36,11 @@ class FtQr {
     std::span<double> tau;   ///< n reflector coefficients
   };
 
+  /// `a` must stay valid for the kernel's lifetime: it is the recompute
+  /// source of the recovery ladder's tier 2.
   FtQr(ConstMatrixView a, Buffers buf, FtOptions opt = {},
        Runtime* runtime = nullptr, std::size_t block = linalg::kBlock)
-      : m_(a.rows()), n_(a.cols()), buf_(buf), opt_(opt), rt_(runtime),
+      : a_(a), m_(a.rows()), n_(a.cols()), buf_(buf), opt_(opt), rt_(runtime),
         nb_(block) {
     ABFTECC_REQUIRE(m_ >= n_);
     ABFTECC_REQUIRE(buf.aw.rows() == m_ && buf.aw.cols() == n_ + 2);
@@ -46,21 +49,42 @@ class FtQr {
     if (rt_ != nullptr)
       struct_id_ = rt_->register_structure("ft_qr.Aw", buf_.aw.data(),
                                            buf_.aw.ld() * buf_.aw.cols());
+    if (recovery::RecoveryManager* rm = recovery_manager(); rm != nullptr) {
+      rm->begin_run();
+      track_ids_[0] = rm->store().track(
+          "ft_qr.aw", buf_.aw.data(),
+          buf_.aw.ld() * buf_.aw.cols() * sizeof(double));
+      track_ids_[1] = rm->store().track("ft_qr.tau", buf_.tau.data(),
+                                        buf_.tau.size() * sizeof(double));
+      tracked_ = true;
+      rm->commit(0);  // epoch 0: encoded, nothing factored yet
+    }
   }
 
   ~FtQr() {
+    if (tracked_) {
+      recovery::CheckpointStore& s = recovery_manager()->store();
+      s.untrack(track_ids_[0]);
+      s.untrack(track_ids_[1]);
+    }
     if (rt_ != nullptr) rt_->unregister_structure(struct_id_);
   }
   FtQr(const FtQr&) = delete;
   FtQr& operator=(const FtQr&) = delete;
 
   /// Factor panel block-columns up to `k_end`, verifying before each panel.
+  /// With a RecoveryManager attached the verification point walks the
+  /// escalation ladder: trailing-block recompute from the original input
+  /// (replaying the stored reflectors), then rollback to the last verified
+  /// panel-boundary checkpoint, then kUnrecoverable.
   template <MemTap Tap = NullTap>
   FtStatus factor_steps(std::size_t k_end, Tap tap = {}) {
+    recovery::RecoveryManager* rm = recovery_manager();
     ABFTECC_REQUIRE(k_end <= n_ && k_end >= next_k_);
     while (next_k_ < k_end) {
-      const FtStatus vst = verify_and_correct(tap);
-      if (vst == FtStatus::kUncorrectable) return vst;
+      const FtStatus vst = checked_verify(rm, tap);
+      if (vst == FtStatus::kUncorrectable || vst == FtStatus::kUnrecoverable)
+        return vst;
       const std::size_t k = next_k_;
       const std::size_t b = std::min(nb_, k_end - k);
       // Factor panel columns [k, k+b), transforming everything to their
@@ -77,8 +101,9 @@ class FtQr {
   FtStatus factor(Tap tap = {}) {
     const FtStatus st = factor_steps(n_, tap);
     if (st != FtStatus::kOk) return st;
-    const FtStatus vst = verify_and_correct(tap);
-    if (vst == FtStatus::kUncorrectable) return vst;
+    const FtStatus vst = checked_verify(recovery_manager(), tap);
+    if (vst == FtStatus::kUncorrectable || vst == FtStatus::kUnrecoverable)
+      return vst;
     return stats_.errors_corrected > 0 ? FtStatus::kCorrectedErrors
                                        : FtStatus::kOk;
   }
@@ -164,6 +189,106 @@ class FtQr {
     return std::min(i, next_k_);
   }
 
+  [[nodiscard]] recovery::RecoveryManager* recovery_manager() const {
+    return rt_ != nullptr ? rt_->recovery() : nullptr;
+  }
+
+  /// One ladder episode around the pre-panel verification point. Bounded:
+  /// every loop iteration either returns or consumes tier budget.
+  template <MemTap Tap>
+  FtStatus checked_verify(recovery::RecoveryManager* rm, Tap tap) {
+    bool recompute_pending = false;
+    for (;;) {
+      const FtStatus st = verify_and_correct(tap);
+      if (rm == nullptr) return st;
+      // Corruption outside the checksum columns' reach (reflector storage,
+      // untracked allocations) surfaces as an OS rollback demand and
+      // overrides a clean checksum verdict.
+      if (rm->rollback_demanded()) {
+        if (!attempt_rollback(rm)) return fail_unrecoverable(rm);
+        recompute_pending = false;
+        continue;
+      }
+      if (st != FtStatus::kUncorrectable) {
+        if (recompute_pending) rm->recompute_succeeded();
+        if (st == FtStatus::kOk || st == FtStatus::kCorrectedErrors)
+          rm->checkpoint_tick(next_k_);
+        return st;
+      }
+      if (rm->try_recompute()) {  // tier 2
+        recompute_trailing(tap);
+        recompute_pending = true;
+        continue;
+      }
+      if (attempt_rollback(rm)) {  // tier 3
+        recompute_pending = false;
+        continue;
+      }
+      return fail_unrecoverable(rm);  // tier 4
+    }
+  }
+
+  /// Verified restore; rewinds the factorization to the restored
+  /// panel-boundary epoch (aw and tau come back as one snapshot).
+  bool attempt_rollback(recovery::RecoveryManager* rm) {
+    if (!rm->try_rollback()) return false;
+    if (rm->rollback() != recovery::RestoreResult::kOk) return false;
+    next_k_ = static_cast<std::size_t>(rm->store().epoch());
+    return true;
+  }
+
+  FtStatus fail_unrecoverable(recovery::RecoveryManager* rm) {
+    rm->mark_unrecoverable();
+    return FtStatus::kUnrecoverable;
+  }
+
+  /// Tier 2: regenerate the trailing block and both checksum columns from
+  /// the ORIGINAL input by replaying the stored reflectors 0..next_k_-1.
+  /// Valid because every column j >= next_k_ of the factored storage is
+  /// exactly Q_{next_k_}^T applied to the original column (frozen R rows
+  /// included); the Householder vectors below the diagonal are left alone.
+  /// Requires intact reflector storage -- if that is what the fault hit,
+  /// re-verification fails and the ladder escalates to rollback.
+  template <MemTap Tap>
+  void recompute_trailing(Tap tap) {
+    PhaseTimer t(stats_.correct_seconds);
+    ScopedPhase phase(rt_, obs::EventKind::kRecover, "ft_qr.recompute");
+    std::vector<double> tmp(m_);
+    for (std::size_t j = next_k_; j < n_ + 2; ++j) {
+      // Original column: payload, row sums, or weighted row sums.
+      for (std::size_t i = 0; i < m_; ++i) {
+        if (j < n_) {
+          tap.read(&a_(i, j));
+          tmp[i] = a_(i, j);
+        } else {
+          double s = 0.0;
+          const bool weighted = j == n_ + 1;
+          for (std::size_t c = 0; c < n_; ++c) {
+            tap.read(&a_(i, c));
+            s += (weighted ? static_cast<double>(c + 1) : 1.0) * a_(i, c);
+          }
+          tmp[i] = s;
+        }
+      }
+      // Replay reflectors: v(k) = 1 implicit, essentials in aw below the
+      // diagonal (same application order/convention as linalg::geqrf).
+      for (std::size_t k = 0; k < next_k_; ++k) {
+        double dot = tmp[k];
+        for (std::size_t r = k + 1; r < m_; ++r) {
+          tap.read(&buf_.aw(r, k));
+          dot += buf_.aw(r, k) * tmp[r];
+        }
+        dot *= buf_.tau[k];
+        tmp[k] -= dot;
+        for (std::size_t r = k + 1; r < m_; ++r) tmp[r] -= dot * buf_.aw(r, k);
+      }
+      for (std::size_t i = 0; i < m_; ++i) {
+        tap.write(&buf_.aw(i, j));
+        buf_.aw(i, j) = tmp[i];
+      }
+    }
+  }
+
   void encode(ConstMatrixView a) {
     PhaseTimer t(stats_.encode_seconds);
     for (std::size_t i = 0; i < m_; ++i) {
@@ -180,6 +305,7 @@ class FtQr {
     if (scale_ == 0.0) scale_ = 1.0;
   }
 
+  ConstMatrixView a_;  ///< original input, the tier-2 recompute source
   std::size_t m_, n_;
   Buffers buf_;
   FtOptions opt_;
@@ -189,6 +315,8 @@ class FtQr {
   std::size_t next_k_ = 0;
   double scale_ = 1.0;
   FtStats stats_;
+  recovery::CheckpointStore::RangeId track_ids_[2] = {};
+  bool tracked_ = false;
 };
 
 }  // namespace abftecc::abft

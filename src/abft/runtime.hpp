@@ -17,6 +17,10 @@
 #include "obs/trace.hpp"
 #include "os/os.hpp"
 
+namespace abftecc::recovery {
+class RecoveryManager;
+}  // namespace abftecc::recovery
+
 namespace abftecc::abft {
 
 /// An error located to one element of a registered structure.
@@ -58,6 +62,12 @@ class Runtime {
 
   [[nodiscard]] os::Os* os() { return os_; }
 
+  /// Attach the recovery escalation ladder (tiers 2-4). Kernels consult
+  /// recovery() when plain ABFT correction fails; null (the default) keeps
+  /// the historical behavior of surfacing kUncorrectable immediately.
+  void set_recovery(recovery::RecoveryManager* rm) { recovery_ = rm; }
+  [[nodiscard]] recovery::RecoveryManager* recovery() { return recovery_; }
+
  private:
   struct Structure {
     std::string name;
@@ -67,6 +77,7 @@ class Runtime {
   };
 
   os::Os* os_;
+  recovery::RecoveryManager* recovery_ = nullptr;
   std::vector<Structure> structures_;
 };
 

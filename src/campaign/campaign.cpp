@@ -1,5 +1,6 @@
 #include "campaign/campaign.hpp"
 
+#include <algorithm>
 #include <atomic>
 #include <cmath>
 #include <mutex>
@@ -19,6 +20,9 @@ const Rate& CampaignResult::rate(Outcome o) const {
     case Outcome::kDetectedUncorrected: return detected_uncorrected;
     case Outcome::kSilentDataCorruption: return silent_data_corruption;
     case Outcome::kBenignMasked: return benign_masked;
+    case Outcome::kRecoveredByRecompute: return recovered_by_recompute;
+    case Outcome::kRecoveredByRollback: return recovered_by_rollback;
+    case Outcome::kUnrecoverable: return unrecoverable;
   }
   return corrected;
 }
@@ -39,13 +43,21 @@ Interval wilson_interval(std::uint64_t k, std::uint64_t n, double z) {
 }
 
 Outcome classify(abft::FtStatus status, bool output_correct, bool panicked,
-                 std::uint64_t errors_corrected) {
+                 std::uint64_t errors_corrected, std::uint64_t recomputes,
+                 std::uint64_t rollbacks) {
   // Any reported-but-unrepaired failure means checkpoint/restart: the
   // result is not trusted even if it happens to be numerically close.
-  if (panicked || status == abft::FtStatus::kUncorrectable ||
+  if (panicked) return Outcome::kDetectedUncorrected;
+  // Graceful ladder exhaustion: still a failed run, but surfaced to the
+  // caller as a status instead of a process-level panic.
+  if (status == abft::FtStatus::kUnrecoverable) return Outcome::kUnrecoverable;
+  if (status == abft::FtStatus::kUncorrectable ||
       status == abft::FtStatus::kNumericalFailure)
     return Outcome::kDetectedUncorrected;
   if (!output_correct) return Outcome::kSilentDataCorruption;
+  // Correct result: the DEEPEST recovery tier that fired names the trial.
+  if (rollbacks > 0) return Outcome::kRecoveredByRollback;
+  if (recomputes > 0) return Outcome::kRecoveredByRecompute;
   return errors_corrected > 0 ? Outcome::kCorrected : Outcome::kBenignMasked;
 }
 
@@ -61,15 +73,32 @@ TrialOutcome run_trial(const CampaignOptions& opt, const GoldenRun& golden,
   sim::Session s =
       sim::Session::Builder(opt.platform).private_observability().build();
 
-  // Injection time: a uniform point in the golden reference stream. The
-  // trial replays the golden execution exactly until the fault lands, so
-  // the index is always reached.
-  t.inject_ref = 1 + rng.below(golden.total_refs);
-  s.tap_context().set_ref_trigger(t.inject_ref, [&] {
-    const auto ranges = s.os().abft_phys_ranges();
+  // Injection times: `count` uniform points in the golden reference
+  // stream (a storm when > 1). The trial replays the golden execution
+  // exactly until the first fault lands, so the first index is always
+  // reached; later ones fire by re-arming the one-shot trigger from
+  // inside the callback, in ascending order.
+  const unsigned nfaults = std::max(1u, opt.fault.count);
+  std::vector<std::uint64_t> refs(nfaults);
+  for (auto& r : refs) r = 1 + rng.below(golden.total_refs);
+  std::sort(refs.begin(), refs.end());
+  // The one-shot trigger needs strictly increasing refs: re-arming at a
+  // reference the counter already passed would never fire.
+  for (std::size_t i = 1; i < refs.size(); ++i)
+    if (refs[i] <= refs[i - 1]) refs[i] = refs[i - 1] + 1;
+  t.inject_ref = refs.front();
+
+  std::size_t next_fault = 0;
+  std::function<void()> fire = [&] {
+    const auto ranges = opt.fault.storm_all_ranges
+                            ? s.os().all_phys_ranges()
+                            : s.os().abft_phys_ranges();
+    const std::size_t fault_index = next_fault++;
+    if (next_fault < refs.size())
+      s.tap_context().set_ref_trigger(refs[next_fault], fire);
     std::uint64_t total = 0;
     for (const auto& [begin, end] : ranges) total += end - begin;
-    if (total == 0) return;  // strategy with no ABFT allocations
+    if (total == 0) return;  // strategy with no matching allocations
     std::uint64_t off = rng.below(total);
     std::uint64_t phys = 0;
     for (const auto& [begin, end] : ranges) {
@@ -80,13 +109,15 @@ TrialOutcome run_trial(const CampaignOptions& opt, const GoldenRun& golden,
       }
       off -= len;
     }
-    t.fault_phys = phys;
+    if (fault_index == 0) t.fault_phys = phys;
     auto& inj = s.injector();
     switch (opt.fault.kind) {
-      case FaultKind::kSingleBit:
-        t.fault_bit = static_cast<unsigned>(rng.below(8));
-        inj.inject_bit(phys, t.fault_bit);
+      case FaultKind::kSingleBit: {
+        const auto bit = static_cast<unsigned>(rng.below(8));
+        if (fault_index == 0) t.fault_bit = bit;
+        inj.inject_bit(phys, bit);
         break;
+      }
       case FaultKind::kDoubleBit: {
         // Two distinct flips in one 64-bit word.
         const std::uint64_t word = phys & ~std::uint64_t{7};
@@ -95,19 +126,22 @@ TrialOutcome run_trial(const CampaignOptions& opt, const GoldenRun& golden,
         if (b2 >= b1) ++b2;
         inj.inject_bit(word + b1 / 8, b1 % 8);
         inj.inject_bit(word + b2 / 8, b2 % 8);
-        t.fault_bit = b1;
+        if (fault_index == 0) t.fault_bit = b1;
         break;
       }
-      case FaultKind::kChipKill:
-        t.fault_bit = static_cast<unsigned>(rng.below(16));
-        inj.inject_chip_kill(phys, t.fault_bit, opt.fault.chip_pattern);
+      case FaultKind::kChipKill: {
+        const auto chip = static_cast<unsigned>(rng.below(16));
+        if (fault_index == 0) t.fault_bit = chip;
+        inj.inject_chip_kill(phys, chip, opt.fault.chip_pattern);
         break;
+      }
     }
     // Materialize immediately, as if the corrupted line were read now:
     // the fault goes through the scheme's decoder instead of waiting for
     // a fill that might never come (or a writeback that would erase it).
     inj.flush_pending();
-  });
+  };
+  s.tap_context().set_ref_trigger(refs.front(), fire);
 
   const sim::RunMetrics m = s.run(opt.kernel);
 
@@ -132,10 +166,15 @@ TrialOutcome run_trial(const CampaignOptions& opt, const GoldenRun& golden,
   t.abft_corrected = m.ft.errors_corrected;
   t.panicked = s.os().panicked();
   t.status = m.status;
+  t.recomputes = m.recovery.recomputes;
+  t.rollbacks = m.recovery.rollbacks;
+  t.escalations = m.recovery.escalations;
+  t.corrupted_checkpoints = m.recovery.corrupted_checkpoints;
   t.max_abs_error = max_err;
   t.sim_seconds = m.seconds;
   t.outcome = classify(m.status, correct, t.panicked,
-                       ist.corrected_by_ecc + m.ft.errors_corrected);
+                       ist.corrected_by_ecc + m.ft.errors_corrected,
+                       t.recomputes, t.rollbacks);
   return t;
 }
 
@@ -200,6 +239,7 @@ CampaignResult run_campaign(const CampaignOptions& opt,
   for (const TrialOutcome& t : out.trials) {
     ++counts[static_cast<std::size_t>(t.outcome)];
     if (!t.materialized) ++out.unclassified;
+    if (t.panicked) ++out.panicked_trials;
   }
   const std::uint64_t n = opt.trials;
   out.corrected =
@@ -210,6 +250,12 @@ CampaignResult run_campaign(const CampaignOptions& opt,
       counts[static_cast<std::size_t>(Outcome::kSilentDataCorruption)], n);
   out.benign_masked =
       make_rate(counts[static_cast<std::size_t>(Outcome::kBenignMasked)], n);
+  out.recovered_by_recompute = make_rate(
+      counts[static_cast<std::size_t>(Outcome::kRecoveredByRecompute)], n);
+  out.recovered_by_rollback = make_rate(
+      counts[static_cast<std::size_t>(Outcome::kRecoveredByRollback)], n);
+  out.unrecoverable =
+      make_rate(counts[static_cast<std::size_t>(Outcome::kUnrecoverable)], n);
   return out;
 }
 
@@ -227,6 +273,8 @@ void write_trial_jsonl(std::FILE* f, const CampaignOptions& opt,
       .field("kernel", sim::kernel_name(opt.kernel))
       .field("strategy", sim::spec(opt.platform.strategy).label)
       .field("fault", to_string(opt.fault.kind))
+      .field("faults", static_cast<std::uint64_t>(
+                           std::max(1u, opt.fault.count)))
       .field("outcome", to_string(t.outcome))
       .field("status", abft::to_string(t.status))
       .field("inject_ref", t.inject_ref)
@@ -238,6 +286,10 @@ void write_trial_jsonl(std::FILE* f, const CampaignOptions& opt,
       .field("cleared_by_writeback", t.cleared_by_writeback)
       .field("abft_detected", t.abft_detected)
       .field("abft_corrected", t.abft_corrected)
+      .field("recomputes", t.recomputes)
+      .field("rollbacks", t.rollbacks)
+      .field("escalations", t.escalations)
+      .field("corrupted_checkpoints", t.corrupted_checkpoints)
       .field("panicked", t.panicked)
       .field("materialized", t.materialized)
       .field("max_abs_error", t.max_abs_error)

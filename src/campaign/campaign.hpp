@@ -32,7 +32,8 @@
 
 namespace abftecc::campaign {
 
-/// Per-trial verdict (the paper's fault-injection taxonomy).
+/// Per-trial verdict (the paper's fault-injection taxonomy, extended with
+/// the recovery ladder's tiers).
 enum class Outcome : std::uint8_t {
   kCorrected,            ///< run finished correct and an error was corrected
                          ///< (by ECC or by ABFT)
@@ -42,11 +43,19 @@ enum class Outcome : std::uint8_t {
   kSilentDataCorruption, ///< wrong result, nothing detected anything
   kBenignMasked,         ///< correct result with no correction performed
                          ///< (fault overwritten or in dead data)
+  kRecoveredByRecompute, ///< correct result, ladder tier 2 (block recompute
+                         ///< from inputs) did the heavy lifting
+  kRecoveredByRollback,  ///< correct result via a verified checkpoint
+                         ///< restore (ladder tier 3)
+  kUnrecoverable,        ///< ladder exhausted; surfaced gracefully to the
+                         ///< caller instead of a panic
 };
 
-inline constexpr std::array<Outcome, 4> kAllOutcomes = {
-    Outcome::kCorrected, Outcome::kDetectedUncorrected,
-    Outcome::kSilentDataCorruption, Outcome::kBenignMasked};
+inline constexpr std::array<Outcome, 7> kAllOutcomes = {
+    Outcome::kCorrected,            Outcome::kDetectedUncorrected,
+    Outcome::kSilentDataCorruption, Outcome::kBenignMasked,
+    Outcome::kRecoveredByRecompute, Outcome::kRecoveredByRollback,
+    Outcome::kUnrecoverable};
 
 constexpr std::string_view to_string(Outcome o) {
   switch (o) {
@@ -54,6 +63,9 @@ constexpr std::string_view to_string(Outcome o) {
     case Outcome::kDetectedUncorrected: return "detected_uncorrected";
     case Outcome::kSilentDataCorruption: return "silent_data_corruption";
     case Outcome::kBenignMasked: return "benign_masked";
+    case Outcome::kRecoveredByRecompute: return "recovered_by_recompute";
+    case Outcome::kRecoveredByRollback: return "recovered_by_rollback";
+    case Outcome::kUnrecoverable: return "unrecoverable";
   }
   return "?";
 }
@@ -78,6 +90,13 @@ struct FaultScenario {
   FaultKind kind = FaultKind::kSingleBit;
   /// Nibble corruption mask for kChipKill (0x3 = two stuck bit-lines).
   std::uint8_t chip_pattern = 0x3;
+  /// Faults per trial (a storm when > 1), injected at independently
+  /// sampled reference points of the golden stream.
+  unsigned count = 1;
+  /// Sample injection sites over ALL live allocations instead of only the
+  /// ABFT-protected ranges, so plain structures (kernel inputs) get hit
+  /// too -- the scenario that historically ended in Os::panic.
+  bool storm_all_ranges = false;
 };
 
 struct CampaignOptions {
@@ -112,6 +131,11 @@ struct TrialOutcome {
   std::uint64_t abft_detected = 0;
   std::uint64_t abft_corrected = 0;
   bool panicked = false;
+  /// Recovery-ladder accounting for the trial's run (zero, ladder off).
+  std::uint64_t recomputes = 0;
+  std::uint64_t rollbacks = 0;
+  std::uint64_t escalations = 0;
+  std::uint64_t corrupted_checkpoints = 0;
   /// The injected fault went through some resolution path (decode,
   /// silent corruption, or writeback clear). A false value means the
   /// injection was lost -- the campaign counts it as unclassified.
@@ -142,9 +166,15 @@ struct CampaignResult {
   Rate detected_uncorrected;
   Rate silent_data_corruption;
   Rate benign_masked;
+  Rate recovered_by_recompute;
+  Rate recovered_by_rollback;
+  Rate unrecoverable;
   /// Trials whose fault never materialized (see TrialOutcome); the CI
   /// smoke gate requires this to be zero.
   std::uint64_t unclassified = 0;
+  /// Trials that ended in Os::panic; the escalation stress gate requires
+  /// this to be zero with the ladder on.
+  std::uint64_t panicked_trials = 0;
 
   [[nodiscard]] const Rate& rate(Outcome o) const;
 };
@@ -161,9 +191,15 @@ struct Interval {
                                        double z = 1.96);
 
 /// Pure classification rule applied to each trial (unit-testable).
-/// `errors_corrected` is the sum of ECC- and ABFT-corrected errors.
+/// `errors_corrected` is the sum of ECC- and ABFT-corrected errors;
+/// `recomputes`/`rollbacks` are the trial's successful ladder recoveries.
+/// Precedence: a panic or unrepaired failure dominates, then wrong output,
+/// then rollback > recompute > element correction (the deepest tier that
+/// fired names the outcome), then benign.
 [[nodiscard]] Outcome classify(abft::FtStatus status, bool output_correct,
-                               bool panicked, std::uint64_t errors_corrected);
+                               bool panicked, std::uint64_t errors_corrected,
+                               std::uint64_t recomputes = 0,
+                               std::uint64_t rollbacks = 0);
 
 using Progress = std::function<void(std::size_t done, std::size_t total)>;
 

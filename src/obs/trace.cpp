@@ -21,11 +21,16 @@ std::string_view to_string(EventKind k) {
     case EventKind::kErrorExposed: return "os.error_exposed";
     case EventKind::kPanic: return "os.panic";
     case EventKind::kPageRetired: return "os.page_retired";
+    case EventKind::kEscalated: return "os.escalated";
+    case EventKind::kEccRepromoted: return "os.ecc_repromoted";
     case EventKind::kErrorsDrained: return "abft.errors_drained";
     case EventKind::kErrorLocated: return "abft.error_located";
     case EventKind::kVerify: return "abft.verify";
     case EventKind::kRecover: return "abft.recover";
     case EventKind::kEncode: return "abft.encode";
+    case EventKind::kRecompute: return "recovery.recompute";
+    case EventKind::kCheckpoint: return "recovery.checkpoint";
+    case EventKind::kRollback: return "recovery.rollback";
   }
   return "?";
 }
@@ -45,10 +50,15 @@ unsigned lane_of(EventKind k) {
     case EventKind::kErrorExposed:
     case EventKind::kPanic:
     case EventKind::kPageRetired:
+    case EventKind::kEscalated:
+    case EventKind::kEccRepromoted:
       return 2;  // OS layer
     case EventKind::kErrorsDrained:
     case EventKind::kErrorLocated:
-      return 3;  // ABFT runtime
+    case EventKind::kRecompute:
+    case EventKind::kCheckpoint:
+    case EventKind::kRollback:
+      return 3;  // ABFT runtime / recovery ladder
     case EventKind::kVerify:
     case EventKind::kRecover:
     case EventKind::kEncode:

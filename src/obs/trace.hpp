@@ -40,12 +40,18 @@ enum class EventKind : std::uint8_t {
   kErrorExposed,      ///< error published to the shared log (addr)
   kPanic,             ///< uncorrectable outside ABFT coverage (addr)
   kPageRetired,       ///< frame retired + allocation migrated (addr)
+  kEscalated,         ///< would-be panic absorbed by the recovery ladder
+  kEccRepromoted,     ///< region promoted back to the strong scheme (addr)
   // ABFT runtime / kernels
   kErrorsDrained,     ///< runtime drained the log (a0=errors located)
   kErrorLocated,      ///< one error mapped to (a0=structure, a1=element)
   kVerify,            ///< kernel verification phase (complete event)
   kRecover,           ///< kernel correction phase (complete event)
   kEncode,            ///< kernel checksum-encode phase (complete event)
+  // recovery ladder
+  kRecompute,         ///< tier-2 block recompute attempt (a0=attempt)
+  kCheckpoint,        ///< checkpoint committed (a0=epoch)
+  kRollback,          ///< verified checkpoint restored (a0=epoch)
 };
 
 [[nodiscard]] std::string_view to_string(EventKind k);

@@ -11,6 +11,7 @@ namespace abftecc::os {
 struct Os::Allocation {
   Region region;
   std::unique_ptr<std::byte[]> storage;
+  unsigned uncorrectable_count = 0;  ///< feeds the re-promotion threshold
 };
 
 Os::Os(memsim::MemorySystem& system)
@@ -151,6 +152,16 @@ std::vector<std::pair<std::uint64_t, std::uint64_t>> Os::abft_phys_ranges()
   return out;
 }
 
+std::vector<std::pair<std::uint64_t, std::uint64_t>> Os::all_phys_ranges()
+    const {
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> out;
+  for (const auto& a : allocations_) {
+    const Region& r = a->region;
+    out.emplace_back(r.phys_base, r.phys_base + r.size);
+  }
+  return out;
+}
+
 bool Os::retire_and_migrate(const void* vaddr) {
   // Locate the owning allocation.
   Allocation* owner = nullptr;
@@ -204,10 +215,40 @@ void Os::handle_ecc_interrupt(const memsim::ErrorRecord& rec) {
   tracer.instant(obs::EventKind::kEccInterrupt, rec.cycle, rec.phys_addr);
   // Read the memory-mapped registers (rec carries their content), derive
   // the physical address from the fault site, and route.
-  const Region* r = region_of_phys(rec.phys_addr);
+  Allocation* owner = nullptr;
+  for (auto& alloc : allocations_) {
+    const Region& reg = alloc->region;
+    if (rec.phys_addr >= reg.phys_base &&
+        rec.phys_addr < reg.phys_base + reg.size) {
+      owner = alloc.get();
+      break;
+    }
+  }
+  if (owner != nullptr) note_region_uncorrectable(*owner, rec.cycle);
+  const Region* r = owner != nullptr ? &owner->region : nullptr;
   if (r == nullptr || !r->abft_protected) {
-    // Not covered by ABFT: the conservative strategy of existing systems --
-    // panic (checkpoint/restart at application level).
+    // Not covered by ABFT. Offer the error to the recovery ladder first;
+    // only when no handler absorbs it fall back to the conservative
+    // strategy of existing systems -- panic (application-level restart).
+    if (escalation_handler_) {
+      ExposedError e;
+      e.phys_addr = rec.phys_addr;
+      e.site = rec.site;
+      e.scheme = rec.scheme;
+      e.cycle = rec.cycle;
+      if (r != nullptr) {
+        e.vaddr = r->host_base + (rec.phys_addr - r->phys_base);
+        e.region_name = r->name;
+        e.region_base = r->host_base;
+        e.region_size = r->size;
+      }
+      if (escalation_handler_(e)) {
+        ++escalations_;
+        registry.counter("os.escalations").add();
+        tracer.instant(obs::EventKind::kEscalated, rec.cycle, rec.phys_addr);
+        return;
+      }
+    }
     ++panics_;
     registry.counter("os.panics").add();
     tracer.instant(obs::EventKind::kPanic, rec.cycle, rec.phys_addr);
@@ -222,15 +263,63 @@ void Os::handle_ecc_interrupt(const memsim::ErrorRecord& rec) {
   e.scheme = rec.scheme;
   e.cycle = rec.cycle;
   e.region_name = r->name;
-  exposed_.push_back(std::move(e));
+  const void* vaddr = e.vaddr;
+  push_exposed(std::move(e));
 
   // Hard-fault heuristic: a frame accumulating uncorrectable errors is
   // pulled out of service and its allocation migrated to spare frames.
   if (auto_retire_threshold_ > 0) {
     const std::uint64_t frame = rec.phys_addr / pages_.page_bytes();
     if (++frame_fault_counts_[frame] >= auto_retire_threshold_)
-      retire_and_migrate(e.vaddr);
+      retire_and_migrate(vaddr);
   }
+}
+
+void Os::set_exposed_log_capacity(std::size_t cap) {
+  ABFTECC_REQUIRE(cap > 0);
+  exposed_capacity_ = cap;
+  while (exposed_.size() > exposed_capacity_) {
+    exposed_.pop_back();
+    ++exposed_dropped_;
+  }
+}
+
+void Os::push_exposed(ExposedError e) {
+  if (exposed_.size() >= exposed_capacity_) {
+    // Log full (fault storm): fold into an existing entry for the same
+    // cache line if there is one -- the location information ABFT needs is
+    // identical -- otherwise drop and count.
+    const std::uint64_t line = e.phys_addr / 64;
+    for (auto it = exposed_.rbegin(); it != exposed_.rend(); ++it) {
+      if (it->phys_addr / 64 == line) {
+        ++it->repeats;
+        it->cycle = e.cycle;
+        return;
+      }
+    }
+    ++exposed_dropped_;
+    obs::default_registry().counter("os.exposed_dropped").add();
+    return;
+  }
+  exposed_.push_back(std::move(e));
+}
+
+void Os::note_region_uncorrectable(Allocation& alloc, Cycles cycle) {
+  ++alloc.uncorrectable_count;
+  if (repromote_threshold_ == 0 ||
+      alloc.uncorrectable_count < repromote_threshold_)
+    return;
+  Region& r = alloc.region;
+  // Re-promotion is meaningful only for regions holding a relaxed scheme
+  // in a programmed MC range; everything else already has the node's
+  // default protection.
+  if (r.scheme == ecc::Scheme::kChipkill || !r.mc_range_programmed) return;
+  if (!assign_ecc(alloc.storage.get(), ecc::Scheme::kChipkill)) return;
+  alloc.uncorrectable_count = 0;
+  ++repromotions_;
+  obs::default_registry().counter("os.ecc_repromotions").add();
+  obs::default_tracer().instant(obs::EventKind::kEccRepromoted, cycle,
+                                r.phys_base);
 }
 
 std::vector<ExposedError> Os::drain_exposed_errors() {

@@ -14,6 +14,7 @@
 #include <cstddef>
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <memory>
 #include <optional>
 #include <string>
@@ -35,6 +36,15 @@ struct ExposedError {
   ecc::Scheme scheme = ecc::Scheme::kNone;
   Cycles cycle = 0;
   std::string region_name;
+  /// Host span of the owning allocation (page-granular, so it can extend
+  /// past the program-visible bytes); null/0 when the fault hit no
+  /// registered region. The recovery ladder uses it to recognize faults
+  /// in the slack of a checkpoint-covered allocation.
+  const void* region_base = nullptr;
+  std::size_t region_size = 0;
+  /// Errors folded into this entry (same cache line) while the log was at
+  /// capacity; 1 for a normally appended entry.
+  unsigned repeats = 1;
 };
 
 /// A registered allocation: host (virtual) range -> physical range.
@@ -93,6 +103,11 @@ class Os {
   [[nodiscard]] std::vector<std::pair<std::uint64_t, std::uint64_t>>
   abft_phys_ranges() const;
 
+  /// Physical ranges of ALL live allocations (ABFT-covered or not); fault
+  /// storms sample over these so uncovered structures get hit too.
+  [[nodiscard]] std::vector<std::pair<std::uint64_t, std::uint64_t>>
+  all_phys_ranges() const;
+
   // --- interrupt handling & error exposure ---------------------------------
 
   /// Installed into the MC by the constructor; public so tests can deliver
@@ -102,6 +117,37 @@ class Os {
   /// Drain the shared error log (ABFT's simplified verification reads this).
   [[nodiscard]] bool has_exposed_errors() const { return !exposed_.empty(); }
   std::vector<ExposedError> drain_exposed_errors();
+
+  // --- fault-storm hardening -----------------------------------------------
+
+  /// Bound the shared error log (a fixed-size kernel buffer in the real
+  /// system; an unbounded deque would let a fault storm exhaust memory).
+  /// At capacity a new error first tries to coalesce into an existing
+  /// entry for the same cache line (bumping its `repeats`); otherwise it
+  /// is dropped and counted in exposed_dropped().
+  void set_exposed_log_capacity(std::size_t cap);
+  [[nodiscard]] std::size_t exposed_log_capacity() const {
+    return exposed_capacity_;
+  }
+  [[nodiscard]] std::uint64_t exposed_dropped() const {
+    return exposed_dropped_;
+  }
+
+  /// Escalation hook consulted before panic: an uncorrectable error
+  /// OUTSIDE ABFT coverage is offered to the recovery ladder first. A
+  /// handler returning true absorbs the error (counted in escalations(),
+  /// no panic); false or no handler keeps the historical panic.
+  void set_escalation_handler(std::function<bool(const ExposedError&)> h) {
+    escalation_handler_ = std::move(h);
+  }
+  [[nodiscard]] std::uint64_t escalations() const { return escalations_; }
+
+  /// ECC re-promotion: a region accumulating this many uncorrectable
+  /// errors is reassigned to chipkill via assign_ecc (the dynamic-ECC loop
+  /// run backwards -- relaxed protection was a bad bet for that region).
+  /// 0 disables (default).
+  void set_repromote_threshold(unsigned n) { repromote_threshold_ = n; }
+  [[nodiscard]] std::uint64_t repromotions() const { return repromotions_; }
 
   // --- page retirement & data migration (Section 3.1) ---------------------
 
@@ -132,11 +178,19 @@ class Os {
   struct Allocation;
   void* allocate(std::size_t n, ecc::Scheme scheme, std::string name,
                  bool abft_protected, bool program_mc);
+  void push_exposed(ExposedError e);
+  void note_region_uncorrectable(Allocation& alloc, Cycles cycle);
 
   memsim::MemorySystem& system_;
   PageAllocator pages_;
   std::vector<std::unique_ptr<Allocation>> allocations_;
   std::deque<ExposedError> exposed_;
+  std::size_t exposed_capacity_ = 1024;
+  std::uint64_t exposed_dropped_ = 0;
+  std::function<bool(const ExposedError&)> escalation_handler_;
+  std::uint64_t escalations_ = 0;
+  unsigned repromote_threshold_ = 0;
+  std::uint64_t repromotions_ = 0;
   std::uint64_t panics_ = 0;
   unsigned auto_retire_threshold_ = 0;
   std::uint64_t migrations_ = 0;

@@ -1,0 +1,110 @@
+#include "recovery/checkpoint.hpp"
+
+#include <cstring>
+
+#include "common/error.hpp"
+#include "obs/metrics.hpp"
+
+namespace abftecc::recovery {
+
+CheckpointStore::RangeId CheckpointStore::track(std::string name, void* data,
+                                                std::size_t bytes) {
+  ABFTECC_REQUIRE(data != nullptr && bytes > 0);
+  Tracked t;
+  t.name = std::move(name);
+  t.data = static_cast<std::byte*>(data);
+  t.bytes = bytes;
+  t.live = true;
+  ranges_.push_back(std::move(t));
+  return ranges_.size() - 1;
+}
+
+void CheckpointStore::untrack(RangeId id) {
+  if (id < ranges_.size()) {
+    ranges_[id].live = false;
+    ranges_[id].in_checkpoint = false;
+    ranges_[id].snap.clear();
+    ranges_[id].snap.shrink_to_fit();
+  }
+}
+
+bool CheckpointStore::covers(const void* p) const {
+  const auto* b = static_cast<const std::byte*>(p);
+  for (const Tracked& t : ranges_)
+    if (t.live && b >= t.data && b < t.data + t.bytes) return true;
+  return false;
+}
+
+bool CheckpointStore::intersects(const void* base, std::size_t size) const {
+  const auto* lo = static_cast<const std::byte*>(base);
+  const auto* hi = lo + size;
+  for (const Tracked& t : ranges_)
+    if (t.live && t.data < hi && lo < t.data + t.bytes) return true;
+  return false;
+}
+
+std::size_t CheckpointStore::tracked_ranges() const {
+  std::size_t n = 0;
+  for (const Tracked& t : ranges_)
+    if (t.live) ++n;
+  return n;
+}
+
+void CheckpointStore::charge(const Tracked& t, bool is_restore) const {
+  if (os_ == nullptr) return;
+  const auto phys = os_->virt_to_phys(t.data);
+  if (!phys.has_value()) return;  // not an Os-backed range (workspace, test)
+  const memsim::AccessKind kind =
+      is_restore ? memsim::AccessKind::kWrite : memsim::AccessKind::kRead;
+  for (std::uint64_t off = 0; off < t.bytes; off += 64)
+    os_->system().access(*phys + off, kind);
+}
+
+void CheckpointStore::commit(std::uint64_t epoch) {
+  for (Tracked& t : ranges_) {
+    if (!t.live) continue;
+    t.snap.assign(t.data, t.data + t.bytes);
+    t.sum = fletcher64(t.snap.data(), t.snap.size());
+    t.in_checkpoint = true;
+    // Copy first, charge second: a fault that materializes while the copy
+    // traffic streams through the memory system corrupts host data only,
+    // never the snapshot just taken.
+    charge(t, /*is_restore=*/false);
+  }
+  has_checkpoint_ = true;
+  epoch_ = epoch;
+  ++commits_;
+  obs::default_registry().counter("recovery.checkpoints").add();
+}
+
+RestoreResult CheckpointStore::restore() {
+  if (!has_checkpoint_) return RestoreResult::kNoCheckpoint;
+  bool any = false;
+  // Verification pass first: all-or-nothing, so a corrupted snapshot never
+  // overwrites application data (not even partially).
+  for (const Tracked& t : ranges_) {
+    if (!t.live || !t.in_checkpoint) continue;
+    any = true;
+    if (fletcher64(t.snap.data(), t.snap.size()) != t.sum) {
+      ++corrupted_detected_;
+      obs::default_registry().counter("recovery.corrupted_checkpoints").add();
+      return RestoreResult::kCorrupted;
+    }
+  }
+  if (!any) return RestoreResult::kNoCheckpoint;
+  for (Tracked& t : ranges_) {
+    if (!t.live || !t.in_checkpoint) continue;
+    std::memcpy(t.data, t.snap.data(), t.bytes);
+    charge(t, /*is_restore=*/true);
+  }
+  ++restores_;
+  obs::default_registry().counter("recovery.restores").add();
+  return RestoreResult::kOk;
+}
+
+std::span<std::byte> CheckpointStore::snapshot_bytes(RangeId id) {
+  ABFTECC_REQUIRE(id < ranges_.size());
+  return {ranges_[id].snap.data(), ranges_[id].snap.size()};
+}
+
+}  // namespace abftecc::recovery

@@ -1,0 +1,115 @@
+// CheckpointStore: checksummed in-memory snapshots of registered host
+// ranges, the rollback tier of the recovery ladder (paper Section 4,
+// Case 4: "neither strong ECC nor ABFT can correct -> checkpoint/restart").
+//
+// Kernels (via the ABFT runtime) track the structures a rollback must
+// restore and commit at self-chosen epochs -- for FT-DGEMM the k-block
+// progress after a clean verification, for FT-QR the panel boundary. Every
+// snapshot carries a Fletcher-64 checksum taken at commit time; restore()
+// re-verifies all of them first and refuses to touch application data when
+// any snapshot is corrupted, so a rotten checkpoint is detected, never
+// restored.
+//
+// When constructed with an Os, commit/restore charge the copy traffic to
+// the simulated memory system (one 64-byte line per read out / write back),
+// mirroring how Os::retire_and_migrate accounts its migration copies. The
+// snapshot side of the copy is modeled as checkpoint storage outside the
+// node (uncharged). Host bytes are copied before the traffic is charged, so
+// a fault materializing during the charge never leaks into the snapshot.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "os/os.hpp"
+#include "recovery/types.hpp"
+
+namespace abftecc::recovery {
+
+enum class RestoreResult : std::uint8_t {
+  kOk,            ///< every snapshot verified and was copied back
+  kNoCheckpoint,  ///< commit() was never called for the live ranges
+  kCorrupted,     ///< a checksum mismatched; nothing was restored
+};
+
+constexpr std::string_view to_string(RestoreResult r) {
+  switch (r) {
+    case RestoreResult::kOk: return "ok";
+    case RestoreResult::kNoCheckpoint: return "no_checkpoint";
+    case RestoreResult::kCorrupted: return "corrupted";
+  }
+  return "?";
+}
+
+class CheckpointStore {
+ public:
+  using RangeId = std::size_t;
+
+  /// `os` may be null (no traffic accounting; unit tests use this).
+  explicit CheckpointStore(os::Os* os = nullptr) : os_(os) {}
+
+  /// Register a host range a future commit() snapshots and restore()
+  /// rewrites. The range must stay valid until untrack().
+  RangeId track(std::string name, void* data, std::size_t bytes);
+  void untrack(RangeId id);
+
+  /// True when `p` falls inside a live tracked range (the OS escalation
+  /// handler asks this before absorbing an unprotected error).
+  [[nodiscard]] bool covers(const void* p) const;
+
+  /// True when any live tracked range intersects [base, base + size).
+  /// The escalation path uses this with the owning allocation's host span:
+  /// allocations are page-granular, so a fault can land in the slack past
+  /// the tracked bytes -- dead data a rollback need not even restore.
+  [[nodiscard]] bool intersects(const void* base, std::size_t size) const;
+
+  /// Snapshot every live tracked range and stamp the checkpoint with
+  /// `epoch` (a caller-chosen progress tag, e.g. the verified k-block).
+  /// Only the latest checkpoint is kept: bounded memory.
+  void commit(std::uint64_t epoch);
+
+  /// Verify all snapshots, then copy them back. All-or-nothing: a single
+  /// checksum mismatch restores nothing and returns kCorrupted.
+  RestoreResult restore();
+
+  [[nodiscard]] bool has_checkpoint() const { return has_checkpoint_; }
+  /// Progress tag of the last commit().
+  [[nodiscard]] std::uint64_t epoch() const { return epoch_; }
+  [[nodiscard]] std::size_t tracked_ranges() const;
+  [[nodiscard]] std::uint64_t commits() const { return commits_; }
+  [[nodiscard]] std::uint64_t restores() const { return restores_; }
+  [[nodiscard]] std::uint64_t corrupted_detected() const {
+    return corrupted_detected_;
+  }
+
+  /// Mutable view of a range's snapshot storage. Exists so tests and the
+  /// cooperative_recovery example can model checkpoint-storage corruption
+  /// (flip a byte here, then watch restore() refuse); not a recovery API.
+  [[nodiscard]] std::span<std::byte> snapshot_bytes(RangeId id);
+
+ private:
+  struct Tracked {
+    std::string name;
+    std::byte* data = nullptr;
+    std::size_t bytes = 0;
+    std::vector<std::byte> snap;
+    std::uint64_t sum = 0;
+    bool live = false;
+    bool in_checkpoint = false;  ///< snapshotted by the last commit()
+  };
+
+  void charge(const Tracked& t, bool is_restore) const;
+
+  os::Os* os_;
+  std::vector<Tracked> ranges_;
+  bool has_checkpoint_ = false;
+  std::uint64_t epoch_ = 0;
+  std::uint64_t commits_ = 0;
+  std::uint64_t restores_ = 0;
+  std::uint64_t corrupted_detected_ = 0;
+};
+
+}  // namespace abftecc::recovery

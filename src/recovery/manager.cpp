@@ -1,0 +1,100 @@
+#include "recovery/manager.hpp"
+
+#include "obs/metrics.hpp"
+
+namespace abftecc::recovery {
+
+void RecoveryManager::trace(obs::EventKind kind, std::uint64_t a0) const {
+  auto& tracer = obs::default_tracer();
+  if (!tracer.enabled()) return;
+  const std::uint64_t now =
+      os_ != nullptr ? os_->system().stats().cpu_cycles : 0;
+  tracer.instant(kind, now, 0, a0);
+}
+
+void RecoveryManager::begin_run() {
+  episode_recomputes_ = 0;
+  run_rollbacks_ = 0;
+  clean_verifies_ = 0;
+  rollback_demanded_ = false;
+}
+
+bool RecoveryManager::try_recompute() {
+  if (!opt_.enable_recompute ||
+      episode_recomputes_ >= opt_.max_recompute_attempts)
+    return false;
+  ++episode_recomputes_;
+  ++stats_.recompute_attempts;
+  trace(obs::EventKind::kRecompute, episode_recomputes_);
+  return true;
+}
+
+void RecoveryManager::recompute_succeeded() {
+  ++stats_.recomputes;
+  episode_recomputes_ = 0;  // forward progress: refill the episode budget
+  obs::default_registry().counter("recovery.recomputes").add();
+}
+
+bool RecoveryManager::try_rollback() {
+  if (!opt_.enable_rollback || run_rollbacks_ >= opt_.max_rollback_attempts)
+    return false;
+  ++run_rollbacks_;
+  ++stats_.rollback_attempts;
+  return true;
+}
+
+RestoreResult RecoveryManager::rollback() {
+  const RestoreResult r = store_.restore();
+  if (r == RestoreResult::kOk) {
+    ++stats_.rollbacks;
+    rollback_demanded_ = false;
+    trace(obs::EventKind::kRollback, store_.epoch());
+    obs::default_registry().counter("recovery.rollbacks").add();
+  } else if (r == RestoreResult::kCorrupted) {
+    ++stats_.corrupted_checkpoints;
+  }
+  return r;
+}
+
+void RecoveryManager::mark_unrecoverable() {
+  ++stats_.unrecoverable;
+  obs::default_registry().counter("recovery.unrecoverable").add();
+}
+
+void RecoveryManager::checkpoint_tick(std::uint64_t epoch) {
+  if (++clean_verifies_ < opt_.checkpoint_period) return;
+  clean_verifies_ = 0;
+  commit(epoch);
+}
+
+void RecoveryManager::commit(std::uint64_t epoch) {
+  store_.commit(epoch);
+  ++stats_.checkpoints;
+  trace(obs::EventKind::kCheckpoint, epoch);
+}
+
+bool RecoveryManager::on_unprotected_error(const void* vaddr,
+                                           const void* region_base,
+                                           std::size_t region_size) {
+  // Absorbable when the fault hit tracked bytes directly, or landed in the
+  // page slack of an allocation whose live bytes are tracked (the slack is
+  // dead data; the rollback restores everything the program can read).
+  const bool covered =
+      (vaddr != nullptr && store_.covers(vaddr)) ||
+      (region_base != nullptr && store_.intersects(region_base, region_size));
+  if (!covered) return false;
+  rollback_demanded_ = true;
+  ++stats_.escalations;
+  obs::default_registry().counter("recovery.escalations").add();
+  trace(obs::EventKind::kEscalated);
+  return true;
+}
+
+RecoveryVerdict RecoveryManager::verdict() const {
+  if (stats_.unrecoverable > 0) return RecoveryVerdict::kUnrecoverable;
+  if (stats_.rollbacks > 0) return RecoveryVerdict::kRecoveredByRollback;
+  if (stats_.recomputes > 0) return RecoveryVerdict::kRecoveredByRecompute;
+  return RecoveryVerdict::kNotNeeded;
+}
+
+}  // namespace abftecc::recovery

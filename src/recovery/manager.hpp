@@ -1,0 +1,102 @@
+// RecoveryManager: the policy engine of the recovery escalation ladder.
+//
+// The ABFT runtime hands kernels a pointer to this object; when a kernel's
+// location/correction fails (or the OS demands a rollback for corruption
+// outside ABFT's checksum space), the kernel walks the ladder through the
+// manager:
+//
+//   tier 1  ABFT element correction      (the kernel's own verify path)
+//   tier 2  bounded per-block recompute  (try_recompute / recompute_*)
+//   tier 3  checkpoint rollback          (try_rollback / rollback)
+//   tier 4  RecoveryVerdict::kUnrecoverable surfaced to the caller
+//
+// The manager owns the CheckpointStore, the per-run attempt budgets, and
+// the OS escalation hook that turns would-be panics on checkpoint-covered
+// data into rollback demands.
+#pragma once
+
+#include <cstdint>
+
+#include "obs/trace.hpp"
+#include "recovery/checkpoint.hpp"
+#include "recovery/types.hpp"
+
+namespace abftecc::recovery {
+
+class RecoveryManager {
+ public:
+  explicit RecoveryManager(RecoveryOptions opt = {}, os::Os* os = nullptr)
+      : opt_(opt), os_(os), store_(os) {}
+
+  RecoveryManager(const RecoveryManager&) = delete;
+  RecoveryManager& operator=(const RecoveryManager&) = delete;
+
+  [[nodiscard]] CheckpointStore& store() { return store_; }
+  [[nodiscard]] const RecoveryOptions& options() const { return opt_; }
+  [[nodiscard]] const RecoveryStats& stats() const { return stats_; }
+
+  /// Reset the per-run attempt budgets and any stale rollback demand.
+  /// Kernels call this at the top of run()/factor().
+  void begin_run();
+
+  // --- tier 2: per-block recompute ----------------------------------------
+
+  /// True (and books an attempt) while the episode's recompute budget
+  /// lasts. The budget refills after every recovered episode: recompute
+  /// makes forward progress, so bounding it per episode terminates.
+  bool try_recompute();
+  /// The re-verification after a recompute came back clean.
+  void recompute_succeeded();
+
+  // --- tier 3: checkpoint rollback ----------------------------------------
+
+  /// True (and books an attempt) while the run's rollback budget lasts.
+  /// Never refilled within a run: a rollback revisits old work, and a
+  /// persistent fault would otherwise keep the run from terminating.
+  bool try_rollback();
+  /// Verified restore through the store; clears the demand flag on
+  /// success. kCorrupted / kNoCheckpoint leave application data untouched.
+  RestoreResult rollback();
+
+  // --- tier 4 ---------------------------------------------------------------
+
+  void mark_unrecoverable();
+
+  // --- checkpointing --------------------------------------------------------
+
+  /// One clean verification passed at progress `epoch`; commits every
+  /// options().checkpoint_period-th call.
+  void checkpoint_tick(std::uint64_t epoch);
+  /// Unconditional commit at a kernel-chosen epoch (e.g. post-encode).
+  void commit(std::uint64_t epoch);
+
+  // --- OS escalation --------------------------------------------------------
+
+  /// Os::handle_ecc_interrupt calls this for uncorrectable errors OUTSIDE
+  /// ABFT protection. When the corrupted address is checkpoint-covered --
+  /// directly, or anywhere inside an owning allocation whose live bytes
+  /// are tracked (allocations are page-granular; the slack is dead data)
+  /// -- the manager demands a rollback and absorbs the error (no panic);
+  /// callers poll rollback_demanded() at their verification points.
+  bool on_unprotected_error(const void* vaddr,
+                            const void* region_base = nullptr,
+                            std::size_t region_size = 0);
+  [[nodiscard]] bool rollback_demanded() const { return rollback_demanded_; }
+
+  /// Verdict over everything this node ran (campaign classification).
+  [[nodiscard]] RecoveryVerdict verdict() const;
+
+ private:
+  void trace(obs::EventKind kind, std::uint64_t a0 = 0) const;
+
+  RecoveryOptions opt_;
+  os::Os* os_;
+  CheckpointStore store_;
+  RecoveryStats stats_;
+  unsigned episode_recomputes_ = 0;
+  unsigned run_rollbacks_ = 0;
+  std::size_t clean_verifies_ = 0;
+  bool rollback_demanded_ = false;
+};
+
+}  // namespace abftecc::recovery

@@ -17,6 +17,7 @@
 #include "linalg/generate.hpp"
 #include "obs/trace.hpp"
 #include "os/os.hpp"
+#include "recovery/manager.hpp"
 #include "sim/dgms.hpp"
 
 namespace abftecc::sim {
@@ -41,6 +42,7 @@ void print_usage(const char* prog) {
       "  --hpl-procs <n>        FT-HPL simulated process count\n"
       "  --closed-page          use the closed-page row-buffer policy\n"
       "  --hw-assisted          enable hardware-assisted (simplified) verify\n"
+      "  --ladder               enable the recovery escalation ladder\n"
       "  --help                 show this message\n",
       prog);
 }
@@ -105,6 +107,8 @@ CliReport parse_cli(int argc, char** argv, PlatformOptions& opt) {
       opt.row_policy = memsim::RowBufferPolicy::kClosedPage;
     } else if (std::strcmp(a, "--hw-assisted") == 0) {
       opt.hardware_assisted = true;
+    } else if (std::strcmp(a, "--ladder") == 0) {
+      opt.ladder = true;
     } else if (std::strcmp(a, "--help") == 0) {
       print_usage(argv[0]);
       std::exit(0);
@@ -132,6 +136,7 @@ struct Session::Impl {
   std::unique_ptr<memsim::MemorySystem> sys;
   std::unique_ptr<abftecc::os::Os> osl;
   std::unique_ptr<abft::Runtime> rt;
+  std::unique_ptr<recovery::RecoveryManager> rm;
   std::unique_ptr<TapContext> ctx;
   std::unique_ptr<fault::Injector> inj;
   void* flusher = nullptr;  ///< lazily allocated flush_caches() buffer
@@ -160,8 +165,26 @@ struct Session::Impl {
         cfg, spec(opt.strategy).default_scheme, std::move(hooks));
     osl = std::make_unique<abftecc::os::Os>(*sys);
     rt = std::make_unique<abft::Runtime>(osl.get());
+    osl->set_exposed_log_capacity(opt.exposed_log_capacity);
+    if (opt.repromote_threshold > 0)
+      osl->set_repromote_threshold(opt.repromote_threshold);
+    if (opt.ladder) {
+      rm = std::make_unique<recovery::RecoveryManager>(opt.recovery,
+                                                       osl.get());
+      rt->set_recovery(rm.get());
+      osl->set_escalation_handler(
+          [m = rm.get()](const abftecc::os::ExposedError& e) {
+            return m->on_unprotected_error(e.vaddr, e.region_base,
+                                           e.region_size);
+          });
+    }
     ctx = std::make_unique<TapContext>(*osl, *sys);
     inj = std::make_unique<fault::Injector>(*sys, *osl);
+  }
+
+  ~Impl() {
+    // The escalation handler captures rm, which dies before osl.
+    if (osl != nullptr) osl->set_escalation_handler(nullptr);
   }
 
   MatrixView abft_matrix(std::size_t rows, std::size_t cols,
@@ -211,6 +234,10 @@ struct Session::Impl {
     m.status = status;
     m.abft_bytes = abft_bytes;
     m.total_bytes = total_bytes;
+    if (rm != nullptr) {
+      m.recovery = rm->stats();
+      m.verdict = rm->verdict();
+    }
     return m;
   }
 
@@ -243,9 +270,22 @@ struct Session::Impl {
                                abft_matrix(n, n + 1, abft_scheme, "dgemm.Br"),
                                abft_matrix(n + 1, n + 1, abft_scheme,
                                            "dgemm.Cf")};
+    // Pristine-input checkpoint BEFORE the kernel exists: a fault hitting
+    // the plain (non-ABFT) inputs escalates to a rollback demand, and this
+    // epoch-0 snapshot is what makes that demand satisfiable.
+    recovery::CheckpointStore::RangeId ida = 0, idb = 0;
+    if (rm != nullptr) {
+      ida = rm->store().track("dgemm.A", a.data(), n * n * sizeof(double));
+      idb = rm->store().track("dgemm.B", b.data(), n * n * sizeof(double));
+      rm->commit(0);
+    }
     abft::FtDgemm ft(ConstMatrixView(a), ConstMatrixView(b), buf,
                      ft_options(opt), rt.get());
     const abft::FtStatus st = ft.run(MemoryTap(*ctx));
+    if (rm != nullptr) {
+      rm->store().untrack(ida);
+      rm->store().untrack(idb);
+    }
     capture(ft.result());
     return collect(Kernel::kDgemm, ft.stats(), st);
   }
@@ -325,6 +365,7 @@ Session& Session::operator=(Session&&) noexcept = default;
 memsim::MemorySystem& Session::memory() { return *impl_->sys; }
 abftecc::os::Os& Session::os() { return *impl_->osl; }
 abft::Runtime& Session::runtime() { return *impl_->rt; }
+recovery::RecoveryManager* Session::recovery() { return impl_->rm.get(); }
 fault::Injector& Session::injector() { return *impl_->inj; }
 TapContext& Session::tap_context() { return *impl_->ctx; }
 

@@ -14,6 +14,7 @@
 #include "common/units.hpp"
 #include "memsim/config.hpp"
 #include "memsim/system.hpp"
+#include "recovery/types.hpp"
 #include "sim/strategy.hpp"
 #include "sim/tap.hpp"
 
@@ -25,6 +26,9 @@ class Injector;
 }
 namespace abftecc::obs {
 class Tracer;
+}
+namespace abftecc::recovery {
+class RecoveryManager;
 }
 
 namespace abftecc::sim {
@@ -57,6 +61,14 @@ struct PlatformOptions {
   std::uint64_t seed = 42;
   unsigned cache_scale = 8;
   memsim::RowBufferPolicy row_policy = memsim::RowBufferPolicy::kOpenPage;
+  /// Recovery escalation ladder (DESIGN.md "Recovery escalation ladder").
+  /// Off by default: existing experiments keep the historical
+  /// kUncorrectable/panic behavior.
+  bool ladder = false;
+  recovery::RecoveryOptions recovery;
+  /// Fault-storm hardening knobs forwarded to the Os.
+  std::size_t exposed_log_capacity = 1024;
+  unsigned repromote_threshold = 0;  ///< 0 = no ECC re-promotion
 };
 
 struct RunMetrics {
@@ -79,6 +91,9 @@ struct RunMetrics {
   /// Bytes of relaxed-ECC (ABFT-protected) and total allocated data.
   std::uint64_t abft_bytes = 0;
   std::uint64_t total_bytes = 0;
+  /// Ladder accounting (all zeros when the ladder is off).
+  recovery::RecoveryStats recovery;
+  recovery::RecoveryVerdict verdict = recovery::RecoveryVerdict::kNotNeeded;
 
   [[nodiscard]] Picojoules memory_pj() const {
     return mem_dynamic_pj + mem_standby_pj;
@@ -111,6 +126,8 @@ class Session {
   [[nodiscard]] memsim::MemorySystem& memory();
   [[nodiscard]] os::Os& os();
   [[nodiscard]] abft::Runtime& runtime();
+  /// The recovery ladder's policy engine; null unless options().ladder.
+  [[nodiscard]] recovery::RecoveryManager* recovery();
   [[nodiscard]] fault::Injector& injector();
   [[nodiscard]] TapContext& tap_context();
   [[nodiscard]] MemoryTap tap() { return MemoryTap(tap_context()); }
@@ -199,6 +216,24 @@ class Session::Builder {
   }
   Builder& row_policy(memsim::RowBufferPolicy p) {
     opt_.row_policy = p;
+    return *this;
+  }
+  /// Enable the recovery escalation ladder (checkpointed rollback, block
+  /// recompute, OS escalation instead of panic).
+  Builder& ladder(bool on = true) {
+    opt_.ladder = on;
+    return *this;
+  }
+  Builder& recovery(const recovery::RecoveryOptions& ro) {
+    opt_.recovery = ro;
+    return *this;
+  }
+  Builder& exposed_log_capacity(std::size_t cap) {
+    opt_.exposed_log_capacity = cap;
+    return *this;
+  }
+  Builder& repromote_threshold(unsigned n) {
+    opt_.repromote_threshold = n;
     return *this;
   }
   /// Extra hooks merged into the node wiring. The injector chains itself

@@ -3,8 +3,10 @@
 #include <gtest/gtest.h>
 
 #include "abft/ft_dgemm.hpp"
+#include "abft/runtime.hpp"
 #include "common/rng.hpp"
 #include "linalg/blas.hpp"
+#include "recovery/manager.hpp"
 
 namespace abftecc::abft {
 namespace {
@@ -147,6 +149,71 @@ TEST(FtDgemm, AmbiguousGridPatternReportedUncorrectable) {
   s.cf(40, 30) += 3.0;
   // Rows 10/40 and cols 20/30 all show residual 6.0: ambiguous pairing.
   EXPECT_EQ(ft.verify_and_correct(), FtStatus::kUncorrectable);
+}
+
+// --- Case-4 pinning (paper Section 4) ----------------------------------------
+// Multi-error patterns that defeat checksum pairing must NEVER be silently
+// mis-corrected: without the ladder the kernel reports kUncorrectable, with
+// the ladder it recomputes and finishes correct. Either way the fault is
+// detected and the result is never silently wrong.
+
+TEST(FtDgemm, Case4LShapePatternRefusedNotMiscorrected) {
+  Fix s(64, 64, 64, 20);
+  FtDgemm ft(s.a.view(), s.b.view(), s.buffers());
+  ASSERT_EQ(ft.run(), FtStatus::kOk);
+  Matrix ref = s.reference();
+  // L-shape: two faults sharing row 12 AND two sharing column 21, with
+  // magnitudes chosen so no row residual equals any column residual
+  // (rows see 11 and 13, columns 17 and 7): pairing must fail loudly.
+  // (Equal-magnitude L-shapes alias to a legitimate two-error pattern --
+  // a fundamental ABFT detectability limit, not a refusal case.)
+  s.cf(12, 21) += 4.0;
+  s.cf(12, 44) += 7.0;
+  s.cf(33, 21) += 13.0;
+  EXPECT_EQ(ft.verify_and_correct(), FtStatus::kUncorrectable);
+  // Detected, refused, and no partial "repair" was invented: the payload
+  // still carries exactly the injected deltas.
+  EXPECT_GE(ft.stats().errors_detected, 1u);
+  EXPECT_NEAR(s.cf(12, 21) - ref(12, 21), 4.0, 1e-8);
+  EXPECT_NEAR(s.cf(12, 44) - ref(12, 44), 7.0, 1e-8);
+  EXPECT_NEAR(s.cf(33, 21) - ref(33, 21), 13.0, 1e-8);
+}
+
+TEST(FtDgemm, Case4GridHealedWhenLadderAttached) {
+  Fix s(64, 64, 64, 21);
+  Runtime rt;
+  recovery::RecoveryManager rm;
+  rt.set_recovery(&rm);
+  FtDgemm ft(s.a.view(), s.b.view(), s.buffers(), {}, &rt);
+  ASSERT_EQ(ft.run(), FtStatus::kOk);
+  Matrix ref = s.reference();
+  s.cf(10, 20) += 3.0;
+  s.cf(10, 30) += 3.0;
+  s.cf(40, 20) += 3.0;
+  s.cf(40, 30) += 3.0;
+  // verify_and_correct alone still refuses (the ladder lives in run());
+  // pin that the refusal is loud, not a silent mis-correction.
+  EXPECT_EQ(ft.verify_and_correct(), FtStatus::kUncorrectable);
+  // A fresh ladder-driven run over the same buffers heals end to end.
+  ASSERT_TRUE(ft.run() == FtStatus::kOk ||
+              ft.run() == FtStatus::kCorrectedErrors);
+  EXPECT_LT(max_abs_diff(ft.result(), ref.view()), 1e-6);
+}
+
+TEST(FtDgemm, ChecksumRowFaultStaysDetectedUnderLadder) {
+  Fix s(64, 64, 64, 22);
+  Runtime rt;
+  recovery::RecoveryManager rm;
+  rt.set_recovery(&rm);
+  FtDgemm ft(s.a.view(), s.b.view(), s.buffers(), {}, &rt);
+  ASSERT_EQ(ft.run(), FtStatus::kOk);
+  Matrix ref = s.reference();
+  // Fault in the checksum row itself: must be detected and repaired from
+  // the payload, never "corrected" into the payload.
+  s.cf(64, 7) += 11.0;
+  EXPECT_EQ(ft.verify_and_correct(), FtStatus::kCorrectedErrors);
+  EXPECT_LT(max_abs_diff(ft.result(), ref.view()), 1e-8);
+  EXPECT_EQ(rm.verdict(), recovery::RecoveryVerdict::kNotNeeded);
 }
 
 TEST(FtDgemm, NonSquareShapesSupported) {

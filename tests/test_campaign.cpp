@@ -7,6 +7,8 @@
 
 #include <cmath>
 #include <cstddef>
+#include <cstdio>
+#include <string>
 
 #include "abft/ft_dgemm.hpp"
 #include "campaign/campaign.hpp"
@@ -99,6 +101,32 @@ TEST(Classify, CorrectOutputSplitsOnWhetherAnythingWasRepaired) {
             Outcome::kBenignMasked);
 }
 
+TEST(Classify, LadderTiersNameTheDeepestRecoveryThatFired) {
+  using abft::FtStatus;
+  // Rollback dominates recompute dominates element correction.
+  EXPECT_EQ(classify(FtStatus::kOk, true, false, 0, 1, 0),
+            Outcome::kRecoveredByRecompute);
+  EXPECT_EQ(classify(FtStatus::kCorrectedErrors, true, false, 2, 1, 0),
+            Outcome::kRecoveredByRecompute);
+  EXPECT_EQ(classify(FtStatus::kOk, true, false, 0, 0, 1),
+            Outcome::kRecoveredByRollback);
+  EXPECT_EQ(classify(FtStatus::kOk, true, false, 3, 2, 1),
+            Outcome::kRecoveredByRollback);
+}
+
+TEST(Classify, UnrecoverableAndFailuresDominateLadderCounts) {
+  using abft::FtStatus;
+  // An exhausted ladder is its own class even if earlier tiers fired.
+  EXPECT_EQ(classify(FtStatus::kUnrecoverable, true, false, 0, 2, 2),
+            Outcome::kUnrecoverable);
+  // A panic still dominates everything.
+  EXPECT_EQ(classify(FtStatus::kUnrecoverable, true, true, 0, 2, 2),
+            Outcome::kDetectedUncorrected);
+  // A recovery that still left the answer wrong is SDC, not "recovered".
+  EXPECT_EQ(classify(FtStatus::kOk, false, false, 0, 1, 1),
+            Outcome::kSilentDataCorruption);
+}
+
 // --------------------------------------------------------- determinism --
 
 TEST(Campaign, SameSeedIsBitIdenticalAcrossThreadCounts) {
@@ -135,6 +163,70 @@ TEST(Campaign, SameSeedIsBitIdenticalAcrossThreadCounts) {
   }
   EXPECT_EQ(serial.corrected.count, pooled.corrected.count);
   EXPECT_EQ(serial.unclassified, pooled.unclassified);
+}
+
+/// A fault-storm scenario that historically ended in Os::panic: SECDED
+/// everywhere (every double-bit flip is detected-uncorrectable) and sites
+/// sampled over all allocations, so plain kernel inputs get hit too.
+CampaignOptions storm_options(bool ladder) {
+  CampaignOptions opt;
+  opt.kernel = sim::Kernel::kDgemm;
+  opt.platform = tiny_platform();
+  opt.platform.strategy = sim::Strategy::kWholeSecded;
+  opt.platform.ladder = ladder;
+  opt.fault.kind = FaultKind::kDoubleBit;
+  opt.fault.count = 3;
+  opt.fault.storm_all_ranges = true;
+  opt.trials = 12;
+  opt.campaign_seed = 7;
+  return opt;
+}
+
+std::string jsonl_bytes(const CampaignResult& res) {
+  std::FILE* f = std::tmpfile();
+  for (const TrialOutcome& t : res.trials)
+    write_trial_jsonl(f, res.options, t);
+  std::string out(static_cast<std::size_t>(std::ftell(f)), '\0');
+  std::rewind(f);
+  const std::size_t got = std::fread(out.data(), 1, out.size(), f);
+  std::fclose(f);
+  out.resize(got);
+  return out;
+}
+
+// The determinism contract must survive the ladder: a multi-fault storm
+// campaign with recovery enabled serializes byte-identically regardless
+// of thread count, including the new outcome classes and ladder counters.
+TEST(Campaign, LadderStormJsonlIsByteIdenticalAcrossThreadCounts) {
+  CampaignOptions opt = storm_options(/*ladder=*/true);
+  const GoldenRun golden = run_golden(opt);
+
+  opt.threads = 1;
+  const std::string serial = jsonl_bytes(run_campaign(opt, golden));
+  opt.threads = 4;
+  const std::string four = jsonl_bytes(run_campaign(opt, golden));
+  opt.threads = 8;
+  const std::string eight = jsonl_bytes(run_campaign(opt, golden));
+
+  EXPECT_FALSE(serial.empty());
+  EXPECT_EQ(serial, four);
+  EXPECT_EQ(serial, eight);
+  // The storm actually exercises the new taxonomy.
+  EXPECT_NE(serial.find("recovered_by_rollback"), std::string::npos);
+}
+
+// The before/after story of the escalation ladder: the same storm that
+// panics with the ladder off finishes every trial with it on, the former
+// panics reclassified as recovered or (gracefully) unrecoverable.
+TEST(Campaign, LadderTurnsStormPanicsIntoRecoveries) {
+  const CampaignResult off = run_campaign(storm_options(/*ladder=*/false));
+  ASSERT_GT(off.panicked_trials, 0u);
+
+  const CampaignResult on = run_campaign(storm_options(/*ladder=*/true));
+  EXPECT_EQ(on.panicked_trials, 0u);
+  EXPECT_GE(on.recovered_by_rollback.count + on.recovered_by_recompute.count +
+                on.unrecoverable.count,
+            off.panicked_trials);
 }
 
 TEST(Campaign, DifferentSeedsPickDifferentFaultSites) {

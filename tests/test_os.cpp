@@ -183,6 +183,122 @@ TEST_F(OsTest, RegionOfFindsOwnerAndRespectsBounds) {
   EXPECT_EQ(os_.region_of(p + (1 << 20)), nullptr);
 }
 
+// --- fault-storm hardening ---------------------------------------------------
+
+TEST_F(OsTest, ExposedLogCapBoundsMemoryUnderStorm) {
+  auto* p = static_cast<std::byte*>(
+      os_.malloc_ecc(64 * 4096, ecc::Scheme::kNone, "big", true));
+  ASSERT_NE(p, nullptr);
+  os_.set_exposed_log_capacity(4);
+  EXPECT_EQ(os_.exposed_log_capacity(), 4u);
+  // A storm of 12 uncorrectable errors on 12 distinct cache lines: the
+  // log must stay bounded at the cap, the overflow counted, not crashed.
+  for (int i = 0; i < 12; ++i) {
+    memsim::ErrorRecord rec;
+    rec.phys_addr = *os_.virt_to_phys(p + 4096 * i);
+    rec.scheme = ecc::Scheme::kNone;
+    rec.valid = true;
+    os_.handle_ecc_interrupt(rec);
+  }
+  const auto errors = os_.drain_exposed_errors();
+  EXPECT_EQ(errors.size(), 4u);
+  EXPECT_EQ(os_.exposed_dropped(), 8u);
+  EXPECT_FALSE(os_.panicked());
+}
+
+TEST_F(OsTest, ExposedLogAtCapacityCoalescesSameCacheLine) {
+  auto* p = static_cast<std::byte*>(
+      os_.malloc_ecc(16 * 4096, ecc::Scheme::kNone, "big", true));
+  ASSERT_NE(p, nullptr);
+  os_.set_exposed_log_capacity(2);
+  auto fire = [&](std::size_t off, Cycles cycle) {
+    memsim::ErrorRecord rec;
+    rec.phys_addr = *os_.virt_to_phys(p + off);
+    rec.scheme = ecc::Scheme::kNone;
+    rec.cycle = cycle;
+    rec.valid = true;
+    os_.handle_ecc_interrupt(rec);
+  };
+  fire(0, 10);
+  fire(4096, 20);
+  // At capacity: a repeat of line 0 folds into the existing entry (the
+  // location ABFT needs is identical) instead of being dropped.
+  fire(8, 30);
+  const auto errors = os_.drain_exposed_errors();
+  ASSERT_EQ(errors.size(), 2u);
+  EXPECT_EQ(errors[0].repeats, 2u);
+  EXPECT_EQ(errors[0].cycle, 30u);
+  EXPECT_EQ(errors[1].repeats, 1u);
+  EXPECT_EQ(os_.exposed_dropped(), 0u);
+}
+
+TEST_F(OsTest, ShrinkingCapacityDropsNewestEntries) {
+  auto* p = static_cast<std::byte*>(
+      os_.malloc_ecc(16 * 4096, ecc::Scheme::kNone, "big", true));
+  for (int i = 0; i < 4; ++i) {
+    memsim::ErrorRecord rec;
+    rec.phys_addr = *os_.virt_to_phys(p + 4096 * i);
+    rec.scheme = ecc::Scheme::kNone;
+    rec.valid = true;
+    os_.handle_ecc_interrupt(rec);
+  }
+  os_.set_exposed_log_capacity(2);
+  // Drop-newest: the earliest errors (what ABFT verification wants first)
+  // survive the shrink.
+  const auto errors = os_.drain_exposed_errors();
+  ASSERT_EQ(errors.size(), 2u);
+  EXPECT_EQ(errors[0].vaddr, p);
+  EXPECT_EQ(errors[1].vaddr, p + 4096);
+  EXPECT_EQ(os_.exposed_dropped(), 2u);
+}
+
+TEST_F(OsTest, EscalationHandlerAbsorbsWouldBePanic) {
+  void* p = os_.malloc_plain(4096, "kernel-data");
+  const auto phys = os_.virt_to_phys(p);
+  ExposedError seen;
+  os_.set_escalation_handler([&](const ExposedError& e) {
+    seen = e;
+    return true;
+  });
+  memsim::ErrorRecord rec;
+  rec.phys_addr = *phys;
+  rec.valid = true;
+  os_.handle_ecc_interrupt(rec);
+  EXPECT_FALSE(os_.panicked());
+  EXPECT_EQ(os_.escalations(), 1u);
+  EXPECT_EQ(seen.vaddr, p);
+  EXPECT_EQ(seen.region_name, "kernel-data");
+  EXPECT_EQ(seen.region_base, p);
+
+  // A refusing handler keeps the historical panic.
+  os_.set_escalation_handler([](const ExposedError&) { return false; });
+  os_.handle_ecc_interrupt(rec);
+  EXPECT_TRUE(os_.panicked());
+  EXPECT_EQ(os_.escalations(), 1u);
+}
+
+TEST_F(OsTest, RepromotionRestoresChipkillAfterThreshold) {
+  auto* p = static_cast<std::byte*>(
+      os_.malloc_ecc(8192, ecc::Scheme::kSecded, "relaxed", true));
+  ASSERT_NE(p, nullptr);
+  os_.set_repromote_threshold(3);
+  const auto phys = os_.virt_to_phys(p);
+  memsim::ErrorRecord rec;
+  rec.phys_addr = *phys;
+  rec.scheme = ecc::Scheme::kSecded;
+  rec.valid = true;
+  os_.handle_ecc_interrupt(rec);
+  os_.handle_ecc_interrupt(rec);
+  EXPECT_EQ(os_.repromotions(), 0u);
+  EXPECT_EQ(sys_.controller().scheme_for(*phys), ecc::Scheme::kSecded);
+  // Third uncorrectable in the region crosses the threshold: the region
+  // goes back to full chipkill (ECC re-promotion).
+  os_.handle_ecc_interrupt(rec);
+  EXPECT_EQ(os_.repromotions(), 1u);
+  EXPECT_EQ(sys_.controller().scheme_for(*phys), ecc::Scheme::kChipkill);
+  EXPECT_EQ(os_.pages().frame_at(*phys).ecc_type, ecc::Scheme::kChipkill);
+}
+
 TEST_F(OsTest, PhysToHostGivesWritableBytes) {
   auto* p = static_cast<std::byte*>(os_.malloc_ecc(4096, ecc::Scheme::kNone));
   p[7] = std::byte{0x5A};

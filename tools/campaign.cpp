@@ -41,6 +41,12 @@ void print_usage(const char* prog) {
       "                    p_ck_sd (default p_ck_sd, the cooperative\n"
       "                    ABFT-under-SECDED design point)\n"
       "  --fault <f>       single_bit | double_bit | chip_kill\n"
+      "  --faults <n>      faults per trial (default 1; >1 = fault storm)\n"
+      "  --storm           sample sites over ALL live allocations, not just\n"
+      "                    the ABFT-protected ranges\n"
+      "  --ladder          enable the recovery escalation ladder\n"
+      "  --forbid-panics   exit 1 if any trial ended in Os::panic (the\n"
+      "                    escalation stress gate)\n"
       "  --tolerance <x>   max |error| vs golden still 'correct' (1e-6)\n"
       "  --jsonl <path>    per-trial JSON-lines log\n"
       "  --json <path>     schema-stable campaign report\n"
@@ -106,6 +112,12 @@ void print_rates(const CampaignResult& r) {
   line("detected_uncorrected", r.detected_uncorrected);
   line("silent_data_corruption", r.silent_data_corruption);
   line("benign_masked", r.benign_masked);
+  line("recovered_by_recompute", r.recovered_by_recompute);
+  line("recovered_by_rollback", r.recovered_by_rollback);
+  line("unrecoverable", r.unrecoverable);
+  if (r.panicked_trials > 0)
+    std::printf("  PANICKED trials: %llu\n",
+                static_cast<unsigned long long>(r.panicked_trials));
   if (r.unclassified > 0)
     std::printf("  UNCLASSIFIED trials: %llu\n",
                 static_cast<unsigned long long>(r.unclassified));
@@ -120,6 +132,7 @@ int main(int argc, char** argv) {
   std::string jsonl_path;
   std::uint64_t input_seed = 42;
   bool strategy_given = false;
+  bool forbid_panics = false;
 
   // Split argv: campaign-specific flags are consumed here, everything
   // else (--json/--trace/platform dims) is forwarded to bench::Report's
@@ -165,6 +178,16 @@ int main(int argc, char** argv) {
         return 2;
       }
       ++i;
+    } else if (std::strcmp(a, "--faults") == 0) {
+      base.fault.count = std::max(
+          1u, static_cast<unsigned>(std::strtoul(need_value(i), nullptr, 10)));
+      ++i;
+    } else if (std::strcmp(a, "--storm") == 0) {
+      base.fault.storm_all_ranges = true;
+    } else if (std::strcmp(a, "--ladder") == 0) {
+      base.platform.ladder = true;
+    } else if (std::strcmp(a, "--forbid-panics") == 0) {
+      forbid_panics = true;
     } else if (std::strcmp(a, "--tolerance") == 0) {
       base.tolerance = std::strtod(need_value(i), nullptr), ++i;
     } else if (std::strcmp(a, "--jsonl") == 0) {
@@ -229,6 +252,7 @@ int main(int argc, char** argv) {
   std::printf("\n");
 
   std::uint64_t total_unclassified = 0;
+  std::uint64_t total_panicked = 0;
   for (std::size_t ki = 0; ki < kernels.size(); ++ki) {
     const Kernel k = kernels[ki];
     CampaignOptions opt = base;
@@ -274,10 +298,15 @@ int main(int argc, char** argv) {
     rate_scalars("detected_uncorrected", res.detected_uncorrected);
     rate_scalars("silent_data_corruption", res.silent_data_corruption);
     rate_scalars("benign_masked", res.benign_masked);
+    rate_scalars("recovered_by_recompute", res.recovered_by_recompute);
+    rate_scalars("recovered_by_rollback", res.recovered_by_rollback);
+    rate_scalars("unrecoverable", res.unrecoverable);
     report.scalar(slug + ".trials", static_cast<double>(opt.trials));
     report.scalar(slug + ".unclassified",
                   static_cast<double>(res.unclassified));
+    report.scalar(slug + ".panicked", static_cast<double>(res.panicked_trials));
     total_unclassified += res.unclassified;
+    total_panicked += res.panicked_trials;
 
     if (jsonl != nullptr)
       for (const auto& t : res.trials)
@@ -297,6 +326,11 @@ int main(int argc, char** argv) {
   if (total_unclassified > 0) {
     std::fprintf(stderr, "campaign: %llu unclassified trial(s)\n",
                  static_cast<unsigned long long>(total_unclassified));
+    return 1;
+  }
+  if (forbid_panics && total_panicked > 0) {
+    std::fprintf(stderr, "campaign: %llu panicked trial(s) (--forbid-panics)\n",
+                 static_cast<unsigned long long>(total_panicked));
     return 1;
   }
   return 0;
