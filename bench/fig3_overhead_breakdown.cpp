@@ -1,171 +1,115 @@
 // Figure 3: ABFT overhead breakdown -- checksum maintenance vs verification
-// share of total ABFT overhead, for the three fail-continue kernels, one
-// task each, measured on real (uninstrumented, NullTap) runs.
+// share of the ABFT overhead, for the three fail-continue kernels, one task
+// each, measured on the simulated platform with the phase profiler
+// (obs/profile.hpp) attributing every simulated cycle to a phase.
+//
+// No hand subtraction: the profiler's self-time attribution is exact by
+// construction (each cycle lands in exactly one phase node), and this
+// harness asserts it -- the sum of phase cycles must equal the session's
+// total simulated cycles to within 0.1% (it matches exactly).
 //
 // Expected shape (paper): verification is responsible for a large part of
 // the overhead for all three kernels.
-#include <algorithm>
-#include <chrono>
-#include <vector>
-#if defined(_OPENMP)
-#include <omp.h>
-#endif
+#include <cmath>
+#include <cstdlib>
 
-#include "abft/ft_cg.hpp"
-#include "abft/ft_cholesky.hpp"
-#include "abft/ft_dgemm.hpp"
 #include "bench/report.hpp"
-#include "linalg/factor.hpp"
-#include "linalg/generate.hpp"
+#include "obs/profile.hpp"
 
 namespace abftecc {
 namespace {
 
-double now_seconds() {
-  return std::chrono::duration<double>(
-             std::chrono::steady_clock::now().time_since_epoch())
-      .count();
-}
-
-struct Breakdown {
-  // Minimum over repeats: the robust estimator against scheduler noise at
-  // millisecond scales.
-  double total = 1e99;
-  double plain = 1e99;
-  double verify = 0.0;
-  double checksum = 0.0;  // encode + correction-free residue of overhead
-
-  void take_plain(double t) { plain = std::min(plain, t); }
-  void take_ft(double t, double v, double c) {
-    if (t < total) {
-      total = t;
-      verify = v;
-      checksum = c;
-    }
-  }
-
-  void print(const char* name, bench::Report& rep) const {
-    const double overhead = std::max(total - plain, verify + checksum);
-    const double v = verify / overhead;
-    const double c = 1.0 - v;
-    bench::row({name, bench::fmt(plain, 3) + "s", bench::fmt(total, 3) + "s",
-                bench::fmt_pct(overhead / plain), bench::fmt_pct(c),
-                bench::fmt_pct(v)});
-    const std::string kn(name);
-    rep.scalar(kn + ".plain_seconds", plain);
-    rep.scalar(kn + ".ft_seconds", total);
-    rep.scalar(kn + ".overhead", overhead / plain);
-    rep.scalar(kn + ".checksum_share", c);
-    rep.scalar(kn + ".verify_share", v);
-  }
+struct Attribution {
+  sim::RunMetrics metrics;
+  obs::CounterSample total;    ///< profiler-attributed sum over all phases
+  obs::CounterSample compute;  ///< kernel numerical work
+  obs::CounterSample encode;
+  obs::CounterSample verify;
+  obs::CounterSample other;    ///< locate + correct + unattributed root
+  double residual = 0.0;       ///< |attributed - simulated| / simulated
 };
 
-Breakdown bench_dgemm(std::size_t n, std::size_t repeats) {
-  Breakdown out;
-  Rng rng(1);
-  Matrix a = Matrix::random(n, n, rng), b = Matrix::random(n, n, rng);
-  for (std::size_t r = 0; r < repeats; ++r) {
-    {
-      Matrix c(n, n);
-      const double t0 = now_seconds();
-      linalg::gemm(1.0, a.view(), b.view(), 0.0, c.view());
-      out.take_plain(now_seconds() - t0);
-    }
-    {
-      Matrix ac(n + 1, n), br(n, n + 1), cf(n + 1, n + 1);
-      abft::FtOptions opt;
-      opt.verify_period = 1;  // worst-case deployment (Section 3.2.2)
-      abft::FtDgemm ft(a.view(), b.view(), {ac.view(), br.view(), cf.view()},
-                       opt);
-      const double t0 = now_seconds();
-      ft.run();
-      out.take_ft(now_seconds() - t0, ft.stats().verify_seconds,
-                  ft.stats().encode_seconds);
-    }
-  }
-  // Checksum overhead also includes the extra checksum row/column carried
-  // through the multiply; attribute the non-verify remainder to it.
-  out.checksum = std::max(out.total - out.plain - out.verify, out.checksum);
+Attribution profile_kernel(sim::Kernel k, const sim::PlatformOptions& opt) {
+  Attribution out;
+  sim::Session session = sim::Session::Builder(opt).build();
+  out.metrics = session.run(k);
+  obs::PhaseProfiler& prof = session.profiler();
+  prof.stop();
+  out.total = prof.total();
+  out.compute = prof.phase_total(obs::Phase::kCompute);
+  out.encode = prof.phase_total(obs::Phase::kEncode);
+  out.verify = prof.phase_total(obs::Phase::kVerify);
+  out.other = out.total;
+  out.other.cycles -= out.compute.cycles + out.encode.cycles +
+                      out.verify.cycles;
+  const auto simulated = static_cast<double>(out.metrics.sys.cpu_cycles);
+  out.residual = simulated == 0.0
+                     ? 0.0
+                     : std::abs(static_cast<double>(out.total.cycles) -
+                                simulated) /
+                           simulated;
   return out;
 }
 
-Breakdown bench_cholesky(std::size_t n, std::size_t repeats) {
-  Breakdown out;
-  Rng rng(2);
-  Matrix a = Matrix::random_spd(n, rng);
-  for (std::size_t r = 0; r < repeats; ++r) {
-    {
-      Matrix w = a;
-      const double t0 = now_seconds();
-      linalg::potrf(w.view());
-      out.take_plain(now_seconds() - t0);
-    }
-    {
-      Matrix w = a;
-      std::vector<double> sum(n), weighted(n);
-      abft::FtOptions opt;
-      opt.verify_period = 1;
-      abft::FtCholesky ft({w.view(), sum, weighted}, opt);
-      const double t0 = now_seconds();
-      ft.run();
-      out.take_ft(now_seconds() - t0, ft.stats().verify_seconds,
-                  ft.stats().encode_seconds);
-    }
+void report_kernel(const char* name, const Attribution& a,
+                   bench::Report& rep) {
+  const auto cycles = [](const obs::CounterSample& s) {
+    return static_cast<double>(s.cycles);
+  };
+  const double total = cycles(a.total);
+  const double overhead =
+      cycles(a.encode) + cycles(a.verify) + cycles(a.other);
+  const double checksum_share = overhead == 0.0 ? 0.0 : cycles(a.encode) / overhead;
+  const double verify_share = overhead == 0.0 ? 0.0 : cycles(a.verify) / overhead;
+  bench::row({name, bench::fmt_sci(total),
+              bench::fmt_pct(cycles(a.compute) / total),
+              bench::fmt_pct(overhead / cycles(a.compute)),
+              bench::fmt_pct(checksum_share), bench::fmt_pct(verify_share)});
+  const std::string kn(name);
+  rep.scalar(kn + ".cycles_total", total);
+  rep.scalar(kn + ".compute_share", cycles(a.compute) / total);
+  rep.scalar(kn + ".encode_share", cycles(a.encode) / total);
+  rep.scalar(kn + ".verify_share", cycles(a.verify) / total);
+  rep.scalar(kn + ".overhead", overhead / cycles(a.compute));
+  rep.scalar(kn + ".checksum_share", checksum_share);
+  rep.scalar(kn + ".verify_overhead_share", verify_share);
+  rep.scalar(kn + ".attribution_residual", a.residual);
+  if (a.residual > 1e-3) {
+    std::fprintf(stderr,
+                 "%s: phase attribution residual %.3g exceeds 0.1%% of total "
+                 "simulated cycles\n",
+                 name, a.residual);
+    std::exit(1);
   }
-  out.checksum = std::max(out.total - out.plain - out.verify, out.checksum);
-  return out;
-}
-
-Breakdown bench_cg(std::size_t n, std::size_t iters, std::size_t repeats) {
-  Breakdown out;
-  Rng rng(3);
-  linalg::LinearSystem sys = linalg::make_spd_system(n, rng);
-  linalg::CgOptions copt;
-  copt.max_iterations = iters;
-  copt.tolerance = 1e-30;
-  for (std::size_t r = 0; r < repeats; ++r) {
-    {
-      std::vector<double> x(n, 0.0);
-      const double t0 = now_seconds();
-      linalg::pcg_solve(sys.a.view(), sys.b, x, copt);
-      out.take_plain(now_seconds() - t0);
-    }
-    {
-      std::vector<double> x(n, 0.0), rr(n), z(n), p(n), q(n);
-      std::vector<double> b = sys.b;
-      abft::FtOptions opt;
-      opt.verify_period = 4;
-      abft::FtCg ft(sys.a.view(), b, {x, rr, z, p, q}, copt, opt);
-      const double t0 = now_seconds();
-      ft.run();
-      out.take_ft(now_seconds() - t0, ft.stats().verify_seconds,
-                  ft.stats().encode_seconds);
-    }
-  }
-  out.checksum = std::max(out.total - out.plain - out.verify, out.checksum);
-  return out;
 }
 
 }  // namespace
 }  // namespace abftecc
 
 int main(int argc, char** argv) {
-#if defined(_OPENMP)
-  // This harness measures phase ATTRIBUTION (checksum vs verification
-  // share), not throughput: single-threaded runs keep the wall-clock
-  // split stable on small shared machines.
-  omp_set_num_threads(1);
-#endif
   using namespace abftecc;
+  sim::PlatformOptions opt;
+  // Attribution, not throughput: modest inputs keep the simulated runs
+  // quick, and verify_period 1 is the worst-case deployment (Sec. 3.2.2)
+  // the paper's figure describes.
+  opt.dgemm_dim = 160;
+  opt.cholesky_dim = 224;
+  opt.cg_dim = 320;
+  opt.cg_iterations = 6;
+  opt.verify_period = 1;
   bench::Report rep(argc, argv, "Figure 3: ABFT overhead breakdown",
-                    "SC'13 Fig. 3 (+ overhead context of Sec. 3.2.2)");
-  bench::row({"kernel", "plain", "ft-total", "overhead", "checksum%",
+                    "SC'13 Fig. 3 (+ overhead context of Sec. 3.2.2)", opt);
+  opt.profile = true;  // the whole point of this harness
+  bench::row({"kernel", "cycles", "compute%", "overhead", "checksum%",
               "verify%"});
-  bench_dgemm(384, 7).print("FT-DGEMM", rep);
-  bench_cholesky(512, 7).print("FT-Cholesky", rep);
-  bench_cg(768, 150, 5).print("FT-Pred-CG", rep);
+  report_kernel("FT-DGEMM",
+                profile_kernel(sim::Kernel::kDgemm, opt), rep);
+  report_kernel("FT-Cholesky",
+                profile_kernel(sim::Kernel::kCholesky, opt), rep);
+  report_kernel("FT-Pred-CG", profile_kernel(sim::Kernel::kCg, opt), rep);
   std::printf(
       "\npaper shape: verification dominates the ABFT overhead for all three "
-      "kernels.\n");
+      "kernels.\n(overhead = non-compute share of attributed cycles; "
+      "checksum%%/verify%% split that overhead)\n");
   return 0;
 }

@@ -14,6 +14,7 @@
 #include "memsim/config.hpp"
 #include "obs/json.hpp"
 #include "obs/metrics.hpp"
+#include "obs/profile.hpp"
 #include "obs/trace.hpp"
 #include "sim/platform.hpp"
 #include "sim/strategy.hpp"
@@ -104,9 +105,18 @@ class Report {
   Report& operator=(const Report&) = delete;
 
   ~Report() {
+    // Close any still-open profiling interval so the report and the merged
+    // timeline see final attribution (no-op when profiling never ran).
+    obs::default_profiler().stop();
     if (!cli_.json_path.empty()) write_json(cli_.json_path.c_str());
     if (!cli_.trace_path.empty())
       obs::default_tracer().write_chrome_trace(cli_.trace_path);
+    if (!cli_.chrome_trace_path.empty() &&
+        obs::write_merged_chrome_trace(cli_.chrome_trace_path,
+                                       obs::default_tracer(),
+                                       obs::default_profiler()))
+      std::printf("wrote merged Chrome trace: %s\n",
+                  cli_.chrome_trace_path.c_str());
   }
 
   void add_run(std::string_view label, const sim::RunMetrics& m) {
@@ -121,6 +131,12 @@ class Report {
   /// Record a qualitative outcome (an error-handling path, a verdict, ...).
   void note(std::string_view name, std::string_view text) {
     notes_.emplace_back(std::string(name), std::string(text));
+  }
+
+  /// Attach a pre-serialized JSON value under a custom top-level key (the
+  /// campaign uses this for its latency histograms).
+  void section(std::string_view name, std::string json) {
+    sections_.emplace_back(std::string(name), std::move(json));
   }
 
   [[nodiscard]] const sim::CliReport& cli() const { return cli_; }
@@ -148,6 +164,12 @@ class Report {
     w.end_object();
     w.key("metrics");
     w.raw(obs::default_registry().to_json());
+    w.key("profile");
+    if (const auto& prof = obs::default_profiler(); !prof.nodes().empty())
+      w.raw(prof.to_json());
+    else
+      w.null();
+    for (const auto& [name, json] : sections_) w.key(name).raw(json);
     w.end_object();
     std::FILE* f = std::fopen(path, "w");
     if (f == nullptr) {
@@ -245,6 +267,7 @@ class Report {
   std::vector<std::pair<std::string, sim::RunMetrics>> runs_;
   std::vector<std::pair<std::string, double>> scalars_;
   std::vector<std::pair<std::string, std::string>> notes_;
+  std::vector<std::pair<std::string, std::string>> sections_;
 };
 
 }  // namespace abftecc::bench

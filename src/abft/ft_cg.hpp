@@ -157,6 +157,7 @@ class FtCg {
   template <MemTap Tap>
   void encode_b(Tap tap) {
     PhaseTimer t(stats_.encode_seconds);
+    ScopedPhase phase(rt_, obs::EventKind::kEncode, "ft_cg.encode");
     b_sum_ = 0.0;
     b_weighted_ = 0.0;
     for (std::size_t i = 0; i < b_.size(); ++i) {
@@ -170,6 +171,7 @@ class FtCg {
   template <MemTap Tap>
   void encode_a(Tap tap) {
     PhaseTimer t(stats_.encode_seconds);
+    ScopedPhase phase(rt_, obs::EventKind::kEncode, "ft_cg.encode");
     const std::size_t n = a_.cols();
     a_sum_.assign(n, 0.0);
     a_weighted_.assign(n, 0.0);
@@ -186,6 +188,7 @@ class FtCg {
                        opt_.tolerance, a_scale, 0, tap);
     if (errors.empty()) return true;
     PhaseTimer t(stats_.correct_seconds);
+    ScopedPhase sp(rt_, obs::EventKind::kRecover, "ft_cg.correct");
     for (const auto& e : errors) {
       ++stats_.errors_detected;
       if (!e.locatable) return false;
@@ -212,6 +215,7 @@ class FtCg {
     if (std::abs(ds) <= threshold) return true;
     ++stats_.errors_detected;
     PhaseTimer t(stats_.correct_seconds);
+    ScopedPhase sp(rt_, obs::EventKind::kRecover, "ft_cg.correct");
     const double dw = wsum - b_weighted_;
     const double row_f = dw / ds - 1.0;
     const auto row = static_cast<long long>(std::llround(row_f));
@@ -288,11 +292,13 @@ class FtCg {
       // The operator was corrupted for some iterations: restart the
       // direction from the repaired A.
       PhaseTimer t(stats_.correct_seconds);
+      ScopedPhase sp(rt_, obs::EventKind::kRecover, "ft_cg.correct");
       repair(m, rho, tap);
       return FtStatus::kCorrectedErrors;
     }
     ++stats_.errors_detected;
     PhaseTimer t(stats_.correct_seconds);
+    ScopedPhase sp(rt_, obs::EventKind::kRecover, "ft_cg.correct");
     repair(m, rho, tap);
     ++stats_.errors_corrected;
     return FtStatus::kCorrectedErrors;

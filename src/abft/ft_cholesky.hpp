@@ -158,6 +158,7 @@ class FtCholesky {
   template <MemTap Tap>
   void encode_all(Tap tap) {
     PhaseTimer t(stats_.encode_seconds);
+    ScopedPhase phase(rt_, obs::EventKind::kEncode, "ft_cholesky.encode");
     const std::size_t n = buf_.a.rows();
     for (std::size_t j = 0; j < n; ++j) {
       double s = 0.0, w = 0.0;
@@ -179,6 +180,7 @@ class FtCholesky {
   template <MemTap Tap>
   void split_out_diag_contribution(std::size_t k, std::size_t b, Tap tap) {
     PhaseTimer t(stats_.encode_seconds);
+    ScopedPhase phase(rt_, obs::EventKind::kEncode, "ft_cholesky.encode");
     for (std::size_t j = 0; j < b; ++j) {
       double s = 0.0, w = 0.0;
       for (std::size_t i = j; i < b; ++i) {
@@ -198,6 +200,7 @@ class FtCholesky {
   template <MemTap Tap>
   void add_back_diag_contribution(std::size_t k, std::size_t b, Tap tap) {
     PhaseTimer t(stats_.encode_seconds);
+    ScopedPhase phase(rt_, obs::EventKind::kEncode, "ft_cholesky.encode");
     for (std::size_t j = 0; j < b; ++j) {
       double s = 0.0, w = 0.0;
       for (std::size_t i = j; i < b; ++i) {
@@ -218,6 +221,7 @@ class FtCholesky {
   bool verify_diag_factorization(std::size_t k, std::size_t b,
                                  const Matrix& diag_copy, Tap tap) {
     PhaseTimer t(stats_.verify_seconds);
+    ScopedPhase phase(rt_, obs::EventKind::kVerify, "ft_cholesky.verify");
     const double threshold =
         opt_.tolerance * scale_ * static_cast<double>(buf_.a.rows());
     for (std::size_t j = 0; j < b; ++j)
@@ -241,6 +245,7 @@ class FtCholesky {
   template <MemTap Tap>
   FtStatus verify_panel(std::size_t k, std::size_t b, Tap tap) {
     PhaseTimer t(stats_.verify_seconds);
+    ScopedPhase phase(rt_, obs::EventKind::kVerify, "ft_cholesky.verify");
     const std::size_t n = buf_.a.rows();
     const double threshold =
         opt_.tolerance * scale_ * static_cast<double>(n);
@@ -279,6 +284,7 @@ class FtCholesky {
   void maintain_checksums_through_update_pre(std::size_t k2, std::size_t b,
                                              Tap tap) {
     PhaseTimer t(stats_.encode_seconds);
+    ScopedPhase phase(rt_, obs::EventKind::kEncode, "ft_cholesky.encode");
     const std::size_t n = buf_.a.rows();
     const std::size_t rest = n - k2;
     ConstMatrixView l21 =
@@ -316,6 +322,7 @@ class FtCholesky {
       if (std::abs(ds) <= threshold) continue;
       ++stats_.errors_detected;
       PhaseTimer t(stats_.correct_seconds);
+      ScopedPhase phase(rt_, obs::EventKind::kRecover, "ft_cholesky.correct");
       tap.read(&buf_.weighted[j]);
       const double dw = w - buf_.weighted[j];
       const double row_f = dw / ds - 1.0;

@@ -215,7 +215,8 @@ class FtDgemm {
   template <MemTap Tap>
   void recompute_from_inputs(Tap tap) {
     PhaseTimer t(stats_.correct_seconds);
-    ScopedPhase phase(rt_, obs::EventKind::kRecover, "ft_dgemm.recompute");
+    ScopedPhase phase(rt_, obs::EventKind::kRecover, "ft_dgemm.recompute",
+                      obs::Phase::kRecompute);
     const std::size_t m = a_.rows(), n = b_.cols();
     std::vector<char> row_done(m, 0);
     for (const std::size_t i : last_bad_rows_) {

@@ -94,6 +94,7 @@ class FtDgemmDual {
   template <MemTap Tap>
   void encode(Tap tap) {
     PhaseTimer t(stats_.encode_seconds);
+    ScopedPhase phase(rt_, obs::EventKind::kEncode, "ft_dgemm_dual.encode");
     const std::size_t m = a_.rows(), n = b_.cols(), kk = a_.cols();
     for (std::size_t j = 0; j < kk; ++j) {
       double s = 0.0, w = 0.0;
@@ -180,6 +181,7 @@ class FtDgemmDual {
         continue;
       ++stats_.errors_detected;
       PhaseTimer t(stats_.correct_seconds);
+      ScopedPhase sp(rt_, obs::EventKind::kRecover, "ft_dgemm_dual.correct");
 
       // Hypothesis 1: a single error in this column. The weighted/sum
       // ratio locates a row, but an equal-magnitude error PAIR aliases to
@@ -248,6 +250,7 @@ class FtDgemmDual {
     // Leftover bad rows with no bad column: corrupted row-checksum entries.
     if (columns_fixed == 0 && !bad_rows.empty()) {
       PhaseTimer t(stats_.correct_seconds);
+      ScopedPhase sp(rt_, obs::EventKind::kRecover, "ft_dgemm_dual.correct");
       for (const std::size_t i : bad_rows) {
         refresh_row_checksums(i, tap);
         ++stats_.errors_detected;

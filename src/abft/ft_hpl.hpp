@@ -138,6 +138,7 @@ class FtHpl {
   FtStatus recover_process(std::size_t process, Tap tap = {}) {
     ABFTECC_REQUIRE(process < nproc_);
     PhaseTimer t(stats_.correct_seconds);
+    ScopedPhase phase(rt_, obs::EventKind::kRecover, "ft_hpl.recover");
     const std::size_t k = next_k_;
     for (std::size_t o = process * h_; o < (process + 1) * h_; ++o) {
       const std::size_t c = o % h_;
@@ -240,6 +241,7 @@ class FtHpl {
  private:
   void encode(ConstMatrixView a, std::span<const double> b) {
     PhaseTimer t(stats_.encode_seconds);
+    ScopedPhase phase(rt_, obs::EventKind::kEncode, "ft_hpl.encode");
     for (std::size_t j = 0; j < n_; ++j)
       for (std::size_t i = 0; i < n_; ++i) buf_.ae(i, j) = a(i, j);
     for (std::size_t i = 0; i < n_; ++i) buf_.ae(i, n_) = b[i];
@@ -326,6 +328,7 @@ class FtHpl {
   template <MemTap Tap>
   void freeze_rows(std::size_t k, std::size_t b, Tap tap) {
     PhaseTimer t(stats_.encode_seconds);
+    ScopedPhase phase(rt_, obs::EventKind::kEncode, "ft_hpl.encode");
     for (std::size_t pos = k; pos < k + b; ++pos) {
       const std::size_t c = orig_of_pos_[pos] % h_;
       for (std::size_t j = 0; j < n_ + 1; ++j) {
@@ -360,6 +363,7 @@ class FtHpl {
       if (std::abs(ds) <= threshold) continue;
       ++stats_.errors_detected;
       PhaseTimer t(stats_.correct_seconds);
+      ScopedPhase sp(rt_, obs::EventKind::kRecover, "ft_hpl.correct");
       const double dw = wsum - buf_.ae(n_ + h_ + 1, j);
       const auto orig = static_cast<long long>(std::llround(dw / ds - 1.0));
       if (orig < 0 || orig >= static_cast<long long>(n_) ||

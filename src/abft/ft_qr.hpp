@@ -252,7 +252,8 @@ class FtQr {
   template <MemTap Tap>
   void recompute_trailing(Tap tap) {
     PhaseTimer t(stats_.correct_seconds);
-    ScopedPhase phase(rt_, obs::EventKind::kRecover, "ft_qr.recompute");
+    ScopedPhase phase(rt_, obs::EventKind::kRecover, "ft_qr.recompute",
+                      obs::Phase::kRecompute);
     std::vector<double> tmp(m_);
     for (std::size_t j = next_k_; j < n_ + 2; ++j) {
       // Original column: payload, row sums, or weighted row sums.
@@ -291,6 +292,7 @@ class FtQr {
 
   void encode(ConstMatrixView a) {
     PhaseTimer t(stats_.encode_seconds);
+    ScopedPhase phase(rt_, obs::EventKind::kEncode, "ft_qr.encode");
     for (std::size_t i = 0; i < m_; ++i) {
       double s = 0.0, w = 0.0;
       for (std::size_t j = 0; j < n_; ++j) {

@@ -17,6 +17,7 @@ void Runtime::unregister_structure(std::size_t id) {
 std::vector<LocatedError> Runtime::drain_located_errors() {
   std::vector<LocatedError> out;
   if (os_ == nullptr) return out;
+  obs::PhaseScope locate(obs::Phase::kLocate);
   auto& tracer = obs::default_tracer();
   const std::uint64_t now = os_->system().stats().cpu_cycles;
   for (const auto& e : os_->drain_exposed_errors()) {

@@ -14,6 +14,7 @@
 #include <string_view>
 #include <vector>
 
+#include "obs/profile.hpp"
 #include "obs/trace.hpp"
 #include "os/os.hpp"
 
@@ -81,18 +82,36 @@ class Runtime {
   std::vector<Structure> structures_;
 };
 
-/// Scoped trace marker for a kernel phase (verify / recover / encode):
-/// emits one Chrome complete event spanning the phase in simulated cycles.
+/// Profiler phase a kernel trace marker attributes to by default.
+[[nodiscard]] constexpr obs::Phase phase_of(obs::EventKind k) {
+  switch (k) {
+    case obs::EventKind::kEncode: return obs::Phase::kEncode;
+    case obs::EventKind::kVerify: return obs::Phase::kVerify;
+    case obs::EventKind::kRecover: return obs::Phase::kCorrect;
+    default: return obs::Phase::kCompute;
+  }
+}
+
+/// Scoped marker for a kernel phase (verify / recover / encode): emits one
+/// Chrome complete event spanning the phase in simulated cycles, and
+/// enters the matching profiler phase (phase_of(kind), overridable for
+/// sites like recompute that trace as kRecover but attribute separately).
 /// With no attached Os (pure-software ABFT) there is no cycle clock and the
-/// phase is recorded at ts 0 with zero duration; with the tracer disabled
-/// (the default) construction and destruction are branch-only.
+/// trace phase is recorded at ts 0 with zero duration; with both the tracer
+/// and the profiler disabled (the default) construction and destruction are
+/// branch-only.
 class ScopedPhase {
  public:
   ScopedPhase(Runtime* rt, obs::EventKind kind, const char* tag)
+      : ScopedPhase(rt, kind, tag, phase_of(kind)) {}
+
+  ScopedPhase(Runtime* rt, obs::EventKind kind, const char* tag,
+              obs::Phase phase)
       : rt_(rt),
         kind_(kind),
         tag_(tag),
-        start_(obs::default_tracer().enabled() ? now() : 0) {}
+        start_(obs::default_tracer().enabled() ? now() : 0),
+        profiled_(phase) {}
   ~ScopedPhase() {
     auto& tracer = obs::default_tracer();
     if (!tracer.enabled()) return;
@@ -113,6 +132,7 @@ class ScopedPhase {
   obs::EventKind kind_;
   const char* tag_;
   std::uint64_t start_;
+  obs::PhaseScope profiled_;
 };
 
 }  // namespace abftecc::abft

@@ -10,6 +10,7 @@
 #include "common/rng.hpp"
 #include "fault/injector.hpp"
 #include "obs/json.hpp"
+#include "obs/trace.hpp"
 #include "os/os.hpp"
 
 namespace abftecc::campaign {
@@ -72,6 +73,14 @@ TrialOutcome run_trial(const CampaignOptions& opt, const GoldenRun& golden,
 
   sim::Session s =
       sim::Session::Builder(opt.platform).private_observability().build();
+
+  if (opt.measure_latency) {
+    // The session's private tracer records the trial's timeline. Demand
+    // misses are masked out so the bounded ring never evicts the handful
+    // of fault/recovery events a latency scan needs.
+    s.tracer().set_mask(~obs::kind_bit(obs::EventKind::kDemandMiss));
+    s.tracer().enable();
+  }
 
   // Injection times: `count` uniform points in the golden reference
   // stream (a storm when > 1). The trial replays the golden execution
@@ -172,6 +181,33 @@ TrialOutcome run_trial(const CampaignOptions& opt, const GoldenRun& golden,
   t.corrupted_checkpoints = m.recovery.corrupted_checkpoints;
   t.max_abs_error = max_err;
   t.sim_seconds = m.seconds;
+  t.cycles = m.sys.cpu_cycles;
+  if (opt.measure_latency) {
+    // First OS ECC interrupt -> end of the first recovery-path event
+    // recorded after it. Complete events (drain, correct, rollback) are
+    // recorded at phase END, so snapshot order is completion order; their
+    // span may have OPENED before the interrupt, hence end-time math.
+    std::uint64_t intr = 0;
+    bool have_intr = false;
+    for (const obs::TraceEvent& e : s.tracer().snapshot()) {
+      if (!have_intr) {
+        if (e.kind == obs::EventKind::kEccInterrupt) {
+          intr = e.ts;
+          have_intr = true;
+        }
+        continue;
+      }
+      const bool recovery_event = e.kind == obs::EventKind::kErrorsDrained ||
+                                  e.kind == obs::EventKind::kRecover ||
+                                  e.kind == obs::EventKind::kRecompute ||
+                                  e.kind == obs::EventKind::kRollback;
+      if (!recovery_event) continue;
+      const std::uint64_t end = e.ts + e.dur;
+      if (end < intr) continue;
+      t.interrupt_to_recovery_cycles = static_cast<double>(end - intr);
+      break;
+    }
+  }
   t.outcome = classify(m.status, correct, t.panicked,
                        ist.corrected_by_ecc + m.ft.errors_corrected,
                        t.recomputes, t.rollbacks);

@@ -112,6 +112,12 @@ struct CampaignOptions {
   /// Max |element| deviation from the golden result still counted correct
   /// (ABFT checksum corrections reconstruct values to roundoff, not bits).
   double tolerance = 1e-6;
+  /// Record per-trial recovery latency (first OS ECC interrupt to the end
+  /// of the first recovery-path event) by running each trial's private
+  /// tracer with demand misses masked out. Off by default: the measured
+  /// cycles depend on host heap layout (see TrialOutcome::sim_seconds) and
+  /// are therefore kept out of the byte-identical determinism surface.
+  bool measure_latency = false;
 };
 
 /// Everything deterministic about one trial. Host wall-clock quantities
@@ -147,6 +153,13 @@ struct TrialOutcome {
   /// varies with thread scheduling, so cycle counts can wobble by a cache
   /// miss or two. Outcome fields never depend on timing.
   double sim_seconds = 0.0;
+  /// Total simulated cycles of the run; same caveat as sim_seconds.
+  std::uint64_t cycles = 0;
+  /// Cycles from the first OS ECC interrupt to the end of the first
+  /// recovery-path event after it (log drain, ABFT correction, rollback).
+  /// Negative when not measured (CampaignOptions::measure_latency off) or
+  /// when no interrupt fired; same determinism caveat as sim_seconds.
+  double interrupt_to_recovery_cycles = -1.0;
 };
 
 /// A fraction of trials with its Wilson score interval.

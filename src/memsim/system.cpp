@@ -76,6 +76,7 @@ void MemorySystem::dram_request(std::uint64_t line_addr, bool is_write,
     obs::default_tracer().instant(obs::EventKind::kDemandMiss,
                                   stats_.cpu_cycles, line_addr, stall_cpu);
     stats_.cpu_cycles += stall_cpu;
+    stats_.stall_cycles += stall_cpu;
   }
 }
 

@@ -21,6 +21,7 @@
 #include "memsim/dram.hpp"
 #include "memsim/memory_controller.hpp"
 #include "obs/metrics.hpp"
+#include "obs/profile.hpp"
 
 namespace abftecc::memsim {
 
@@ -29,6 +30,7 @@ enum class AccessKind : std::uint8_t { kRead, kWrite, kUpdate };
 struct SystemStats {
   std::uint64_t instructions = 0;
   std::uint64_t cpu_cycles = 0;
+  std::uint64_t stall_cycles = 0;  ///< cycles blocked on DRAM demand reads
   std::uint64_t mem_refs = 0;
   std::uint64_t demand_misses = 0;        ///< LLC (L2) demand misses
   std::uint64_t demand_misses_abft = 0;   ///< ... to ABFT-protected blocks
@@ -116,6 +118,12 @@ class MemorySystem {
   // --- results ------------------------------------------------------------
 
   [[nodiscard]] const SystemStats& stats() const { return stats_; }
+  /// Monotone-counter snapshot for the phase profiler: sim::Session binds
+  /// a PhaseProfiler sampler to this.
+  [[nodiscard]] obs::CounterSample counter_sample() const {
+    return {stats_.cpu_cycles, stats_.stall_cycles, stats_.instructions,
+            stats_.dram_dynamic_pj};
+  }
   [[nodiscard]] const CacheStats& l1_stats() const { return l1_.stats(); }
   [[nodiscard]] const CacheStats& l2_stats() const { return l2_.stats(); }
   [[nodiscard]] const DramStats& dram_stats() const { return dram_.stats(); }

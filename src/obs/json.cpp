@@ -83,7 +83,10 @@ JsonWriter& JsonWriter::value(std::string_view v) {
 }
 
 JsonWriter& JsonWriter::value(double v) {
-  if (!std::isfinite(v)) return null();
+  // JSON has no NaN/Inf literals; emit them as strings so the kind and
+  // sign survive the round trip (null would erase both).
+  if (std::isnan(v)) return value("NaN");
+  if (std::isinf(v)) return value(v > 0 ? "Infinity" : "-Infinity");
   comma();
   char buf[32];
   std::snprintf(buf, sizeof buf, "%.17g", v);

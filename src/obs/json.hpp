@@ -4,8 +4,9 @@
 // exported documents are well formed without an external parser).
 //
 // The writer produces canonical output: keys in the order written, doubles
-// via %.17g (shortest round-trippable), non-finite doubles as null (JSON
-// has no NaN/Inf).
+// via %.17g (shortest round-trippable), non-finite doubles as the strings
+// "NaN" / "Infinity" / "-Infinity" (JSON has no NaN/Inf literals; a string
+// keeps the kind and sign where null would erase both).
 #pragma once
 
 #include <cstdint>

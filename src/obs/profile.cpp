@@ -1,0 +1,257 @@
+#include "obs/profile.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "common/error.hpp"
+#include "obs/json.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+namespace abftecc::obs {
+
+std::string_view phase_name(Phase p) {
+  switch (p) {
+    case Phase::kTotal: return "total";
+    case Phase::kCompute: return "compute";
+    case Phase::kEncode: return "encode";
+    case Phase::kVerify: return "verify";
+    case Phase::kLocate: return "locate";
+    case Phase::kCorrect: return "correct";
+    case Phase::kRecompute: return "recompute";
+    case Phase::kRollback: return "rollback";
+    case Phase::kCheckpoint: return "checkpoint";
+  }
+  return "?";
+}
+
+void PhaseProfiler::start() {
+  if (enabled_) return;
+  nodes_.clear();
+  stack_.clear();
+  open_spans_.clear();
+  spans_.clear();
+  dropped_spans_ = 0;
+  nodes_.push_back(PhaseNode{Phase::kTotal, -1, 0, 1, {}});
+  stack_.push_back(0);
+  last_ = sample();
+  enabled_ = true;
+}
+
+void PhaseProfiler::stop() {
+  if (!enabled_) return;
+  while (stack_.size() > 1) exit();  // unbalanced scopes: close them
+  attribute();
+  enabled_ = false;
+}
+
+void PhaseProfiler::reset() {
+  enabled_ = false;
+  nodes_.clear();
+  stack_.clear();
+  open_spans_.clear();
+  spans_.clear();
+  dropped_spans_ = 0;
+  last_ = CounterSample{};
+}
+
+void PhaseProfiler::attribute() {
+  const CounterSample now = sample();
+  nodes_[static_cast<std::size_t>(stack_.back())].self += now - last_;
+  last_ = now;
+}
+
+int PhaseProfiler::child_of(int parent, Phase p) {
+  for (std::size_t i = 0; i < nodes_.size(); ++i)
+    if (nodes_[i].parent == parent && nodes_[i].phase == p)
+      return static_cast<int>(i);
+  nodes_.push_back(
+      PhaseNode{p, parent, nodes_[static_cast<std::size_t>(parent)].depth + 1,
+                0, {}});
+  return static_cast<int>(nodes_.size() - 1);
+}
+
+void PhaseProfiler::enter(Phase p) {
+  if (!enabled_) return;
+  attribute();
+  const int node = child_of(stack_.back(), p);
+  ++nodes_[static_cast<std::size_t>(node)].enters;
+  stack_.push_back(node);
+  open_spans_.push_back(OpenSpan{last_.cycles, p});
+}
+
+void PhaseProfiler::exit() {
+  if (!enabled_) return;
+  if (stack_.size() <= 1) return;  // unbalanced exit: ignore
+  attribute();
+  const OpenSpan open = open_spans_.back();
+  open_spans_.pop_back();
+  if (spans_.size() < span_capacity_) {
+    spans_.push_back(PhaseSpan{
+        open.start_cycles, last_.cycles - open.start_cycles, open.phase,
+        static_cast<std::uint16_t>(stack_.size() - 1)});
+  } else {
+    ++dropped_spans_;
+  }
+  stack_.pop_back();
+}
+
+CounterSample PhaseProfiler::phase_total(Phase p) const {
+  CounterSample out;
+  for (const PhaseNode& n : nodes_)
+    if (n.phase == p) out += n.self;
+  return out;
+}
+
+CounterSample PhaseProfiler::total() const {
+  CounterSample out;
+  for (const PhaseNode& n : nodes_) out += n.self;
+  return out;
+}
+
+namespace {
+
+void sample_fields(JsonWriter& w, const CounterSample& s) {
+  w.field("cycles", s.cycles);
+  w.field("stall_cycles", s.stall_cycles);
+  w.field("instructions", s.instructions);
+  w.field("dram_dynamic_pj", s.dram_dynamic_pj);
+}
+
+constexpr Phase kAllPhases[kPhaseCount] = {
+    Phase::kTotal,     Phase::kCompute,  Phase::kEncode,
+    Phase::kVerify,    Phase::kLocate,   Phase::kCorrect,
+    Phase::kRecompute, Phase::kRollback, Phase::kCheckpoint,
+};
+
+}  // namespace
+
+std::string PhaseProfiler::to_json() const {
+  JsonWriter w;
+  w.begin_object();
+  w.key("phases").begin_object();
+  for (Phase p : kAllPhases) {
+    const CounterSample s = phase_total(p);
+    // "total" (the root's unclaimed time) is always present; other phases
+    // only when they ran, so reports stay compact.
+    if (p != Phase::kTotal && s.cycles == 0 && s.instructions == 0) {
+      bool entered = false;
+      for (const PhaseNode& n : nodes_)
+        if (n.phase == p && n.enters > 0) entered = true;
+      if (!entered) continue;
+    }
+    w.key(phase_name(p)).begin_object();
+    sample_fields(w, s);
+    w.end_object();
+  }
+  w.end_object();
+  w.key("tree").begin_array();
+  for (const PhaseNode& n : nodes_) {
+    w.begin_object();
+    w.field("phase", phase_name(n.phase));
+    w.field("parent", n.parent);
+    w.field("depth", n.depth);
+    w.field("enters", n.enters);
+    sample_fields(w, n.self);
+    w.end_object();
+  }
+  w.end_array();
+  w.key("total").begin_object();
+  sample_fields(w, total());
+  w.end_object();
+  w.field("spans", static_cast<std::uint64_t>(spans_.size()));
+  w.field("spans_dropped", dropped_spans_);
+  w.end_object();
+  return w.take();
+}
+
+void PhaseProfiler::publish(Registry& r) const {
+  for (Phase p : kAllPhases) {
+    const CounterSample s = phase_total(p);
+    const std::string base = "profile." + std::string(phase_name(p));
+    if (p != Phase::kTotal && s.cycles == 0 && s.instructions == 0) continue;
+    r.counter(base + ".cycles").add(s.cycles);
+    r.counter(base + ".stall_cycles").add(s.stall_cycles);
+    r.counter(base + ".instructions").add(s.instructions);
+    r.gauge(base + ".dram_dynamic_pj").add(s.dram_dynamic_pj);
+  }
+}
+
+namespace {
+
+PhaseProfiler*& profiler_slot() {
+  thread_local PhaseProfiler* slot = nullptr;
+  return slot;
+}
+
+}  // namespace
+
+PhaseProfiler& default_profiler() {
+  if (PhaseProfiler* p = profiler_slot(); p != nullptr) return *p;
+  thread_local PhaseProfiler owned;
+  return owned;
+}
+
+ProfilerScope::ProfilerScope(PhaseProfiler& p) : prev_(profiler_slot()) {
+  profiler_slot() = &p;
+}
+
+ProfilerScope::~ProfilerScope() { profiler_slot() = prev_; }
+
+std::string merged_chrome_trace_json(const Tracer& tracer,
+                                     const PhaseProfiler& prof) {
+  JsonWriter w;
+  w.begin_object();
+  w.field("displayTimeUnit", "ms");
+  w.key("traceEvents").begin_array();
+  // Lane labels so Perfetto shows layer names instead of bare tids.
+  static constexpr std::string_view kLaneNames[] = {
+      "fault layer (DRAM)", "memory controller", "OS",
+      "ABFT runtime / recovery", "kernel trace phases", "profiler phases",
+  };
+  for (unsigned tid = 0; tid < 6; ++tid) {
+    w.begin_object();
+    w.field("name", "thread_name");
+    w.field("ph", "M");
+    w.field("pid", 1);
+    w.field("tid", tid);
+    w.key("args").begin_object();
+    w.field("name", kLaneNames[tid]);
+    w.end_object();
+    w.end_object();
+  }
+  std::vector<TraceEvent> events = tracer.snapshot();
+  std::stable_sort(events.begin(), events.end(),
+                   [](const TraceEvent& a, const TraceEvent& b) {
+                     return a.ts < b.ts;
+                   });
+  for (const TraceEvent& e : events) write_chrome_event(w, e);
+  for (const PhaseSpan& s : prof.spans()) {
+    w.begin_object();
+    w.field("name", phase_name(s.phase));
+    w.field("cat", "profile");
+    w.field("ph", "X");
+    w.field("ts", s.start_cycles);  // 1 simulated cycle == 1 microsecond
+    w.field("dur", s.dur_cycles);
+    w.field("pid", 1);
+    w.field("tid", 5);
+    w.key("args").begin_object();
+    w.field("depth", static_cast<std::uint64_t>(s.depth));
+    w.end_object();
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+  return w.take();
+}
+
+bool write_merged_chrome_trace(const std::string& path, const Tracer& tracer,
+                               const PhaseProfiler& prof) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return false;
+  const std::string doc = merged_chrome_trace_json(tracer, prof);
+  const bool ok = std::fwrite(doc.data(), 1, doc.size(), f) == doc.size();
+  return std::fclose(f) == 0 && ok;
+}
+
+}  // namespace abftecc::obs

@@ -1,0 +1,203 @@
+// Hierarchical phase profiler (observability tentpole, PR 5): RAII phase
+// spans (PhaseScope) nest into a tree, and every enter/exit transition
+// samples the simulated machine's counters (cycles, DRAM stalls,
+// instructions, DRAM dynamic energy) and attributes the delta to the phase
+// that was running. Attribution is SELF time: each counter tick lands in
+// exactly one tree node, so the sum of self times over the whole tree
+// equals the counters' total advance between start() and stop() exactly --
+// no hand subtraction, no residual (the property fig3_overhead_breakdown
+// asserts).
+//
+// Like the Registry and Tracer, the profiler is thread-confined:
+// default_profiler() is per-thread, ProfilerScope overrides it for a
+// lexical scope, and sim::Session installs a private one under
+// Builder::private_observability(). Disabled (the default), a PhaseScope
+// costs one predicted branch.
+//
+// The counter source is a pluggable Sampler so the profiler has no
+// dependency on memsim; sim::Session binds it to the node's MemorySystem.
+// Without a sampler all counter deltas are zero but the span log still
+// records enter/exit nesting (useful for pure-software ABFT).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace abftecc::obs {
+
+class Registry;
+class Tracer;
+
+/// Phase taxonomy of the cooperative ABFT pipeline. kTotal is the implicit
+/// root: time between start() and stop() not claimed by any scope.
+enum class Phase : std::uint8_t {
+  kTotal,       ///< root: unattributed time (harness, allocation, ...)
+  kCompute,     ///< the kernel's numerical work proper
+  kEncode,      ///< checksum encode / freeze
+  kVerify,      ///< checksum verification passes
+  kLocate,      ///< runtime drain of the OS error log
+  kCorrect,     ///< ABFT element correction (tier 1)
+  kRecompute,   ///< bounded block recompute (tier 2)
+  kRollback,    ///< checkpoint restore (tier 3)
+  kCheckpoint,  ///< checkpoint commit
+};
+
+inline constexpr std::size_t kPhaseCount = 9;
+
+[[nodiscard]] std::string_view phase_name(Phase p);
+
+/// One point-in-time reading of the simulated machine's monotone counters.
+struct CounterSample {
+  std::uint64_t cycles = 0;        ///< simulated CPU cycles
+  std::uint64_t stall_cycles = 0;  ///< cycles stalled on DRAM demand reads
+  std::uint64_t instructions = 0;
+  double dram_dynamic_pj = 0.0;    ///< DRAM dynamic energy
+
+  CounterSample operator-(const CounterSample& o) const {
+    return {cycles - o.cycles, stall_cycles - o.stall_cycles,
+            instructions - o.instructions, dram_dynamic_pj - o.dram_dynamic_pj};
+  }
+  CounterSample& operator+=(const CounterSample& o) {
+    cycles += o.cycles;
+    stall_cycles += o.stall_cycles;
+    instructions += o.instructions;
+    dram_dynamic_pj += o.dram_dynamic_pj;
+    return *this;
+  }
+};
+
+/// Aggregated tree node: one (parent, phase) pair. `self` excludes time
+/// spent in children -- sum self over all nodes to get the total.
+struct PhaseNode {
+  Phase phase = Phase::kTotal;
+  int parent = -1;  ///< index into nodes(); -1 for the root
+  int depth = 0;    ///< root is 0
+  std::uint64_t enters = 0;
+  CounterSample self;
+};
+
+/// One dynamic span, for the Chrome-trace timeline (bounded log).
+struct PhaseSpan {
+  std::uint64_t start_cycles = 0;
+  std::uint64_t dur_cycles = 0;
+  Phase phase = Phase::kTotal;
+  std::uint16_t depth = 1;  ///< nesting depth below the root
+};
+
+class PhaseProfiler {
+ public:
+  using Sampler = std::function<CounterSample()>;
+  static constexpr std::size_t kDefaultSpanCapacity = 4096;
+
+  explicit PhaseProfiler(std::size_t span_capacity = kDefaultSpanCapacity)
+      : span_capacity_(span_capacity) {}
+
+  /// Bind the counter source (sim::Session points this at its
+  /// MemorySystem). May be changed only while disabled.
+  void set_sampler(Sampler s) { sampler_ = std::move(s); }
+
+  /// Begin profiling: samples the counters into the root node. Idempotent.
+  void start();
+  /// Close every open span, attribute the final interval, and stop
+  /// sampling. Results are stable after this. Idempotent.
+  void stop();
+  [[nodiscard]] bool enabled() const { return enabled_; }
+
+  /// Forget all attribution and spans; keeps the sampler. Implies stop().
+  void reset();
+
+  /// Hot path: called by PhaseScope. No-ops when disabled.
+  void enter(Phase p);
+  void exit();
+
+  // --- results (read after stop()) ----------------------------------------
+
+  /// The attribution tree in creation order; nodes()[0] is the root.
+  [[nodiscard]] const std::vector<PhaseNode>& nodes() const { return nodes_; }
+  /// Self time summed over every node with this phase.
+  [[nodiscard]] CounterSample phase_total(Phase p) const;
+  /// Counter advance between start() and stop() == sum of node self times.
+  [[nodiscard]] CounterSample total() const;
+
+  [[nodiscard]] const std::vector<PhaseSpan>& spans() const { return spans_; }
+  [[nodiscard]] std::uint64_t dropped_spans() const { return dropped_spans_; }
+
+  /// {"phases":{...per-phase self totals...},"tree":[...],"total":{...}}
+  [[nodiscard]] std::string to_json() const;
+
+  /// Write per-phase self totals into `r` as `profile.<phase>.cycles`,
+  /// `.stall_cycles`, `.instructions` counters and `.dram_pj` gauges.
+  void publish(Registry& r) const;
+
+ private:
+  /// Attribute counters since the last transition to the current node.
+  void attribute();
+  [[nodiscard]] CounterSample sample() const {
+    return sampler_ ? sampler_() : CounterSample{};
+  }
+  int child_of(int parent, Phase p);
+
+  Sampler sampler_;
+  std::vector<PhaseNode> nodes_;
+  std::vector<int> stack_;  ///< node indices; stack_[0] is the root
+  struct OpenSpan {
+    std::uint64_t start_cycles;
+    Phase phase;
+  };
+  std::vector<OpenSpan> open_spans_;
+  std::vector<PhaseSpan> spans_;
+  std::size_t span_capacity_;
+  std::uint64_t dropped_spans_ = 0;
+  CounterSample last_;
+  bool enabled_ = false;
+};
+
+/// Profiler the instrumented layers on this thread record into. Disabled
+/// until a harness calls start(). Per-thread like default_registry().
+PhaseProfiler& default_profiler();
+
+/// RAII override of this thread's default_profiler(); same nesting
+/// contract as RegistryScope / TracerScope.
+class ProfilerScope {
+ public:
+  explicit ProfilerScope(PhaseProfiler& p);
+  ~ProfilerScope();
+  ProfilerScope(const ProfilerScope&) = delete;
+  ProfilerScope& operator=(const ProfilerScope&) = delete;
+
+ private:
+  PhaseProfiler* prev_;
+};
+
+/// RAII phase span on this thread's default_profiler(). Branch-only when
+/// the profiler is disabled.
+class PhaseScope {
+ public:
+  explicit PhaseScope(Phase p) : active_(default_profiler().enabled()) {
+    if (active_) default_profiler().enter(p);
+  }
+  ~PhaseScope() {
+    if (active_) default_profiler().exit();
+  }
+  PhaseScope(const PhaseScope&) = delete;
+  PhaseScope& operator=(const PhaseScope&) = delete;
+
+ private:
+  bool active_;
+};
+
+/// Chrome trace_event document merging the tracer's events (lanes 0-4)
+/// with the profiler's phase spans on their own lane (tid 5), plus
+/// thread_name metadata so Perfetto labels the lanes. Either source may be
+/// empty.
+[[nodiscard]] std::string merged_chrome_trace_json(const Tracer& tracer,
+                                                   const PhaseProfiler& prof);
+
+/// Write merged_chrome_trace_json() to `path`; false on I/O failure.
+bool write_merged_chrome_trace(const std::string& path, const Tracer& tracer,
+                               const PhaseProfiler& prof);
+
+}  // namespace abftecc::obs

@@ -106,6 +106,28 @@ std::vector<TraceEvent> Tracer::snapshot() const {
   return out;
 }
 
+void write_chrome_event(JsonWriter& w, const TraceEvent& e) {
+  w.begin_object();
+  w.field("name",
+          e.tag != nullptr ? std::string_view(e.tag) : to_string(e.kind));
+  w.field("cat", to_string(e.kind));
+  w.field("ph", is_phase(e.kind) ? "X" : "i");
+  w.field("ts", e.ts);  // 1 simulated cycle == 1 trace microsecond
+  if (is_phase(e.kind))
+    w.field("dur", e.dur);
+  else
+    w.field("s", "g");  // instant scope: global
+  w.field("pid", 1);
+  w.field("tid", lane_of(e.kind));
+  w.key("args").begin_object();
+  w.field("seq", e.seq);
+  if (e.addr != 0) w.field("phys_addr", e.addr);
+  w.field("a0", e.a0);
+  w.field("a1", e.a1);
+  w.end_object();
+  w.end_object();
+}
+
 std::string Tracer::chrome_trace_json() const {
   std::vector<TraceEvent> events = snapshot();
   // Importers want a monotone timeline; phase events are recorded at phase
@@ -118,27 +140,7 @@ std::string Tracer::chrome_trace_json() const {
   w.begin_object();
   w.field("displayTimeUnit", "ms");
   w.key("traceEvents").begin_array();
-  for (const auto& e : events) {
-    w.begin_object();
-    w.field("name", e.tag != nullptr ? std::string_view(e.tag)
-                                     : to_string(e.kind));
-    w.field("cat", to_string(e.kind));
-    w.field("ph", is_phase(e.kind) ? "X" : "i");
-    w.field("ts", e.ts);  // 1 simulated cycle == 1 trace microsecond
-    if (is_phase(e.kind))
-      w.field("dur", e.dur);
-    else
-      w.field("s", "g");  // instant scope: global
-    w.field("pid", 1);
-    w.field("tid", lane_of(e.kind));
-    w.key("args").begin_object();
-    w.field("seq", e.seq);
-    if (e.addr != 0) w.field("phys_addr", e.addr);
-    w.field("a0", e.a0);
-    w.field("a1", e.a1);
-    w.end_object();
-    w.end_object();
-  }
+  for (const auto& e : events) write_chrome_event(w, e);
   w.end_array();
   w.end_object();
   return w.take();

@@ -22,6 +22,8 @@
 
 namespace abftecc::obs {
 
+class JsonWriter;
+
 /// Event taxonomy across the cooperation path (README.md "Observability").
 enum class EventKind : std::uint8_t {
   // fault layer
@@ -66,6 +68,11 @@ enum class EventKind : std::uint8_t {
          k == EventKind::kEncode;
 }
 
+/// Bit for `kind` in a Tracer kind mask.
+[[nodiscard]] constexpr std::uint64_t kind_bit(EventKind k) {
+  return std::uint64_t{1} << static_cast<unsigned>(k);
+}
+
 struct TraceEvent {
   std::uint64_t ts = 0;    ///< simulated CPU cycle of the event (phase start)
   std::uint64_t dur = 0;   ///< phase length in cycles; 0 for instants
@@ -86,6 +93,13 @@ class Tracer {
   void enable(bool on = true) { enabled_ = on; }
   [[nodiscard]] bool enabled() const { return enabled_; }
 
+  /// Record only kinds whose kind_bit() is set (default: everything).
+  /// Campaign latency measurement masks out kDemandMiss so the flood of
+  /// miss instants cannot evict the interrupt/recovery events it scans
+  /// the ring for.
+  void set_mask(std::uint64_t mask) { mask_ = mask; }
+  [[nodiscard]] std::uint64_t mask() const { return mask_; }
+
   /// Replace the ring (drops recorded events).
   void set_capacity(std::size_t capacity);
   void clear();
@@ -93,14 +107,14 @@ class Tracer {
   void instant(EventKind kind, std::uint64_t ts, std::uint64_t addr = 0,
                std::uint64_t a0 = 0, std::uint64_t a1 = 0,
                const char* tag = nullptr) {
-    if (!enabled_) return;
+    if (!enabled_ || (mask_ & kind_bit(kind)) == 0) return;
     push(TraceEvent{ts, 0, addr, a0, a1, 0, kind, tag});
   }
 
   void complete(EventKind kind, const char* tag, std::uint64_t ts_start,
                 std::uint64_t dur, std::uint64_t addr = 0,
                 std::uint64_t a0 = 0, std::uint64_t a1 = 0) {
-    if (!enabled_) return;
+    if (!enabled_ || (mask_ & kind_bit(kind)) == 0) return;
     push(TraceEvent{ts_start, dur, addr, a0, a1, 0, kind, tag});
   }
 
@@ -129,8 +143,14 @@ class Tracer {
   std::size_t count_ = 0;  ///< survivors (<= capacity)
   std::uint64_t next_seq_ = 0;
   std::uint64_t dropped_ = 0;
+  std::uint64_t mask_ = ~std::uint64_t{0};
   bool enabled_ = false;
 };
+
+/// Emit one TraceEvent as a Chrome trace_event object into an open array.
+/// Shared by Tracer::chrome_trace_json() and the merged profiler exporter
+/// (obs/profile.hpp) so both produce identical event encoding.
+void write_chrome_event(JsonWriter& w, const TraceEvent& e);
 
 /// Tracer the instrumented layers on this thread record into. Disabled
 /// until something (a test, or a bench binary's --trace flag) enables it.

@@ -1,6 +1,7 @@
 #include "recovery/manager.hpp"
 
 #include "obs/metrics.hpp"
+#include "obs/profile.hpp"
 
 namespace abftecc::recovery {
 
@@ -44,6 +45,7 @@ bool RecoveryManager::try_rollback() {
 }
 
 RestoreResult RecoveryManager::rollback() {
+  obs::PhaseScope phase(obs::Phase::kRollback);
   const RestoreResult r = store_.restore();
   if (r == RestoreResult::kOk) {
     ++stats_.rollbacks;
@@ -68,6 +70,7 @@ void RecoveryManager::checkpoint_tick(std::uint64_t epoch) {
 }
 
 void RecoveryManager::commit(std::uint64_t epoch) {
+  obs::PhaseScope phase(obs::Phase::kCheckpoint);
   store_.commit(epoch);
   ++stats_.checkpoints;
   trace(obs::EventKind::kCheckpoint, epoch);

@@ -15,6 +15,7 @@
 #include "common/rng.hpp"
 #include "fault/injector.hpp"
 #include "linalg/generate.hpp"
+#include "obs/profile.hpp"
 #include "obs/trace.hpp"
 #include "os/os.hpp"
 #include "recovery/manager.hpp"
@@ -29,6 +30,9 @@ void print_usage(const char* prog) {
       "usage: %s [options]\n"
       "  --json <path>          write a machine-readable report (JSON)\n"
       "  --trace <path>         write a Chrome trace_event JSON timeline\n"
+      "  --chrome-trace <path>  write a merged Perfetto timeline (tracer\n"
+      "                         events + profiler phase spans); enables\n"
+      "                         tracing and phase profiling\n"
       "  --trace-capacity <n>   event ring size (default 8192; raise so\n"
       "                         demand misses don't evict rare chain events)\n"
       "  --seed <n>             RNG seed for the generated inputs\n"
@@ -81,6 +85,10 @@ CliReport parse_cli(int argc, char** argv, PlatformOptions& opt) {
     } else if (std::strcmp(a, "--trace") == 0) {
       out.trace_path = need_value(i), ++i;
       obs::default_tracer().enable();
+    } else if (std::strcmp(a, "--chrome-trace") == 0) {
+      out.chrome_trace_path = need_value(i), ++i;
+      obs::default_tracer().enable();
+      opt.profile = true;
     } else if (std::strcmp(a, "--trace-capacity") == 0) {
       obs::default_tracer().set_capacity(as_size(i)), ++i;
     } else if (std::strcmp(a, "--seed") == 0) {
@@ -180,9 +188,25 @@ struct Session::Impl {
     }
     ctx = std::make_unique<TapContext>(*osl, *sys);
     inj = std::make_unique<fault::Injector>(*sys, *osl);
+    if (opt.profile) {
+      // Rebind this thread's profiler to the fresh system and restart it:
+      // a new MemorySystem's counters begin at zero, so attribution must
+      // not straddle sessions.
+      auto& prof = obs::default_profiler();
+      prof.stop();
+      prof.set_sampler([s = sys.get()] { return s->counter_sample(); });
+      prof.start();
+    }
   }
 
   ~Impl() {
+    if (opt.profile) {
+      // Final attribution while the sampled system is still alive; the
+      // tree stays readable (Report exports it after the Session dies).
+      auto& prof = obs::default_profiler();
+      prof.stop();
+      prof.set_sampler({});
+    }
     // The escalation handler captures rm, which dies before osl.
     if (osl != nullptr) osl->set_escalation_handler(nullptr);
   }
@@ -281,6 +305,7 @@ struct Session::Impl {
     }
     abft::FtDgemm ft(ConstMatrixView(a), ConstMatrixView(b), buf,
                      ft_options(opt), rt.get());
+    obs::PhaseScope compute(obs::Phase::kCompute);
     const abft::FtStatus st = ft.run(MemoryTap(*ctx));
     if (rm != nullptr) {
       rm->store().untrack(ida);
@@ -301,6 +326,7 @@ struct Session::Impl {
     MatrixView chk = abft_matrix(n, 2, abft_scheme, "cholesky.checksums");
     abft::FtCholesky::Buffers buf{a, chk.col(0), chk.col(1)};
     abft::FtCholesky ft(buf, ft_options(opt), rt.get());
+    obs::PhaseScope compute(obs::Phase::kCompute);
     const abft::FtStatus st = ft.run(MemoryTap(*ctx));
     capture(ConstMatrixView(a));
     return collect(Kernel::kCholesky, ft.stats(), st);
@@ -327,6 +353,7 @@ struct Session::Impl {
     cg_opt.max_iterations = iterations;
     cg_opt.tolerance = 1e-30;  // representative phase: run exactly N iters
     abft::FtCg ft(a, b, buf, cg_opt, ft_options(opt), rt.get());
+    obs::PhaseScope compute(obs::Phase::kCompute);
     const abft::FtCgResult res = ft.run(MemoryTap(*ctx));
     // A non-converged representative phase is the expected outcome here.
     const abft::FtStatus st = res.status == abft::FtStatus::kNumericalFailure
@@ -347,6 +374,7 @@ struct Session::Impl {
                              abft_matrix(h, n + 1, abft_scheme, "hpl.Uc")};
     abft::FtHpl ft(lin.a.view(), lin.b, opt.hpl_processes, buf,
                    ft_options(opt), rt.get());
+    obs::PhaseScope compute(obs::Phase::kCompute);
     const abft::FtStatus st = ft.factor(MemoryTap(*ctx));
     // Back-substitution result: the quantity campaigns compare. Untapped:
     // the representative (timed) phase is the factorization.
@@ -376,6 +404,8 @@ obs::Registry& Session::metrics() {
 obs::Tracer& Session::tracer() {
   return impl_->own_tracer ? *impl_->own_tracer : obs::default_tracer();
 }
+
+obs::PhaseProfiler& Session::profiler() { return obs::default_profiler(); }
 
 const PlatformOptions& Session::options() const { return impl_->opt; }
 

@@ -25,6 +25,7 @@ namespace abftecc::fault {
 class Injector;
 }
 namespace abftecc::obs {
+class PhaseProfiler;
 class Tracer;
 }
 namespace abftecc::recovery {
@@ -69,6 +70,12 @@ struct PlatformOptions {
   /// Fault-storm hardening knobs forwarded to the Os.
   std::size_t exposed_log_capacity = 1024;
   unsigned repromote_threshold = 0;  ///< 0 = no ECC re-promotion
+  /// Phase-attributed cycle profiling (obs/profile.hpp). When set, the
+  /// Session binds this thread's default_profiler() to its MemorySystem
+  /// and (re)starts it at construction; run() attributes the kernel's
+  /// numerical work to Phase::kCompute and the instrumented ABFT/recovery
+  /// scopes to their phases. --chrome-trace turns this on.
+  bool profile = false;
 };
 
 struct RunMetrics {
@@ -135,6 +142,9 @@ class Session {
   /// session-private pair under Builder::private_observability().
   [[nodiscard]] obs::Registry& metrics();
   [[nodiscard]] obs::Tracer& tracer();
+  /// This thread's phase profiler (started by the Session under
+  /// options().profile; stop() it before reading attribution).
+  [[nodiscard]] obs::PhaseProfiler& profiler();
   [[nodiscard]] const PlatformOptions& options() const;
   /// Scheme malloc_ecc assigns to ABFT-protected structures here
   /// (spec(strategy).abft_scheme).
@@ -264,6 +274,9 @@ class Session::Builder {
 struct CliReport {
   std::string json_path;   ///< --json <path>: schema-stable machine report
   std::string trace_path;  ///< --trace <path>: Chrome trace_event JSON
+  /// --chrome-trace <path>: merged timeline (tracer events + profiler
+  /// phase spans, Perfetto-loadable). Implies tracing and profiling.
+  std::string chrome_trace_path;
 };
 
 /// Parse the common bench CLI flags shared by every experiment binary,

@@ -373,7 +373,10 @@ TEST(MemorySystem, HooksAtConstruction) {
 }
 
 TEST(MemorySystem, DeprecatedSettersStillForwardToHooks) {
-  // The pre-Hooks setter API must keep working until callers migrate.
+  // The pre-Hooks setter API must keep working until it is removed. This
+  // pragma block is the single sanctioned use in the tree: the build
+  // compiles with -Werror=deprecated-declarations, so any new caller
+  // outside it fails to compile.
   MemorySystem sys(SystemConfig::scaled(8), ecc::Scheme::kSecded);
   std::uint64_t fills = 0;
 #pragma GCC diagnostic push

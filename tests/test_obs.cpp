@@ -6,6 +6,7 @@
 
 #include <algorithm>
 #include <cstdlib>
+#include <limits>
 #include <string>
 #include <thread>
 #include <vector>
@@ -16,6 +17,7 @@
 #include "fault/injector.hpp"
 #include "obs/json.hpp"
 #include "obs/metrics.hpp"
+#include "obs/profile.hpp"
 #include "obs/trace.hpp"
 #include "os/os.hpp"
 #include "sim/tap.hpp"
@@ -53,6 +55,41 @@ TEST(Json, ValidatorRejectsMalformedInput) {
   EXPECT_FALSE(json_valid("1 2"));
   EXPECT_FALSE(json_valid("{\"a\" 1}"));
   EXPECT_FALSE(json_valid("nul"));
+}
+
+TEST(Json, NonFiniteDoublesEmitNamedStrings) {
+  // NaN/Inf have no JSON number form; emitting them as named strings keeps
+  // the document parseable while preserving the kind and the sign.
+  JsonWriter w;
+  w.begin_object()
+      .field("nan", std::numeric_limits<double>::quiet_NaN())
+      .field("pinf", std::numeric_limits<double>::infinity())
+      .field("ninf", -std::numeric_limits<double>::infinity())
+      .field("finite", 2.5)
+      .end_object();
+  EXPECT_TRUE(json_valid(w.str()));
+  EXPECT_NE(w.str().find("\"nan\":\"NaN\""), std::string::npos);
+  EXPECT_NE(w.str().find("\"pinf\":\"Infinity\""), std::string::npos);
+  EXPECT_NE(w.str().find("\"ninf\":\"-Infinity\""), std::string::npos);
+  EXPECT_NE(w.str().find("\"finite\":2.5"), std::string::npos);
+}
+
+TEST(Json, EscapingHandlesControlAndBoundaryCharacters) {
+  const std::string nasty = std::string("a\x01z") + '\0' + "\x1f\\\"\t\r\n";
+  JsonWriter w;
+  w.begin_object().field("s", nasty).end_object();
+  EXPECT_TRUE(json_valid(w.str()));
+  EXPECT_NE(w.str().find("\\u0001"), std::string::npos);
+  EXPECT_NE(w.str().find("\\u0000"), std::string::npos);
+  EXPECT_NE(w.str().find("\\u001f"), std::string::npos);
+  EXPECT_NE(w.str().find("\\\\"), std::string::npos);
+  EXPECT_NE(w.str().find("\\\""), std::string::npos);
+  EXPECT_NE(w.str().find("\\t"), std::string::npos);
+  EXPECT_NE(w.str().find("\\r"), std::string::npos);
+  EXPECT_NE(w.str().find("\\n"), std::string::npos);
+  // Round-trip sanity: no raw control bytes survive in the output.
+  for (const char c : w.str())
+    EXPECT_GE(static_cast<unsigned char>(c), 0x20u);
 }
 
 TEST(Json, RawSplicesPreSerializedValue) {
@@ -114,6 +151,67 @@ TEST(Metrics, RegistryResetZeroesValuesButKeepsRegistrations) {
   EXPECT_EQ(&reg.counter("test.counter"), &c);
   EXPECT_EQ(&reg.histogram("test.histo", {}), &h);
   EXPECT_EQ(reg.size(), 3u);
+}
+
+TEST(Metrics, HistogramOverflowBucketAccounting) {
+  Histogram h({8.0});
+  ASSERT_EQ(h.num_buckets(), 2u);  // 1 bound + overflow
+  h.observe(8.0);           // == bound -> bucket 0 (le semantics)
+  h.observe(8.0000001);     // just past the last bound -> overflow
+  h.observe(1e12);          // far overflow
+  EXPECT_EQ(h.bucket_count(0), 1u);
+  EXPECT_EQ(h.bucket_count(1), 2u);
+  EXPECT_EQ(h.count(), 3u);  // overflow observations still count/sum/max
+  EXPECT_DOUBLE_EQ(h.max(), 1e12);
+  EXPECT_DOUBLE_EQ(h.sum(), 8.0 + 8.0000001 + 1e12);
+  EXPECT_TRUE(std::isinf(h.upper_bound(1)));
+  h.reset();
+  EXPECT_EQ(h.bucket_count(1), 0u);
+  EXPECT_EQ(h.count(), 0u);
+  // A histogram with no bounds is a single overflow bucket: everything
+  // lands there but the moments still accumulate.
+  Histogram bare((std::vector<double>()));
+  ASSERT_EQ(bare.num_buckets(), 1u);
+  bare.observe(-3.0);
+  bare.observe(42.0);
+  EXPECT_EQ(bare.bucket_count(0), 2u);
+  EXPECT_DOUBLE_EQ(bare.max(), 42.0);
+  EXPECT_TRUE(std::isinf(bare.upper_bound(0)));
+}
+
+TEST(Metrics, RegistryResetPreservesRegistrationsAfterProfilerPublish) {
+  // A profiler run publishes profile.* instruments into a registry;
+  // reset() must zero them without forgetting the registrations, so the
+  // next publish lands in the same instruments.
+  PhaseProfiler prof;
+  std::uint64_t clock = 0;
+  prof.set_sampler([&] {
+    return CounterSample{clock, clock / 10, 2 * clock,
+                         static_cast<double>(clock)};
+  });
+  prof.start();
+  clock = 100;
+  prof.enter(Phase::kEncode);
+  clock = 250;
+  prof.exit();
+  prof.stop();
+
+  Registry reg;
+  prof.publish(reg);
+  const std::size_t registered = reg.size();
+  EXPECT_GT(registered, 0u);
+  EXPECT_EQ(reg.counter("profile.encode.cycles").value(), 150u);
+  EXPECT_EQ(reg.counter("profile.total.cycles").value(), 100u);
+
+  reg.reset();
+  EXPECT_EQ(reg.size(), registered);  // registrations survive
+  EXPECT_EQ(reg.counter("profile.encode.cycles").value(), 0u);
+  EXPECT_EQ(reg.size(), registered);  // lookups above did not re-register
+
+  prof.publish(reg);  // a fresh publish repopulates the same instruments
+  EXPECT_EQ(reg.size(), registered);
+  EXPECT_EQ(reg.counter("profile.encode.cycles").value(), 150u);
+  EXPECT_EQ(reg.counter("profile.encode.instructions").value(), 300u);
 }
 
 TEST(Metrics, SnapshotAndJsonSinkAreWellFormed) {
@@ -344,6 +442,24 @@ TEST(Trace, TracerScopeOverridesAndRestoresThreadDefault) {
     EXPECT_EQ(&default_tracer(), &mine);
   }
   EXPECT_EQ(&default_tracer(), &before);
+}
+
+TEST(Trace, KindMaskDropsFilteredEventsBeforeTheRing) {
+  // The campaign's latency scans mask kDemandMiss so the handful of
+  // fault/recovery events can never be evicted by miss instants.
+  Tracer t(4);
+  t.enable();
+  t.set_mask(~kind_bit(EventKind::kDemandMiss));
+  for (std::uint64_t i = 0; i < 100; ++i)
+    t.instant(EventKind::kDemandMiss, i, 0x40);
+  t.instant(EventKind::kEccInterrupt, 200, 0x80);
+  const auto events = t.snapshot();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].kind, EventKind::kEccInterrupt);
+  EXPECT_EQ(t.dropped(), 0u);  // masked events are not "drops"
+  t.set_mask(~std::uint64_t{0});
+  t.instant(EventKind::kDemandMiss, 300, 0x40);
+  EXPECT_EQ(t.snapshot().size(), 2u);  // unmasked records again
 }
 
 }  // namespace

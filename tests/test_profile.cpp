@@ -1,0 +1,210 @@
+// Phase profiler (obs/profile.hpp): self-time attribution exactness, the
+// phase tree, span recording, thread-default plumbing, and the merged
+// Chrome trace exporter.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+
+#include "obs/json.hpp"
+#include "obs/metrics.hpp"
+#include "obs/profile.hpp"
+#include "obs/trace.hpp"
+#include "sim/platform.hpp"
+
+namespace abftecc::obs {
+namespace {
+
+/// Profiler driven by a hand-cranked counter clock.
+struct Clocked {
+  PhaseProfiler prof;
+  std::uint64_t cycles = 0;
+  std::uint64_t stalls = 0;
+
+  Clocked() {
+    prof.set_sampler([this] {
+      return CounterSample{cycles, stalls, cycles / 2,
+                           static_cast<double>(cycles) * 0.25};
+    });
+    prof.start();
+  }
+};
+
+TEST(Profile, SelfTimeAttributionIsExactAcrossNesting) {
+  Clocked c;
+  c.cycles = 10;                      // 10 cycles before any phase -> total
+  c.prof.enter(Phase::kCompute);
+  c.cycles = 40;                      // 30 cycles of compute self
+  c.prof.enter(Phase::kEncode);
+  c.cycles = 100;                     // 60 cycles of encode (nested)
+  c.prof.exit();
+  c.cycles = 110;                     // 10 more compute self
+  c.prof.exit();
+  c.cycles = 115;                     // 5 trailing root cycles
+  c.prof.stop();
+
+  EXPECT_EQ(c.prof.phase_total(Phase::kTotal).cycles, 15u);
+  EXPECT_EQ(c.prof.phase_total(Phase::kCompute).cycles, 40u);
+  EXPECT_EQ(c.prof.phase_total(Phase::kEncode).cycles, 60u);
+  // Exactness by construction: every cycle lands in exactly one node, so
+  // the phase sum equals the counter advance with zero residual.
+  EXPECT_EQ(c.prof.total().cycles, 115u);
+  EXPECT_EQ(c.prof.total().instructions, 115u / 2);
+}
+
+TEST(Profile, PhaseTreeRecordsParentageAndEnterCounts) {
+  Clocked c;
+  for (int i = 0; i < 3; ++i) {
+    c.prof.enter(Phase::kVerify);
+    c.cycles += 7;
+    c.prof.exit();
+  }
+  c.prof.enter(Phase::kVerify);
+  c.prof.enter(Phase::kCorrect);  // nested under verify, not a new root
+  c.cycles += 2;
+  c.prof.exit();
+  c.prof.exit();
+  c.prof.stop();
+
+  const auto& nodes = c.prof.nodes();
+  ASSERT_EQ(nodes.size(), 3u);  // root, verify, verify/correct
+  EXPECT_EQ(nodes[0].phase, Phase::kTotal);
+  EXPECT_EQ(nodes[1].phase, Phase::kVerify);
+  EXPECT_EQ(nodes[1].parent, 0);
+  EXPECT_EQ(nodes[1].enters, 4u);  // repeated entries reuse the node
+  EXPECT_EQ(nodes[2].phase, Phase::kCorrect);
+  EXPECT_EQ(nodes[2].parent, 1);
+  EXPECT_EQ(nodes[2].depth, 2);
+}
+
+TEST(Profile, SpansCarryDepthAndRespectCapacity) {
+  PhaseProfiler prof(/*span_capacity=*/2);
+  std::uint64_t clock = 0;
+  prof.set_sampler([&] { return CounterSample{clock, 0, 0, 0.0}; });
+  prof.start();
+  for (int i = 0; i < 4; ++i) {
+    prof.enter(Phase::kEncode);
+    clock += 5;
+    prof.exit();
+  }
+  prof.stop();
+  ASSERT_EQ(prof.spans().size(), 2u);  // capacity bound
+  EXPECT_EQ(prof.dropped_spans(), 2u);
+  EXPECT_EQ(prof.spans()[0].phase, Phase::kEncode);
+  EXPECT_EQ(prof.spans()[0].dur_cycles, 5u);
+  EXPECT_EQ(prof.spans()[0].depth, 1u);
+  // Attribution is unaffected by span drops.
+  EXPECT_EQ(prof.phase_total(Phase::kEncode).cycles, 20u);
+}
+
+TEST(Profile, StopClosesUnbalancedScopesAndDisables) {
+  Clocked c;
+  c.prof.enter(Phase::kCompute);
+  c.prof.enter(Phase::kEncode);
+  c.cycles = 50;
+  c.prof.stop();  // two scopes still open
+  EXPECT_FALSE(c.prof.enabled());
+  EXPECT_EQ(c.prof.total().cycles, 50u);
+  const std::uint64_t before = c.prof.total().cycles;
+  c.cycles = 90;
+  c.prof.enter(Phase::kVerify);  // no-op while stopped
+  c.prof.exit();
+  EXPECT_EQ(c.prof.total().cycles, before);
+}
+
+TEST(Profile, ProfilerScopeOverridesThreadDefaultForPhaseScope) {
+  PhaseProfiler mine;
+  std::uint64_t clock = 0;
+  mine.set_sampler([&] { return CounterSample{clock, 0, 0, 0.0}; });
+  mine.start();
+  {
+    ProfilerScope scope(mine);
+    EXPECT_EQ(&default_profiler(), &mine);
+    PhaseScope span(Phase::kRollback);
+    clock = 33;
+  }
+  mine.stop();
+  EXPECT_NE(&default_profiler(), &mine);
+  EXPECT_EQ(mine.phase_total(Phase::kRollback).cycles, 33u);
+}
+
+TEST(Profile, ToJsonIsValidAndSkipsPhasesThatNeverRan) {
+  Clocked c;
+  c.prof.enter(Phase::kCheckpoint);
+  c.cycles = 12;
+  c.prof.exit();
+  c.prof.stop();
+  const std::string doc = c.prof.to_json();
+  EXPECT_TRUE(json_valid(doc));
+  EXPECT_NE(doc.find("\"checkpoint\""), std::string::npos);
+  EXPECT_NE(doc.find("\"total\""), std::string::npos);
+  EXPECT_EQ(doc.find("\"rollback\""), std::string::npos);  // never entered
+}
+
+TEST(Profile, MergedChromeTraceIsValidAndCarriesBothSources) {
+  Tracer tracer(64);
+  tracer.enable();
+  tracer.instant(EventKind::kEccInterrupt, 5, 0x1000);
+  Clocked c;
+  c.prof.enter(Phase::kVerify);
+  c.cycles = 20;
+  c.prof.exit();
+  c.prof.stop();
+  const std::string doc = merged_chrome_trace_json(tracer, c.prof);
+  EXPECT_TRUE(json_valid(doc));
+  EXPECT_NE(doc.find("\"thread_name\""), std::string::npos);
+  EXPECT_NE(doc.find("profiler phases"), std::string::npos);
+  EXPECT_NE(doc.find("\"cat\":\"profile\""), std::string::npos);
+  EXPECT_NE(doc.find("ecc_interrupt"), std::string::npos);
+}
+
+TEST(Profile, SessionAttributesEveryCycleWithZeroResidual) {
+  // The acceptance criterion behind fig3: on a real simulated run the
+  // phase sum must equal the session's total simulated cycles (the 0.1%
+  // budget is satisfied exactly).
+  sim::PlatformOptions opt;
+  opt.dgemm_dim = 64;
+  opt.verify_period = 1;
+  opt.profile = true;
+  sim::Session s = sim::Session::Builder(opt).build();
+  const sim::RunMetrics m = s.run(sim::Kernel::kDgemm);
+  PhaseProfiler& prof = s.profiler();
+  prof.stop();
+  EXPECT_EQ(prof.total().cycles, m.sys.cpu_cycles);
+  EXPECT_EQ(prof.total().instructions, m.sys.instructions);
+  EXPECT_GT(prof.phase_total(Phase::kCompute).cycles, 0u);
+  EXPECT_GT(prof.phase_total(Phase::kEncode).cycles, 0u);
+  EXPECT_GT(prof.phase_total(Phase::kVerify).cycles, 0u);
+
+  // publish() lands the attribution in a registry under profile.*.
+  Registry reg;
+  prof.publish(reg);
+  EXPECT_EQ(reg.counter("profile.compute.cycles").value(),
+            prof.phase_total(Phase::kCompute).cycles);
+}
+
+TEST(Profile, BackToBackSessionsRestartAttributionCleanly) {
+  // Each Session's MemorySystem starts at cycle 0; the Session must
+  // rebind+restart the thread profiler so the second run never sees a
+  // counter regression (uint64 delta underflow).
+  sim::PlatformOptions opt;
+  opt.dgemm_dim = 48;
+  opt.profile = true;
+  std::uint64_t first = 0;
+  {
+    sim::Session s = sim::Session::Builder(opt).build();
+    s.run(sim::Kernel::kDgemm);
+    s.profiler().stop();
+    first = s.profiler().total().cycles;
+  }
+  {
+    sim::Session s = sim::Session::Builder(opt).build();
+    const sim::RunMetrics m = s.run(sim::Kernel::kDgemm);
+    s.profiler().stop();
+    EXPECT_EQ(s.profiler().total().cycles, m.sys.cpu_cycles);
+    EXPECT_LT(s.profiler().total().cycles, first * 2);  // not accumulated
+  }
+}
+
+}  // namespace
+}  // namespace abftecc::obs

@@ -92,8 +92,11 @@ TEST(CheckpointStore, CorruptedSnapshotDetectedAndNeverRestored) {
   EXPECT_EQ(store.restore(), RestoreResult::kCorrupted);
   // All-or-nothing: the live data is exactly as it was before restore().
   EXPECT_EQ(data[5], -1.0);
-  for (std::size_t i = 0; i < data.size(); ++i)
-    if (i != 5) EXPECT_EQ(data[i], 4.0) << i;
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    if (i != 5) {
+      EXPECT_EQ(data[i], 4.0) << i;
+    }
+  }
   EXPECT_EQ(store.corrupted_detected(), 1u);
   EXPECT_EQ(store.restores(), 0u);
 }

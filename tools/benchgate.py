@@ -1,0 +1,215 @@
+#!/usr/bin/env python3
+"""Perf-regression gate over the schema-v1 bench reports.
+
+Runs a fixed suite of fast, deterministic bench binaries with --json,
+distills each report to its stable performance surface (simulated cycles,
+IPC, simulated seconds, energy, FT counters, derived scalars -- never host
+wall-clock timers), and compares the result against the checked-in
+baseline `BENCH_pr5.json` at the repo root with per-metric tolerances.
+
+The tolerances absorb the one-cache-miss cycle wobble that host heap
+layout can introduce (see TrialOutcome::sim_seconds in campaign.hpp);
+anything beyond them -- in either direction -- fails the gate so the
+baseline is only ever moved intentionally.
+
+Usage:
+    python3 tools/benchgate.py [--build-dir build]
+    python3 tools/benchgate.py --update       # rewrite the baseline
+
+The fresh snapshot is always written to <build-dir>/BENCH_pr5.json (CI
+uploads it as an artifact); --update additionally installs it as the
+repo-root baseline instead of comparing.
+
+Exit status: 0 on success (or after --update), 1 if any metric moved
+beyond tolerance or a metric appeared/disappeared, 2 on usage/run errors.
+"""
+import argparse
+import json
+import os
+import subprocess
+import sys
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+BASELINE = os.path.join(REPO_ROOT, "BENCH_pr5.json")
+
+# The gated suite: every entry must finish in seconds and produce a
+# schema_version-1 --json report. fig3 exercises the phase profiler's
+# attribution (and exits nonzero if the residual check fails), table4 the
+# full four-kernel simulated platform, fault_model_thresholds the
+# analytical fault model.
+BENCHES = [
+    "fig3_overhead_breakdown",
+    "table4_access_classification",
+    "fault_model_thresholds",
+]
+
+# Relative tolerance per metric class; metrics not listed use DEFAULT_RTOL.
+# A metric passes when |cand - base| <= max(rtol * |base|, ATOL).
+DEFAULT_RTOL = 0.02
+ATOL = 1e-9
+RTOL = {
+    # Instruction counts come from the tap stream, not timing: exact up to
+    # floating-point control flow, so hold them much tighter than cycles.
+    "instructions": 1e-3,
+}
+
+RUN_FIELDS = [
+    ("cycles", lambda r: r["cycles"]),
+    ("instructions", lambda r: r["instructions"]),
+    ("ipc", lambda r: r["ipc"]),
+    ("seconds", lambda r: r["seconds"]),
+    ("memory_pj", lambda r: r["energy"]["memory_pj"]),
+    ("system_pj", lambda r: r["energy"]["system_pj"]),
+    ("errors_detected", lambda r: r["ft"]["errors_detected"]),
+    ("errors_corrected", lambda r: r["ft"]["errors_corrected"]),
+]
+
+
+def die(msg):
+    print(msg, file=sys.stderr)
+    sys.exit(2)
+
+
+def run_bench(build_dir, name, workdir):
+    exe = os.path.join(build_dir, "bench", name)
+    if not os.path.exists(exe):
+        die(f"error: bench binary not found: {exe} (build the repo first)")
+    out = os.path.join(workdir, f"benchgate_{name}.json")
+    proc = subprocess.run([exe, "--json", out], stdout=subprocess.PIPE,
+                          stderr=subprocess.STDOUT, text=True)
+    if proc.returncode != 0:
+        sys.stdout.write(proc.stdout)
+        die(f"error: {name} exited with status {proc.returncode}")
+    try:
+        with open(out) as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        die(f"error: {name}: cannot read report: {e}")
+    if doc.get("schema_version") != 1:
+        die(f"error: {name}: unsupported schema_version "
+            f"{doc.get('schema_version')!r}")
+    return doc
+
+
+def distill(doc):
+    """Reduce a bench report to its deterministic performance surface."""
+    runs = {}
+    for r in doc.get("runs", []):
+        row = {}
+        for field, get in RUN_FIELDS:
+            try:
+                row[field] = get(r)
+            except KeyError:
+                pass
+        runs[r["label"]] = row
+    return {
+        "experiment": doc.get("experiment"),
+        "config": doc.get("config"),
+        "runs": runs,
+        "scalars": doc.get("scalars", {}),
+    }
+
+
+def metric_rows(bench):
+    """Flatten one distilled bench into (metric_path, value) pairs."""
+    for label, row in sorted(bench["runs"].items()):
+        for field, v in sorted(row.items()):
+            yield f"runs[{label}].{field}", field, v
+    for name, v in sorted(bench["scalars"].items()):
+        yield f"scalars.{name}", name.rsplit(".", 1)[-1], v
+
+
+def compare(baseline, candidate):
+    flagged = []
+    names = sorted(set(baseline["benches"]) | set(candidate["benches"]))
+    for name in names:
+        if name not in baseline["benches"]:
+            flagged.append((name, "<bench>", None, None, "only in candidate"))
+            continue
+        if name not in candidate["benches"]:
+            flagged.append((name, "<bench>", None, None, "only in baseline"))
+            continue
+        base = dict((p, (f, v)) for p, f, v in
+                    metric_rows(baseline["benches"][name]))
+        cand = dict((p, (f, v)) for p, f, v in
+                    metric_rows(candidate["benches"][name]))
+        for path in sorted(set(base) | set(cand)):
+            if path not in cand:
+                flagged.append((name, path, base[path][1], None,
+                                "missing from candidate"))
+                continue
+            if path not in base:
+                flagged.append((name, path, None, cand[path][1],
+                                "not in baseline"))
+                continue
+            (field, vb), (_, vc) = base[path], cand[path]
+            rtol = RTOL.get(field, DEFAULT_RTOL)
+            if abs(vc - vb) > max(rtol * abs(vb), ATOL):
+                rel = (vc - vb) / abs(vb) if vb else float("inf")
+                flagged.append((name, path, vb, vc,
+                                f"{rel:+.2%} (tol {rtol:.1%})"))
+    return flagged
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--build-dir", default=os.path.join(REPO_ROOT, "build"))
+    ap.add_argument("--baseline", default=BASELINE,
+                    help="checked-in snapshot to gate against")
+    ap.add_argument("--update", action="store_true",
+                    help="write the fresh snapshot to the baseline path "
+                         "instead of comparing")
+    args = ap.parse_args()
+
+    snapshot = {
+        "schema_version": 1,
+        "suite": "pr5-perf-gate",
+        "benches": {name: distill(run_bench(args.build_dir, name,
+                                            args.build_dir))
+                    for name in BENCHES},
+    }
+    fresh_path = os.path.join(args.build_dir, "BENCH_pr5.json")
+    with open(fresh_path, "w") as f:
+        json.dump(snapshot, f, indent=1, sort_keys=True)
+        f.write("\n")
+    print(f"benchgate: wrote snapshot {fresh_path} "
+          f"({len(BENCHES)} bench reports)")
+
+    if args.update:
+        with open(args.baseline, "w") as f:
+            json.dump(snapshot, f, indent=1, sort_keys=True)
+            f.write("\n")
+        print(f"benchgate: baseline updated: {args.baseline}")
+        return 0
+
+    try:
+        with open(args.baseline) as f:
+            baseline = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        die(f"error: cannot read baseline {args.baseline}: {e} "
+            f"(seed it with --update)")
+    if baseline.get("schema_version") != 1:
+        die(f"error: {args.baseline}: unsupported schema_version")
+
+    flagged = compare(baseline, snapshot)
+    if flagged:
+        print(f"\n{'bench':<28} {'metric':<44} {'baseline':>14} "
+              f"{'candidate':>14}  delta")
+        for name, path, vb, vc, why in flagged:
+            fb = f"{vb:.6g}" if isinstance(vb, (int, float)) else "-"
+            fc = f"{vc:.6g}" if isinstance(vc, (int, float)) else "-"
+            print(f"{name:<28} {path:<44} {fb:>14} {fc:>14}  {why}")
+        print(f"\nbenchgate: {len(flagged)} metric(s) beyond tolerance vs "
+              f"{args.baseline}")
+        print("benchgate: if the change is intentional, refresh the "
+              "baseline with: python3 tools/benchgate.py --update")
+        return 1
+    total = sum(len(list(metric_rows(b)))
+                for b in snapshot["benches"].values())
+    print(f"benchgate: OK -- {total} metrics within tolerance of "
+          f"{args.baseline}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -5,6 +5,7 @@
 //
 // Exit status: 0 on success, 1 if any trial's outcome was unclassified
 // (its injected fault never materialized) -- the CI smoke gate.
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
@@ -48,6 +49,11 @@ void print_usage(const char* prog) {
       "  --forbid-panics   exit 1 if any trial ended in Os::panic (the\n"
       "                    escalation stress gate)\n"
       "  --tolerance <x>   max |error| vs golden still 'correct' (1e-6)\n"
+      "  --latencies       measure per-trial recovery latency (first ECC\n"
+      "                    interrupt -> first recovery event) and emit\n"
+      "                    cycle histograms under the report's 'latency'\n"
+      "                    key; cycle-derived, so the report is no longer\n"
+      "                    byte-reproducible across heap layouts\n"
       "  --jsonl <path>    per-trial JSON-lines log\n"
       "  --json <path>     schema-stable campaign report\n"
       "plus the shared platform flags (--dgemm-dim, --cache-scale, ...);\n"
@@ -123,6 +129,65 @@ void print_rates(const CampaignResult& r) {
                 static_cast<unsigned long long>(r.unclassified));
 }
 
+/// Aggregate the per-trial latency samples recorded under --latencies into
+/// one kernel's entry of the report's "latency" section: an
+/// interrupt-to-recovery cycle histogram (geometric buckets, fixed across
+/// runs so shapes aggregate) plus the simulated run cost per outcome.
+void write_latency_json(abftecc::obs::JsonWriter& w, const CampaignResult& r) {
+  using abftecc::obs::Histogram;
+  Histogram hist(Histogram::exponential_bounds(64.0, 2.0, 18));
+  std::uint64_t with_latency = 0;
+  for (const auto& t : r.trials) {
+    if (t.interrupt_to_recovery_cycles < 0.0) continue;
+    ++with_latency;
+    hist.observe(t.interrupt_to_recovery_cycles);
+  }
+  w.begin_object();
+  w.field("trials", static_cast<std::uint64_t>(r.trials.size()));
+  w.field("with_interrupt_to_recovery", with_latency);
+  w.key("interrupt_to_recovery_cycles");
+  w.begin_object();
+  w.field("count", hist.count());
+  w.field("sum", hist.sum());
+  w.field("mean", hist.mean());
+  w.field("max", hist.max());
+  w.key("bounds");
+  w.begin_array();
+  for (std::size_t i = 0; i + 1 < hist.num_buckets(); ++i)
+    w.value(hist.upper_bound(i));
+  w.end_array();
+  w.key("buckets");
+  w.begin_array();
+  for (std::size_t i = 0; i < hist.num_buckets(); ++i)
+    w.value(hist.bucket_count(i));
+  w.end_array();
+  w.end_object();
+  // Run cost per outcome: recovery tiers show up as longer simulated runs
+  // (recompute/rollback trials pay their tier's cycles).
+  w.key("cycles_by_outcome");
+  w.begin_object();
+  for (const Outcome o : abftecc::campaign::kAllOutcomes) {
+    std::uint64_t n = 0;
+    double sum = 0.0;
+    double mx = 0.0;
+    for (const auto& t : r.trials) {
+      if (t.outcome != o) continue;
+      ++n;
+      sum += static_cast<double>(t.cycles);
+      mx = std::max(mx, static_cast<double>(t.cycles));
+    }
+    if (n == 0) continue;
+    w.key(to_string(o));
+    w.begin_object();
+    w.field("trials", n);
+    w.field("mean_cycles", sum / static_cast<double>(n));
+    w.field("max_cycles", mx);
+    w.end_object();
+  }
+  w.end_object();
+  w.end_object();
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -190,6 +255,8 @@ int main(int argc, char** argv) {
       forbid_panics = true;
     } else if (std::strcmp(a, "--tolerance") == 0) {
       base.tolerance = std::strtod(need_value(i), nullptr), ++i;
+    } else if (std::strcmp(a, "--latencies") == 0) {
+      base.measure_latency = true;
     } else if (std::strcmp(a, "--jsonl") == 0) {
       jsonl_path = need_value(i), ++i;
     } else if (std::strcmp(a, "--help") == 0) {
@@ -253,6 +320,8 @@ int main(int argc, char** argv) {
 
   std::uint64_t total_unclassified = 0;
   std::uint64_t total_panicked = 0;
+  abftecc::obs::JsonWriter latency_json;
+  if (base.measure_latency) latency_json.begin_object();
   for (std::size_t ki = 0; ki < kernels.size(); ++ki) {
     const Kernel k = kernels[ki];
     CampaignOptions opt = base;
@@ -308,9 +377,33 @@ int main(int argc, char** argv) {
     total_unclassified += res.unclassified;
     total_panicked += res.panicked_trials;
 
+    if (base.measure_latency) {
+      std::uint64_t n = 0;
+      double sum = 0.0;
+      for (const auto& t : res.trials)
+        if (t.interrupt_to_recovery_cycles >= 0.0) {
+          ++n;
+          sum += t.interrupt_to_recovery_cycles;
+        }
+      std::printf("  [%s] interrupt->recovery latency: %llu trial(s), mean "
+                  "%.0f cycles\n",
+                  slug.c_str(), static_cast<unsigned long long>(n),
+                  n == 0 ? 0.0 : sum / static_cast<double>(n));
+      latency_json.key(slug);
+      write_latency_json(latency_json, res);
+    }
+
     if (jsonl != nullptr)
       for (const auto& t : res.trials)
         abftecc::campaign::write_trial_jsonl(jsonl, opt, t);
+  }
+
+  if (base.measure_latency) {
+    latency_json.end_object();
+    report.section("latency", latency_json.take());
+    report.note("latency",
+                "cycle-derived recovery-latency histograms (--latencies); "
+                "excluded from the byte-determinism surface");
   }
 
   report.note("campaign_seed", std::to_string(base.campaign_seed));
