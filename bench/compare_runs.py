@@ -15,6 +15,15 @@ import argparse
 import json
 import sys
 
+# Top-level keys this tool understands. Reports may carry extra custom
+# sections (Report::section: the campaign adds "latency" histograms and a
+# "lineage" summary); those are noted and skipped, never a schema error,
+# so older checkouts of this script keep working on newer reports.
+KNOWN_SECTIONS = {
+    "schema_version", "experiment", "paper_ref", "config",
+    "runs", "scalars", "notes", "metrics", "profile",
+}
+
 RUN_FIELDS = [
     ("cycles", lambda r: r["cycles"]),
     ("ipc", lambda r: r["ipc"]),
@@ -67,13 +76,16 @@ def main():
 
     base = load(args.baseline)
     cand = load(args.candidate)
-    if base["experiment"] != cand["experiment"]:
+    if base.get("experiment") != cand.get("experiment"):
         print(f"note: comparing different experiments: "
-              f"{base['experiment']!r} vs {cand['experiment']!r}")
+              f"{base.get('experiment')!r} vs {cand.get('experiment')!r}")
+    unknown = sorted((set(base) | set(cand)) - KNOWN_SECTIONS)
+    if unknown:
+        print(f"note: ignoring unknown section(s): {', '.join(unknown)}")
 
     flagged = 0
-    base_runs = {r["label"]: r for r in base["runs"]}
-    cand_runs = {r["label"]: r for r in cand["runs"]}
+    base_runs = {r["label"]: r for r in base.get("runs", [])}
+    cand_runs = {r["label"]: r for r in cand.get("runs", [])}
 
     only_base = sorted(set(base_runs) - set(cand_runs))
     only_cand = sorted(set(cand_runs) - set(base_runs))
@@ -83,7 +95,8 @@ def main():
         print(f"run only in candidate: {label}")
     flagged += len(only_base) + len(only_cand)
 
-    shared = [r["label"] for r in base["runs"] if r["label"] in cand_runs]
+    shared = [r["label"] for r in base.get("runs", [])
+              if r["label"] in cand_runs]
     if shared:
         print(f"{'run':<40} {'field':<18} {'baseline':>14} {'candidate':>14} "
               f"{'delta':>8}")

@@ -257,6 +257,7 @@ class Report {
     w.field("refs_other", m.refs_other);
     w.field("abft_bytes", m.abft_bytes);
     w.field("total_bytes", m.total_bytes);
+    w.field("exposed_dropped", m.exposed_dropped);
     w.end_object();
   }
 

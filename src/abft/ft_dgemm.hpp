@@ -16,12 +16,14 @@
 
 #include <cmath>
 #include <cstddef>
+#include <cstring>
 #include <vector>
 
 #include "abft/checksum.hpp"
 #include "abft/common.hpp"
 #include "abft/runtime.hpp"
 #include "linalg/blas.hpp"
+#include "obs/lineage.hpp"
 #include "recovery/manager.hpp"
 
 namespace abftecc::abft {
@@ -207,6 +209,21 @@ class FtDgemm {
     return FtStatus::kUnrecoverable;
   }
 
+  /// Lineage: record an abft_corrected stage on the fault(s) whose line
+  /// holds the element just repaired. `residual` (the checksum delta the
+  /// correction removed) travels as its raw IEEE-754 bits in a0.
+  void note_correction(const void* element, double residual) {
+    auto& lineage = obs::default_lineage();
+    if (!lineage.enabled() || rt_ == nullptr || rt_->os() == nullptr) return;
+    const auto phys = rt_->os()->virt_to_phys(element);
+    if (!phys.has_value()) return;
+    std::uint64_t bits = 0;
+    std::memcpy(&bits, &residual, sizeof(bits));
+    lineage.line_event(*phys, obs::LineageStage::kAbftCorrected,
+                       rt_->os()->system().stats().cpu_cycles, bits, 0,
+                       "FT-DGEMM");
+  }
+
   /// Tier 2: recompute every payload element of the rows/columns the last
   /// failed verification implicated, straight from the plain inputs
   /// (c(i,j) = sum_{k<kdone_} a(i,k) b(k,j)), then refresh the checksum
@@ -302,6 +319,7 @@ class FtDgemm {
         // Corrupted checksum entry: recompute it from the payload.
         refresh_checksum_entry(i, j, tap);
         ++stats_.errors_corrected;
+        note_correction(&buf_.cf(i, j), 0.0);
         continue;
       }
       double s = 0.0;
@@ -314,6 +332,7 @@ class FtDgemm {
       tap.update(&buf_.cf(i, j));
       buf_.cf(i, j) -= delta;
       ++stats_.errors_corrected;
+      note_correction(&buf_.cf(i, j), delta);
     }
     return FtStatus::kOk;
   }
@@ -397,6 +416,7 @@ class FtDgemm {
         tap.update(&buf_.cf(i, j));
         buf_.cf(i, j) -= colres[j];
         ++stats_.errors_corrected;
+        note_correction(&buf_.cf(i, j), colres[j]);
       }
       return FtStatus::kCorrectedErrors;
     }
@@ -407,6 +427,7 @@ class FtDgemm {
         tap.update(&buf_.cf(i, j));
         buf_.cf(i, j) -= rowres[i];
         ++stats_.errors_corrected;
+        note_correction(&buf_.cf(i, j), rowres[i]);
       }
       return FtStatus::kCorrectedErrors;
     }
@@ -427,6 +448,7 @@ class FtDgemm {
         tap.update(&buf_.cf(bad_rows[match], j));
         buf_.cf(bad_rows[match], j) -= colres[j];
         ++stats_.errors_corrected;
+        note_correction(&buf_.cf(bad_rows[match], j), colres[j]);
       }
       return FtStatus::kCorrectedErrors;
     }
@@ -436,6 +458,7 @@ class FtDgemm {
       for (const std::size_t j : bad_cols) {
         refresh_checksum_entry(m, j, tap);
         ++stats_.errors_corrected;
+        note_correction(&buf_.cf(m, j), colres[j]);
       }
       return FtStatus::kCorrectedErrors;
     }
@@ -443,6 +466,7 @@ class FtDgemm {
       for (const std::size_t i : bad_rows) {
         refresh_checksum_entry(i, n, tap);
         ++stats_.errors_corrected;
+        note_correction(&buf_.cf(i, n), rowres[i]);
       }
       return FtStatus::kCorrectedErrors;
     }

@@ -1,5 +1,6 @@
 #include "abft/runtime.hpp"
 
+#include "obs/lineage.hpp"
 #include "obs/metrics.hpp"
 
 namespace abftecc::abft {
@@ -39,6 +40,9 @@ std::vector<LocatedError> Runtime::drain_located_errors() {
     }
     tracer.instant(obs::EventKind::kErrorLocated, now, e.phys_addr,
                    le.structure_id, le.element_index);
+    obs::default_lineage().line_event(e.phys_addr,
+                                      obs::LineageStage::kAbftLocated, now,
+                                      le.structure_id, le.element_index);
     out.push_back(std::move(le));
   }
   if (!out.empty()) {

@@ -4,6 +4,8 @@
 #include <atomic>
 #include <cmath>
 #include <mutex>
+#include <optional>
+#include <string>
 #include <thread>
 
 #include "common/error.hpp"
@@ -70,6 +72,17 @@ TrialOutcome run_trial(const CampaignOptions& opt, const GoldenRun& golden,
   t.index = index;
   t.seed = opt.campaign_seed ^ index;
   Rng rng(t.seed);
+
+  // The ledger scope must OUTLIVE the session (declared first): the
+  // injector resolves still-pending faults during session teardown paths,
+  // and scope destruction is LIFO like the session's own obs scopes.
+  std::optional<obs::LineageLedger> ledger;
+  std::optional<obs::LineageScope> ledger_scope;
+  if (opt.lineage) {
+    ledger.emplace();
+    ledger->enable();
+    ledger_scope.emplace(*ledger);
+  }
 
   sim::Session s =
       sim::Session::Builder(opt.platform).private_observability().build();
@@ -164,6 +177,8 @@ TrialOutcome run_trial(const CampaignOptions& opt, const GoldenRun& golden,
   const bool correct = comparable && max_err <= opt.tolerance;
 
   const fault::InjectorStats& ist = s.injector().stats();
+  t.injected = ist.injected_flips + ist.injected_chip_kills;
+  t.exposed_dropped = s.os().exposed_dropped();
   t.ecc_corrected = ist.corrected_by_ecc;
   t.ecc_uncorrectable = ist.uncorrectable;
   t.silent_corruptions = ist.silent_corruptions;
@@ -211,6 +226,12 @@ TrialOutcome run_trial(const CampaignOptions& opt, const GoldenRun& golden,
   t.outcome = classify(m.status, correct, t.panicked,
                        ist.corrected_by_ecc + m.ft.errors_corrected,
                        t.recomputes, t.rollbacks);
+  if (ledger.has_value()) {
+    ledger->seal(to_string(t.outcome));
+    t.lineage_terminal = ledger->terminal();
+    t.lineage_faults = ledger->faults();
+    t.lineage_events = ledger->events();
+  }
   return t;
 }
 
@@ -292,6 +313,7 @@ CampaignResult run_campaign(const CampaignOptions& opt,
       counts[static_cast<std::size_t>(Outcome::kRecoveredByRollback)], n);
   out.unrecoverable =
       make_rate(counts[static_cast<std::size_t>(Outcome::kUnrecoverable)], n);
+  if (opt.lineage) out.lineage = reconcile_lineage(out);
   return out;
 }
 
@@ -316,10 +338,12 @@ void write_trial_jsonl(std::FILE* f, const CampaignOptions& opt,
       .field("inject_ref", t.inject_ref)
       .field("fault_phys", t.fault_phys)
       .field("fault_bit", t.fault_bit)
+      .field("injected", t.injected)
       .field("ecc_corrected", t.ecc_corrected)
       .field("ecc_uncorrectable", t.ecc_uncorrectable)
       .field("silent_corruptions", t.silent_corruptions)
       .field("cleared_by_writeback", t.cleared_by_writeback)
+      .field("exposed_dropped", t.exposed_dropped)
       .field("abft_detected", t.abft_detected)
       .field("abft_corrected", t.abft_corrected)
       .field("recomputes", t.recomputes)
@@ -330,6 +354,110 @@ void write_trial_jsonl(std::FILE* f, const CampaignOptions& opt,
       .field("materialized", t.materialized)
       .field("max_abs_error", t.max_abs_error)
       .end_object();
+  std::fprintf(f, "%s\n", w.str().c_str());
+}
+
+CampaignResult::LineageSummary reconcile_lineage(const CampaignResult& result) {
+  CampaignResult::LineageSummary sum;
+  sum.enabled = true;
+  auto fail = [&sum](std::string msg) {
+    if (sum.errors.size() < 32) sum.errors.push_back(std::move(msg));
+  };
+  for (const TrialOutcome& t : result.trials) {
+    const std::string_view expect = to_string(t.outcome);
+    if (t.lineage_terminal != expect)
+      fail("trial " + std::to_string(t.index) + ": sealed terminal '" +
+           std::string(t.lineage_terminal) + "' != classified outcome '" +
+           std::string(expect) + "'");
+    for (std::size_t i = 0; i < kAllOutcomes.size(); ++i)
+      if (to_string(kAllOutcomes[i]) == t.lineage_terminal)
+        ++sum.terminals[i];
+    if (t.lineage_faults.size() != t.injected)
+      fail("trial " + std::to_string(t.index) + ": " +
+           std::to_string(t.lineage_faults.size()) +
+           " lineage records for " + std::to_string(t.injected) +
+           " injected faults");
+    for (const obs::LineageFault& f : t.lineage_faults) {
+      ++sum.faults;
+      if (f.resolution_count == 0) {
+        ++sum.orphans;
+        fail("trial " + std::to_string(t.index) + " fault #" +
+             std::to_string(f.id) + " (" + f.kind + " at phys " +
+             std::to_string(f.phys) + "): no hardware resolution (orphan)");
+      } else if (f.resolution_count > 1) {
+        ++sum.double_counted;
+        fail("trial " + std::to_string(t.index) + " fault #" +
+             std::to_string(f.id) + ": resolved " +
+             std::to_string(f.resolution_count) + " times (double-count)");
+      } else {
+        ++sum.resolutions[static_cast<std::size_t>(f.resolution)];
+      }
+    }
+    sum.exposed_dropped += t.exposed_dropped;
+  }
+  // The partition invariant: sealed terminals must reproduce the outcome
+  // taxonomy counts computed by the independent tally above.
+  for (std::size_t i = 0; i < kAllOutcomes.size(); ++i) {
+    const std::uint64_t expect = result.rate(kAllOutcomes[i]).count;
+    if (sum.terminals[i] != expect)
+      fail(std::string("terminal '") +
+           std::string(to_string(kAllOutcomes[i])) + "': ledger counts " +
+           std::to_string(sum.terminals[i]) + " trials, taxonomy counts " +
+           std::to_string(expect));
+  }
+  sum.ok = sum.errors.empty();
+  return sum;
+}
+
+void write_lineage_jsonl(std::FILE* f, const CampaignOptions& opt,
+                         const TrialOutcome& t) {
+  const auto write_events = [](obs::JsonWriter& w,
+                               const std::vector<obs::LineageEvent>& events,
+                               std::uint32_t fault_id) {
+    w.key("events").begin_array();
+    for (const obs::LineageEvent& e : events) {
+      if (e.fault != fault_id) continue;
+      w.begin_object()
+          .field("stage", obs::to_string(e.stage))
+          .field("cycle", e.cycle)
+          .field("addr", e.addr)
+          .field("a0", e.a0)
+          .field("a1", e.a1);
+      if (e.tag != nullptr) w.field("tag", e.tag);
+      w.end_object();
+    }
+    w.end_array();
+  };
+  for (const obs::LineageFault& fr : t.lineage_faults) {
+    obs::JsonWriter w;
+    w.begin_object()
+        .field("trial", static_cast<std::uint64_t>(t.index))
+        .field("kernel", sim::kernel_name(opt.kernel))
+        .field("fault", static_cast<std::uint64_t>(fr.id))
+        .field("kind", fr.kind)
+        .field("phys", fr.phys)
+        .field("bit", static_cast<std::uint64_t>(fr.bit))
+        .field("resolution", fr.resolution_count > 0
+                                 ? obs::to_string(fr.resolution)
+                                 : std::string_view("none"))
+        .field("resolution_count",
+               static_cast<std::uint64_t>(fr.resolution_count))
+        .field("exposed", fr.exposed)
+        .field("located", fr.located)
+        .field("terminal", fr.terminal);
+    write_events(w, t.lineage_events, fr.id);
+    w.end_object();
+    std::fprintf(f, "%s\n", w.str().c_str());
+  }
+  obs::JsonWriter w;
+  w.begin_object()
+      .field("trial", static_cast<std::uint64_t>(t.index))
+      .field("kernel", sim::kernel_name(opt.kernel))
+      .field("terminal", t.lineage_terminal)
+      .field("faults", static_cast<std::uint64_t>(t.lineage_faults.size()))
+      .field("exposed_dropped", t.exposed_dropped);
+  write_events(w, t.lineage_events, 0);
+  w.end_object();
   std::fprintf(f, "%s\n", w.str().c_str());
 }
 

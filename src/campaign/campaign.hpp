@@ -28,6 +28,7 @@
 #include <vector>
 
 #include "abft/common.hpp"
+#include "obs/lineage.hpp"
 #include "sim/platform.hpp"
 
 namespace abftecc::campaign {
@@ -118,6 +119,15 @@ struct CampaignOptions {
   /// cycles depend on host heap layout (see TrialOutcome::sim_seconds) and
   /// are therefore kept out of the byte-identical determinism surface.
   bool measure_latency = false;
+  /// Run each trial with a private fault provenance ledger
+  /// (obs/lineage.hpp): every injected fault gets a lineage ID and its
+  /// stage chain is kept on the TrialOutcome; run_campaign() then
+  /// reconciles the ledgers against the outcome taxonomy
+  /// (CampaignResult::lineage). Off by default; MUST NOT perturb trial
+  /// outcomes (the CI smoke gate byte-compares trial JSONL with and
+  /// without it). Event cycle stamps carry the usual sim_seconds caveat
+  /// and stay off the byte-determinism surface.
+  bool lineage = false;
 };
 
 /// Everything deterministic about one trial. Host wall-clock quantities
@@ -130,10 +140,16 @@ struct TrialOutcome {
   std::uint64_t inject_ref = 0;  ///< 1-based tap reference of the injection
   std::uint64_t fault_phys = 0;
   unsigned fault_bit = 0;  ///< bit for bit flips, chip for chip kills
+  /// Faults the injector actually created (flips + chip kills); the
+  /// lineage reconciliation requires one fault record for each.
+  std::uint64_t injected = 0;
   std::uint64_t ecc_corrected = 0;
   std::uint64_t ecc_uncorrectable = 0;
   std::uint64_t silent_corruptions = 0;
   std::uint64_t cleared_by_writeback = 0;
+  /// Exposed-error log records the OS dropped under storm overload
+  /// (distinguishes "dropped" from "lost" in lineage orphan analysis).
+  std::uint64_t exposed_dropped = 0;
   std::uint64_t abft_detected = 0;
   std::uint64_t abft_corrected = 0;
   bool panicked = false;
@@ -160,6 +176,13 @@ struct TrialOutcome {
   /// Negative when not measured (CampaignOptions::measure_latency off) or
   /// when no interrupt fired; same determinism caveat as sim_seconds.
   double interrupt_to_recovery_cycles = -1.0;
+  /// Sealed provenance ledger of the trial (CampaignOptions::lineage);
+  /// empty when lineage is off. Event cycle stamps share the sim_seconds
+  /// caveat; everything else (IDs, stages, resolutions, terminal) is
+  /// deterministic.
+  std::vector<obs::LineageFault> lineage_faults;
+  std::vector<obs::LineageEvent> lineage_events;
+  std::string_view lineage_terminal;  ///< sealed outcome label; "" = off
 };
 
 /// A fraction of trials with its Wilson score interval.
@@ -188,6 +211,24 @@ struct CampaignResult {
   /// Trials that ended in Os::panic; the escalation stress gate requires
   /// this to be zero with the ladder on.
   std::uint64_t panicked_trials = 0;
+  /// Ledger reconciliation verdict (filled by run_campaign when
+  /// options.lineage is set; see reconcile_lineage).
+  struct LineageSummary {
+    bool enabled = false;
+    bool ok = false;
+    std::uint64_t faults = 0;          ///< lineage records across all trials
+    std::uint64_t orphans = 0;         ///< records without a resolution
+    std::uint64_t double_counted = 0;  ///< records resolved more than once
+    std::uint64_t exposed_dropped = 0; ///< OS log drops (storm overload)
+    /// Resolutions by stage, indexed like LineageStage (only the
+    /// is_resolution() slots are ever nonzero).
+    std::array<std::uint64_t, 16> resolutions{};
+    /// Per-trial terminal labels tallied by Outcome; the reconciliation
+    /// invariant demands equality with the Rate counts.
+    std::array<std::uint64_t, kAllOutcomes.size()> terminals{};
+    std::vector<std::string> errors;  ///< human-readable hard errors
+  };
+  LineageSummary lineage;
 
   [[nodiscard]] const Rate& rate(Outcome o) const;
 };
@@ -244,5 +285,23 @@ struct GoldenRun {
 /// One JSON object per line, deterministic fields only (see TrialOutcome).
 void write_trial_jsonl(std::FILE* f, const CampaignOptions& opt,
                        const TrialOutcome& t);
+
+/// The keystone cross-check (ISSUE 6): verify that the per-trial ledgers
+/// partition 1:1 into the outcome taxonomy -- every injected fault has
+/// exactly one lineage record with exactly one hardware resolution, every
+/// trial sealed with the outcome the classifier assigned, and the sealed
+/// terminal counts equal the Rate counts computed by the independent
+/// tallying code. Any orphaned or double-counted record is reported in
+/// `errors` (and makes ok false). Pure function of `result`; run_campaign
+/// calls it automatically when options.lineage is set.
+[[nodiscard]] CampaignResult::LineageSummary reconcile_lineage(
+    const CampaignResult& result);
+
+/// Stream one trial's ledger as JSONL: one object per fault record (its
+/// stage events inlined), then one trial-scope summary object. The
+/// "cycle" fields are host-heap-layout sensitive (see TrialOutcome);
+/// tools/forensics.py `canon` strips them for determinism diffing.
+void write_lineage_jsonl(std::FILE* f, const CampaignOptions& opt,
+                         const TrialOutcome& t);
 
 }  // namespace abftecc::campaign

@@ -4,6 +4,7 @@
 
 #include "common/error.hpp"
 #include "ecc/chipkill.hpp"
+#include "obs/lineage.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 
@@ -12,6 +13,9 @@ namespace abftecc::fault {
 namespace {
 constexpr std::uint64_t kLine = ecc::kLineBytes;
 std::uint64_t line_of(std::uint64_t phys) { return phys / kLine * kLine; }
+// Lineage attributes stages to faults by cache line; the two constants
+// must agree or attribution silently misses.
+static_assert(obs::LineageLedger::kLineBytes == ecc::kLineBytes);
 }  // namespace
 
 Injector::Injector(memsim::MemorySystem& system, os::Os& os)
@@ -40,6 +44,8 @@ void Injector::inject_bit(std::uint64_t phys, unsigned bit) {
   obs::default_registry().counter("fault.injected_flips").add();
   obs::default_tracer().instant(obs::EventKind::kFaultInject,
                                 system_.stats().cpu_cycles, phys, bit);
+  obs::default_lineage().fault_injected(phys, bit, "bit_flip",
+                                        system_.stats().cpu_cycles);
 }
 
 void Injector::inject_chip_kill(std::uint64_t phys, unsigned chip,
@@ -55,6 +61,8 @@ void Injector::inject_chip_kill(std::uint64_t phys, unsigned chip,
   obs::default_tracer().instant(obs::EventKind::kChipKillInject,
                                 system_.stats().cpu_cycles, phys, chip,
                                 pattern);
+  obs::default_lineage().fault_injected(phys, chip, "chip_kill",
+                                        system_.stats().cpu_cycles);
 }
 
 bool Injector::corrupt_virtual_now(void* vaddr, unsigned bit) {
@@ -69,6 +77,13 @@ bool Injector::corrupt_virtual_now(void* vaddr, unsigned bit) {
   obs::default_tracer().instant(obs::EventKind::kSilentCorruption,
                                 system_.stats().cpu_cycles,
                                 phys.value_or(0), bit);
+  // Bypasses DRAM and ECC entirely: the fault is born already resolved
+  // as a silent miss.
+  auto& lineage = obs::default_lineage();
+  const std::uint32_t id = lineage.fault_injected(
+      phys.value_or(0), bit, "direct", system_.stats().cpu_cycles);
+  lineage.resolve_fault(id, obs::LineageStage::kEccSilent,
+                        system_.stats().cpu_cycles);
   return true;
 }
 
@@ -116,6 +131,9 @@ void Injector::on_dram_transfer(std::uint64_t line_addr, ecc::Scheme scheme,
     obs::default_tracer().instant(obs::EventKind::kFaultCleared,
                                   system_.stats().cpu_cycles, line_addr,
                                   it->second.size());
+    obs::default_lineage().resolve_line(
+        line_addr, obs::LineageStage::kWritebackCleared,
+        system_.stats().cpu_cycles, it->second.size());
     pending_.erase(it);
     return;
   }
@@ -159,6 +177,20 @@ void Injector::apply_line(std::uint64_t line_addr, ecc::Scheme scheme) {
   }
   const ecc::LineResult agg = ecc::LineCodec::process_line(scheme, line, flips);
   pending_.erase(it);
+
+  // One decode resolves every fault pending on the line; lineage records
+  // the aggregate line verdict with detected > silent > corrected
+  // precedence (a mixed line is dominated by its worst word).
+  {
+    obs::LineageStage resolution = obs::LineageStage::kEccCorrected;
+    if (agg.status == ecc::DecodeStatus::kDetectedUncorrectable)
+      resolution = obs::LineageStage::kEccDetected;
+    else if (agg.silent_corruption)
+      resolution = obs::LineageStage::kEccSilent;
+    obs::default_lineage().resolve_line(line_addr, resolution,
+                                        system_.stats().cpu_cycles,
+                                        agg.corrected_words);
+  }
 
   auto& mc = system_.controller();
   if (agg.corrected_words > 0) {

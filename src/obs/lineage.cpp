@@ -1,0 +1,147 @@
+#include "obs/lineage.hpp"
+
+namespace abftecc::obs {
+
+std::string_view to_string(LineageStage s) {
+  switch (s) {
+    case LineageStage::kInject: return "inject";
+    case LineageStage::kEccCorrected: return "ecc_corrected";
+    case LineageStage::kEccDetected: return "ecc_detected_uncorrectable";
+    case LineageStage::kEccSilent: return "ecc_silent_miss";
+    case LineageStage::kWritebackCleared: return "writeback_cleared";
+    case LineageStage::kEccInterrupt: return "os_interrupt";
+    case LineageStage::kExposed: return "os_exposed";
+    case LineageStage::kLogDropped: return "os_log_dropped";
+    case LineageStage::kEscalated: return "os_escalated";
+    case LineageStage::kPanic: return "os_panic";
+    case LineageStage::kAbftLocated: return "abft_located";
+    case LineageStage::kAbftCorrected: return "abft_corrected";
+    case LineageStage::kRecompute: return "recovery_recompute";
+    case LineageStage::kRollback: return "recovery_rollback";
+    case LineageStage::kUnrecoverable: return "recovery_unrecoverable";
+    case LineageStage::kTerminal: return "terminal";
+  }
+  return "?";
+}
+
+void LineageLedger::clear() {
+  sealed_ = false;
+  terminal_ = {};
+  faults_.clear();
+  events_.clear();
+  events_dropped_ = 0;
+  by_line_.clear();
+}
+
+void LineageLedger::push(const LineageEvent& e) {
+  if (events_.size() >= kMaxEvents) {
+    ++events_dropped_;
+    return;
+  }
+  events_.push_back(e);
+}
+
+std::uint32_t LineageLedger::fault_injected(std::uint64_t phys,
+                                            std::uint32_t bit,
+                                            const char* kind,
+                                            std::uint64_t cycle) {
+  if (!enabled_) return 0;
+  LineageFault f;
+  f.id = static_cast<std::uint32_t>(faults_.size() + 1);
+  f.phys = phys;
+  f.bit = bit;
+  f.kind = kind;
+  faults_.push_back(f);
+  by_line_[line_of(phys)].push_back(f.id);
+  push(LineageEvent{f.id, LineageStage::kInject, cycle, phys, bit, 0, kind});
+  return f.id;
+}
+
+void LineageLedger::resolve_fault(std::uint32_t id, LineageStage s,
+                                  std::uint64_t cycle, std::uint64_t a0) {
+  if (!enabled_ || id == 0 || id > faults_.size()) return;
+  LineageFault& f = faults_[id - 1];
+  f.resolution = s;
+  ++f.resolution_count;
+  push(LineageEvent{id, s, cycle, f.phys, a0, 0, nullptr});
+}
+
+void LineageLedger::resolve_line(std::uint64_t addr, LineageStage s,
+                                 std::uint64_t cycle, std::uint64_t a0) {
+  if (!enabled_) return;
+  auto it = by_line_.find(line_of(addr));
+  if (it == by_line_.end()) return;
+  for (std::uint32_t id : it->second) {
+    // A line decode resolves only the still-open faults on the line;
+    // faults already cleared by writeback (then re-injected lines) keep
+    // their first resolution.
+    if (faults_[id - 1].resolution_count == 0)
+      resolve_fault(id, s, cycle, a0);
+  }
+}
+
+void LineageLedger::line_event(std::uint64_t addr, LineageStage s,
+                               std::uint64_t cycle, std::uint64_t a0,
+                               std::uint64_t a1, const char* tag) {
+  if (!enabled_) return;
+  auto it = by_line_.find(line_of(addr));
+  if (it == by_line_.end()) return;
+  for (std::uint32_t id : it->second) {
+    LineageFault& f = faults_[id - 1];
+    if (s == LineageStage::kExposed) f.exposed = true;
+    if (s == LineageStage::kAbftLocated) f.located = true;
+    push(LineageEvent{id, s, cycle, addr, a0, a1, tag});
+  }
+}
+
+void LineageLedger::trial_event(LineageStage s, std::uint64_t cycle,
+                                std::uint64_t a0, const char* tag) {
+  if (!enabled_) return;
+  push(LineageEvent{0, s, cycle, 0, a0, 0, tag});
+}
+
+void LineageLedger::seal(std::string_view outcome) {
+  if (!enabled_) return;
+  sealed_ = true;
+  terminal_ = outcome;
+  for (LineageFault& f : faults_) f.terminal = outcome;
+  push(LineageEvent{0, LineageStage::kTerminal, 0, 0, 0, 0,
+                    outcome.data()});
+}
+
+std::uint64_t LineageLedger::orphans() const {
+  std::uint64_t n = 0;
+  for (const LineageFault& f : faults_)
+    if (f.resolution_count == 0) ++n;
+  return n;
+}
+
+std::uint64_t LineageLedger::double_resolved() const {
+  std::uint64_t n = 0;
+  for (const LineageFault& f : faults_)
+    if (f.resolution_count > 1) ++n;
+  return n;
+}
+
+namespace {
+
+LineageLedger*& lineage_slot() {
+  thread_local LineageLedger* slot = nullptr;
+  return slot;
+}
+
+}  // namespace
+
+LineageLedger& default_lineage() {
+  if (LineageLedger* l = lineage_slot(); l != nullptr) return *l;
+  thread_local LineageLedger owned;
+  return owned;
+}
+
+LineageScope::LineageScope(LineageLedger& l) : prev_(lineage_slot()) {
+  lineage_slot() = &l;
+}
+
+LineageScope::~LineageScope() { lineage_slot() = prev_; }
+
+}  // namespace abftecc::obs

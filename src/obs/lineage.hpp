@@ -1,0 +1,194 @@
+// Fault provenance ledger (PR-6 tentpole): per-fault causal lineage from
+// injection to terminal outcome, recorded as typed stage events.
+//
+// Where the tracer (obs/trace.hpp) answers "what happened, in order?" for
+// the whole run, the ledger answers "what happened to THIS fault?": every
+// injected fault gets a lineage ID at its injection site, and each layer
+// it passes through -- the ECC decode in the memory controller, the OS
+// interrupt/expose/panic decision, the ABFT runtime's locate and the
+// kernel's correction, the recovery ladder tier taken -- appends a stage
+// event to its record. Layers attribute stages by physical cache line
+// (addr / kLineBytes), so no lineage context has to be threaded through
+// function signatures.
+//
+// Lifecycle contract (the reconciliation invariant, campaign-enforced):
+//   * every fault record reaches EXACTLY ONE hardware resolution stage
+//     (ecc_corrected / ecc_detected_uncorrectable / ecc_silent_miss /
+//     writeback_cleared). Zero resolutions is an orphan, more than one is
+//     a double-count; both are hard errors in campaign reconciliation.
+//   * seal() stamps one terminal outcome label on the whole trial; across
+//     a campaign the per-trial terminals must partition 1:1 into the
+//     outcome taxonomy counts (campaign::reconcile_lineage checks this).
+// One deliberate exception makes the ledger a cross-check on the
+// simulator itself: a pending fault dropped because its line was never
+// backed by an allocation is NOT resolved, so it surfaces as an orphan.
+//
+// Like the tracer, the ledger is thread-confined, OFF by default, and
+// costs one predicted branch per record point when disabled -- and every
+// record point sits on a fault/interrupt path, never on the memory-access
+// hot path, so disabled runs are bench-identical (benchgate-enforced).
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace abftecc::obs {
+
+/// Stage taxonomy along the cooperative HW/SW pipeline. Order follows the
+/// causal chain; is_resolution() marks the hardware-resolution subset.
+enum class LineageStage : std::uint8_t {
+  kInject,           ///< fault created (a0=bit or chip, tag=kind)
+  // hardware resolution (exactly one per fault)
+  kEccCorrected,     ///< line decode fixed it in the controller (a0=words)
+  kEccDetected,      ///< detected-uncorrectable, error register written
+  kEccSilent,        ///< corruption passed the decode unnoticed
+  kWritebackCleared, ///< dirty writeback overwrote it before any read
+  // OS handling
+  kEccInterrupt,     ///< MC interrupt entered the OS handler
+  kExposed,          ///< published to the exposed-error log (a0=repeats)
+  kLogDropped,       ///< exposed-log full, record dropped (storm overload)
+  kEscalated,        ///< would-be panic absorbed by the recovery ladder
+  kPanic,            ///< uncorrectable outside any coverage
+  // ABFT runtime / kernels
+  kAbftLocated,      ///< drain mapped it to (a0=structure, a1=element)
+  kAbftCorrected,    ///< kernel checksum correction rewrote the element
+  // recovery ladder (trial-scope: not tied to one fault's line)
+  kRecompute,        ///< tier-2 block recompute (a0=attempt)
+  kRollback,         ///< verified checkpoint restored (a0=epoch)
+  kUnrecoverable,    ///< ladder exhausted
+  kTerminal,         ///< trial sealed with its outcome label (tag=outcome)
+};
+
+[[nodiscard]] std::string_view to_string(LineageStage s);
+
+/// True for the hardware-resolution stages every fault must reach once.
+[[nodiscard]] constexpr bool is_resolution(LineageStage s) {
+  return s == LineageStage::kEccCorrected ||
+         s == LineageStage::kEccDetected ||
+         s == LineageStage::kEccSilent ||
+         s == LineageStage::kWritebackCleared;
+}
+
+/// One stage event. fault == 0 means trial-scope (recovery tier, seal).
+struct LineageEvent {
+  std::uint32_t fault = 0;  ///< 1-based lineage ID; 0 = trial-scope
+  LineageStage stage = LineageStage::kInject;
+  std::uint64_t cycle = 0;  ///< simulated CPU cycle (off the determinism
+                            ///< surface, like TrialOutcome::cycles)
+  std::uint64_t addr = 0;   ///< physical address, when the stage has one
+  std::uint64_t a0 = 0;     ///< stage-specific argument (see LineageStage)
+  std::uint64_t a1 = 0;
+  const char* tag = nullptr;  ///< static-string label (kind, outcome, ...)
+};
+
+/// Per-fault summary row, updated as stage events arrive.
+struct LineageFault {
+  std::uint32_t id = 0;       ///< 1-based, dense per trial
+  std::uint64_t phys = 0;     ///< injected physical byte address
+  std::uint32_t bit = 0;      ///< bit-in-word (bit flips) or chip index
+  const char* kind = "";      ///< "bit_flip" / "chip_kill" / "direct"
+  LineageStage resolution = LineageStage::kInject;  ///< last resolution
+  std::uint32_t resolution_count = 0;  ///< 0 = orphan, >1 = double-count
+  bool exposed = false;       ///< reached the OS exposed-error log
+  bool located = false;       ///< ABFT drain mapped it to an element
+  std::string_view terminal;  ///< trial outcome label; empty until seal()
+};
+
+class LineageLedger {
+ public:
+  /// Attribution granularity: one DRAM/ECC line. Kept in sync with
+  /// ecc::kLineBytes by a static_assert at the injection site (obs cannot
+  /// depend on ecc).
+  static constexpr std::uint64_t kLineBytes = 64;
+  /// Event-stream safety cap per trial; overflow is counted, not fatal.
+  static constexpr std::size_t kMaxEvents = 1u << 16;
+
+  void enable(bool on = true) { enabled_ = on; }
+  [[nodiscard]] bool enabled() const { return enabled_; }
+
+  /// Drop all records and reopen the ledger (terminal label cleared).
+  void clear();
+
+  /// Open a new fault record; returns its lineage ID (0 when disabled).
+  std::uint32_t fault_injected(std::uint64_t phys, std::uint32_t bit,
+                               const char* kind, std::uint64_t cycle);
+
+  /// Apply a hardware-resolution stage to one fault by ID.
+  void resolve_fault(std::uint32_t id, LineageStage s, std::uint64_t cycle,
+                     std::uint64_t a0 = 0);
+
+  /// Apply a hardware-resolution stage to every still-unresolved fault on
+  /// the cache line containing `addr` (one line decode resolves all of a
+  /// line's pending faults together; their IDs stay distinct).
+  void resolve_line(std::uint64_t addr, LineageStage s, std::uint64_t cycle,
+                    std::uint64_t a0 = 0);
+
+  /// Append a non-resolution stage to every fault on `addr`'s line
+  /// (interrupt, expose, drop, locate, correct, panic, escalate).
+  void line_event(std::uint64_t addr, LineageStage s, std::uint64_t cycle,
+                  std::uint64_t a0 = 0, std::uint64_t a1 = 0,
+                  const char* tag = nullptr);
+
+  /// Append a trial-scope stage (recovery tier) under fault ID 0.
+  void trial_event(LineageStage s, std::uint64_t cycle, std::uint64_t a0 = 0,
+                   const char* tag = nullptr);
+
+  /// Stamp the trial's terminal outcome label onto every fault record and
+  /// append the kTerminal event. `outcome` must outlive the ledger
+  /// (campaign passes the static to_string(Outcome) literals).
+  void seal(std::string_view outcome);
+  [[nodiscard]] bool sealed() const { return sealed_; }
+  [[nodiscard]] std::string_view terminal() const { return terminal_; }
+
+  [[nodiscard]] const std::vector<LineageFault>& faults() const {
+    return faults_;
+  }
+  [[nodiscard]] const std::vector<LineageEvent>& events() const {
+    return events_;
+  }
+  /// Faults with no hardware resolution (so far).
+  [[nodiscard]] std::uint64_t orphans() const;
+  /// Faults resolved more than once (always a bug somewhere).
+  [[nodiscard]] std::uint64_t double_resolved() const;
+  /// Events discarded after the kMaxEvents safety cap was hit.
+  [[nodiscard]] std::uint64_t events_dropped() const {
+    return events_dropped_;
+  }
+
+ private:
+  static constexpr std::uint64_t line_of(std::uint64_t addr) {
+    return addr / kLineBytes;
+  }
+  void push(const LineageEvent& e);
+
+  bool enabled_ = false;
+  bool sealed_ = false;
+  std::string_view terminal_;
+  std::vector<LineageFault> faults_;
+  std::vector<LineageEvent> events_;
+  std::uint64_t events_dropped_ = 0;
+  /// line number -> lineage IDs of faults injected on that line.
+  std::unordered_map<std::uint64_t, std::vector<std::uint32_t>> by_line_;
+};
+
+/// Ledger the instrumented layers on this thread record into. Disabled
+/// until a campaign trial (or a test) enables it; per-thread and
+/// overridable exactly like obs::default_tracer().
+LineageLedger& default_lineage();
+
+/// RAII override of this thread's default_lineage(); same LIFO nesting
+/// contract as TracerScope / RegistryScope.
+class LineageScope {
+ public:
+  explicit LineageScope(LineageLedger& l);
+  ~LineageScope();
+  LineageScope(const LineageScope&) = delete;
+  LineageScope& operator=(const LineageScope&) = delete;
+
+ private:
+  LineageLedger* prev_;
+};
+
+}  // namespace abftecc::obs

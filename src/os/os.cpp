@@ -3,6 +3,7 @@
 #include <cstdlib>
 
 #include "common/error.hpp"
+#include "obs/lineage.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 
@@ -213,6 +214,9 @@ void Os::handle_ecc_interrupt(const memsim::ErrorRecord& rec) {
   auto& tracer = obs::default_tracer();
   registry.counter("os.ecc_interrupts").add();
   tracer.instant(obs::EventKind::kEccInterrupt, rec.cycle, rec.phys_addr);
+  obs::default_lineage().line_event(rec.phys_addr,
+                                    obs::LineageStage::kEccInterrupt,
+                                    rec.cycle);
   // Read the memory-mapped registers (rec carries their content), derive
   // the physical address from the fault site, and route.
   Allocation* owner = nullptr;
@@ -246,12 +250,17 @@ void Os::handle_ecc_interrupt(const memsim::ErrorRecord& rec) {
         ++escalations_;
         registry.counter("os.escalations").add();
         tracer.instant(obs::EventKind::kEscalated, rec.cycle, rec.phys_addr);
+        obs::default_lineage().line_event(rec.phys_addr,
+                                          obs::LineageStage::kEscalated,
+                                          rec.cycle);
         return;
       }
     }
     ++panics_;
     registry.counter("os.panics").add();
     tracer.instant(obs::EventKind::kPanic, rec.cycle, rec.phys_addr);
+    obs::default_lineage().line_event(rec.phys_addr,
+                                      obs::LineageStage::kPanic, rec.cycle);
     return;
   }
   registry.counter("os.errors_exposed").add();
@@ -279,8 +288,12 @@ void Os::set_exposed_log_capacity(std::size_t cap) {
   ABFTECC_REQUIRE(cap > 0);
   exposed_capacity_ = cap;
   while (exposed_.size() > exposed_capacity_) {
+    obs::default_lineage().line_event(exposed_.back().phys_addr,
+                                      obs::LineageStage::kLogDropped,
+                                      exposed_.back().cycle);
     exposed_.pop_back();
     ++exposed_dropped_;
+    obs::default_registry().counter("os.exposed_dropped").add();
   }
 }
 
@@ -294,13 +307,21 @@ void Os::push_exposed(ExposedError e) {
       if (it->phys_addr / 64 == line) {
         ++it->repeats;
         it->cycle = e.cycle;
+        obs::default_lineage().line_event(e.phys_addr,
+                                          obs::LineageStage::kExposed,
+                                          e.cycle, it->repeats);
         return;
       }
     }
     ++exposed_dropped_;
     obs::default_registry().counter("os.exposed_dropped").add();
+    obs::default_lineage().line_event(e.phys_addr,
+                                      obs::LineageStage::kLogDropped,
+                                      e.cycle);
     return;
   }
+  obs::default_lineage().line_event(e.phys_addr, obs::LineageStage::kExposed,
+                                    e.cycle);
   exposed_.push_back(std::move(e));
 }
 

@@ -1,5 +1,6 @@
 #include "recovery/manager.hpp"
 
+#include "obs/lineage.hpp"
 #include "obs/metrics.hpp"
 #include "obs/profile.hpp"
 
@@ -11,6 +12,10 @@ void RecoveryManager::trace(obs::EventKind kind, std::uint64_t a0) const {
   const std::uint64_t now =
       os_ != nullptr ? os_->system().stats().cpu_cycles : 0;
   tracer.instant(kind, now, 0, a0);
+}
+
+std::uint64_t RecoveryManager::now() const {
+  return os_ != nullptr ? os_->system().stats().cpu_cycles : 0;
 }
 
 void RecoveryManager::begin_run() {
@@ -27,6 +32,8 @@ bool RecoveryManager::try_recompute() {
   ++episode_recomputes_;
   ++stats_.recompute_attempts;
   trace(obs::EventKind::kRecompute, episode_recomputes_);
+  obs::default_lineage().trial_event(obs::LineageStage::kRecompute, now(),
+                                     episode_recomputes_);
   return true;
 }
 
@@ -52,6 +59,8 @@ RestoreResult RecoveryManager::rollback() {
     rollback_demanded_ = false;
     trace(obs::EventKind::kRollback, store_.epoch());
     obs::default_registry().counter("recovery.rollbacks").add();
+    obs::default_lineage().trial_event(obs::LineageStage::kRollback, now(),
+                                       store_.epoch());
   } else if (r == RestoreResult::kCorrupted) {
     ++stats_.corrupted_checkpoints;
   }
@@ -61,6 +70,8 @@ RestoreResult RecoveryManager::rollback() {
 void RecoveryManager::mark_unrecoverable() {
   ++stats_.unrecoverable;
   obs::default_registry().counter("recovery.unrecoverable").add();
+  obs::default_lineage().trial_event(obs::LineageStage::kUnrecoverable,
+                                     now());
 }
 
 void RecoveryManager::checkpoint_tick(std::uint64_t epoch) {

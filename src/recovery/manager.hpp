@@ -88,6 +88,7 @@ class RecoveryManager {
 
  private:
   void trace(obs::EventKind kind, std::uint64_t a0 = 0) const;
+  [[nodiscard]] std::uint64_t now() const;
 
   RecoveryOptions opt_;
   os::Os* os_;

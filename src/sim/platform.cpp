@@ -262,6 +262,7 @@ struct Session::Impl {
       m.recovery = rm->stats();
       m.verdict = rm->verdict();
     }
+    m.exposed_dropped = osl->exposed_dropped();
     return m;
   }
 

@@ -101,6 +101,10 @@ struct RunMetrics {
   /// Ladder accounting (all zeros when the ladder is off).
   recovery::RecoveryStats recovery;
   recovery::RecoveryVerdict verdict = recovery::RecoveryVerdict::kNotNeeded;
+  /// Exposed-error log records the OS dropped because the log was full
+  /// (PR-4 storm overload path); lineage analysis uses this to tell
+  /// "dropped under storm" from "lost" when chasing orphans.
+  std::uint64_t exposed_dropped = 0;
 
   [[nodiscard]] Picojoules memory_pj() const {
     return mem_dynamic_pj + mem_standby_pj;

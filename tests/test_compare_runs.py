@@ -1,0 +1,112 @@
+#!/usr/bin/env python3
+"""Unit tests for bench/compare_runs.py (stdlib only, run via ctest).
+
+The satellite requirement under test: reports carrying custom top-level
+sections the tool does not know about (the campaign's "lineage" and
+"latency" sections) must be compared normally -- noted, never a schema
+error -- so a report diff keeps working as the schema grows sections.
+"""
+import importlib.util
+import io
+import json
+import os
+import sys
+import tempfile
+import unittest
+from contextlib import redirect_stdout
+
+REPO = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+SPEC = importlib.util.spec_from_file_location(
+    "compare_runs", os.path.join(REPO, "bench", "compare_runs.py"))
+compare_runs = importlib.util.module_from_spec(SPEC)
+SPEC.loader.exec_module(compare_runs)
+
+
+def report(cycles=1000, scalars=None, extra=None):
+    doc = {
+        "schema_version": 1,
+        "experiment": "unit-test",
+        "paper_ref": "none",
+        "config": None,
+        "runs": [{
+            "label": "run-a",
+            "cycles": cycles,
+            "ipc": 1.5,
+            "seconds": 0.25,
+            "energy": {"memory_pj": 10.0, "system_pj": 20.0},
+            "ft": {"errors_corrected": 3},
+        }],
+        "scalars": scalars or {},
+        "notes": {},
+        "metrics": {},
+        "profile": None,
+    }
+    doc.update(extra or {})
+    return doc
+
+
+class CompareRuns(unittest.TestCase):
+    def run_tool(self, base, cand, argv=()):
+        """Invoke compare_runs.main() on two report dicts; return
+        (exit_status, captured_stdout)."""
+        with tempfile.TemporaryDirectory() as d:
+            paths = []
+            for name, doc in (("base.json", base), ("cand.json", cand)):
+                p = os.path.join(d, name)
+                with open(p, "w") as f:
+                    json.dump(doc, f)
+                paths.append(p)
+            old_argv = sys.argv
+            sys.argv = ["compare_runs.py", *paths, *argv]
+            out = io.StringIO()
+            try:
+                with redirect_stdout(out):
+                    status = compare_runs.main()
+            finally:
+                sys.argv = old_argv
+            return status, out.getvalue()
+
+    def test_identical_reports_compare_clean(self):
+        status, out = self.run_tool(report(), report())
+        self.assertEqual(status, 0)
+        self.assertIn("no differences", out)
+
+    def test_regression_beyond_threshold_is_flagged(self):
+        status, out = self.run_tool(report(cycles=1000), report(cycles=1100))
+        self.assertEqual(status, 1)
+        self.assertIn("cycles", out)
+
+    def test_unknown_sections_are_noted_and_ignored(self):
+        # A candidate report grown a "lineage" section (and a "latency"
+        # histogram) still compares clean against an older baseline.
+        cand = report(extra={
+            "lineage": {"dgemm": {"ok": True, "faults": 12}},
+            "latency": {"histogram": [1, 2, 3]},
+        })
+        status, out = self.run_tool(report(), cand)
+        self.assertEqual(status, 0)
+        self.assertIn("ignoring unknown section(s): latency, lineage", out)
+
+    def test_unknown_sections_do_not_mask_real_regressions(self):
+        cand = report(cycles=2000, extra={"lineage": {}})
+        status, _ = self.run_tool(report(cycles=1000), cand)
+        self.assertEqual(status, 1)
+
+    def test_scalar_drift_is_flagged(self):
+        status, out = self.run_tool(
+            report(scalars={"dgemm.trials": 64.0}),
+            report(scalars={"dgemm.trials": 32.0}))
+        self.assertEqual(status, 1)
+        self.assertIn("dgemm.trials", out)
+
+    def test_missing_runs_key_is_tolerated(self):
+        base = report()
+        del base["runs"]
+        status, out = self.run_tool(base, report())
+        # The candidate-only run is reported as a difference, not a crash.
+        self.assertEqual(status, 1)
+        self.assertIn("run only in candidate", out)
+
+
+if __name__ == "__main__":
+    unittest.main()

@@ -1,0 +1,482 @@
+// Fault provenance ledger: unit tests for the ledger lifecycle and
+// line-based attribution, surgical chain pins through the real
+// injector/ECC/OS layers, and campaign-level reconciliation -- including
+// the PR-6 keystone invariant that lineage terminal states partition 1:1
+// into the outcome taxonomy, and that enabling lineage never perturbs
+// trial outcomes.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <string>
+
+#include "campaign/campaign.hpp"
+#include "fault/injector.hpp"
+#include "memsim/system.hpp"
+#include "obs/lineage.hpp"
+#include "os/os.hpp"
+#include "sim/platform.hpp"
+
+namespace abftecc {
+namespace {
+
+using obs::LineageLedger;
+using obs::LineageStage;
+
+// -------------------------------------------------------------- ledger --
+
+TEST(LineageLedger, DisabledLedgerRecordsNothing) {
+  LineageLedger led;
+  EXPECT_FALSE(led.enabled());
+  EXPECT_EQ(led.fault_injected(0x1000, 3, "bit_flip", 10), 0u);
+  led.resolve_line(0x1000, LineageStage::kEccCorrected, 20);
+  led.trial_event(LineageStage::kRollback, 30);
+  led.seal("corrected");
+  EXPECT_TRUE(led.faults().empty());
+  EXPECT_TRUE(led.events().empty());
+  EXPECT_FALSE(led.sealed());
+}
+
+TEST(LineageLedger, FaultLifecycleInjectResolveSeal) {
+  LineageLedger led;
+  led.enable();
+  const std::uint32_t id = led.fault_injected(0x1008, 5, "bit_flip", 100);
+  ASSERT_EQ(id, 1u);  // IDs are 1-based and dense
+  ASSERT_EQ(led.faults().size(), 1u);
+  EXPECT_EQ(led.orphans(), 1u);  // unresolved so far
+
+  led.resolve_fault(id, LineageStage::kEccCorrected, 200, /*a0=*/1);
+  EXPECT_EQ(led.orphans(), 0u);
+  EXPECT_EQ(led.double_resolved(), 0u);
+  EXPECT_EQ(led.faults()[0].resolution, LineageStage::kEccCorrected);
+  EXPECT_EQ(led.faults()[0].resolution_count, 1u);
+
+  led.seal("corrected");
+  EXPECT_TRUE(led.sealed());
+  EXPECT_EQ(led.terminal(), "corrected");
+  EXPECT_EQ(led.faults()[0].terminal, "corrected");
+  // inject + resolution + terminal events, in causal order.
+  ASSERT_EQ(led.events().size(), 3u);
+  EXPECT_EQ(led.events()[0].stage, LineageStage::kInject);
+  EXPECT_EQ(led.events()[1].stage, LineageStage::kEccCorrected);
+  EXPECT_EQ(led.events()[2].stage, LineageStage::kTerminal);
+}
+
+// Two faults injected into the same 64B cache line keep distinct lineage
+// IDs, and the single line decode that clears them resolves BOTH records
+// exactly once (the satellite-3 shared-line requirement).
+TEST(LineageLedger, SharedCacheLineFaultsKeepDistinctIds) {
+  LineageLedger led;
+  led.enable();
+  const std::uint32_t a = led.fault_injected(0x1000, 1, "bit_flip", 10);
+  const std::uint32_t b = led.fault_injected(0x1020, 2, "bit_flip", 11);
+  const std::uint32_t c = led.fault_injected(0x2000, 3, "bit_flip", 12);
+  EXPECT_NE(a, b);
+
+  // One decode of the first line resolves a AND b, not c.
+  led.resolve_line(0x1010, LineageStage::kEccDetected, 50);
+  EXPECT_EQ(led.faults()[a - 1].resolution_count, 1u);
+  EXPECT_EQ(led.faults()[b - 1].resolution_count, 1u);
+  EXPECT_EQ(led.faults()[c - 1].resolution_count, 0u);
+  EXPECT_EQ(led.orphans(), 1u);
+
+  // A second decode of the same line must NOT double-count a or b.
+  led.resolve_line(0x1000, LineageStage::kEccCorrected, 60);
+  EXPECT_EQ(led.faults()[a - 1].resolution_count, 1u);
+  EXPECT_EQ(led.faults()[a - 1].resolution, LineageStage::kEccDetected);
+  EXPECT_EQ(led.double_resolved(), 0u);
+}
+
+TEST(LineageLedger, DirectResolveTwiceIsCountedAsDoubleResolution) {
+  LineageLedger led;
+  led.enable();
+  const std::uint32_t id = led.fault_injected(0x40, 0, "direct", 1);
+  led.resolve_fault(id, LineageStage::kEccSilent, 2);
+  led.resolve_fault(id, LineageStage::kWritebackCleared, 3);
+  EXPECT_EQ(led.faults()[0].resolution_count, 2u);
+  EXPECT_EQ(led.double_resolved(), 1u);
+  EXPECT_EQ(led.orphans(), 0u);
+}
+
+TEST(LineageLedger, LineEventsSetExposureAndLocationFlags) {
+  LineageLedger led;
+  led.enable();
+  const std::uint32_t id = led.fault_injected(0x3000, 4, "bit_flip", 1);
+  led.line_event(0x3008, LineageStage::kEccInterrupt, 2);
+  EXPECT_FALSE(led.faults()[0].exposed);
+  led.line_event(0x3008, LineageStage::kExposed, 3);
+  EXPECT_TRUE(led.faults()[0].exposed);
+  led.line_event(0x3010, LineageStage::kAbftLocated, 4, /*a0=*/7, /*a1=*/42);
+  EXPECT_TRUE(led.faults()[0].located);
+  // Events carry the stage arguments for forensics.
+  const auto& ev = led.events().back();
+  EXPECT_EQ(ev.fault, id);
+  EXPECT_EQ(ev.a0, 7u);
+  EXPECT_EQ(ev.a1, 42u);
+}
+
+TEST(LineageLedger, ClearReopensTheLedger) {
+  LineageLedger led;
+  led.enable();
+  led.fault_injected(0x100, 0, "bit_flip", 1);
+  led.seal("corrected");
+  led.clear();
+  EXPECT_TRUE(led.enabled());  // clear() keeps the enable bit
+  EXPECT_FALSE(led.sealed());
+  EXPECT_TRUE(led.faults().empty());
+  EXPECT_TRUE(led.events().empty());
+  EXPECT_EQ(led.fault_injected(0x200, 0, "bit_flip", 2), 1u);  // IDs restart
+}
+
+TEST(LineageScope, OverridesAreLifoNested) {
+  LineageLedger outer, inner;
+  outer.enable();
+  inner.enable();
+  LineageLedger& base = obs::default_lineage();
+  {
+    obs::LineageScope so(outer);
+    EXPECT_EQ(&obs::default_lineage(), &outer);
+    {
+      obs::LineageScope si(inner);
+      EXPECT_EQ(&obs::default_lineage(), &inner);
+      obs::default_lineage().fault_injected(0x40, 0, "bit_flip", 1);
+    }
+    EXPECT_EQ(&obs::default_lineage(), &outer);
+  }
+  EXPECT_EQ(&obs::default_lineage(), &base);
+  EXPECT_EQ(inner.faults().size(), 1u);
+  EXPECT_TRUE(outer.faults().empty());
+}
+
+// ---------------------------------------------- surgical chain pinning --
+
+/// Minimal wired node (same rig as test_fault.cpp): MemorySystem + Os +
+/// Injector, with a lineage ledger installed for the test's duration.
+struct Rig {
+  memsim::MemorySystem sys;
+  os::Os os;
+  fault::Injector inj;
+  LineageLedger led;
+  obs::LineageScope scope;
+  explicit Rig(ecc::Scheme default_scheme)
+      : sys(memsim::SystemConfig::scaled(8), default_scheme),
+        os(sys),
+        inj(sys, os),
+        scope((led.enable(), led)) {}
+
+  std::uint8_t* alloc(ecc::Scheme scheme) {
+    auto* p =
+        static_cast<std::uint8_t*>(os.malloc_ecc(4096, scheme, "data", true));
+    for (int i = 0; i < 4096; ++i) p[i] = static_cast<std::uint8_t>(i * 7);
+    return p;
+  }
+
+  void touch_line(const void* vaddr) {
+    const auto phys = os.virt_to_phys(vaddr);
+    ASSERT_TRUE(phys.has_value());
+    sys.access(*phys, memsim::AccessKind::kRead);
+  }
+};
+
+std::vector<LineageStage> chain_of(const LineageLedger& led,
+                                   std::uint32_t fault_id) {
+  std::vector<LineageStage> out;
+  for (const auto& e : led.events())
+    if (e.fault == fault_id) out.push_back(e.stage);
+  return out;
+}
+
+// Case 1 (paper Table 2): single-bit fault under SECDED, corrected in the
+// controller. Chain pins to inject -> ecc_corrected, nothing OS-visible.
+TEST(LineageChain, CorrectedFaultNeverReachesTheOs) {
+  Rig rig(ecc::Scheme::kChipkill);
+  auto* p = rig.alloc(ecc::Scheme::kSecded);
+  const auto phys = rig.os.virt_to_phys(p + 10);
+  rig.inj.inject_bit(*phys, 3);
+  rig.touch_line(p + 10);
+  ASSERT_EQ(rig.led.faults().size(), 1u);
+  EXPECT_EQ(rig.led.faults()[0].phys, *phys);
+  EXPECT_EQ(chain_of(rig.led, 1),
+            (std::vector<LineageStage>{LineageStage::kInject,
+                                       LineageStage::kEccCorrected}));
+  EXPECT_FALSE(rig.led.faults()[0].exposed);
+  EXPECT_EQ(rig.led.orphans(), 0u);
+}
+
+// Case 4 front half: a double-bit fault under SECDED on ABFT-covered data
+// is detected-uncorrectable, raises the MC interrupt, and is published to
+// the exposed-error log. Both colliding flips share the line, keep
+// distinct lineage IDs, and resolve exactly once each.
+TEST(LineageChain, DetectedUncorrectableChainsThroughOsExposure) {
+  Rig rig(ecc::Scheme::kChipkill);
+  auto* p = rig.alloc(ecc::Scheme::kSecded);
+  const auto phys = rig.os.virt_to_phys(p);
+  rig.inj.inject_bit(*phys, 0);
+  rig.inj.inject_bit(*phys + 1, 1);  // same word -> uncorrectable
+  rig.touch_line(p);
+
+  ASSERT_EQ(rig.led.faults().size(), 2u);
+  const std::vector<LineageStage> expect{
+      LineageStage::kInject, LineageStage::kEccDetected,
+      LineageStage::kEccInterrupt, LineageStage::kExposed};
+  EXPECT_EQ(chain_of(rig.led, 1), expect);
+  EXPECT_EQ(chain_of(rig.led, 2), expect);
+  for (const auto& f : rig.led.faults()) {
+    EXPECT_EQ(f.resolution, LineageStage::kEccDetected);
+    EXPECT_EQ(f.resolution_count, 1u);
+    EXPECT_TRUE(f.exposed);
+  }
+  EXPECT_EQ(rig.led.orphans(), 0u);
+  EXPECT_EQ(rig.led.double_resolved(), 0u);
+}
+
+// Uncorrectable OUTSIDE ABFT coverage: the chain ends in os_panic, the
+// ledger's record of why a trial died.
+TEST(LineageChain, UncoveredUncorrectableChainsToPanic) {
+  Rig rig(ecc::Scheme::kSecded);
+  auto* p = static_cast<std::uint8_t*>(rig.os.malloc_plain(4096, "os-data"));
+  std::fill_n(p, 4096, 0x5A);
+  const auto phys = rig.os.virt_to_phys(p);
+  rig.inj.inject_bit(*phys, 0);
+  rig.inj.inject_bit(*phys + 1, 1);
+  rig.sys.access(*phys, memsim::AccessKind::kRead);
+  ASSERT_TRUE(rig.os.panicked());
+  const auto chain = chain_of(rig.led, 1);
+  ASSERT_FALSE(chain.empty());
+  EXPECT_EQ(chain.back(), LineageStage::kPanic);
+}
+
+// Shrinking the exposed log below its occupancy drops records; each drop
+// must leave an os_log_dropped breadcrumb on the affected fault's lineage
+// (satellite 1: drops are observable, not silent).
+TEST(LineageChain, ExposedLogShrinkLeavesDropBreadcrumbs) {
+  Rig rig(ecc::Scheme::kChipkill);
+  auto* p = rig.alloc(ecc::Scheme::kSecded);
+  // Two uncorrectable lines -> two exposed-log records.
+  for (std::size_t off : {std::size_t{0}, std::size_t{128}}) {
+    const auto phys = rig.os.virt_to_phys(p + off);
+    rig.inj.inject_bit(*phys, 0);
+    rig.inj.inject_bit(*phys + 1, 1);
+    rig.touch_line(p + off);
+  }
+  ASSERT_TRUE(rig.os.has_exposed_errors());
+  rig.os.set_exposed_log_capacity(1);  // drops the older record
+  EXPECT_EQ(rig.os.exposed_dropped(), 1u);
+  // The OS counter is per log RECORD; lineage breadcrumbs are per FAULT,
+  // and the dropped record's line carries both colliding flips.
+  std::uint64_t drop_events = 0;
+  for (const auto& e : rig.led.events())
+    if (e.stage == LineageStage::kLogDropped) ++drop_events;
+  EXPECT_EQ(drop_events, 2u);
+}
+
+// ---------------------------------------------- campaign reconciliation --
+
+sim::PlatformOptions tiny_platform() {
+  sim::PlatformOptions p;
+  p.strategy = sim::Strategy::kPartialChipkillSecded;
+  p.dgemm_dim = 48;
+  p.cholesky_dim = 48;
+  p.cg_dim = 96;
+  p.cg_iterations = 2;
+  p.hpl_dim = 48;
+  return p;
+}
+
+/// The test_campaign.cpp storm: SECDED everywhere + multi-fault storms +
+/// the recovery ladder, so trials traverse the deepest chains (Case 4
+/// escalation into checkpointed rollback).
+campaign::CampaignOptions storm_options() {
+  campaign::CampaignOptions opt;
+  opt.kernel = sim::Kernel::kDgemm;
+  opt.platform = tiny_platform();
+  opt.platform.strategy = sim::Strategy::kWholeSecded;
+  opt.platform.ladder = true;
+  opt.fault.kind = campaign::FaultKind::kDoubleBit;
+  opt.fault.count = 3;
+  opt.fault.storm_all_ranges = true;
+  opt.trials = 12;
+  opt.campaign_seed = 7;
+  opt.lineage = true;
+  return opt;
+}
+
+bool has_stage(const std::vector<obs::LineageEvent>& events,
+               LineageStage s) {
+  return std::any_of(events.begin(), events.end(),
+                     [s](const auto& e) { return e.stage == s; });
+}
+
+// The satellite-3 end-to-end pin: in a storm campaign some trial must
+// traverse the full Case-4 escalation -- inject, ECC detects but cannot
+// correct, OS exposes to the runtime, and the ladder rolls back -- and its
+// ledger must show every stage of that causal chain.
+TEST(CampaignLineage, Case4EscalationChainIsFullyRecorded) {
+  const campaign::CampaignResult res =
+      campaign::run_campaign(storm_options());
+  ASSERT_TRUE(res.lineage.enabled);
+  EXPECT_TRUE(res.lineage.ok) << (res.lineage.errors.empty()
+                                      ? "no errors"
+                                      : res.lineage.errors[0]);
+
+  bool found = false;
+  for (const auto& t : res.trials) {
+    if (t.outcome != campaign::Outcome::kRecoveredByRollback) continue;
+    found = true;
+    EXPECT_EQ(t.lineage_terminal, "recovered_by_rollback");
+    ASSERT_FALSE(t.lineage_faults.empty());
+    ASSERT_FALSE(t.lineage_events.empty());
+    // Hardware half: every fault was injected and detected-uncorrectable.
+    for (const auto& f : t.lineage_faults) {
+      EXPECT_EQ(f.resolution, LineageStage::kEccDetected);
+      EXPECT_EQ(f.resolution_count, 1u);
+    }
+    // Software half: interrupt -> exposure -> ladder rollback -> seal.
+    EXPECT_TRUE(has_stage(t.lineage_events, LineageStage::kInject));
+    EXPECT_TRUE(has_stage(t.lineage_events, LineageStage::kEccInterrupt));
+    EXPECT_TRUE(has_stage(t.lineage_events, LineageStage::kExposed));
+    EXPECT_TRUE(has_stage(t.lineage_events, LineageStage::kRollback));
+    EXPECT_TRUE(has_stage(t.lineage_events, LineageStage::kTerminal));
+    break;
+  }
+  ASSERT_TRUE(found) << "storm produced no rollback trial to pin";
+}
+
+// The keystone: ledger terminal tallies partition 1:1 into the taxonomy
+// counts, fault records match injection counts, and nothing is orphaned
+// or double-counted -- across a storm with shared-line faults.
+TEST(CampaignLineage, ReconciliationHoldsOnStormCampaign) {
+  const campaign::CampaignOptions opt = storm_options();
+  const campaign::CampaignResult res = campaign::run_campaign(opt);
+  const auto& lin = res.lineage;
+  ASSERT_TRUE(lin.enabled);
+  EXPECT_TRUE(lin.ok) << (lin.errors.empty() ? "" : lin.errors[0]);
+  EXPECT_TRUE(lin.errors.empty());
+  EXPECT_EQ(lin.orphans, 0u);
+  EXPECT_EQ(lin.double_counted, 0u);
+  // 12 trials x 3 storm faults x 2 flips per double-bit fault.
+  EXPECT_EQ(lin.faults, opt.trials * opt.fault.count * 2);
+  // Terminal tallies are exactly the taxonomy counts.
+  for (std::size_t i = 0; i < campaign::kAllOutcomes.size(); ++i)
+    EXPECT_EQ(lin.terminals[i],
+              res.rate(campaign::kAllOutcomes[i]).count)
+        << to_string(campaign::kAllOutcomes[i]);
+  // Every fault reached exactly one resolution: resolution tallies sum to
+  // the fault-record count.
+  std::uint64_t resolved = 0;
+  for (std::size_t s = 0; s < lin.resolutions.size(); ++s)
+    if (obs::is_resolution(static_cast<LineageStage>(s)))
+      resolved += lin.resolutions[s];
+  EXPECT_EQ(resolved, lin.faults);
+}
+
+// Tampering with the ledger must be caught: reconciliation is a real
+// invariant check, not a formality.
+TEST(CampaignLineage, ReconciliationDetectsFabricatedViolations) {
+  campaign::CampaignResult res = campaign::run_campaign(storm_options());
+  ASSERT_TRUE(res.lineage.ok);
+
+  {  // An orphan (a fault that never reached a hardware resolution).
+    campaign::CampaignResult broken = res;
+    broken.trials[0].lineage_faults[0].resolution_count = 0;
+    const auto lin = campaign::reconcile_lineage(broken);
+    EXPECT_FALSE(lin.ok);
+    EXPECT_EQ(lin.orphans, 1u);
+    EXPECT_FALSE(lin.errors.empty());
+  }
+  {  // A double-counted resolution.
+    campaign::CampaignResult broken = res;
+    broken.trials[0].lineage_faults[0].resolution_count = 2;
+    const auto lin = campaign::reconcile_lineage(broken);
+    EXPECT_FALSE(lin.ok);
+    EXPECT_EQ(lin.double_counted, 1u);
+  }
+  {  // A sealed terminal that contradicts the classified outcome.
+    campaign::CampaignResult broken = res;
+    broken.trials[0].lineage_terminal =
+        broken.trials[0].outcome == campaign::Outcome::kCorrected
+            ? "unrecoverable"
+            : "corrected";
+    const auto lin = campaign::reconcile_lineage(broken);
+    EXPECT_FALSE(lin.ok);
+  }
+  {  // A missing fault record (ledger lost a fault).
+    campaign::CampaignResult broken = res;
+    ASSERT_FALSE(broken.trials[0].lineage_faults.empty());
+    broken.trials[0].lineage_faults.pop_back();
+    const auto lin = campaign::reconcile_lineage(broken);
+    EXPECT_FALSE(lin.ok);
+  }
+}
+
+// --------------------------------------------------------- determinism --
+
+std::string jsonl_bytes(const campaign::CampaignResult& res) {
+  std::FILE* f = std::tmpfile();
+  for (const campaign::TrialOutcome& t : res.trials)
+    campaign::write_trial_jsonl(f, res.options, t);
+  std::string out(static_cast<std::size_t>(std::ftell(f)), '\0');
+  std::rewind(f);
+  const std::size_t got = std::fread(out.data(), 1, out.size(), f);
+  std::fclose(f);
+  out.resize(got);
+  return out;
+}
+
+// Lineage is observability, not simulation: turning it on must not change
+// a single trial outcome byte (CI re-checks this on the real binary).
+TEST(CampaignLineage, EnablingLineageDoesNotPerturbTrialOutcomes) {
+  campaign::CampaignOptions opt = storm_options();
+  const campaign::GoldenRun golden = campaign::run_golden(opt);
+  opt.lineage = false;
+  const std::string off = jsonl_bytes(campaign::run_campaign(opt, golden));
+  opt.lineage = true;
+  const std::string on = jsonl_bytes(campaign::run_campaign(opt, golden));
+  EXPECT_FALSE(off.empty());
+  EXPECT_EQ(off, on);
+}
+
+// The campaign determinism contract extends to the ledger: same seed,
+// different thread counts -> identical lineage records modulo the cycle
+// stamps (which, like TrialOutcome::cycles, are off the surface).
+TEST(CampaignLineage, LineageIsThreadCountInvariantModuloCycles) {
+  campaign::CampaignOptions opt = storm_options();
+  const campaign::GoldenRun golden = campaign::run_golden(opt);
+  opt.threads = 1;
+  const campaign::CampaignResult serial = campaign::run_campaign(opt, golden);
+  opt.threads = 4;
+  const campaign::CampaignResult pooled = campaign::run_campaign(opt, golden);
+
+  ASSERT_EQ(serial.trials.size(), pooled.trials.size());
+  for (std::size_t i = 0; i < serial.trials.size(); ++i) {
+    const auto& a = serial.trials[i];
+    const auto& b = pooled.trials[i];
+    EXPECT_EQ(a.lineage_terminal, b.lineage_terminal);
+    ASSERT_EQ(a.lineage_faults.size(), b.lineage_faults.size());
+    for (std::size_t j = 0; j < a.lineage_faults.size(); ++j) {
+      const auto& fa = a.lineage_faults[j];
+      const auto& fb = b.lineage_faults[j];
+      EXPECT_EQ(fa.id, fb.id);
+      EXPECT_EQ(fa.phys, fb.phys);
+      EXPECT_EQ(fa.bit, fb.bit);
+      EXPECT_STREQ(fa.kind, fb.kind);
+      EXPECT_EQ(fa.resolution, fb.resolution);
+      EXPECT_EQ(fa.resolution_count, fb.resolution_count);
+      EXPECT_EQ(fa.exposed, fb.exposed);
+      EXPECT_EQ(fa.located, fb.located);
+    }
+    ASSERT_EQ(a.lineage_events.size(), b.lineage_events.size());
+    for (std::size_t j = 0; j < a.lineage_events.size(); ++j) {
+      const auto& ea = a.lineage_events[j];
+      const auto& eb = b.lineage_events[j];
+      EXPECT_EQ(ea.fault, eb.fault);
+      EXPECT_EQ(ea.stage, eb.stage);
+      EXPECT_EQ(ea.addr, eb.addr);
+      EXPECT_EQ(ea.a0, eb.a0);
+      EXPECT_EQ(ea.a1, eb.a1);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace abftecc

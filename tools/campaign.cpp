@@ -55,6 +55,13 @@ void print_usage(const char* prog) {
       "                    key; cycle-derived, so the report is no longer\n"
       "                    byte-reproducible across heap layouts\n"
       "  --jsonl <path>    per-trial JSON-lines log\n"
+      "  --lineage <path>  per-fault provenance ledger (JSON lines): every\n"
+      "                    injected fault's stage chain from injection to\n"
+      "                    terminal outcome, reconciled exactly against the\n"
+      "                    outcome taxonomy (any orphaned or double-counted\n"
+      "                    record exits 1); explore with tools/forensics.py.\n"
+      "                    Event cycle stamps are heap-layout sensitive;\n"
+      "                    everything else is seed-deterministic\n"
       "  --json <path>     schema-stable campaign report\n"
       "plus the shared platform flags (--dgemm-dim, --cache-scale, ...);\n"
       "campaign defaults shrink the inputs so 256-trial sweeps stay fast.\n",
@@ -188,6 +195,33 @@ void write_latency_json(abftecc::obs::JsonWriter& w, const CampaignResult& r) {
   w.end_object();
 }
 
+/// One kernel's entry of the report's "lineage" section: the deterministic
+/// reconciliation summary (counts only -- no cycle stamps), so the section
+/// stays on the byte-determinism surface.
+void write_lineage_json(abftecc::obs::JsonWriter& w, const CampaignResult& r) {
+  const auto& sum = r.lineage;
+  w.begin_object();
+  w.field("ok", sum.ok);
+  w.field("faults", sum.faults);
+  w.field("orphans", sum.orphans);
+  w.field("double_counted", sum.double_counted);
+  w.field("exposed_dropped", sum.exposed_dropped);
+  w.key("resolutions");
+  w.begin_object();
+  for (std::size_t i = 0; i < sum.resolutions.size(); ++i) {
+    const auto stage = static_cast<abftecc::obs::LineageStage>(i);
+    if (abftecc::obs::is_resolution(stage))
+      w.field(abftecc::obs::to_string(stage), sum.resolutions[i]);
+  }
+  w.end_object();
+  w.key("terminals");
+  w.begin_object();
+  for (std::size_t i = 0; i < abftecc::campaign::kAllOutcomes.size(); ++i)
+    w.field(to_string(abftecc::campaign::kAllOutcomes[i]), sum.terminals[i]);
+  w.end_object();
+  w.end_object();
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -195,6 +229,7 @@ int main(int argc, char** argv) {
   CampaignOptions base;
   base.threads = std::max(1u, std::thread::hardware_concurrency());
   std::string jsonl_path;
+  std::string lineage_path;
   std::uint64_t input_seed = 42;
   bool strategy_given = false;
   bool forbid_panics = false;
@@ -259,6 +294,9 @@ int main(int argc, char** argv) {
       base.measure_latency = true;
     } else if (std::strcmp(a, "--jsonl") == 0) {
       jsonl_path = need_value(i), ++i;
+    } else if (std::strcmp(a, "--lineage") == 0) {
+      lineage_path = need_value(i), ++i;
+      base.lineage = true;
     } else if (std::strcmp(a, "--help") == 0) {
       print_usage(argv[0]);
       return 0;
@@ -294,6 +332,15 @@ int main(int argc, char** argv) {
       return 2;
     }
   }
+  std::FILE* lineage_file = nullptr;
+  if (!lineage_path.empty()) {
+    lineage_file = std::fopen(lineage_path.c_str(), "w");
+    if (lineage_file == nullptr) {
+      std::fprintf(stderr, "%s: cannot open '%s' for writing\n", argv[0],
+                   lineage_path.c_str());
+      return 2;
+    }
+  }
 
   std::printf("campaign: %zu trial(s)/kernel, %u thread(s), seed %llu, "
               "fault %s, strategy %s\n\n",
@@ -320,8 +367,11 @@ int main(int argc, char** argv) {
 
   std::uint64_t total_unclassified = 0;
   std::uint64_t total_panicked = 0;
+  std::uint64_t lineage_errors = 0;
   abftecc::obs::JsonWriter latency_json;
   if (base.measure_latency) latency_json.begin_object();
+  abftecc::obs::JsonWriter lineage_json;
+  if (base.lineage) lineage_json.begin_object();
   for (std::size_t ki = 0; ki < kernels.size(); ++ki) {
     const Kernel k = kernels[ki];
     CampaignOptions opt = base;
@@ -396,6 +446,33 @@ int main(int argc, char** argv) {
     if (jsonl != nullptr)
       for (const auto& t : res.trials)
         abftecc::campaign::write_trial_jsonl(jsonl, opt, t);
+
+    if (base.lineage) {
+      if (lineage_file != nullptr)
+        for (const auto& t : res.trials)
+          abftecc::campaign::write_lineage_jsonl(lineage_file, opt, t);
+      const auto& lin = res.lineage;
+      std::printf("  [%s] lineage: %llu fault record(s), %llu orphan(s), "
+                  "%llu double-counted, %llu log drop(s) -- "
+                  "reconciliation %s\n",
+                  slug.c_str(), static_cast<unsigned long long>(lin.faults),
+                  static_cast<unsigned long long>(lin.orphans),
+                  static_cast<unsigned long long>(lin.double_counted),
+                  static_cast<unsigned long long>(lin.exposed_dropped),
+                  lin.ok ? "OK" : "FAILED");
+      for (const std::string& e : lin.errors)
+        std::fprintf(stderr, "  [%s] lineage error: %s\n", slug.c_str(),
+                     e.c_str());
+      lineage_errors += lin.errors.size();
+      lineage_json.key(slug);
+      write_lineage_json(lineage_json, res);
+      report.scalar(slug + ".lineage_faults",
+                    static_cast<double>(lin.faults));
+      report.scalar(slug + ".lineage_orphans",
+                    static_cast<double>(lin.orphans));
+      report.scalar(slug + ".exposed_dropped",
+                    static_cast<double>(lin.exposed_dropped));
+    }
   }
 
   if (base.measure_latency) {
@@ -404,6 +481,13 @@ int main(int argc, char** argv) {
     report.note("latency",
                 "cycle-derived recovery-latency histograms (--latencies); "
                 "excluded from the byte-determinism surface");
+  }
+  if (base.lineage) {
+    lineage_json.end_object();
+    report.section("lineage", lineage_json.take());
+    report.note("lineage",
+                "per-fault provenance ledger reconciliation (--lineage); "
+                "counts only, deterministic for a fixed seed");
   }
 
   report.note("campaign_seed", std::to_string(base.campaign_seed));
@@ -415,6 +499,17 @@ int main(int argc, char** argv) {
   if (jsonl != nullptr) {
     std::fclose(jsonl);
     std::printf("wrote per-trial JSON lines: %s\n", jsonl_path.c_str());
+  }
+  if (lineage_file != nullptr) {
+    std::fclose(lineage_file);
+    std::printf("wrote fault provenance ledger: %s\n", lineage_path.c_str());
+  }
+  if (lineage_errors > 0) {
+    std::fprintf(stderr,
+                 "campaign: lineage reconciliation FAILED with %llu "
+                 "error(s) -- orphaned or double-counted fault records\n",
+                 static_cast<unsigned long long>(lineage_errors));
+    return 1;
   }
   if (total_unclassified > 0) {
     std::fprintf(stderr, "campaign: %llu unclassified trial(s)\n",
