@@ -1,0 +1,343 @@
+#include "campaign/accumulator.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+#include "obs/json.hpp"
+#include "obs/jsonv.hpp"
+#include "obs/lineage.hpp"
+
+namespace abftecc::campaign {
+
+namespace {
+
+constexpr std::uint64_t kSchemaVersion = 1;
+
+Rate make_rate(std::uint64_t count, std::uint64_t total) {
+  Rate r;
+  r.count = count;
+  r.total = total;
+  r.fraction =
+      total == 0 ? 0.0
+                 : static_cast<double>(count) / static_cast<double>(total);
+  const Interval iv = wilson_interval(count, total);
+  r.wilson_lo = iv.lo;
+  r.wilson_hi = iv.hi;
+  return r;
+}
+
+}  // namespace
+
+double Accumulator::latency_bound(std::size_t i) {
+  double b = kLatencyFirstBound;
+  for (std::size_t k = 0; k < i; ++k) b *= kLatencyFactor;
+  return b;
+}
+
+void Accumulator::add_error(std::string msg) {
+  errors_.push_back(std::move(msg));
+  normalize_errors();
+}
+
+void Accumulator::normalize_errors() {
+  std::sort(errors_.begin(), errors_.end());
+  errors_.erase(std::unique(errors_.begin(), errors_.end()), errors_.end());
+  if (errors_.size() > kMaxErrors) errors_.resize(kMaxErrors);
+}
+
+void Accumulator::add(const TrialOutcome& t) {
+  ++trials_;
+  const auto oi = static_cast<std::size_t>(t.outcome);
+  ++outcomes_[oi];
+  if (!t.materialized) ++unclassified_;
+  if (t.panicked) ++panicked_;
+  injected_ += t.injected;
+  exposed_dropped_ += t.exposed_dropped;
+  if (t.max_abs_error > max_abs_error_ && !std::isnan(t.max_abs_error))
+    max_abs_error_ = t.max_abs_error;
+  ++costs_[oi].trials;
+  costs_[oi].sum_cycles += t.cycles;
+  costs_[oi].max_cycles = std::max(costs_[oi].max_cycles, t.cycles);
+
+  if (config_.latency && t.interrupt_to_recovery_cycles >= 0.0) {
+    const auto v =
+        static_cast<std::uint64_t>(std::llround(t.interrupt_to_recovery_cycles));
+    ++latency_count_;
+    latency_sum_ += v;
+    latency_max_ = std::max(latency_max_, v);
+    std::size_t b = 0;
+    while (b < kLatencyBounds &&
+           static_cast<double>(v) > latency_bound(b))
+      ++b;
+    ++latency_buckets_[b];
+  }
+
+  if (!config_.lineage) return;
+
+  // Per-trial reconciliation checks (the trial-local half of the keystone
+  // invariant; the cross-trial partition check runs in lineage_summary()).
+  const std::string_view expect = to_string(t.outcome);
+  if (t.lineage_terminal != expect)
+    add_error("trial " + std::to_string(t.index) + ": sealed terminal '" +
+              std::string(t.lineage_terminal) + "' != classified outcome '" +
+              std::string(expect) + "'");
+  for (std::size_t i = 0; i < kAllOutcomes.size(); ++i)
+    if (to_string(kAllOutcomes[i]) == t.lineage_terminal)
+      ++lineage_terminals_[i];
+  if (t.lineage_faults.size() != t.injected)
+    add_error("trial " + std::to_string(t.index) + ": " +
+              std::to_string(t.lineage_faults.size()) +
+              " lineage records for " + std::to_string(t.injected) +
+              " injected faults");
+  for (const obs::LineageFault& f : t.lineage_faults) {
+    ++lineage_faults_;
+    if (f.resolution_count == 0) {
+      ++lineage_orphans_;
+      add_error("trial " + std::to_string(t.index) + " fault #" +
+                std::to_string(f.id) + " (" + f.kind + " at phys " +
+                std::to_string(f.phys) +
+                "): no hardware resolution (orphan)");
+    } else if (f.resolution_count > 1) {
+      ++lineage_double_counted_;
+      add_error("trial " + std::to_string(t.index) + " fault #" +
+                std::to_string(f.id) + ": resolved " +
+                std::to_string(f.resolution_count) + " times (double-count)");
+    } else {
+      ++lineage_resolutions_[static_cast<std::size_t>(f.resolution)];
+    }
+  }
+}
+
+void Accumulator::merge(const Accumulator& other) {
+  ABFTECC_REQUIRE(config_.lineage == other.config_.lineage &&
+                  config_.latency == other.config_.latency);
+  trials_ += other.trials_;
+  for (std::size_t i = 0; i < outcomes_.size(); ++i)
+    outcomes_[i] += other.outcomes_[i];
+  unclassified_ += other.unclassified_;
+  panicked_ += other.panicked_;
+  injected_ += other.injected_;
+  exposed_dropped_ += other.exposed_dropped_;
+  max_abs_error_ = std::max(max_abs_error_, other.max_abs_error_);
+  for (std::size_t i = 0; i < costs_.size(); ++i) {
+    costs_[i].trials += other.costs_[i].trials;
+    costs_[i].sum_cycles += other.costs_[i].sum_cycles;
+    costs_[i].max_cycles =
+        std::max(costs_[i].max_cycles, other.costs_[i].max_cycles);
+  }
+  latency_count_ += other.latency_count_;
+  latency_sum_ += other.latency_sum_;
+  latency_max_ = std::max(latency_max_, other.latency_max_);
+  for (std::size_t i = 0; i < latency_buckets_.size(); ++i)
+    latency_buckets_[i] += other.latency_buckets_[i];
+  lineage_faults_ += other.lineage_faults_;
+  lineage_orphans_ += other.lineage_orphans_;
+  lineage_double_counted_ += other.lineage_double_counted_;
+  for (std::size_t i = 0; i < lineage_resolutions_.size(); ++i)
+    lineage_resolutions_[i] += other.lineage_resolutions_[i];
+  for (std::size_t i = 0; i < lineage_terminals_.size(); ++i)
+    lineage_terminals_[i] += other.lineage_terminals_[i];
+  errors_.insert(errors_.end(), other.errors_.begin(), other.errors_.end());
+  normalize_errors();
+}
+
+Rate Accumulator::rate(Outcome o) const {
+  return make_rate(outcomes_[static_cast<std::size_t>(o)], trials_);
+}
+
+CampaignResult::LineageSummary Accumulator::lineage_summary() const {
+  CampaignResult::LineageSummary sum;
+  sum.enabled = config_.lineage;
+  sum.faults = lineage_faults_;
+  sum.orphans = lineage_orphans_;
+  sum.double_counted = lineage_double_counted_;
+  sum.exposed_dropped = exposed_dropped_;
+  sum.resolutions = lineage_resolutions_;
+  sum.terminals = lineage_terminals_;
+  sum.errors = errors_;
+  // The partition invariant: sealed terminal counts must reproduce the
+  // independently tallied outcome taxonomy, shard by shard and merged.
+  for (std::size_t i = 0; i < kAllOutcomes.size(); ++i)
+    if (lineage_terminals_[i] != outcomes_[i])
+      sum.errors.push_back(
+          std::string("terminal '") + std::string(to_string(kAllOutcomes[i])) +
+          "': ledger counts " + std::to_string(lineage_terminals_[i]) +
+          " trials, taxonomy counts " + std::to_string(outcomes_[i]));
+  std::sort(sum.errors.begin(), sum.errors.end());
+  sum.errors.erase(std::unique(sum.errors.begin(), sum.errors.end()),
+                   sum.errors.end());
+  if (sum.errors.size() > kMaxErrors) sum.errors.resize(kMaxErrors);
+  sum.ok = sum.errors.empty();
+  return sum;
+}
+
+void Accumulator::finalize_into(CampaignResult& result) const {
+  result.corrected = rate(Outcome::kCorrected);
+  result.detected_uncorrected = rate(Outcome::kDetectedUncorrected);
+  result.silent_data_corruption = rate(Outcome::kSilentDataCorruption);
+  result.benign_masked = rate(Outcome::kBenignMasked);
+  result.recovered_by_recompute = rate(Outcome::kRecoveredByRecompute);
+  result.recovered_by_rollback = rate(Outcome::kRecoveredByRollback);
+  result.unrecoverable = rate(Outcome::kUnrecoverable);
+  result.unclassified = unclassified_;
+  result.panicked_trials = panicked_;
+  if (config_.lineage) result.lineage = lineage_summary();
+}
+
+void Accumulator::write_json(obs::JsonWriter& w) const {
+  w.begin_object();
+  w.field("schema", kSchemaVersion);
+  w.field("lineage", config_.lineage);
+  w.field("latency", config_.latency);
+  w.field("trials", trials_);
+  w.key("outcomes").begin_object();
+  for (std::size_t i = 0; i < kAllOutcomes.size(); ++i)
+    w.field(to_string(kAllOutcomes[i]), outcomes_[i]);
+  w.end_object();
+  w.field("unclassified", unclassified_);
+  w.field("panicked", panicked_);
+  w.field("injected", injected_);
+  w.field("exposed_dropped", exposed_dropped_);
+  w.field("max_abs_error", max_abs_error_);
+  w.key("cycles_by_outcome").begin_object();
+  for (std::size_t i = 0; i < kAllOutcomes.size(); ++i) {
+    w.key(to_string(kAllOutcomes[i])).begin_object();
+    w.field("trials", costs_[i].trials);
+    w.field("sum_cycles", costs_[i].sum_cycles);
+    w.field("max_cycles", costs_[i].max_cycles);
+    w.end_object();
+  }
+  w.end_object();
+  w.key("latency_hist").begin_object();
+  w.field("count", latency_count_);
+  w.field("sum", latency_sum_);
+  w.field("max", latency_max_);
+  w.key("buckets").begin_array();
+  for (const std::uint64_t b : latency_buckets_) w.value(b);
+  w.end_array();
+  w.end_object();
+  w.key("lineage_tallies").begin_object();
+  w.field("faults", lineage_faults_);
+  w.field("orphans", lineage_orphans_);
+  w.field("double_counted", lineage_double_counted_);
+  w.key("resolutions").begin_array();
+  for (const std::uint64_t r : lineage_resolutions_) w.value(r);
+  w.end_array();
+  w.key("terminals").begin_array();
+  for (const std::uint64_t t : lineage_terminals_) w.value(t);
+  w.end_array();
+  w.key("errors").begin_array();
+  for (const std::string& e : errors_) w.value(e);
+  w.end_array();
+  w.end_object();
+  w.end_object();
+}
+
+std::string Accumulator::to_json() const {
+  obs::JsonWriter w;
+  write_json(w);
+  return w.take();
+}
+
+bool Accumulator::from_json(const obs::JsonValue& v, std::string* error) {
+  auto fail = [error](const char* msg) {
+    if (error != nullptr) *error = msg;
+    return false;
+  };
+  if (!v.is_object()) return fail("accumulator: not a JSON object");
+  if (v.u64("schema") != kSchemaVersion)
+    return fail("accumulator: unknown schema version");
+  *this = Accumulator(Config{v.boolean("lineage"), v.boolean("latency")});
+  trials_ = v.u64("trials");
+  const obs::JsonValue* outcomes = v.find("outcomes");
+  if (outcomes == nullptr) return fail("accumulator: missing outcomes");
+  for (std::size_t i = 0; i < kAllOutcomes.size(); ++i)
+    outcomes_[i] = outcomes->u64(to_string(kAllOutcomes[i]));
+  unclassified_ = v.u64("unclassified");
+  panicked_ = v.u64("panicked");
+  injected_ = v.u64("injected");
+  exposed_dropped_ = v.u64("exposed_dropped");
+  max_abs_error_ = v.num("max_abs_error");
+  const obs::JsonValue* costs = v.find("cycles_by_outcome");
+  if (costs == nullptr) return fail("accumulator: missing cycles_by_outcome");
+  for (std::size_t i = 0; i < kAllOutcomes.size(); ++i) {
+    const obs::JsonValue* c = costs->find(to_string(kAllOutcomes[i]));
+    if (c == nullptr) return fail("accumulator: missing outcome cost");
+    costs_[i].trials = c->u64("trials");
+    costs_[i].sum_cycles = c->u64("sum_cycles");
+    costs_[i].max_cycles = c->u64("max_cycles");
+  }
+  const obs::JsonValue* lat = v.find("latency_hist");
+  if (lat == nullptr) return fail("accumulator: missing latency_hist");
+  latency_count_ = lat->u64("count");
+  latency_sum_ = lat->u64("sum");
+  latency_max_ = lat->u64("max");
+  const obs::JsonValue* buckets = lat->find("buckets");
+  if (buckets == nullptr || !buckets->is_array() ||
+      buckets->as_array().size() != kLatencyBuckets)
+    return fail("accumulator: bad latency buckets");
+  for (std::size_t i = 0; i < kLatencyBuckets; ++i)
+    latency_buckets_[i] = buckets->as_array()[i].as_u64();
+  const obs::JsonValue* lin = v.find("lineage_tallies");
+  if (lin == nullptr) return fail("accumulator: missing lineage_tallies");
+  lineage_faults_ = lin->u64("faults");
+  lineage_orphans_ = lin->u64("orphans");
+  lineage_double_counted_ = lin->u64("double_counted");
+  const obs::JsonValue* res = lin->find("resolutions");
+  if (res == nullptr || !res->is_array() ||
+      res->as_array().size() != lineage_resolutions_.size())
+    return fail("accumulator: bad resolutions");
+  for (std::size_t i = 0; i < lineage_resolutions_.size(); ++i)
+    lineage_resolutions_[i] = res->as_array()[i].as_u64();
+  const obs::JsonValue* term = lin->find("terminals");
+  if (term == nullptr || !term->is_array() ||
+      term->as_array().size() != lineage_terminals_.size())
+    return fail("accumulator: bad terminals");
+  for (std::size_t i = 0; i < lineage_terminals_.size(); ++i)
+    lineage_terminals_[i] = term->as_array()[i].as_u64();
+  const obs::JsonValue* errs = lin->find("errors");
+  if (errs == nullptr || !errs->is_array())
+    return fail("accumulator: bad errors");
+  errors_.clear();
+  for (const obs::JsonValue& e : errs->as_array())
+    errors_.push_back(e.as_string());
+  normalize_errors();
+  return true;
+}
+
+Accumulator Accumulator::of(const CampaignOptions& opt,
+                            const std::vector<TrialOutcome>& trials) {
+  Accumulator acc(opt);
+  for (const TrialOutcome& t : trials) acc.add(t);
+  return acc;
+}
+
+bool operator==(const Accumulator& a, const Accumulator& b) {
+  return a.config_.lineage == b.config_.lineage &&
+         a.config_.latency == b.config_.latency && a.trials_ == b.trials_ &&
+         a.outcomes_ == b.outcomes_ && a.unclassified_ == b.unclassified_ &&
+         a.panicked_ == b.panicked_ && a.injected_ == b.injected_ &&
+         a.exposed_dropped_ == b.exposed_dropped_ &&
+         a.max_abs_error_ == b.max_abs_error_ &&
+         [&] {
+           for (std::size_t i = 0; i < a.costs_.size(); ++i)
+             if (a.costs_[i].trials != b.costs_[i].trials ||
+                 a.costs_[i].sum_cycles != b.costs_[i].sum_cycles ||
+                 a.costs_[i].max_cycles != b.costs_[i].max_cycles)
+               return false;
+           return true;
+         }() &&
+         a.latency_count_ == b.latency_count_ &&
+         a.latency_sum_ == b.latency_sum_ &&
+         a.latency_max_ == b.latency_max_ &&
+         a.latency_buckets_ == b.latency_buckets_ &&
+         a.lineage_faults_ == b.lineage_faults_ &&
+         a.lineage_orphans_ == b.lineage_orphans_ &&
+         a.lineage_double_counted_ == b.lineage_double_counted_ &&
+         a.lineage_resolutions_ == b.lineage_resolutions_ &&
+         a.lineage_terminals_ == b.lineage_terminals_ &&
+         a.errors_ == b.errors_;
+}
+
+}  // namespace abftecc::campaign

@@ -1,0 +1,156 @@
+// Mergeable trial aggregation (ISSUE 7): the single fold every campaign
+// consumer -- run_campaign's taxonomy rates, tools/campaign's latency
+// section, the lineage reconciliation, and campaignd's sharded sweeps --
+// goes through.
+//
+// Merge algebra: every piece of state is either an unsigned integer
+// (counts, integer cycle sums) or a max, so merge() is associative AND
+// commutative *bit-exactly*: shard partials can arrive and fold in any
+// completion order and the finalized report bytes cannot change. Derived
+// floating-point quantities (fractions, Wilson intervals, histogram
+// means) are computed only at read time from the merged integers.
+// Latency samples (interrupt_to_recovery_cycles) are integer-valued cycle
+// deltas, so they are accumulated as std::uint64_t; the double-typed sums
+// the report prints are exact for any total below 2^53.
+//
+// Serialization: to_json() is a canonical single-line JSON object and
+// from_json() parses it back bit-exactly -- the campaignd worker->
+// supervisor wire format and the checkpoint partial-accumulator format.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "campaign/campaign.hpp"
+
+namespace abftecc::obs {
+class JsonValue;
+class JsonWriter;
+}  // namespace abftecc::obs
+
+namespace abftecc::campaign {
+
+class Accumulator {
+ public:
+  /// Latency histogram geometry: the fixed geometric ladder the campaign
+  /// report has always used (first bound 64 cycles, x2 per bucket, 18
+  /// bounds + 1 overflow bucket). Fixed across runs so shapes merge.
+  static constexpr double kLatencyFirstBound = 64.0;
+  static constexpr double kLatencyFactor = 2.0;
+  static constexpr std::size_t kLatencyBounds = 18;
+  static constexpr std::size_t kLatencyBuckets = kLatencyBounds + 1;
+  /// Hard cap on retained lineage error strings (matches the historical
+  /// reconcile_lineage cap).
+  static constexpr std::size_t kMaxErrors = 32;
+
+  struct Config {
+    bool lineage = false;  ///< per-trial ledgers are present and checked
+    bool latency = false;  ///< interrupt->recovery samples are recorded
+  };
+
+  /// Per-outcome simulated-cycle cost (the report's cycles_by_outcome).
+  struct OutcomeCost {
+    std::uint64_t trials = 0;
+    std::uint64_t sum_cycles = 0;
+    std::uint64_t max_cycles = 0;
+  };
+
+  Accumulator() = default;
+  explicit Accumulator(Config c) : config_(c) {}
+  explicit Accumulator(const CampaignOptions& opt)
+      : config_{opt.lineage, opt.measure_latency} {}
+
+  [[nodiscard]] const Config& config() const { return config_; }
+
+  /// Fold one finished trial.
+  void add(const TrialOutcome& t);
+
+  /// Fold another accumulator in. Associative and commutative bit-exactly;
+  /// configs must agree (enforced).
+  void merge(const Accumulator& other);
+
+  // --- merged state --------------------------------------------------------
+
+  [[nodiscard]] std::uint64_t trials() const { return trials_; }
+  [[nodiscard]] std::uint64_t outcome_count(Outcome o) const {
+    return outcomes_[static_cast<std::size_t>(o)];
+  }
+  [[nodiscard]] Rate rate(Outcome o) const;
+  [[nodiscard]] std::uint64_t unclassified() const { return unclassified_; }
+  [[nodiscard]] std::uint64_t panicked() const { return panicked_; }
+  [[nodiscard]] std::uint64_t injected() const { return injected_; }
+  [[nodiscard]] std::uint64_t exposed_dropped() const {
+    return exposed_dropped_;
+  }
+  [[nodiscard]] double max_abs_error() const { return max_abs_error_; }
+  [[nodiscard]] OutcomeCost cost(Outcome o) const {
+    return costs_[static_cast<std::size_t>(o)];
+  }
+
+  // Latency histogram (Config::latency): integer cycle samples over the
+  // fixed geometric ladder.
+  [[nodiscard]] std::uint64_t latency_count() const { return latency_count_; }
+  [[nodiscard]] std::uint64_t latency_sum() const { return latency_sum_; }
+  [[nodiscard]] std::uint64_t latency_max() const { return latency_max_; }
+  [[nodiscard]] std::uint64_t latency_bucket(std::size_t i) const {
+    return latency_buckets_[i];
+  }
+  /// Inclusive upper bound of latency bucket i (i < kLatencyBounds).
+  [[nodiscard]] static double latency_bound(std::size_t i);
+
+  /// Rebuild the reconciliation verdict from the merged lineage tallies:
+  /// the per-trial checks recorded by add() plus the partition invariant
+  /// (sealed terminal counts == classified outcome counts).
+  [[nodiscard]] CampaignResult::LineageSummary lineage_summary() const;
+
+  /// Fill a CampaignResult's aggregate fields (rates, unclassified,
+  /// panicked, lineage summary) from this accumulator.
+  void finalize_into(CampaignResult& result) const;
+
+  // --- serialization -------------------------------------------------------
+
+  /// Canonical single-line JSON object (no trailing newline).
+  [[nodiscard]] std::string to_json() const;
+  /// Emit into an enclosing writer as an object value.
+  void write_json(obs::JsonWriter& w) const;
+  /// Parse a to_json() document. Returns false and fills `error` on
+  /// malformed or version-mismatched input.
+  [[nodiscard]] bool from_json(const obs::JsonValue& v, std::string* error);
+  [[nodiscard]] static Accumulator of(const CampaignOptions& opt,
+                                      const std::vector<TrialOutcome>& trials);
+
+  friend bool operator==(const Accumulator& a, const Accumulator& b);
+
+ private:
+  void add_error(std::string msg);
+  /// Keep errors_ sorted/unique/capped so bytes cannot depend on merge
+  /// order.
+  void normalize_errors();
+
+  Config config_;
+  std::uint64_t trials_ = 0;
+  std::array<std::uint64_t, kAllOutcomes.size()> outcomes_{};
+  std::uint64_t unclassified_ = 0;
+  std::uint64_t panicked_ = 0;
+  std::uint64_t injected_ = 0;
+  std::uint64_t exposed_dropped_ = 0;
+  double max_abs_error_ = 0.0;
+  std::array<OutcomeCost, kAllOutcomes.size()> costs_{};
+
+  std::uint64_t latency_count_ = 0;
+  std::uint64_t latency_sum_ = 0;
+  std::uint64_t latency_max_ = 0;
+  std::array<std::uint64_t, kLatencyBuckets> latency_buckets_{};
+
+  // Lineage tallies (Config::lineage).
+  std::uint64_t lineage_faults_ = 0;
+  std::uint64_t lineage_orphans_ = 0;
+  std::uint64_t lineage_double_counted_ = 0;
+  std::array<std::uint64_t, 16> lineage_resolutions_{};
+  std::array<std::uint64_t, kAllOutcomes.size()> lineage_terminals_{};
+  std::vector<std::string> errors_;
+};
+
+}  // namespace abftecc::campaign

@@ -8,6 +8,7 @@
 #include <string>
 #include <thread>
 
+#include "campaign/accumulator.hpp"
 #include "common/error.hpp"
 #include "common/rng.hpp"
 #include "fault/injector.hpp"
@@ -63,8 +64,6 @@ Outcome classify(abft::FtStatus status, bool output_correct, bool panicked,
   if (recomputes > 0) return Outcome::kRecoveredByRecompute;
   return errors_corrected > 0 ? Outcome::kCorrected : Outcome::kBenignMasked;
 }
-
-namespace {
 
 TrialOutcome run_trial(const CampaignOptions& opt, const GoldenRun& golden,
                        std::uint32_t index) {
@@ -235,20 +234,15 @@ TrialOutcome run_trial(const CampaignOptions& opt, const GoldenRun& golden,
   return t;
 }
 
-Rate make_rate(std::uint64_t count, std::uint64_t total) {
-  Rate r;
-  r.count = count;
-  r.total = total;
-  r.fraction =
-      total == 0 ? 0.0
-                 : static_cast<double>(count) / static_cast<double>(total);
-  const Interval iv = wilson_interval(count, total);
-  r.wilson_lo = iv.lo;
-  r.wilson_hi = iv.hi;
-  return r;
+std::size_t resolve_chunk(std::size_t chunk, std::size_t trials,
+                          unsigned workers) {
+  if (chunk > 0) return chunk;
+  // Auto: ~8 chunks per worker so the tail stays balanced, capped so a
+  // resumable sweep checkpoints at a useful granularity.
+  const std::size_t w = std::max(1u, workers);
+  const std::size_t auto_chunk = trials / (w * 8);
+  return std::clamp<std::size_t>(auto_chunk, 1, 512);
 }
-
-}  // namespace
 
 GoldenRun run_golden(const CampaignOptions& opt) {
   GoldenRun golden;
@@ -270,50 +264,38 @@ CampaignResult run_campaign(const CampaignOptions& opt,
   out.golden = golden.metrics;
 
   out.trials.resize(opt.trials);
+  const unsigned nthreads = std::max(1u, opt.threads);
+  const std::size_t chunk = resolve_chunk(opt.chunk, opt.trials, nthreads);
   std::atomic<std::size_t> next{0};
   std::atomic<std::size_t> done{0};
   std::mutex progress_mu;
+  // Chunked self-scheduling: workers claim `chunk` consecutive trial
+  // indices per step (one atomic op per chunk instead of per trial).
   auto worker = [&] {
     for (;;) {
-      const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
-      if (i >= opt.trials) return;
-      out.trials[i] = run_trial(opt, golden, static_cast<std::uint32_t>(i));
-      const std::size_t d = done.fetch_add(1, std::memory_order_relaxed) + 1;
-      if (progress) {
-        const std::lock_guard<std::mutex> lock(progress_mu);
-        progress(d, opt.trials);
+      const std::size_t base = next.fetch_add(chunk, std::memory_order_relaxed);
+      if (base >= opt.trials) return;
+      const std::size_t end = std::min(base + chunk, opt.trials);
+      for (std::size_t i = base; i < end; ++i) {
+        out.trials[i] = run_trial(opt, golden, static_cast<std::uint32_t>(i));
+        const std::size_t d = done.fetch_add(1, std::memory_order_relaxed) + 1;
+        if (progress) {
+          const std::lock_guard<std::mutex> lock(progress_mu);
+          progress(d, opt.trials);
+        }
       }
     }
   };
-  const unsigned nthreads = std::max(1u, opt.threads);
   std::vector<std::thread> pool;
   pool.reserve(nthreads - 1);
   for (unsigned i = 1; i < nthreads; ++i) pool.emplace_back(worker);
   worker();  // the calling thread participates
   for (auto& th : pool) th.join();
 
-  std::array<std::uint64_t, kAllOutcomes.size()> counts{};
-  for (const TrialOutcome& t : out.trials) {
-    ++counts[static_cast<std::size_t>(t.outcome)];
-    if (!t.materialized) ++out.unclassified;
-    if (t.panicked) ++out.panicked_trials;
-  }
-  const std::uint64_t n = opt.trials;
-  out.corrected =
-      make_rate(counts[static_cast<std::size_t>(Outcome::kCorrected)], n);
-  out.detected_uncorrected = make_rate(
-      counts[static_cast<std::size_t>(Outcome::kDetectedUncorrected)], n);
-  out.silent_data_corruption = make_rate(
-      counts[static_cast<std::size_t>(Outcome::kSilentDataCorruption)], n);
-  out.benign_masked =
-      make_rate(counts[static_cast<std::size_t>(Outcome::kBenignMasked)], n);
-  out.recovered_by_recompute = make_rate(
-      counts[static_cast<std::size_t>(Outcome::kRecoveredByRecompute)], n);
-  out.recovered_by_rollback = make_rate(
-      counts[static_cast<std::size_t>(Outcome::kRecoveredByRollback)], n);
-  out.unrecoverable =
-      make_rate(counts[static_cast<std::size_t>(Outcome::kUnrecoverable)], n);
-  if (opt.lineage) out.lineage = reconcile_lineage(out);
+  // All aggregate fields flow through the mergeable Accumulator -- the
+  // same fold campaignd applies shard by shard, so a sharded sweep's
+  // report cannot drift from a single-process one.
+  Accumulator::of(opt, out.trials).finalize_into(out);
   return out;
 }
 
@@ -324,6 +306,11 @@ CampaignResult run_campaign(const CampaignOptions& opt,
 
 void write_trial_jsonl(std::FILE* f, const CampaignOptions& opt,
                        const TrialOutcome& t) {
+  std::fprintf(f, "%s\n", trial_jsonl_line(opt, t).c_str());
+}
+
+std::string trial_jsonl_line(const CampaignOptions& opt,
+                             const TrialOutcome& t) {
   obs::JsonWriter w;
   w.begin_object()
       .field("trial", static_cast<std::uint64_t>(t.index))
@@ -354,63 +341,26 @@ void write_trial_jsonl(std::FILE* f, const CampaignOptions& opt,
       .field("materialized", t.materialized)
       .field("max_abs_error", t.max_abs_error)
       .end_object();
-  std::fprintf(f, "%s\n", w.str().c_str());
+  return w.take();
 }
 
 CampaignResult::LineageSummary reconcile_lineage(const CampaignResult& result) {
-  CampaignResult::LineageSummary sum;
-  sum.enabled = true;
-  auto fail = [&sum](std::string msg) {
-    if (sum.errors.size() < 32) sum.errors.push_back(std::move(msg));
-  };
-  for (const TrialOutcome& t : result.trials) {
-    const std::string_view expect = to_string(t.outcome);
-    if (t.lineage_terminal != expect)
-      fail("trial " + std::to_string(t.index) + ": sealed terminal '" +
-           std::string(t.lineage_terminal) + "' != classified outcome '" +
-           std::string(expect) + "'");
-    for (std::size_t i = 0; i < kAllOutcomes.size(); ++i)
-      if (to_string(kAllOutcomes[i]) == t.lineage_terminal)
-        ++sum.terminals[i];
-    if (t.lineage_faults.size() != t.injected)
-      fail("trial " + std::to_string(t.index) + ": " +
-           std::to_string(t.lineage_faults.size()) +
-           " lineage records for " + std::to_string(t.injected) +
-           " injected faults");
-    for (const obs::LineageFault& f : t.lineage_faults) {
-      ++sum.faults;
-      if (f.resolution_count == 0) {
-        ++sum.orphans;
-        fail("trial " + std::to_string(t.index) + " fault #" +
-             std::to_string(f.id) + " (" + f.kind + " at phys " +
-             std::to_string(f.phys) + "): no hardware resolution (orphan)");
-      } else if (f.resolution_count > 1) {
-        ++sum.double_counted;
-        fail("trial " + std::to_string(t.index) + " fault #" +
-             std::to_string(f.id) + ": resolved " +
-             std::to_string(f.resolution_count) + " times (double-count)");
-      } else {
-        ++sum.resolutions[static_cast<std::size_t>(f.resolution)];
-      }
-    }
-    sum.exposed_dropped += t.exposed_dropped;
-  }
-  // The partition invariant: sealed terminals must reproduce the outcome
-  // taxonomy counts computed by the independent tally above.
-  for (std::size_t i = 0; i < kAllOutcomes.size(); ++i) {
-    const std::uint64_t expect = result.rate(kAllOutcomes[i]).count;
-    if (sum.terminals[i] != expect)
-      fail(std::string("terminal '") +
-           std::string(to_string(kAllOutcomes[i])) + "': ledger counts " +
-           std::to_string(sum.terminals[i]) + " trials, taxonomy counts " +
-           std::to_string(expect));
-  }
-  sum.ok = sum.errors.empty();
-  return sum;
+  // Pure fold through the mergeable Accumulator: per-trial checks in
+  // add(), the cross-trial partition invariant in lineage_summary().
+  Accumulator acc(Accumulator::Config{/*lineage=*/true,
+                                      result.options.measure_latency});
+  for (const TrialOutcome& t : result.trials) acc.add(t);
+  return acc.lineage_summary();
 }
 
 void write_lineage_jsonl(std::FILE* f, const CampaignOptions& opt,
                          const TrialOutcome& t) {
+  std::fputs(lineage_jsonl_lines(opt, t).c_str(), f);
+}
+
+std::string lineage_jsonl_lines(const CampaignOptions& opt,
+                                const TrialOutcome& t) {
+  std::string out;
   const auto write_events = [](obs::JsonWriter& w,
                                const std::vector<obs::LineageEvent>& events,
                                std::uint32_t fault_id) {
@@ -447,7 +397,8 @@ void write_lineage_jsonl(std::FILE* f, const CampaignOptions& opt,
         .field("terminal", fr.terminal);
     write_events(w, t.lineage_events, fr.id);
     w.end_object();
-    std::fprintf(f, "%s\n", w.str().c_str());
+    out += w.str();
+    out += '\n';
   }
   obs::JsonWriter w;
   w.begin_object()
@@ -458,7 +409,9 @@ void write_lineage_jsonl(std::FILE* f, const CampaignOptions& opt,
       .field("exposed_dropped", t.exposed_dropped);
   write_events(w, t.lineage_events, 0);
   w.end_object();
-  std::fprintf(f, "%s\n", w.str().c_str());
+  out += w.str();
+  out += '\n';
+  return out;
 }
 
 }  // namespace abftecc::campaign

@@ -119,6 +119,13 @@ struct CampaignOptions {
   /// cycles depend on host heap layout (see TrialOutcome::sim_seconds) and
   /// are therefore kept out of the byte-identical determinism surface.
   bool measure_latency = false;
+  /// Trials claimed per scheduling step by the in-process pool (and the
+  /// chunk granularity campaignd shards steal from each other). 0 = auto:
+  /// scale with trials/threads so a million-trial sweep does not hammer
+  /// one atomic counter per trial. Never affects per-trial outcomes --
+  /// trial i derives everything from campaign_seed ^ i regardless of
+  /// which worker ran it.
+  std::size_t chunk = 0;
   /// Run each trial with a private fault provenance ledger
   /// (obs/lineage.hpp): every injected fault gets a lineage ID and its
   /// stage chain is kept on the TrialOutcome; run_campaign() then
@@ -264,12 +271,26 @@ struct GoldenRun {
   std::uint64_t total_refs = 0;
 };
 
+/// Resolve CampaignOptions::chunk: the actual trials-per-chunk the pool
+/// and the campaignd shard supervisor use (>= 1, deterministic for fixed
+/// options).
+[[nodiscard]] std::size_t resolve_chunk(std::size_t chunk, std::size_t trials,
+                                        unsigned workers);
+
 /// Execute the fault-free reference run for `opt`. Callers running several
 /// campaigns in one process should compute every golden run up front,
 /// before any trial pool exists: golden cycle counts are sensitive to host
 /// heap layout (see TrialOutcome::sim_seconds), and pre-pool main-thread
 /// allocation history is the same on every invocation.
 [[nodiscard]] GoldenRun run_golden(const CampaignOptions& opt);
+
+/// Run ONE trial of the campaign: everything trial `index` needs is
+/// derived from opt.campaign_seed ^ index plus the shared golden run, so
+/// any worker (thread, forked shard process, resumed sweep) reproduces
+/// bit-identical deterministic fields for the same index.
+[[nodiscard]] TrialOutcome run_trial(const CampaignOptions& opt,
+                                     const GoldenRun& golden,
+                                     std::uint32_t index);
 
 /// Run the campaign: options.trials independent trials against `golden`
 /// on max(1, options.threads) threads. `progress` (optional) is invoked
@@ -285,6 +306,12 @@ struct GoldenRun {
 /// One JSON object per line, deterministic fields only (see TrialOutcome).
 void write_trial_jsonl(std::FILE* f, const CampaignOptions& opt,
                        const TrialOutcome& t);
+
+/// The same record as write_trial_jsonl, returned as one newline-free
+/// string (the campaignd workers ship lines over a pipe instead of a
+/// FILE*).
+[[nodiscard]] std::string trial_jsonl_line(const CampaignOptions& opt,
+                                           const TrialOutcome& t);
 
 /// The keystone cross-check (ISSUE 6): verify that the per-trial ledgers
 /// partition 1:1 into the outcome taxonomy -- every injected fault has
@@ -303,5 +330,10 @@ void write_trial_jsonl(std::FILE* f, const CampaignOptions& opt,
 /// tools/forensics.py `canon` strips them for determinism diffing.
 void write_lineage_jsonl(std::FILE* f, const CampaignOptions& opt,
                          const TrialOutcome& t);
+
+/// write_lineage_jsonl's records as a string (each line '\n'-terminated;
+/// empty when the trial has no ledger).
+[[nodiscard]] std::string lineage_jsonl_lines(const CampaignOptions& opt,
+                                              const TrialOutcome& t);
 
 }  // namespace abftecc::campaign

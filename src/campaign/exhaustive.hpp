@@ -1,0 +1,102 @@
+// Exhaustive SECDED(72,64) fault-space enumeration (ISSUE 7).
+//
+// Monte-Carlo campaigns sample the fault space; this mode *covers* it.
+// For each 64-bit data word swept, every one of the 72 single-bit flip
+// positions and every one of the C(72,2) = 2556 unordered double-bit flip
+// patterns is injected into the encoded codeword and pushed through the
+// Hsiao decoder. The tallies are exact counts -- no Wilson intervals, no
+// sampling error -- and the analytic guarantees of the odd-weight-column
+// construction become hard equalities:
+//
+//   singles: corrected_exact == 72 * words, everything else zero
+//   doubles: detected       == 2556 * words, everything else zero
+//
+// Counts are plain uint64 sums, so per-thread (or per-shard) partials
+// merge associatively in any order; single- and multi-threaded sweeps of
+// the same Options are bit-identical.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+namespace abftecc::campaign::exhaustive {
+
+/// One fully-enumerated fault space: `words` data words x (72 singles +
+/// 2556 doubles) patterns each.
+struct Options {
+  /// Number of distinct 64-bit data words to sweep the full pattern space
+  /// over. Word i is derived deterministically from `seed` (with optional
+  /// canonical fixed patterns first; see include_fixed_patterns).
+  std::uint64_t words = 16;
+  /// Seed for the word-derivation stream.
+  std::uint64_t seed = 7;
+  /// Worker threads; 0 = hardware concurrency.
+  unsigned threads = 1;
+  /// Prepend the canonical adversarial words (0, ~0, 0x5555..., 0xAAAA...)
+  /// before seed-derived words. They count toward `words`.
+  bool include_fixed_patterns = true;
+};
+
+/// Exact tallies over the enumerated space. Every field is an unsigned
+/// count, so merge() is bit-exactly associative and commutative.
+struct Counts {
+  // -- single-bit flip space (72 per word) ---------------------------------
+  std::uint64_t singles_total = 0;
+  /// decode() returned kCorrected, reported the injected position, and the
+  /// codeword was restored bit-exactly.
+  std::uint64_t singles_corrected_exact = 0;
+  /// kCorrected but the reported position or restored word was wrong.
+  std::uint64_t singles_miscorrected = 0;
+  /// kDetectedUncorrectable on a single-bit flip (over-detection).
+  std::uint64_t singles_detected = 0;
+  /// kOk on a single-bit flip (missed error).
+  std::uint64_t singles_missed = 0;
+
+  // -- double-bit flip space (C(72,2) = 2556 per word) ---------------------
+  std::uint64_t doubles_total = 0;
+  /// kDetectedUncorrectable with the word left untouched: the guarantee.
+  std::uint64_t doubles_detected = 0;
+  /// kCorrected on a double-bit flip (silent miscorrection).
+  std::uint64_t doubles_miscorrected = 0;
+  /// kOk on a double-bit flip (missed error).
+  std::uint64_t doubles_missed = 0;
+  /// Detected but the received word was modified before being handed back.
+  std::uint64_t doubles_mutated = 0;
+
+  void merge(const Counts& other);
+
+  friend bool operator==(const Counts&, const Counts&) = default;
+};
+
+/// Per-word pattern-space sizes (fixed by the (72,64) geometry).
+inline constexpr std::uint64_t kSinglesPerWord = 72;
+inline constexpr std::uint64_t kDoublesPerWord = 72 * 71 / 2;  // 2556
+
+struct Result {
+  Options options;
+  Counts counts;
+
+  /// True iff the analytic SECDED guarantees held exactly over the whole
+  /// enumerated space.
+  [[nodiscard]] bool ok() const;
+
+  /// Canonical single-line JSON object (no trailing newline); identical
+  /// bytes for any thread count.
+  [[nodiscard]] std::string to_json() const;
+};
+
+/// The 64-bit data word enumerated at index i (0-based) for these options.
+/// Exposed so shards/tests can reproduce the sweep piecewise.
+[[nodiscard]] std::uint64_t word_at(const Options& opt, std::uint64_t i);
+
+/// Enumerate the full space for one data word.
+[[nodiscard]] Counts enumerate_word(std::uint64_t data);
+
+/// Run the sweep. `progress`, when set, is called after each finished word
+/// with (words_done, words_total).
+[[nodiscard]] Result run(
+    const Options& opt,
+    const std::function<void(std::uint64_t, std::uint64_t)>& progress = {});
+
+}  // namespace abftecc::campaign::exhaustive

@@ -1,0 +1,263 @@
+#include "campaignd/checkpoint.hpp"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cinttypes>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "obs/json.hpp"
+#include "obs/jsonv.hpp"
+#include "recovery/types.hpp"
+
+namespace abftecc::campaignd {
+
+namespace {
+
+constexpr std::uint64_t kSchema = 1;
+
+std::uint64_t checksum(std::string_view payload) {
+  return recovery::fletcher64(
+      reinterpret_cast<const std::byte*>(payload.data()), payload.size());
+}
+
+std::string chunk_path(const std::string& dir, std::uint32_t id) {
+  char name[32];
+  std::snprintf(name, sizeof(name), "chunk-%06u.json", id);
+  return dir + "/" + name;
+}
+
+}  // namespace
+
+bool make_directories(const std::string& path, std::string* error) {
+  std::string prefix;
+  prefix.reserve(path.size());
+  for (std::size_t i = 0; i <= path.size(); ++i) {
+    if (i < path.size() && path[i] != '/') {
+      prefix.push_back(path[i]);
+      continue;
+    }
+    if (!prefix.empty() && prefix != "." && prefix != "..") {
+      if (::mkdir(prefix.c_str(), 0777) != 0 && errno != EEXIST) {
+        if (error != nullptr)
+          *error = "mkdir " + prefix + ": " + std::strerror(errno);
+        return false;
+      }
+    }
+    if (i < path.size()) prefix.push_back('/');
+  }
+  return true;
+}
+
+namespace {
+
+/// Write `payload` + checksum trailer to `path` atomically: a tmp file in
+/// the same directory is fully written and fsync'd before rename() makes
+/// it visible, so readers only ever see whole files.
+bool atomic_write(const std::string& path, std::string_view payload,
+                  std::string* error) {
+  const std::string tmp = path + ".tmp";
+  const int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0666);
+  if (fd < 0) {
+    if (error != nullptr) *error = "open " + tmp + ": " + std::strerror(errno);
+    return false;
+  }
+  char trailer[40];
+  std::snprintf(trailer, sizeof(trailer), "\nfletcher64 %016" PRIx64 "\n",
+                checksum(payload));
+  std::string body(payload);
+  body += trailer;
+  std::size_t off = 0;
+  while (off < body.size()) {
+    const ssize_t n = ::write(fd, body.data() + off, body.size() - off);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      if (error != nullptr)
+        *error = "write " + tmp + ": " + std::strerror(errno);
+      ::close(fd);
+      ::unlink(tmp.c_str());
+      return false;
+    }
+    off += static_cast<std::size_t>(n);
+  }
+  if (::fsync(fd) != 0 || ::close(fd) != 0) {
+    if (error != nullptr) *error = "fsync " + tmp + ": " + std::strerror(errno);
+    ::unlink(tmp.c_str());
+    return false;
+  }
+  if (::rename(tmp.c_str(), path.c_str()) != 0) {
+    if (error != nullptr)
+      *error = "rename " + tmp + ": " + std::strerror(errno);
+    ::unlink(tmp.c_str());
+    return false;
+  }
+  return true;
+}
+
+/// Read a checkpoint file and verify its checksum trailer. Returns the
+/// payload (without trailer); any mismatch is a hard error.
+bool verified_read(const std::string& path, std::string* payload,
+                   std::string* error) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) {
+    if (error != nullptr) *error = "open " + path + ": " + std::strerror(errno);
+    return false;
+  }
+  std::string body;
+  char buf[1 << 16];
+  for (;;) {
+    const std::size_t n = std::fread(buf, 1, sizeof(buf), f);
+    body.append(buf, n);
+    if (n < sizeof(buf)) break;
+  }
+  const bool read_error = std::ferror(f) != 0;
+  std::fclose(f);
+  if (read_error) {
+    if (error != nullptr) *error = "read " + path + ": I/O error";
+    return false;
+  }
+  // Trailer: "\nfletcher64 <16 hex>\n" appended to the payload.
+  constexpr std::size_t kTrailer = 1 + 11 + 16 + 1;
+  if (body.size() < kTrailer ||
+      body.compare(body.size() - kTrailer, 12, "\nfletcher64 ") != 0 ||
+      body.back() != '\n') {
+    if (error != nullptr)
+      *error = "checkpoint " + path + ": missing checksum trailer";
+    return false;
+  }
+  const std::string hex = body.substr(body.size() - 17, 16);
+  char* end = nullptr;
+  const std::uint64_t expect = std::strtoull(hex.c_str(), &end, 16);
+  if (end != hex.c_str() + 16) {
+    if (error != nullptr)
+      *error = "checkpoint " + path + ": malformed checksum trailer";
+    return false;
+  }
+  body.resize(body.size() - kTrailer);
+  if (checksum(body) != expect) {
+    if (error != nullptr)
+      *error = "checkpoint " + path +
+               ": Fletcher-64 mismatch (corrupted or tampered)";
+    return false;
+  }
+  *payload = std::move(body);
+  return true;
+}
+
+bool file_exists(const std::string& path) {
+  struct stat st{};
+  return ::stat(path.c_str(), &st) == 0;
+}
+
+}  // namespace
+
+std::string chunk_to_json(const ChunkRecord& rec) {
+  obs::JsonWriter w;
+  w.begin_object();
+  w.field("schema", kSchema);
+  w.field("id", static_cast<std::uint64_t>(rec.id));
+  w.field("begin", rec.begin);
+  w.field("end", rec.end);
+  w.key("acc");
+  rec.acc.write_json(w);
+  w.key("trials").begin_array();
+  for (const std::string& line : rec.trial_lines) w.value(line);
+  w.end_array();
+  w.field("lineage", rec.lineage_lines);
+  w.end_object();
+  return w.take();
+}
+
+bool chunk_from_json(std::string_view text, ChunkRecord* rec,
+                     std::string* error) {
+  const auto v = obs::json_parse(text, error);
+  if (!v.has_value()) return false;
+  auto fail = [&](const char* msg) {
+    if (error != nullptr) *error = msg;
+    return false;
+  };
+  if (!v->is_object()) return fail("chunk record: not a JSON object");
+  if (v->u64("schema") != kSchema)
+    return fail("chunk record: unsupported schema version");
+  ChunkRecord out;
+  out.id = static_cast<std::uint32_t>(v->u64("id"));
+  out.begin = v->u64("begin");
+  out.end = v->u64("end");
+  const obs::JsonValue* acc = v->find("acc");
+  if (acc == nullptr) return fail("chunk record: missing 'acc'");
+  if (!out.acc.from_json(*acc, error)) return false;
+  const obs::JsonValue* trials = v->find("trials");
+  if (trials == nullptr || !trials->is_array())
+    return fail("chunk record: missing 'trials' array");
+  out.trial_lines.reserve(trials->as_array().size());
+  for (const obs::JsonValue& line : trials->as_array()) {
+    if (!line.is_string()) return fail("chunk record: non-string trial line");
+    out.trial_lines.push_back(line.as_string());
+  }
+  out.lineage_lines = std::string(v->str("lineage"));
+  if (out.end < out.begin ||
+      out.trial_lines.size() != out.end - out.begin ||
+      out.acc.trials() != out.end - out.begin)
+    return fail("chunk record: inconsistent trial range");
+  *rec = std::move(out);
+  return true;
+}
+
+bool CampaignCheckpoint::open(const std::string& dir, std::uint64_t fingerprint,
+                              std::uint64_t chunks, std::uint64_t trials,
+                              std::uint64_t chunk_size, std::string* error) {
+  dir_ = dir;
+  loaded_.clear();
+  if (!make_directories(dir, error)) return false;
+
+  const std::string manifest_path = dir + "/manifest.json";
+  obs::JsonWriter w;
+  w.begin_object();
+  w.field("schema", kSchema);
+  w.field("fingerprint", fingerprint);
+  w.field("chunks", chunks);
+  w.field("trials", trials);
+  w.field("chunk_size", chunk_size);
+  w.end_object();
+  const std::string manifest = w.take();
+
+  if (file_exists(manifest_path)) {
+    std::string existing;
+    if (!verified_read(manifest_path, &existing, error)) return false;
+    if (existing != manifest) {
+      if (error != nullptr)
+        *error = "checkpoint " + dir +
+                 ": manifest mismatch -- this directory belongs to a "
+                 "different job or chunk geometry";
+      return false;
+    }
+  } else if (!atomic_write(manifest_path, manifest, error)) {
+    return false;
+  }
+
+  for (std::uint64_t id = 0; id < chunks; ++id) {
+    const std::string path = chunk_path(dir, static_cast<std::uint32_t>(id));
+    if (!file_exists(path)) continue;
+    std::string payload;
+    if (!verified_read(path, &payload, error)) return false;
+    ChunkRecord rec;
+    if (!chunk_from_json(payload, &rec, error)) return false;
+    if (rec.id != id) {
+      if (error != nullptr)
+        *error = "checkpoint " + path + ": chunk id does not match filename";
+      return false;
+    }
+    loaded_.emplace(rec.id, std::move(rec));
+  }
+  return true;
+}
+
+bool CampaignCheckpoint::store(const ChunkRecord& rec, std::string* error) {
+  return atomic_write(chunk_path(dir_, rec.id), chunk_to_json(rec), error);
+}
+
+}  // namespace abftecc::campaignd

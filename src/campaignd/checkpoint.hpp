@@ -1,0 +1,83 @@
+// Fletcher-64-verified sweep progress checkpoints (ISSUE 7).
+//
+// A sharded campaign's unit of durable progress is the chunk: a
+// contiguous trial range one worker executed, carried as its partial
+// Accumulator plus the verbatim per-trial JSONL (and lineage JSONL)
+// lines. The supervisor persists every finished chunk to its own file
+// under the checkpoint directory:
+//
+//   <dir>/manifest.json            job fingerprint + chunk geometry
+//   <dir>/chunk-000042.json        payload line + "fletcher64 <hex>" line
+//
+// Writes are atomic (tmp file in the same directory, fsync, rename), so
+// a SIGKILL at any instant leaves only whole verified chunks behind; the
+// completed-chunk bitmap IS the set of files that exist and verify. On
+// resume the loader re-checks every chunk's Fletcher-64 and refuses a
+// mismatched manifest (different job fingerprint or chunk geometry) or a
+// corrupted chunk file outright -- resuming from tampered partials must
+// be an error, never a silent wrong total.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "campaign/accumulator.hpp"
+
+namespace abftecc::campaignd {
+
+/// mkdir -p: create `path` and any missing parents (EEXIST is success).
+[[nodiscard]] bool make_directories(const std::string& path,
+                                    std::string* error);
+
+/// One finished chunk: trial range [begin, end), its partial accumulator,
+/// and the exact output lines its trials produced.
+struct ChunkRecord {
+  std::uint32_t id = 0;
+  std::uint64_t begin = 0;
+  std::uint64_t end = 0;
+  campaign::Accumulator acc;
+  /// One write_trial_jsonl line per trial, in trial order, no '\n'.
+  std::vector<std::string> trial_lines;
+  /// Concatenated write_lineage_jsonl lines ('\n'-terminated; empty when
+  /// lineage is off).
+  std::string lineage_lines;
+};
+
+/// Canonical single-line JSON for a ChunkRecord (no trailing newline).
+[[nodiscard]] std::string chunk_to_json(const ChunkRecord& rec);
+/// Parse chunk_to_json() output. Returns false and fills `error`.
+[[nodiscard]] bool chunk_from_json(std::string_view text, ChunkRecord* rec,
+                                   std::string* error);
+
+/// On-disk progress checkpoint for one job's sweep.
+class CampaignCheckpoint {
+ public:
+  /// Bind to `dir` for a job with this fingerprint and chunk geometry
+  /// (chunk count and trials are stamped into the manifest). Creates the
+  /// directory and manifest if absent; when a manifest already exists it
+  /// must match exactly, and every chunk file present is loaded and
+  /// Fletcher-64-verified. Any mismatch or corruption fails hard.
+  [[nodiscard]] bool open(const std::string& dir, std::uint64_t fingerprint,
+                          std::uint64_t chunks, std::uint64_t trials,
+                          std::uint64_t chunk_size, std::string* error);
+
+  /// Persist one finished chunk atomically (tmp + fsync + rename).
+  [[nodiscard]] bool store(const ChunkRecord& rec, std::string* error);
+
+  [[nodiscard]] bool has(std::uint32_t id) const {
+    return loaded_.find(id) != loaded_.end();
+  }
+  /// Chunks recovered from disk by open() (resumed progress).
+  [[nodiscard]] const std::map<std::uint32_t, ChunkRecord>& loaded() const {
+    return loaded_;
+  }
+  [[nodiscard]] const std::string& dir() const { return dir_; }
+
+ private:
+  std::string dir_;
+  std::map<std::uint32_t, ChunkRecord> loaded_;
+};
+
+}  // namespace abftecc::campaignd

@@ -1,0 +1,168 @@
+#include "campaignd/client.hpp"
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "obs/json.hpp"
+
+namespace abftecc::campaignd {
+
+Client::~Client() { close(); }
+
+void Client::close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+bool Client::connect(const std::string& socket_path, std::string* error) {
+  close();
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (socket_path.size() >= sizeof(addr.sun_path)) {
+    if (error != nullptr) *error = "socket path too long: " + socket_path;
+    return false;
+  }
+  std::strncpy(addr.sun_path, socket_path.c_str(),
+               sizeof(addr.sun_path) - 1);
+  fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd_ < 0) {
+    if (error != nullptr)
+      *error = std::string("socket: ") + std::strerror(errno);
+    return false;
+  }
+  if (::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    if (error != nullptr)
+      *error = "connect " + socket_path + ": " + std::strerror(errno);
+    close();
+    return false;
+  }
+  return true;
+}
+
+std::optional<obs::JsonValue> Client::call(const std::string& request,
+                                           std::string* error) {
+  if (fd_ < 0) {
+    if (error != nullptr) *error = "not connected";
+    return std::nullopt;
+  }
+  std::string msg = request;
+  msg += '\n';
+  std::size_t off = 0;
+  while (off < msg.size()) {
+    const ssize_t n =
+        ::send(fd_, msg.data() + off, msg.size() - off, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      if (error != nullptr)
+        *error = std::string("send: ") + std::strerror(errno);
+      return std::nullopt;
+    }
+    off += static_cast<std::size_t>(n);
+  }
+  std::string line;
+  char c;
+  for (;;) {
+    const ssize_t n = ::read(fd_, &c, 1);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      if (error != nullptr)
+        *error = std::string("read: ") + std::strerror(errno);
+      return std::nullopt;
+    }
+    if (n == 0) {
+      if (error != nullptr) *error = "daemon closed the connection";
+      return std::nullopt;
+    }
+    if (c == '\n') break;
+    line.push_back(c);
+  }
+  std::string perr;
+  auto v = obs::json_parse(line, &perr);
+  if (!v.has_value() && error != nullptr)
+    *error = "malformed response: " + perr;
+  return v;
+}
+
+namespace {
+
+/// Lift a parsed response into success/failure: nullopt + error text when
+/// the daemon said {"ok":false}.
+std::optional<obs::JsonValue> check_ok(std::optional<obs::JsonValue> v,
+                                       std::string* error) {
+  if (!v.has_value()) return std::nullopt;
+  if (!v->boolean("ok")) {
+    if (error != nullptr)
+      *error = std::string(v->str("error", "request failed"));
+    return std::nullopt;
+  }
+  return v;
+}
+
+}  // namespace
+
+bool Client::ping(std::string* error) {
+  return check_ok(call(R"({"op":"ping"})", error), error).has_value();
+}
+
+std::optional<std::string> Client::submit(const JobSpec& spec,
+                                          std::string* error) {
+  obs::JsonWriter w;
+  w.begin_object();
+  w.field("op", "submit");
+  w.key("job");
+  write_job_json(w, spec);
+  w.end_object();
+  const auto v = check_ok(call(w.take(), error), error);
+  if (!v.has_value()) return std::nullopt;
+  const std::string_view id = v->str("id");
+  if (id.empty()) {
+    if (error != nullptr) *error = "submit response carried no job id";
+    return std::nullopt;
+  }
+  return std::string(id);
+}
+
+std::optional<obs::JsonValue> Client::op_with_id(std::string_view op,
+                                                 const std::string& id,
+                                                 std::string* error) {
+  obs::JsonWriter w;
+  w.begin_object();
+  w.field("op", op);
+  w.field("id", id);
+  w.end_object();
+  return check_ok(call(w.take(), error), error);
+}
+
+bool Client::resume(const std::string& id, std::string* error) {
+  return op_with_id("resume", id, error).has_value();
+}
+
+std::optional<obs::JsonValue> Client::wait(const std::string& id,
+                                           std::string* error) {
+  return op_with_id("wait", id, error);
+}
+
+std::optional<obs::JsonValue> Client::results(const std::string& id,
+                                              std::string* error) {
+  return op_with_id("results", id, error);
+}
+
+std::optional<obs::JsonValue> Client::status(std::string* error) {
+  return check_ok(call(R"({"op":"status"})", error), error);
+}
+
+std::optional<obs::JsonValue> Client::jobs(std::string* error) {
+  return check_ok(call(R"({"op":"jobs"})", error), error);
+}
+
+bool Client::shutdown_daemon(std::string* error) {
+  return check_ok(call(R"({"op":"shutdown"})", error), error).has_value();
+}
+
+}  // namespace abftecc::campaignd

@@ -1,0 +1,59 @@
+// Client side of the campaignd protocol (ISSUE 7): a thin blocking
+// connection speaking one-JSON-line-per-request over the daemon's
+// Unix-domain socket, with typed helpers for every op. Used by
+// tools/campaignctl and the end-to-end tests.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "campaignd/protocol.hpp"
+#include "obs/jsonv.hpp"
+
+namespace abftecc::campaignd {
+
+class Client {
+ public:
+  Client() = default;
+  ~Client();
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+
+  /// Connect to a daemon's socket. Returns false and fills `error`.
+  [[nodiscard]] bool connect(const std::string& socket_path,
+                             std::string* error);
+  void close();
+  [[nodiscard]] bool connected() const { return fd_ >= 0; }
+
+  /// Send one request line and block for its one response line. Returns
+  /// nullopt (and fills `error`) on transport or parse failure; protocol
+  /// failures come back as a parsed {"ok":false,...} object.
+  [[nodiscard]] std::optional<obs::JsonValue> call(const std::string& request,
+                                                   std::string* error);
+
+  // Typed helpers; all return nullopt on failure and fill `error` with
+  // either the transport failure or the daemon's "error" member.
+  [[nodiscard]] bool ping(std::string* error);
+  /// Submit a job; returns the daemon-assigned job id.
+  [[nodiscard]] std::optional<std::string> submit(const JobSpec& spec,
+                                                  std::string* error);
+  /// Requeue an interrupted/failed job to rerun from its checkpoint.
+  [[nodiscard]] bool resume(const std::string& id, std::string* error);
+  /// Block until the job completes; returns the results object.
+  [[nodiscard]] std::optional<obs::JsonValue> wait(const std::string& id,
+                                                   std::string* error);
+  [[nodiscard]] std::optional<obs::JsonValue> results(const std::string& id,
+                                                      std::string* error);
+  [[nodiscard]] std::optional<obs::JsonValue> status(std::string* error);
+  [[nodiscard]] std::optional<obs::JsonValue> jobs(std::string* error);
+  [[nodiscard]] bool shutdown_daemon(std::string* error);
+
+ private:
+  [[nodiscard]] std::optional<obs::JsonValue> op_with_id(
+      std::string_view op, const std::string& id, std::string* error);
+
+  int fd_ = -1;
+};
+
+}  // namespace abftecc::campaignd

@@ -1,0 +1,262 @@
+#include "campaignd/protocol.hpp"
+
+#include "obs/json.hpp"
+#include "obs/jsonv.hpp"
+#include "recovery/types.hpp"
+
+namespace abftecc::campaignd {
+
+namespace {
+
+using obs::JsonValue;
+using obs::JsonWriter;
+
+std::string_view row_policy_slug(memsim::RowBufferPolicy p) {
+  return p == memsim::RowBufferPolicy::kClosedPage ? "closed_page"
+                                                   : "open_page";
+}
+
+std::optional<memsim::RowBufferPolicy> row_policy_from_slug(
+    std::string_view s) {
+  if (s == "open_page") return memsim::RowBufferPolicy::kOpenPage;
+  if (s == "closed_page") return memsim::RowBufferPolicy::kClosedPage;
+  return std::nullopt;
+}
+
+}  // namespace
+
+std::string_view kernel_slug(sim::Kernel k) {
+  switch (k) {
+    case sim::Kernel::kDgemm: return "dgemm";
+    case sim::Kernel::kCholesky: return "cholesky";
+    case sim::Kernel::kCg: return "cg";
+    case sim::Kernel::kHpl: return "hpl";
+  }
+  return "?";
+}
+
+std::optional<sim::Kernel> kernel_from_slug(std::string_view s) {
+  if (s == "dgemm") return sim::Kernel::kDgemm;
+  if (s == "cholesky") return sim::Kernel::kCholesky;
+  if (s == "cg") return sim::Kernel::kCg;
+  if (s == "hpl") return sim::Kernel::kHpl;
+  return std::nullopt;
+}
+
+std::string_view strategy_slug(sim::Strategy s) {
+  switch (s) {
+    case sim::Strategy::kNoEcc: return "no_ecc";
+    case sim::Strategy::kWholeChipkill: return "w_ck";
+    case sim::Strategy::kPartialChipkillNoEcc: return "p_ck_no";
+    case sim::Strategy::kWholeSecded: return "w_sd";
+    case sim::Strategy::kPartialSecdedNoEcc: return "p_sd_no";
+    case sim::Strategy::kPartialChipkillSecded: return "p_ck_sd";
+  }
+  return "?";
+}
+
+std::optional<sim::Strategy> strategy_from_slug(std::string_view s) {
+  if (s == "no_ecc") return sim::Strategy::kNoEcc;
+  if (s == "w_ck") return sim::Strategy::kWholeChipkill;
+  if (s == "p_ck_no") return sim::Strategy::kPartialChipkillNoEcc;
+  if (s == "w_sd") return sim::Strategy::kWholeSecded;
+  if (s == "p_sd_no") return sim::Strategy::kPartialSecdedNoEcc;
+  if (s == "p_ck_sd") return sim::Strategy::kPartialChipkillSecded;
+  return std::nullopt;
+}
+
+std::string_view fault_slug(campaign::FaultKind k) {
+  return to_string(k);  // single_bit | double_bit | chip_kill
+}
+
+std::optional<campaign::FaultKind> fault_from_slug(std::string_view s) {
+  if (s == "single_bit") return campaign::FaultKind::kSingleBit;
+  if (s == "double_bit") return campaign::FaultKind::kDoubleBit;
+  if (s == "chip_kill") return campaign::FaultKind::kChipKill;
+  return std::nullopt;
+}
+
+campaign::CampaignOptions default_campaign_options() {
+  campaign::CampaignOptions opt;
+  opt.platform.strategy = sim::Strategy::kPartialChipkillSecded;
+  opt.platform.dgemm_dim = 96;
+  opt.platform.cholesky_dim = 96;
+  opt.platform.cg_dim = 160;
+  opt.platform.cg_iterations = 3;
+  opt.platform.hpl_dim = 96;
+  return opt;
+}
+
+void write_job_json(JsonWriter& w, const JobSpec& spec) {
+  const campaign::CampaignOptions& o = spec.options;
+  const sim::PlatformOptions& p = o.platform;
+  w.begin_object();
+  w.field("schema", kSchemaVersion);
+  w.field("name", spec.name);
+  w.field("shards", spec.shards);
+  w.field("exhaustive", spec.exhaustive);
+  w.key("exhaustive_options").begin_object();
+  w.field("words", spec.exhaustive_options.words);
+  w.field("seed", spec.exhaustive_options.seed);
+  w.field("threads", spec.exhaustive_options.threads);
+  w.field("fixed_patterns", spec.exhaustive_options.include_fixed_patterns);
+  w.end_object();
+  w.key("options").begin_object();
+  w.field("kernel", kernel_slug(o.kernel));
+  w.field("trials", static_cast<std::uint64_t>(o.trials));
+  w.field("threads", o.threads);
+  w.field("campaign_seed", o.campaign_seed);
+  w.field("tolerance", o.tolerance);
+  w.field("measure_latency", o.measure_latency);
+  w.field("chunk", static_cast<std::uint64_t>(o.chunk));
+  w.field("lineage", o.lineage);
+  w.key("fault").begin_object();
+  w.field("kind", fault_slug(o.fault.kind));
+  w.field("chip_pattern", static_cast<std::uint64_t>(o.fault.chip_pattern));
+  w.field("count", o.fault.count);
+  w.field("storm_all_ranges", o.fault.storm_all_ranges);
+  w.end_object();
+  w.key("platform").begin_object();
+  w.field("strategy", strategy_slug(p.strategy));
+  w.field("dgemm_dim", static_cast<std::uint64_t>(p.dgemm_dim));
+  w.field("cholesky_dim", static_cast<std::uint64_t>(p.cholesky_dim));
+  w.field("cg_dim", static_cast<std::uint64_t>(p.cg_dim));
+  w.field("cg_iterations", static_cast<std::uint64_t>(p.cg_iterations));
+  w.field("hpl_dim", static_cast<std::uint64_t>(p.hpl_dim));
+  w.field("hpl_processes", static_cast<std::uint64_t>(p.hpl_processes));
+  w.field("verify_period", static_cast<std::uint64_t>(p.verify_period));
+  w.field("hardware_assisted", p.hardware_assisted);
+  w.field("use_dgms", p.use_dgms);
+  w.field("seed", p.seed);
+  w.field("cache_scale", p.cache_scale);
+  w.field("row_policy", row_policy_slug(p.row_policy));
+  w.field("ladder", p.ladder);
+  w.field("exposed_log_capacity",
+          static_cast<std::uint64_t>(p.exposed_log_capacity));
+  w.field("repromote_threshold", p.repromote_threshold);
+  w.key("recovery").begin_object();
+  w.field("enable_recompute", p.recovery.enable_recompute);
+  w.field("max_recompute_attempts", p.recovery.max_recompute_attempts);
+  w.field("enable_rollback", p.recovery.enable_rollback);
+  w.field("max_rollback_attempts", p.recovery.max_rollback_attempts);
+  w.field("checkpoint_period",
+          static_cast<std::uint64_t>(p.recovery.checkpoint_period));
+  w.end_object();
+  w.end_object();  // platform
+  w.end_object();  // options
+  w.end_object();
+}
+
+std::string job_to_json(const JobSpec& spec) {
+  JsonWriter w;
+  write_job_json(w, spec);
+  return w.take();
+}
+
+bool job_from_json(const JsonValue& v, JobSpec* spec, std::string* error) {
+  auto fail = [&](std::string msg) {
+    if (error != nullptr) *error = std::move(msg);
+    return false;
+  };
+  if (!v.is_object()) return fail("job spec: not a JSON object");
+  if (v.u64("schema") != kSchemaVersion)
+    return fail("job spec: unsupported schema version");
+
+  JobSpec out;
+  out.name = std::string(v.str("name", out.name));
+  out.shards = static_cast<unsigned>(v.u64("shards", out.shards));
+  out.exhaustive = v.boolean("exhaustive", out.exhaustive);
+  if (const JsonValue* e = v.find("exhaustive_options"); e != nullptr) {
+    out.exhaustive_options.words = e->u64("words", out.exhaustive_options.words);
+    out.exhaustive_options.seed = e->u64("seed", out.exhaustive_options.seed);
+    out.exhaustive_options.threads =
+        static_cast<unsigned>(e->u64("threads", out.exhaustive_options.threads));
+    out.exhaustive_options.include_fixed_patterns = e->boolean(
+        "fixed_patterns", out.exhaustive_options.include_fixed_patterns);
+  }
+
+  const JsonValue* o = v.find("options");
+  if (o == nullptr || !o->is_object())
+    return fail("job spec: missing 'options' object");
+  campaign::CampaignOptions& opt = out.options;
+  const auto kernel = kernel_from_slug(o->str("kernel", "dgemm"));
+  if (!kernel.has_value()) return fail("job spec: unknown kernel slug");
+  opt.kernel = *kernel;
+  opt.trials = static_cast<std::size_t>(o->u64("trials", opt.trials));
+  opt.threads = static_cast<unsigned>(o->u64("threads", opt.threads));
+  opt.campaign_seed = o->u64("campaign_seed", opt.campaign_seed);
+  opt.tolerance = o->num("tolerance", opt.tolerance);
+  opt.measure_latency = o->boolean("measure_latency", opt.measure_latency);
+  opt.chunk = static_cast<std::size_t>(o->u64("chunk", opt.chunk));
+  opt.lineage = o->boolean("lineage", opt.lineage);
+
+  if (const JsonValue* f = o->find("fault"); f != nullptr) {
+    const auto kind = fault_from_slug(f->str("kind", "single_bit"));
+    if (!kind.has_value()) return fail("job spec: unknown fault kind slug");
+    opt.fault.kind = *kind;
+    opt.fault.chip_pattern = static_cast<std::uint8_t>(
+        f->u64("chip_pattern", opt.fault.chip_pattern));
+    opt.fault.count = static_cast<unsigned>(f->u64("count", opt.fault.count));
+    opt.fault.storm_all_ranges =
+        f->boolean("storm_all_ranges", opt.fault.storm_all_ranges);
+  }
+
+  if (const JsonValue* p = o->find("platform"); p != nullptr) {
+    sim::PlatformOptions& pf = opt.platform;
+    const auto strategy = strategy_from_slug(p->str("strategy", "p_ck_sd"));
+    if (!strategy.has_value()) return fail("job spec: unknown strategy slug");
+    pf.strategy = *strategy;
+    pf.dgemm_dim = static_cast<std::size_t>(p->u64("dgemm_dim", pf.dgemm_dim));
+    pf.cholesky_dim =
+        static_cast<std::size_t>(p->u64("cholesky_dim", pf.cholesky_dim));
+    pf.cg_dim = static_cast<std::size_t>(p->u64("cg_dim", pf.cg_dim));
+    pf.cg_iterations =
+        static_cast<std::size_t>(p->u64("cg_iterations", pf.cg_iterations));
+    pf.hpl_dim = static_cast<std::size_t>(p->u64("hpl_dim", pf.hpl_dim));
+    pf.hpl_processes =
+        static_cast<std::size_t>(p->u64("hpl_processes", pf.hpl_processes));
+    pf.verify_period =
+        static_cast<std::size_t>(p->u64("verify_period", pf.verify_period));
+    pf.hardware_assisted =
+        p->boolean("hardware_assisted", pf.hardware_assisted);
+    pf.use_dgms = p->boolean("use_dgms", pf.use_dgms);
+    pf.seed = p->u64("seed", pf.seed);
+    pf.cache_scale = static_cast<unsigned>(p->u64("cache_scale",
+                                                  pf.cache_scale));
+    const auto policy = row_policy_from_slug(p->str("row_policy", "open_page"));
+    if (!policy.has_value()) return fail("job spec: unknown row policy slug");
+    pf.row_policy = *policy;
+    pf.ladder = p->boolean("ladder", pf.ladder);
+    pf.exposed_log_capacity = static_cast<std::size_t>(
+        p->u64("exposed_log_capacity", pf.exposed_log_capacity));
+    pf.repromote_threshold = static_cast<unsigned>(
+        p->u64("repromote_threshold", pf.repromote_threshold));
+    if (const JsonValue* r = p->find("recovery"); r != nullptr) {
+      pf.recovery.enable_recompute =
+          r->boolean("enable_recompute", pf.recovery.enable_recompute);
+      pf.recovery.max_recompute_attempts = static_cast<unsigned>(r->u64(
+          "max_recompute_attempts", pf.recovery.max_recompute_attempts));
+      pf.recovery.enable_rollback =
+          r->boolean("enable_rollback", pf.recovery.enable_rollback);
+      pf.recovery.max_rollback_attempts = static_cast<unsigned>(
+          r->u64("max_rollback_attempts", pf.recovery.max_rollback_attempts));
+      pf.recovery.checkpoint_period = static_cast<std::size_t>(
+          r->u64("checkpoint_period", pf.recovery.checkpoint_period));
+    }
+  }
+
+  *spec = std::move(out);
+  return true;
+}
+
+std::uint64_t job_fingerprint(const JobSpec& spec) {
+  // The client label is presentation, not configuration: two submissions
+  // that differ only in name may share a checkpoint.
+  JobSpec canon = spec;
+  canon.name.clear();
+  const std::string bytes = job_to_json(canon);
+  return recovery::fletcher64(reinterpret_cast<const std::byte*>(bytes.data()),
+                              bytes.size());
+}
+
+}  // namespace abftecc::campaignd

@@ -1,0 +1,78 @@
+// Campaignd wire types (ISSUE 7): the job spec a client submits, its
+// canonical JSON round-trip, and the slug tables shared by the daemon,
+// the client library, and the CLIs.
+//
+// The protocol is newline-delimited JSON over a Unix-domain stream
+// socket: one request object per line, one response object per line.
+// JobSpec's serialization doubles as the daemon's durable spool format
+// and (minus the name) the checkpoint fingerprint input, so it is
+// canonical: fixed key order, integers emitted as integers.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "campaign/campaign.hpp"
+#include "campaign/exhaustive.hpp"
+
+namespace abftecc::obs {
+class JsonValue;
+class JsonWriter;
+}  // namespace abftecc::obs
+
+namespace abftecc::campaignd {
+
+/// Protocol / spool / checkpoint schema version.
+inline constexpr std::uint64_t kSchemaVersion = 1;
+
+// -- slug tables (stable CLI/wire names) ------------------------------------
+
+[[nodiscard]] std::string_view kernel_slug(sim::Kernel k);
+[[nodiscard]] std::optional<sim::Kernel> kernel_from_slug(std::string_view s);
+[[nodiscard]] std::string_view strategy_slug(sim::Strategy s);
+[[nodiscard]] std::optional<sim::Strategy> strategy_from_slug(
+    std::string_view s);
+[[nodiscard]] std::string_view fault_slug(campaign::FaultKind k);
+[[nodiscard]] std::optional<campaign::FaultKind> fault_from_slug(
+    std::string_view s);
+
+/// The campaign-friendly platform defaults every campaign front end
+/// (tools/campaign, campaignctl, the daemon) starts from: shrunken
+/// kernel inputs so large sweeps stay fast (a trial costs one full
+/// simulated run). Identical to the historical tools/campaign defaults.
+[[nodiscard]] campaign::CampaignOptions default_campaign_options();
+
+/// One batch of work a client submits to the daemon.
+struct JobSpec {
+  /// Client-chosen label (reported back in status lines); need not be
+  /// unique -- the daemon assigns the job id.
+  std::string name = "campaign";
+  /// Monte-Carlo sweep configuration (ignored when exhaustive is set).
+  campaign::CampaignOptions options = default_campaign_options();
+  /// Worker processes to shard the trial range over.
+  unsigned shards = 2;
+  /// Run the exhaustive SECDED(72,64) enumeration instead of a
+  /// Monte-Carlo sweep.
+  bool exhaustive = false;
+  campaign::exhaustive::Options exhaustive_options;
+};
+
+/// Canonical single-line JSON object for a JobSpec (no trailing newline).
+[[nodiscard]] std::string job_to_json(const JobSpec& spec);
+void write_job_json(obs::JsonWriter& w, const JobSpec& spec);
+
+/// Parse job_to_json() output (tolerates missing optional members by
+/// keeping defaults). Returns false and fills `error` on malformed or
+/// version-mismatched input.
+[[nodiscard]] bool job_from_json(const obs::JsonValue& v, JobSpec* spec,
+                                 std::string* error);
+
+/// Fletcher-64 fingerprint of everything that determines a job's results
+/// (the canonical spec JSON minus the client label). A checkpoint written
+/// under one fingerprint refuses to resume a job with another: resuming a
+/// different sweep from foreign partials would corrupt it silently.
+[[nodiscard]] std::uint64_t job_fingerprint(const JobSpec& spec);
+
+}  // namespace abftecc::campaignd

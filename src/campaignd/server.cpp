@@ -1,0 +1,563 @@
+#include "campaignd/server.hpp"
+
+#include <dirent.h>
+#include <fcntl.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "campaign/exhaustive.hpp"
+#include "campaignd/checkpoint.hpp"
+#include "campaignd/shard.hpp"
+#include "obs/json.hpp"
+#include "obs/jsonv.hpp"
+
+namespace abftecc::campaignd {
+
+namespace {
+
+bool write_file(const std::string& path, std::string_view content) {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) return false;
+  const bool ok =
+      std::fwrite(content.data(), 1, content.size(), f) == content.size();
+  return std::fclose(f) == 0 && ok;
+}
+
+bool read_file(const std::string& path, std::string* content) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return false;
+  content->clear();
+  char buf[1 << 16];
+  for (;;) {
+    const std::size_t n = std::fread(buf, 1, sizeof(buf), f);
+    content->append(buf, n);
+    if (n < sizeof(buf)) break;
+  }
+  const bool ok = std::ferror(f) == 0;
+  std::fclose(f);
+  return ok;
+}
+
+bool file_exists(const std::string& path) {
+  return ::access(path.c_str(), F_OK) == 0;
+}
+
+}  // namespace
+
+std::string_view Server::state_name(JobState s) {
+  switch (s) {
+    case JobState::kQueued: return "queued";
+    case JobState::kRunning: return "running";
+    case JobState::kDone: return "done";
+    case JobState::kFailed: return "failed";
+    case JobState::kInterrupted: return "interrupted";
+  }
+  return "?";
+}
+
+Server::~Server() {
+  for (Connection& c : conns_)
+    if (c.fd >= 0) ::close(c.fd);
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    ::unlink(opt_.socket_path.c_str());
+  }
+}
+
+Server::Job* Server::find_job(std::string_view id) {
+  for (Job& j : jobs_)
+    if (j.id == id) return &j;
+  return nullptr;
+}
+
+void Server::recover_spool(std::string* error) {
+  const std::string jobs_dir = opt_.state_dir + "/jobs";
+  DIR* d = ::opendir(jobs_dir.c_str());
+  if (d == nullptr) return;  // fresh state dir
+  while (dirent* e = ::readdir(d)) {
+    const std::string name = e->d_name;
+    if (name.rfind("job-", 0) != 0) continue;
+    Job job;
+    job.id = name;
+    job.dir = jobs_dir + "/" + name;
+    std::string spec_text;
+    if (!read_file(job.dir + "/spec.json", &spec_text)) continue;
+    const auto spec_json = obs::json_parse(spec_text, error);
+    if (!spec_json.has_value() ||
+        !job_from_json(*spec_json, &job.spec, error))
+      continue;  // unreadable spool entries are skipped, not fatal
+    job.trials_total = job.spec.exhaustive
+                           ? job.spec.exhaustive_options.words
+                           : job.spec.options.trials;
+    if (file_exists(job.dir + "/done.json") &&
+        read_file(job.dir + "/aggregate.json", &job.aggregate)) {
+      // Strip the trailing newline the output writer appends.
+      while (!job.aggregate.empty() && job.aggregate.back() == '\n')
+        job.aggregate.pop_back();
+      job.state = JobState::kDone;
+      job.trials_done = job.trials_total;
+    } else {
+      job.state = JobState::kInterrupted;
+      job.error = "daemon stopped before the job finished; resume to rerun "
+                  "from its checkpoint";
+    }
+    const unsigned num = static_cast<unsigned>(
+        std::strtoul(name.c_str() + 4, nullptr, 10));
+    next_job_ = std::max(next_job_, num + 1);
+    jobs_.push_back(std::move(job));
+  }
+  ::closedir(d);
+  std::sort(jobs_.begin(), jobs_.end(),
+            [](const Job& a, const Job& b) { return a.id < b.id; });
+}
+
+bool Server::start(std::string* error) {
+  if (!make_directories(opt_.state_dir + "/jobs", error)) return false;
+  recover_spool(error);
+
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (opt_.socket_path.size() >= sizeof(addr.sun_path)) {
+    if (error != nullptr)
+      *error = "socket path too long: " + opt_.socket_path;
+    return false;
+  }
+  std::strncpy(addr.sun_path, opt_.socket_path.c_str(),
+               sizeof(addr.sun_path) - 1);
+
+  listen_fd_ = ::socket(AF_UNIX, SOCK_STREAM | SOCK_NONBLOCK, 0);
+  if (listen_fd_ < 0) {
+    if (error != nullptr)
+      *error = std::string("socket: ") + std::strerror(errno);
+    return false;
+  }
+  ::unlink(opt_.socket_path.c_str());
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    if (error != nullptr)
+      *error = "bind " + opt_.socket_path + ": " + std::strerror(errno);
+    return false;
+  }
+  if (::listen(listen_fd_, 16) != 0) {
+    if (error != nullptr)
+      *error = std::string("listen: ") + std::strerror(errno);
+    return false;
+  }
+  return true;
+}
+
+int Server::run() {
+  while (!stop_) {
+    if (!queue_.empty()) {
+      run_next_job();
+    } else {
+      service_once(200);
+    }
+  }
+  return 0;
+}
+
+void Server::accept_new() {
+  for (;;) {
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) return;  // EAGAIN or error: nothing (more) to accept
+    Connection c;
+    c.fd = fd;
+    conns_.push_back(std::move(c));
+  }
+}
+
+void Server::service_once(int timeout_ms) {
+  if (in_service_) return;
+  in_service_ = true;
+
+  std::vector<pollfd> fds;
+  fds.reserve(conns_.size() + 1);
+  fds.push_back({listen_fd_, POLLIN, 0});
+  for (const Connection& c : conns_) fds.push_back({c.fd, POLLIN, 0});
+
+  const int ready = ::poll(fds.data(), fds.size(), timeout_ms);
+  if (ready <= 0) {
+    in_service_ = false;
+    return;
+  }
+  if ((fds[0].revents & POLLIN) != 0) accept_new();
+
+  std::vector<int> closed;
+  for (std::size_t i = 1; i < fds.size(); ++i) {
+    if ((fds[i].revents & (POLLIN | POLLHUP | POLLERR)) == 0) continue;
+    auto it = std::find_if(conns_.begin(), conns_.end(), [&](const auto& c) {
+      return c.fd == fds[i].fd;
+    });
+    if (it == conns_.end()) continue;
+    char buf[1 << 14];
+    const ssize_t n = ::read(it->fd, buf, sizeof(buf));
+    if (n <= 0) {
+      closed.push_back(it->fd);
+      continue;
+    }
+    it->inbuf.append(buf, static_cast<std::size_t>(n));
+    std::size_t pos;
+    while ((pos = it->inbuf.find('\n')) != std::string::npos) {
+      const std::string line = it->inbuf.substr(0, pos);
+      it->inbuf.erase(0, pos + 1);
+      if (!line.empty()) handle_line(*it, line);
+    }
+  }
+  for (const int fd : closed) {
+    ::close(fd);
+    conns_.erase(std::remove_if(conns_.begin(), conns_.end(),
+                                [&](const auto& c) { return c.fd == fd; }),
+                 conns_.end());
+  }
+  in_service_ = false;
+}
+
+void Server::send_line(int fd, const std::string& line) {
+  std::string msg = line;
+  msg += '\n';
+  std::size_t off = 0;
+  while (off < msg.size()) {
+    const ssize_t n =
+        ::send(fd, msg.data() + off, msg.size() - off, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return;  // client gone; its next read / our next poll cleans up
+    }
+    off += static_cast<std::size_t>(n);
+  }
+}
+
+void Server::reply_error(Connection& conn, const std::string& msg) {
+  obs::JsonWriter w;
+  w.begin_object();
+  w.field("ok", false);
+  w.field("error", msg);
+  w.end_object();
+  send_line(conn.fd, w.take());
+}
+
+void Server::reply_results(int fd, const Job& job) {
+  obs::JsonWriter w;
+  w.begin_object();
+  w.field("ok", true);
+  w.field("id", job.id);
+  w.field("name", job.spec.name);
+  w.field("state", state_name(job.state));
+  w.field("trials_done", job.trials_done);
+  w.field("trials_total", job.trials_total);
+  if (!job.error.empty()) w.field("error", job.error);
+  w.key("aggregate");
+  if (job.aggregate.empty()) {
+    w.null();
+  } else {
+    w.raw(job.aggregate);
+  }
+  w.field("trials_path", job.dir + "/trials.jsonl");
+  if (job.spec.options.lineage)
+    w.field("lineage_path", job.dir + "/lineage.jsonl");
+  w.end_object();
+  send_line(fd, w.take());
+}
+
+void Server::notify_waiters(const Job& job) {
+  for (Connection& c : conns_) {
+    if (c.waiting_for != job.id) continue;
+    c.waiting_for.clear();
+    reply_results(c.fd, job);
+  }
+}
+
+void Server::handle_line(Connection& conn, const std::string& line) {
+  std::string perr;
+  const auto v = obs::json_parse(line, &perr);
+  if (!v.has_value()) {
+    reply_error(conn, "malformed request: " + perr);
+    return;
+  }
+  const std::string_view op = v->str("op");
+
+  if (op == "ping") {
+    obs::JsonWriter w;
+    w.begin_object();
+    w.field("ok", true);
+    w.field("op", "ping");
+    w.field("schema", kSchemaVersion);
+    w.field("pid", static_cast<std::uint64_t>(::getpid()));
+    w.end_object();
+    send_line(conn.fd, w.take());
+    return;
+  }
+
+  if (op == "submit") {
+    const obs::JsonValue* j = v->find("job");
+    if (j == nullptr) {
+      reply_error(conn, "submit: missing 'job'");
+      return;
+    }
+    Job job;
+    std::string err;
+    if (!job_from_json(*j, &job.spec, &err)) {
+      reply_error(conn, "submit: " + err);
+      return;
+    }
+    if (job.spec.shards == 0) job.spec.shards = opt_.default_shards;
+    char id[32];
+    std::snprintf(id, sizeof(id), "job-%06u", next_job_++);
+    job.id = id;
+    job.dir = opt_.state_dir + "/jobs/" + job.id;
+    job.trials_total = job.spec.exhaustive ? job.spec.exhaustive_options.words
+                                           : job.spec.options.trials;
+    std::string mkerr;
+    if (!make_directories(job.dir, &mkerr) ||
+        !write_file(job.dir + "/spec.json", job_to_json(job.spec) + "\n")) {
+      reply_error(conn, "submit: cannot spool job: " + mkerr);
+      return;
+    }
+    queue_.push_back(job.id);
+    jobs_.push_back(std::move(job));
+    obs::JsonWriter w;
+    w.begin_object();
+    w.field("ok", true);
+    w.field("id", jobs_.back().id);
+    w.field("state", "queued");
+    w.field("queued", static_cast<std::uint64_t>(queue_.size()));
+    w.end_object();
+    send_line(conn.fd, w.take());
+    return;
+  }
+
+  if (op == "resume") {
+    Job* job = find_job(v->str("id"));
+    if (job == nullptr) {
+      reply_error(conn, "resume: unknown job id");
+      return;
+    }
+    if (job->state == JobState::kRunning || job->state == JobState::kQueued) {
+      reply_error(conn, "resume: job is already " +
+                            std::string(state_name(job->state)));
+      return;
+    }
+    if (job->state == JobState::kDone) {
+      reply_results(conn.fd, *job);  // nothing to redo; hand back results
+      return;
+    }
+    job->state = JobState::kQueued;
+    job->error.clear();
+    queue_.push_back(job->id);
+    obs::JsonWriter w;
+    w.begin_object();
+    w.field("ok", true);
+    w.field("id", job->id);
+    w.field("state", "queued");
+    w.end_object();
+    send_line(conn.fd, w.take());
+    return;
+  }
+
+  if (op == "status") {
+    std::uint64_t done = 0, failed = 0;
+    for (const Job& j : jobs_) {
+      done += j.state == JobState::kDone ? 1 : 0;
+      failed += j.state == JobState::kFailed ? 1 : 0;
+    }
+    obs::JsonWriter w;
+    w.begin_object();
+    w.field("ok", true);
+    w.field("op", "status");
+    w.field("pid", static_cast<std::uint64_t>(::getpid()));
+    w.field("jobs", static_cast<std::uint64_t>(jobs_.size()));
+    w.field("queued", static_cast<std::uint64_t>(queue_.size()));
+    w.field("done", done);
+    w.field("failed", failed);
+    w.key("running");
+    if (running_.empty()) {
+      w.null();
+    } else if (const Job* j = find_job(running_); j != nullptr) {
+      w.begin_object();
+      w.field("id", j->id);
+      w.field("name", j->spec.name);
+      w.field("trials_done", j->trials_done);
+      w.field("trials_total", j->trials_total);
+      w.end_object();
+    } else {
+      w.null();
+    }
+    w.end_object();
+    send_line(conn.fd, w.take());
+    return;
+  }
+
+  if (op == "jobs") {
+    obs::JsonWriter w;
+    w.begin_object();
+    w.field("ok", true);
+    w.key("jobs").begin_array();
+    for (const Job& j : jobs_) {
+      w.begin_object();
+      w.field("id", j.id);
+      w.field("name", j.spec.name);
+      w.field("state", state_name(j.state));
+      w.field("trials_done", j.trials_done);
+      w.field("trials_total", j.trials_total);
+      if (!j.error.empty()) w.field("error", j.error);
+      w.end_object();
+    }
+    w.end_array();
+    w.end_object();
+    send_line(conn.fd, w.take());
+    return;
+  }
+
+  if (op == "results") {
+    const Job* job = find_job(v->str("id"));
+    if (job == nullptr) {
+      reply_error(conn, "results: unknown job id");
+      return;
+    }
+    reply_results(conn.fd, *job);
+    return;
+  }
+
+  if (op == "wait") {
+    Job* job = find_job(v->str("id"));
+    if (job == nullptr) {
+      reply_error(conn, "wait: unknown job id");
+      return;
+    }
+    if (job->state == JobState::kQueued || job->state == JobState::kRunning) {
+      conn.waiting_for = job->id;  // parked; answered at completion
+      return;
+    }
+    reply_results(conn.fd, *job);
+    return;
+  }
+
+  if (op == "shutdown") {
+    obs::JsonWriter w;
+    w.begin_object();
+    w.field("ok", true);
+    w.field("stopping", true);
+    w.end_object();
+    send_line(conn.fd, w.take());
+    stop_ = true;
+    return;
+  }
+
+  reply_error(conn, "unknown op '" + std::string(op) + "'");
+}
+
+bool Server::write_job_outputs(Job& job, const std::string& trials,
+                               const std::string& lineage,
+                               const std::string& aggregate) {
+  if (!write_file(job.dir + "/trials.jsonl", trials) ||
+      !write_file(job.dir + "/aggregate.json", aggregate + "\n")) {
+    job.error = "cannot write job outputs under " + job.dir;
+    return false;
+  }
+  if (job.spec.options.lineage &&
+      !write_file(job.dir + "/lineage.jsonl", lineage)) {
+    job.error = "cannot write lineage output under " + job.dir;
+    return false;
+  }
+  obs::JsonWriter w;
+  w.begin_object();
+  w.field("schema", kSchemaVersion);
+  w.field("id", job.id);
+  w.field("state", "done");
+  w.end_object();
+  // The done marker is written LAST: its presence certifies every output
+  // file above it is complete (a SIGKILL in between leaves the job
+  // resumable, never half-trusted).
+  if (!write_file(job.dir + "/done.json", w.take() + "\n")) {
+    job.error = "cannot write done marker under " + job.dir;
+    return false;
+  }
+  job.aggregate = aggregate;
+  return true;
+}
+
+void Server::run_campaign_job(Job& job) {
+  // Golden runs happen on the supervisor's main thread before any worker
+  // forks, so every worker inherits the identical reference run (see
+  // campaign::run_golden's heap-layout note).
+  const campaign::GoldenRun golden = campaign::run_golden(job.spec.options);
+
+  ShardOptions shard_opt;
+  shard_opt.shards = job.spec.shards;
+  shard_opt.checkpoint_dir = job.dir + "/checkpoint";
+  shard_opt.fingerprint = job_fingerprint(job.spec);
+  shard_opt.progress = [&](std::size_t done, std::size_t) {
+    job.trials_done = done;
+  };
+  shard_opt.service = [this] { service_once(0); };
+  shard_opt.should_abort = [this] { return stop_; };
+
+  const ShardOutcome outcome = run_sharded(job.spec.options, golden,
+                                           shard_opt);
+  if (outcome.aborted) {
+    job.state = JobState::kInterrupted;
+    job.error = "interrupted by daemon shutdown; resume to continue from "
+                "the checkpoint";
+    return;
+  }
+  if (!outcome.ok) {
+    job.state = JobState::kFailed;
+    job.error = outcome.error;
+    return;
+  }
+  std::string trials;
+  for (const std::string& line : outcome.trial_lines) {
+    trials += line;
+    trials += '\n';
+  }
+  job.state = write_job_outputs(job, trials, outcome.lineage_lines,
+                                outcome.acc.to_json())
+                  ? JobState::kDone
+                  : JobState::kFailed;
+}
+
+void Server::run_exhaustive_job(Job& job) {
+  const campaign::exhaustive::Result r =
+      campaign::exhaustive::run(job.spec.exhaustive_options);
+  job.trials_done = r.options.words;
+  if (!write_job_outputs(job, "", "", r.to_json())) {
+    job.state = JobState::kFailed;
+    return;
+  }
+  if (!r.ok()) {
+    job.state = JobState::kFailed;
+    job.error = "exhaustive SECDED enumeration violated the analytic "
+                "guarantees (see aggregate.json)";
+    return;
+  }
+  job.state = JobState::kDone;
+}
+
+void Server::run_next_job() {
+  const std::string id = queue_.front();
+  queue_.pop_front();
+  Job* job = find_job(id);
+  if (job == nullptr) return;
+  job->state = JobState::kRunning;
+  job->trials_done = 0;
+  job->error.clear();
+  running_ = id;
+  if (job->spec.exhaustive) {
+    run_exhaustive_job(*job);
+  } else {
+    run_campaign_job(*job);
+  }
+  running_.clear();
+  notify_waiters(*job);
+}
+
+}  // namespace abftecc::campaignd

@@ -1,0 +1,117 @@
+// The campaignd daemon core (ISSUE 7): a long-running, single-threaded
+// server that accepts campaign job batches over a Unix-domain stream
+// socket (one JSON request per line, one JSON response per line -- see
+// protocol.hpp) and executes them one at a time through the sharded
+// multi-process runner (shard.hpp).
+//
+// Control stays responsive DURING jobs: the shard supervisor's poll loop
+// invokes the server's service pass between chunk completions, so ping/
+// status/submit/wait round-trips keep working while a million-trial
+// sweep runs.
+//
+// Durability: every job gets a spool directory under
+// <state_dir>/jobs/<id>/ holding its spec (spec.json), its Fletcher-64
+// verified progress checkpoint (checkpoint/), and -- once finished --
+// its outputs (trials.jsonl, lineage.jsonl, aggregate.json) plus a
+// done.json marker. A daemon killed with SIGKILL mid-job comes back up,
+// reports the job as interrupted, and a `resume` request re-runs it
+// replaying the verified chunks -- producing byte-identical results to
+// an uninterrupted run.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <vector>
+
+#include "campaignd/protocol.hpp"
+
+namespace abftecc::campaignd {
+
+struct ServerOptions {
+  std::string socket_path;
+  std::string state_dir;
+  /// Shard count used when a submitted job asks for 0.
+  unsigned default_shards = 2;
+};
+
+class Server {
+ public:
+  explicit Server(ServerOptions opt) : opt_(std::move(opt)) {}
+  ~Server();
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Create the state directory, recover the job spool from a previous
+  /// incarnation, bind and listen. Returns false and fills `error` on
+  /// failure.
+  [[nodiscard]] bool start(std::string* error);
+
+  /// Serve until a shutdown request (or request_stop). Returns the
+  /// process exit code.
+  int run();
+
+  /// Async-signal-safe stop flag (SIGTERM/SIGINT handler hook).
+  void request_stop() { stop_ = true; }
+
+  /// One non-blocking (timeout_ms = 0) or bounded service pass over the
+  /// control socket: accept, read, answer. run() and the mid-job service
+  /// callback both funnel through here.
+  void service_once(int timeout_ms);
+
+ private:
+  enum class JobState : std::uint8_t {
+    kQueued,
+    kRunning,
+    kDone,
+    kFailed,
+    kInterrupted,
+  };
+  static std::string_view state_name(JobState s);
+
+  struct Job {
+    std::string id;
+    JobSpec spec;
+    JobState state = JobState::kQueued;
+    std::string dir;
+    std::string error;
+    std::uint64_t trials_done = 0;
+    std::uint64_t trials_total = 0;
+    std::string aggregate;  ///< canonical aggregate JSON once finished
+  };
+
+  struct Connection {
+    int fd = -1;
+    std::string inbuf;
+    /// Job id a `wait` request parked this connection on ('' = none).
+    std::string waiting_for;
+  };
+
+  [[nodiscard]] Job* find_job(std::string_view id);
+  void recover_spool(std::string* error);
+  void accept_new();
+  void handle_line(Connection& conn, const std::string& line);
+  void send_line(int fd, const std::string& line);
+  void reply_error(Connection& conn, const std::string& msg);
+  void reply_results(int fd, const Job& job);
+  void notify_waiters(const Job& job);
+  void run_next_job();
+  void run_campaign_job(Job& job);
+  void run_exhaustive_job(Job& job);
+  [[nodiscard]] bool write_job_outputs(Job& job, const std::string& trials,
+                                       const std::string& lineage,
+                                       const std::string& aggregate);
+
+  ServerOptions opt_;
+  int listen_fd_ = -1;
+  volatile bool stop_ = false;
+  bool in_service_ = false;  ///< re-entrancy guard for the mid-job pass
+  std::vector<Connection> conns_;
+  std::vector<Job> jobs_;
+  std::deque<std::string> queue_;  ///< FIFO of queued job ids
+  std::string running_;            ///< id of the job executing now ('')
+  unsigned next_job_ = 1;
+};
+
+}  // namespace abftecc::campaignd

@@ -1,0 +1,321 @@
+#include "campaignd/shard.hpp"
+
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/types.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <deque>
+#include <map>
+
+#include "campaignd/checkpoint.hpp"
+
+namespace abftecc::campaignd {
+
+namespace {
+
+/// Append all of `data` to `fd`, retrying on EINTR and suppressing
+/// SIGPIPE (a dead worker must surface as an error, not kill us).
+bool send_all(int fd, std::string_view data) {
+  std::size_t off = 0;
+  while (off < data.size()) {
+    const ssize_t n = ::send(fd, data.data() + off, data.size() - off,
+                             MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    off += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+/// Blocking read of one '\n'-terminated line. Returns false on EOF/error.
+bool read_line(int fd, std::string* line) {
+  line->clear();
+  char c;
+  for (;;) {
+    const ssize_t n = ::read(fd, &c, 1);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    if (n == 0) return false;
+    if (c == '\n') return true;
+    line->push_back(c);
+  }
+}
+
+/// Worker process main loop: execute chunks the supervisor assigns until
+/// it says exit (or hangs up). Never returns.
+[[noreturn]] void worker_main(int fd, const campaign::CampaignOptions& opt,
+                              const campaign::GoldenRun& golden) {
+  std::string line;
+  while (read_line(fd, &line)) {
+    if (line == "exit") break;
+    unsigned id = 0;
+    unsigned long long begin = 0, end = 0;
+    if (std::sscanf(line.c_str(), "chunk %u %llu %llu", &id, &begin, &end) !=
+        3)
+      break;
+    ChunkRecord rec;
+    rec.id = id;
+    rec.begin = begin;
+    rec.end = end;
+    rec.acc = campaign::Accumulator(opt);
+    rec.trial_lines.reserve(static_cast<std::size_t>(end - begin));
+    for (unsigned long long i = begin; i < end; ++i) {
+      const campaign::TrialOutcome t =
+          campaign::run_trial(opt, golden, static_cast<std::uint32_t>(i));
+      rec.acc.add(t);
+      rec.trial_lines.push_back(campaign::trial_jsonl_line(opt, t));
+      if (opt.lineage)
+        rec.lineage_lines += campaign::lineage_jsonl_lines(opt, t);
+    }
+    std::string reply = chunk_to_json(rec);
+    reply += '\n';
+    if (!send_all(fd, reply)) break;
+  }
+  ::close(fd);
+  std::_Exit(0);
+}
+
+struct Worker {
+  pid_t pid = -1;
+  int fd = -1;
+  std::string inbuf;
+  /// Chunk id in flight, or -1 when idle.
+  std::int64_t chunk = -1;
+};
+
+}  // namespace
+
+ShardOutcome run_sharded(const campaign::CampaignOptions& opt,
+                         const campaign::GoldenRun& golden,
+                         const ShardOptions& shard_opt) {
+  ShardOutcome out;
+  out.acc = campaign::Accumulator(opt);
+
+  const unsigned shards = std::max(1u, shard_opt.shards);
+  const std::size_t chunk_size = campaign::resolve_chunk(
+      shard_opt.chunk != 0 ? shard_opt.chunk : opt.chunk, opt.trials, shards);
+  const std::uint64_t trials = opt.trials;
+  const std::uint64_t n_chunks =
+      trials == 0 ? 0 : (trials + chunk_size - 1) / chunk_size;
+  out.chunks_total = n_chunks;
+
+  std::map<std::uint32_t, ChunkRecord> results;
+  CampaignCheckpoint checkpoint;
+  const bool use_checkpoint = !shard_opt.checkpoint_dir.empty();
+  if (use_checkpoint) {
+    if (!checkpoint.open(shard_opt.checkpoint_dir, shard_opt.fingerprint,
+                         n_chunks, trials, chunk_size, &out.error))
+      return out;
+    for (const auto& [id, rec] : checkpoint.loaded()) {
+      out.acc.merge(rec.acc);
+      results.emplace(id, rec);
+      ++out.chunks_resumed;
+    }
+  }
+
+  std::deque<std::uint32_t> pending;
+  for (std::uint64_t id = 0; id < n_chunks; ++id)
+    if (results.find(static_cast<std::uint32_t>(id)) == results.end())
+      pending.push_back(static_cast<std::uint32_t>(id));
+
+  std::uint64_t trials_done = 0;
+  for (const auto& [id, rec] : results) trials_done += rec.end - rec.begin;
+  if (shard_opt.progress && trials_done > 0)
+    shard_opt.progress(trials_done, trials);
+
+  std::vector<Worker> workers;
+  unsigned respawns_left = shard_opt.max_respawns;
+
+  auto spawn = [&]() -> bool {
+    int sv[2];
+    if (::socketpair(AF_UNIX, SOCK_STREAM, 0, sv) != 0) {
+      out.error = std::string("socketpair: ") + std::strerror(errno);
+      return false;
+    }
+    const pid_t pid = ::fork();
+    if (pid < 0) {
+      out.error = std::string("fork: ") + std::strerror(errno);
+      ::close(sv[0]);
+      ::close(sv[1]);
+      return false;
+    }
+    if (pid == 0) {
+      ::close(sv[0]);
+      for (const Worker& w : workers)
+        if (w.fd >= 0) ::close(w.fd);
+      worker_main(sv[1], opt, golden);  // noreturn
+    }
+    ::close(sv[1]);
+    Worker w;
+    w.pid = pid;
+    w.fd = sv[0];
+    workers.push_back(w);
+    ++out.workers_spawned;
+    return true;
+  };
+
+  const unsigned initial =
+      static_cast<unsigned>(std::min<std::uint64_t>(shards, pending.size()));
+  for (unsigned i = 0; i < initial; ++i)
+    if (!spawn()) return out;
+
+  auto reap = [&](Worker& w) {
+    if (w.fd >= 0) ::close(w.fd);
+    w.fd = -1;
+    if (w.pid > 0) {
+      int status = 0;
+      ::waitpid(w.pid, &status, 0);
+      w.pid = -1;
+    }
+  };
+
+  auto shutdown_workers = [&]() {
+    for (Worker& w : workers)
+      if (w.fd >= 0) send_all(w.fd, "exit\n");
+    for (Worker& w : workers) reap(w);
+    workers.clear();
+  };
+
+  auto finish_chunk = [&](ChunkRecord rec) {
+    trials_done += rec.end - rec.begin;
+    out.acc.merge(rec.acc);
+    ++out.chunks_executed;
+    results.emplace(rec.id, std::move(rec));
+    if (shard_opt.progress) shard_opt.progress(trials_done, trials);
+  };
+
+  while (results.size() < n_chunks) {
+    if (shard_opt.should_abort && shard_opt.should_abort()) {
+      out.aborted = true;
+      shutdown_workers();
+      out.error = "aborted";
+      return out;
+    }
+
+    // Hand every idle worker the next pending chunk (dynamic
+    // self-scheduling: this IS the work stealing -- a fast worker drains
+    // chunks a slow one never claimed).
+    for (Worker& w : workers) {
+      if (w.fd < 0 || w.chunk >= 0 || pending.empty()) continue;
+      const std::uint32_t id = pending.front();
+      const std::uint64_t begin = static_cast<std::uint64_t>(id) * chunk_size;
+      const std::uint64_t end = std::min<std::uint64_t>(begin + chunk_size,
+                                                        trials);
+      char cmd[64];
+      std::snprintf(cmd, sizeof(cmd), "chunk %u %llu %llu\n", id,
+                    static_cast<unsigned long long>(begin),
+                    static_cast<unsigned long long>(end));
+      if (!send_all(w.fd, cmd)) continue;  // dead: poll will report it
+      pending.pop_front();
+      w.chunk = id;
+    }
+
+    std::vector<pollfd> fds;
+    fds.reserve(workers.size());
+    for (const Worker& w : workers)
+      if (w.fd >= 0) fds.push_back({w.fd, POLLIN, 0});
+    if (fds.empty()) {
+      out.error = "all workers dead with " + std::to_string(pending.size()) +
+                  " chunk(s) pending and no respawn budget left";
+      shutdown_workers();
+      return out;
+    }
+
+    const int ready = ::poll(fds.data(), fds.size(), 200);
+    if (shard_opt.service) shard_opt.service();
+    if (ready < 0) {
+      if (errno == EINTR) continue;
+      out.error = std::string("poll: ") + std::strerror(errno);
+      shutdown_workers();
+      return out;
+    }
+    if (ready == 0) continue;
+
+    for (const pollfd& p : fds) {
+      if ((p.revents & (POLLIN | POLLHUP | POLLERR)) == 0) continue;
+      auto it = std::find_if(workers.begin(), workers.end(),
+                             [&](const Worker& w) { return w.fd == p.fd; });
+      if (it == workers.end()) continue;
+      Worker& w = *it;
+
+      // One read per poll pass: poll() is level-triggered, so any bytes
+      // left in the socket re-arm POLLIN on the next pass (a drain loop
+      // on a blocking fd could block on an exactly-buffer-sized read).
+      char buf[1 << 16];
+      const ssize_t n = ::read(w.fd, buf, sizeof(buf));
+      if (n > 0) w.inbuf.append(buf, static_cast<std::size_t>(n));
+      // Drain complete reply lines.
+      std::size_t pos;
+      while ((pos = w.inbuf.find('\n')) != std::string::npos) {
+        const std::string line = w.inbuf.substr(0, pos);
+        w.inbuf.erase(0, pos + 1);
+        ChunkRecord rec;
+        std::string err;
+        if (!chunk_from_json(line, &rec, &err) ||
+            static_cast<std::int64_t>(rec.id) != w.chunk) {
+          out.error = "worker sent a malformed chunk record: " + err;
+          shutdown_workers();
+          return out;
+        }
+        if (use_checkpoint && !checkpoint.store(rec, &out.error)) {
+          shutdown_workers();
+          return out;
+        }
+        w.chunk = -1;
+        finish_chunk(std::move(rec));
+      }
+
+      const bool dead = n == 0 || (n < 0 && errno != EINTR && errno != EAGAIN);
+      if (dead) {
+        // Worker died (EOF before "exit"): its in-flight chunk goes back
+        // on the queue for the survivors; respawn the slot while the
+        // budget lasts.
+        ++out.workers_died;
+        if (w.chunk >= 0) {
+          pending.push_front(static_cast<std::uint32_t>(w.chunk));
+          w.chunk = -1;
+        }
+        reap(w);
+        workers.erase(it);
+        if (respawns_left > 0 && !pending.empty()) {
+          --respawns_left;
+          if (!spawn()) {
+            shutdown_workers();
+            return out;
+          }
+        }
+        break;  // fds/workers changed; rebuild the poll set
+      }
+    }
+  }
+
+  shutdown_workers();
+
+  // Assemble output lines in chunk (== trial-index) order; the
+  // accumulator was merged in completion order, which its integer-only
+  // algebra makes bit-identical to any other order.
+  for (auto& [id, rec] : results) {
+    for (std::string& line : rec.trial_lines)
+      out.trial_lines.push_back(std::move(line));
+    out.lineage_lines += rec.lineage_lines;
+  }
+  if (out.trial_lines.size() != trials) {
+    out.error = "assembled " + std::to_string(out.trial_lines.size()) +
+                " trial lines for " + std::to_string(trials) + " trials";
+    return out;
+  }
+  out.ok = true;
+  return out;
+}
+
+}  // namespace abftecc::campaignd

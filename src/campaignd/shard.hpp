@@ -1,0 +1,83 @@
+// Multi-process sharded campaign execution (ISSUE 7).
+//
+// run_sharded() splits a job's trial range into chunks and runs them on
+// `shards` forked worker PROCESSES (not threads): each worker inherits
+// the golden run by fork(), executes one chunk at a time, and ships the
+// finished ChunkRecord back over its socketpair as one JSON line.
+// Scheduling is pure work-stealing self-scheduling -- workers pull the
+// next pending chunk whenever they go idle, so a slow or killed shard
+// never strands work: chunks in flight on a dead worker (EOF on its
+// pipe) are put back on the queue and picked up by the survivors, and
+// the dead slot is respawned while the respawn budget lasts.
+//
+// Determinism: trial i derives everything from campaign_seed ^ i, so
+// WHICH worker runs a chunk cannot affect its bytes; the supervisor
+// assembles per-trial output lines in chunk order, making the combined
+// JSONL byte-identical for any shard count -- including shards=1 and the
+// in-process thread pool of campaign::run_campaign.
+//
+// With ShardOptions::checkpoint_dir set, every finished chunk is
+// persisted through CampaignCheckpoint before it is acknowledged, and a
+// rerun over the same directory (resume after SIGKILL) replays verified
+// chunks from disk instead of re-executing them -- byte-identical to the
+// uninterrupted run.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "campaign/accumulator.hpp"
+#include "campaign/campaign.hpp"
+
+namespace abftecc::campaignd {
+
+struct ShardOptions {
+  /// Worker processes. 1 still forks (one worker) -- the output contract
+  /// is identical for any value.
+  unsigned shards = 2;
+  /// Trials per chunk; 0 = campaign::resolve_chunk's auto size.
+  std::size_t chunk = 0;
+  /// Progress checkpoint directory; empty = no checkpointing.
+  std::string checkpoint_dir;
+  /// Job fingerprint stamped into the checkpoint manifest (see
+  /// protocol.hpp); ignored when checkpoint_dir is empty.
+  std::uint64_t fingerprint = 0;
+  /// Respawn budget for dead workers across the whole sweep.
+  unsigned max_respawns = 4;
+  /// Invoked after each finished chunk with (trials_done, trials_total).
+  campaign::Progress progress;
+  /// Invoked on every supervisor poll pass (the daemon services its
+  /// control socket here so clients get answered mid-job).
+  std::function<void()> service;
+  /// Polled between chunks; returning true abandons the sweep (finished
+  /// chunks stay checkpointed, the ShardOutcome reports aborted).
+  std::function<bool()> should_abort;
+};
+
+struct ShardOutcome {
+  bool ok = false;
+  bool aborted = false;
+  std::string error;
+  /// Merged over all chunks (completion order cannot change the bytes).
+  campaign::Accumulator acc;
+  /// One write_trial_jsonl line per trial, in trial-index order.
+  std::vector<std::string> trial_lines;
+  /// Concatenated lineage JSONL in trial-index order ('' if lineage off).
+  std::string lineage_lines;
+  std::uint64_t chunks_total = 0;
+  std::uint64_t chunks_resumed = 0;   ///< replayed from the checkpoint
+  std::uint64_t chunks_executed = 0;  ///< run by workers this invocation
+  unsigned workers_spawned = 0;
+  unsigned workers_died = 0;
+};
+
+/// Run `opt.trials` trials sharded over worker processes. The golden run
+/// must be computed by the caller BEFORE this call (pre-fork, so every
+/// worker inherits the identical reference; see campaign::run_golden).
+[[nodiscard]] ShardOutcome run_sharded(const campaign::CampaignOptions& opt,
+                                       const campaign::GoldenRun& golden,
+                                       const ShardOptions& shard_opt);
+
+}  // namespace abftecc::campaignd

@@ -1,0 +1,114 @@
+// JSON document parser companion to json.hpp's writer/validator: parses
+// one complete JSON value into an owned tree (JsonValue). Built for the
+// campaignd wire protocol and checkpoint files, whose documents are small
+// (a job spec, a chunk record), so the representation favors fidelity and
+// simplicity over speed:
+//
+//  * integer-looking numbers (no '.', no exponent) are kept as
+//    uint64/int64 so 64-bit seeds and physical addresses round-trip
+//    exactly (a double would lose bits above 2^53);
+//  * objects preserve key order and use linear lookup;
+//  * parsing is strict (same grammar json_valid accepts) with a depth cap.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <variant>
+#include <vector>
+
+namespace abftecc::obs {
+
+class JsonValue {
+ public:
+  using Array = std::vector<JsonValue>;
+  using Member = std::pair<std::string, JsonValue>;
+  using Object = std::vector<Member>;
+
+  JsonValue() : v_(nullptr) {}
+  explicit JsonValue(bool b) : v_(b) {}
+  explicit JsonValue(double d) : v_(d) {}
+  explicit JsonValue(std::uint64_t u) : v_(u) {}
+  explicit JsonValue(std::int64_t i) : v_(i) {}
+  explicit JsonValue(std::string s) : v_(std::move(s)) {}
+  explicit JsonValue(Array a) : v_(std::move(a)) {}
+  explicit JsonValue(Object o) : v_(std::move(o)) {}
+
+  [[nodiscard]] bool is_null() const {
+    return std::holds_alternative<std::nullptr_t>(v_);
+  }
+  [[nodiscard]] bool is_bool() const {
+    return std::holds_alternative<bool>(v_);
+  }
+  [[nodiscard]] bool is_number() const {
+    return std::holds_alternative<double>(v_) ||
+           std::holds_alternative<std::uint64_t>(v_) ||
+           std::holds_alternative<std::int64_t>(v_);
+  }
+  [[nodiscard]] bool is_string() const {
+    return std::holds_alternative<std::string>(v_);
+  }
+  [[nodiscard]] bool is_array() const {
+    return std::holds_alternative<Array>(v_);
+  }
+  [[nodiscard]] bool is_object() const {
+    return std::holds_alternative<Object>(v_);
+  }
+
+  [[nodiscard]] bool as_bool(bool fallback = false) const {
+    const bool* b = std::get_if<bool>(&v_);
+    return b != nullptr ? *b : fallback;
+  }
+  [[nodiscard]] double as_double(double fallback = 0.0) const;
+  [[nodiscard]] std::uint64_t as_u64(std::uint64_t fallback = 0) const;
+  [[nodiscard]] std::int64_t as_i64(std::int64_t fallback = 0) const;
+  [[nodiscard]] const std::string& as_string() const;
+  [[nodiscard]] std::string_view as_string_view(
+      std::string_view fallback = {}) const {
+    const std::string* s = std::get_if<std::string>(&v_);
+    return s != nullptr ? std::string_view(*s) : fallback;
+  }
+  [[nodiscard]] const Array& as_array() const;
+  [[nodiscard]] const Object& as_object() const;
+
+  /// Object member lookup; nullptr when absent or not an object.
+  [[nodiscard]] const JsonValue* find(std::string_view key) const;
+
+  // Typed member shorthands (fallback when the key is missing or the
+  // member has a different type).
+  [[nodiscard]] std::uint64_t u64(std::string_view key,
+                                  std::uint64_t fallback = 0) const {
+    const JsonValue* m = find(key);
+    return m != nullptr ? m->as_u64(fallback) : fallback;
+  }
+  [[nodiscard]] double num(std::string_view key, double fallback = 0.0) const {
+    const JsonValue* m = find(key);
+    return m != nullptr ? m->as_double(fallback) : fallback;
+  }
+  [[nodiscard]] bool boolean(std::string_view key,
+                             bool fallback = false) const {
+    const JsonValue* m = find(key);
+    return m != nullptr ? m->as_bool(fallback) : fallback;
+  }
+  [[nodiscard]] std::string_view str(std::string_view key,
+                                     std::string_view fallback = {}) const {
+    const JsonValue* m = find(key);
+    return m != nullptr ? m->as_string_view(fallback) : fallback;
+  }
+
+ private:
+  std::variant<std::nullptr_t, bool, double, std::uint64_t, std::int64_t,
+               std::string, Array, Object>
+      v_;
+};
+
+/// Parse one complete JSON value (trailing whitespace allowed, anything
+/// else after it is an error). Returns nullopt and fills `error` (when
+/// given) with a position-annotated message on malformed input.
+[[nodiscard]] std::optional<JsonValue> json_parse(std::string_view text,
+                                                  std::string* error = nullptr);
+
+}  // namespace abftecc::obs

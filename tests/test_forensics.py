@@ -177,6 +177,46 @@ class ForensicsTest(unittest.TestCase):
         self.assertEqual(status, 0)
         self.assertIn("residual=0.03125", out)
 
+    def test_merge_shard_ledgers_is_order_independent(self):
+        shard0 = [LEDGER[0], LEDGER[2]]  # trial 0's fault + trial record
+        shard1 = [LEDGER[1], LEDGER[3]]
+        with tempfile.TemporaryDirectory() as d:
+            whole = self.write(d, "all.jsonl", LEDGER)
+            p0 = self.write(d, "s0.jsonl", shard0)
+            p1 = self.write(d, "s1.jsonl", shard1)
+            _, out_whole = self.run_cli("canon", whole)
+            status, out_fwd = self.run_cli("canon", p0, p1)
+            _, out_rev = self.run_cli("canon", p1, p0)
+        self.assertEqual(status, 0)
+        self.assertEqual(out_fwd, out_rev)
+        self.assertEqual(out_fwd, out_whole)
+
+    def test_merge_reconciles_split_shards_against_report(self):
+        with tempfile.TemporaryDirectory() as d:
+            p0 = self.write(d, "s0.jsonl", [LEDGER[0], LEDGER[2]])
+            p1 = self.write(d, "s1.jsonl", [LEDGER[1], LEDGER[3]])
+            status, out = self.run_cli(
+                "reconcile", p0, p1, "--report",
+                self.write(d, "r.json", REPORT))
+        self.assertEqual(status, 0)
+        self.assertIn("reconcile: OK", out)
+
+    def test_merge_rejects_duplicate_fault_keys(self):
+        with tempfile.TemporaryDirectory() as d:
+            whole = self.write(d, "all.jsonl", LEDGER)
+            overlap = self.write(d, "dup.jsonl", [LEDGER[0]])
+            with self.assertRaises(SystemExit) as ctx:
+                self.run_cli("canon", whole, overlap)
+        self.assertEqual(ctx.exception.code, 2)
+
+    def test_merge_rejects_duplicate_trial_keys(self):
+        with tempfile.TemporaryDirectory() as d:
+            p0 = self.write(d, "s0.jsonl", [LEDGER[2]])
+            p1 = self.write(d, "s1.jsonl", [LEDGER[3], LEDGER[2]])
+            with self.assertRaises(SystemExit) as ctx:
+                self.run_cli("orphans", p0, p1)
+        self.assertEqual(ctx.exception.code, 2)
+
     def test_kernel_slugs_cover_all_four_kernels(self):
         self.assertEqual(forensics.slug_of("FT-DGEMM"), "dgemm")
         self.assertEqual(forensics.slug_of("FT-Cholesky"), "cholesky")

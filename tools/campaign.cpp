@@ -15,10 +15,15 @@
 #include <vector>
 
 #include "bench/report.hpp"
+#include "campaign/accumulator.hpp"
 #include "campaign/campaign.hpp"
+#include "campaign/exhaustive.hpp"
+#include "campaignd/protocol.hpp"
+#include "campaignd/shard.hpp"
 
 namespace {
 
+using abftecc::campaign::Accumulator;
 using abftecc::campaign::CampaignOptions;
 using abftecc::campaign::CampaignResult;
 using abftecc::campaign::FaultKind;
@@ -63,6 +68,25 @@ void print_usage(const char* prog) {
       "                    Event cycle stamps are heap-layout sensitive;\n"
       "                    everything else is seed-deterministic\n"
       "  --json <path>     schema-stable campaign report\n"
+      "  --shards <n>      run trials in n forked worker PROCESSES with\n"
+      "                    work-stealing chunk scheduling instead of the\n"
+      "                    in-process thread pool; the per-trial JSONL and\n"
+      "                    the report are byte-identical for any n\n"
+      "  --chunk <n>       trials per work-stealing chunk (0 = auto)\n"
+      "  --checkpoint <d>  (with --shards) persist Fletcher-64-verified\n"
+      "                    progress checkpoints under <d>/<kernel>/ after\n"
+      "                    every chunk; a killed sweep rerun with --resume\n"
+      "                    replays the verified chunks byte-identically\n"
+      "  --resume          allow --checkpoint to pick up existing progress\n"
+      "                    (without it, a non-empty checkpoint is an error)\n"
+      "  --aggregate <p>   write the merged campaign::Accumulator JSON (one\n"
+      "                    object keyed by kernel slug); cycle sums inside\n"
+      "                    share TrialOutcome's heap-layout caveat\n"
+      "  --exhaustive      enumerate the FULL SECDED(72,64) fault space (72\n"
+      "                    singles + 2556 doubles per word) instead of\n"
+      "                    sampling; exact counts, exit 1 if any analytic\n"
+      "                    guarantee is violated\n"
+      "  --words <n>       exhaustive mode: 64-bit data words to sweep\n"
       "plus the shared platform flags (--dgemm-dim, --cache-scale, ...);\n"
       "campaign defaults shrink the inputs so 256-trial sweeps stay fast.\n",
       prog);
@@ -136,37 +160,32 @@ void print_rates(const CampaignResult& r) {
                 static_cast<unsigned long long>(r.unclassified));
 }
 
-/// Aggregate the per-trial latency samples recorded under --latencies into
-/// one kernel's entry of the report's "latency" section: an
-/// interrupt-to-recovery cycle histogram (geometric buckets, fixed across
-/// runs so shapes aggregate) plus the simulated run cost per outcome.
-void write_latency_json(abftecc::obs::JsonWriter& w, const CampaignResult& r) {
-  using abftecc::obs::Histogram;
-  Histogram hist(Histogram::exponential_bounds(64.0, 2.0, 18));
-  std::uint64_t with_latency = 0;
-  for (const auto& t : r.trials) {
-    if (t.interrupt_to_recovery_cycles < 0.0) continue;
-    ++with_latency;
-    hist.observe(t.interrupt_to_recovery_cycles);
-  }
+/// One kernel's entry of the report's "latency" section, read straight
+/// off the merged Accumulator (identical for the in-process and sharded
+/// paths): the interrupt-to-recovery cycle histogram over the fixed
+/// geometric ladder plus the simulated run cost per outcome.
+void write_latency_json(abftecc::obs::JsonWriter& w, const Accumulator& acc) {
   w.begin_object();
-  w.field("trials", static_cast<std::uint64_t>(r.trials.size()));
-  w.field("with_interrupt_to_recovery", with_latency);
+  w.field("trials", acc.trials());
+  w.field("with_interrupt_to_recovery", acc.latency_count());
   w.key("interrupt_to_recovery_cycles");
   w.begin_object();
-  w.field("count", hist.count());
-  w.field("sum", hist.sum());
-  w.field("mean", hist.mean());
-  w.field("max", hist.max());
+  w.field("count", acc.latency_count());
+  w.field("sum", static_cast<double>(acc.latency_sum()));
+  w.field("mean", acc.latency_count() == 0
+                      ? 0.0
+                      : static_cast<double>(acc.latency_sum()) /
+                            static_cast<double>(acc.latency_count()));
+  w.field("max", static_cast<double>(acc.latency_max()));
   w.key("bounds");
   w.begin_array();
-  for (std::size_t i = 0; i + 1 < hist.num_buckets(); ++i)
-    w.value(hist.upper_bound(i));
+  for (std::size_t i = 0; i < Accumulator::kLatencyBounds; ++i)
+    w.value(Accumulator::latency_bound(i));
   w.end_array();
   w.key("buckets");
   w.begin_array();
-  for (std::size_t i = 0; i < hist.num_buckets(); ++i)
-    w.value(hist.bucket_count(i));
+  for (std::size_t i = 0; i < Accumulator::kLatencyBuckets; ++i)
+    w.value(acc.latency_bucket(i));
   w.end_array();
   w.end_object();
   // Run cost per outcome: recovery tiers show up as longer simulated runs
@@ -174,21 +193,14 @@ void write_latency_json(abftecc::obs::JsonWriter& w, const CampaignResult& r) {
   w.key("cycles_by_outcome");
   w.begin_object();
   for (const Outcome o : abftecc::campaign::kAllOutcomes) {
-    std::uint64_t n = 0;
-    double sum = 0.0;
-    double mx = 0.0;
-    for (const auto& t : r.trials) {
-      if (t.outcome != o) continue;
-      ++n;
-      sum += static_cast<double>(t.cycles);
-      mx = std::max(mx, static_cast<double>(t.cycles));
-    }
-    if (n == 0) continue;
+    const Accumulator::OutcomeCost c = acc.cost(o);
+    if (c.trials == 0) continue;
     w.key(to_string(o));
     w.begin_object();
-    w.field("trials", n);
-    w.field("mean_cycles", sum / static_cast<double>(n));
-    w.field("max_cycles", mx);
+    w.field("trials", c.trials);
+    w.field("mean_cycles", static_cast<double>(c.sum_cycles) /
+                               static_cast<double>(c.trials));
+    w.field("max_cycles", static_cast<double>(c.max_cycles));
     w.end_object();
   }
   w.end_object();
@@ -198,8 +210,8 @@ void write_latency_json(abftecc::obs::JsonWriter& w, const CampaignResult& r) {
 /// One kernel's entry of the report's "lineage" section: the deterministic
 /// reconciliation summary (counts only -- no cycle stamps), so the section
 /// stays on the byte-determinism surface.
-void write_lineage_json(abftecc::obs::JsonWriter& w, const CampaignResult& r) {
-  const auto& sum = r.lineage;
+void write_lineage_json(abftecc::obs::JsonWriter& w,
+                        const CampaignResult::LineageSummary& sum) {
   w.begin_object();
   w.field("ok", sum.ok);
   w.field("faults", sum.faults);
@@ -230,7 +242,13 @@ int main(int argc, char** argv) {
   base.threads = std::max(1u, std::thread::hardware_concurrency());
   std::string jsonl_path;
   std::string lineage_path;
+  std::string checkpoint_dir;
+  std::string aggregate_path;
   std::uint64_t input_seed = 42;
+  unsigned shards = 0;
+  bool resume = false;
+  bool exhaustive = false;
+  std::uint64_t exhaustive_words = 16;
   bool strategy_given = false;
   bool forbid_panics = false;
 
@@ -294,6 +312,21 @@ int main(int argc, char** argv) {
       base.measure_latency = true;
     } else if (std::strcmp(a, "--jsonl") == 0) {
       jsonl_path = need_value(i), ++i;
+    } else if (std::strcmp(a, "--shards") == 0) {
+      shards = static_cast<unsigned>(std::strtoul(need_value(i), nullptr, 10));
+      ++i;
+    } else if (std::strcmp(a, "--chunk") == 0) {
+      base.chunk = std::strtoull(need_value(i), nullptr, 10), ++i;
+    } else if (std::strcmp(a, "--checkpoint") == 0) {
+      checkpoint_dir = need_value(i), ++i;
+    } else if (std::strcmp(a, "--resume") == 0) {
+      resume = true;
+    } else if (std::strcmp(a, "--aggregate") == 0) {
+      aggregate_path = need_value(i), ++i;
+    } else if (std::strcmp(a, "--exhaustive") == 0) {
+      exhaustive = true;
+    } else if (std::strcmp(a, "--words") == 0) {
+      exhaustive_words = std::strtoull(need_value(i), nullptr, 10), ++i;
     } else if (std::strcmp(a, "--lineage") == 0) {
       lineage_path = need_value(i), ++i;
       base.lineage = true;
@@ -303,6 +336,47 @@ int main(int argc, char** argv) {
     } else {
       fwd.push_back(argv[i]);
     }
+  }
+
+  if (exhaustive) {
+    // Exhaustive SECDED(72,64) fault-space coverage: not a Monte-Carlo
+    // sweep, so none of the platform/report machinery applies. Counts
+    // are exact; exit status is the analytic-guarantee verdict.
+    abftecc::campaign::exhaustive::Options ex;
+    ex.words = exhaustive_words;
+    ex.seed = base.campaign_seed;
+    ex.threads = base.threads;
+    std::printf("campaign --exhaustive: %llu word(s) x (%llu singles + %llu "
+                "doubles), %u thread(s)\n",
+                static_cast<unsigned long long>(ex.words),
+                static_cast<unsigned long long>(
+                    abftecc::campaign::exhaustive::kSinglesPerWord),
+                static_cast<unsigned long long>(
+                    abftecc::campaign::exhaustive::kDoublesPerWord),
+                ex.threads);
+    const abftecc::campaign::exhaustive::Result r =
+        abftecc::campaign::exhaustive::run(ex);
+    const std::string json = r.to_json();
+    std::printf("%s\n", json.c_str());
+    if (!aggregate_path.empty()) {
+      std::FILE* f = std::fopen(aggregate_path.c_str(), "w");
+      if (f == nullptr) {
+        std::fprintf(stderr, "%s: cannot open '%s' for writing\n", argv[0],
+                     aggregate_path.c_str());
+        return 2;
+      }
+      std::fprintf(f, "%s\n", json.c_str());
+      std::fclose(f);
+    }
+    if (!r.ok()) {
+      std::fprintf(stderr,
+                   "campaign: exhaustive SECDED enumeration violated the "
+                   "analytic guarantees\n");
+      return 1;
+    }
+    std::printf("exhaustive coverage OK: every single-bit fault corrected "
+                "exactly, every double-bit fault detected\n");
+    return 0;
   }
 
   // Campaign-friendly input sizes: a trial costs one full simulated run,
@@ -372,6 +446,8 @@ int main(int argc, char** argv) {
   if (base.measure_latency) latency_json.begin_object();
   abftecc::obs::JsonWriter lineage_json;
   if (base.lineage) lineage_json.begin_object();
+  abftecc::obs::JsonWriter aggregate_json;
+  if (!aggregate_path.empty()) aggregate_json.begin_object();
   for (std::size_t ki = 0; ki < kernels.size(); ++ki) {
     const Kernel k = kernels[ki];
     CampaignOptions opt = base;
@@ -379,16 +455,63 @@ int main(int argc, char** argv) {
 
     const auto t0 = std::chrono::steady_clock::now();
     std::size_t last_decile = 0;
-    const CampaignResult res = abftecc::campaign::run_campaign(
-        opt, goldens[ki], [&](std::size_t done, std::size_t total) {
-          const std::size_t decile = 10 * done / total;
-          if (decile > last_decile) {
-            last_decile = decile;
-            std::printf("  [%s] %zu/%zu trials\n", kernel_slug(k).c_str(),
-                        done, total);
-            std::fflush(stdout);
+    const auto progress = [&](std::size_t done, std::size_t total) {
+      const std::size_t decile = total == 0 ? 10 : 10 * done / total;
+      if (decile > last_decile) {
+        last_decile = decile;
+        std::printf("  [%s] %zu/%zu trials\n", kernel_slug(k).c_str(), done,
+                    total);
+        std::fflush(stdout);
+      }
+    };
+    CampaignResult res;
+    Accumulator acc(opt);
+    abftecc::campaignd::ShardOutcome sharded;
+    if (shards > 0) {
+      // Multi-process path: forked workers steal trial chunks; the trial
+      // JSONL and the report are byte-identical to the in-process path.
+      abftecc::campaignd::ShardOptions so;
+      so.shards = shards;
+      if (!checkpoint_dir.empty()) {
+        so.checkpoint_dir = checkpoint_dir + "/" + kernel_slug(k);
+        abftecc::campaignd::JobSpec fp;
+        fp.name.clear();
+        fp.shards = 0;  // the shard count must not pin the checkpoint
+        fp.options = opt;
+        so.fingerprint = abftecc::campaignd::job_fingerprint(fp);
+        if (!resume) {
+          const std::string manifest = so.checkpoint_dir + "/manifest.json";
+          if (std::FILE* mf = std::fopen(manifest.c_str(), "rb");
+              mf != nullptr) {
+            std::fclose(mf);
+            std::fprintf(stderr,
+                         "%s: checkpoint %s already exists; pass --resume to "
+                         "continue it or remove the directory\n",
+                         argv[0], so.checkpoint_dir.c_str());
+            return 1;
           }
-        });
+        }
+      }
+      so.progress = progress;
+      sharded = abftecc::campaignd::run_sharded(opt, goldens[ki], so);
+      if (!sharded.ok) {
+        std::fprintf(stderr, "%s: sharded campaign failed: %s\n", argv[0],
+                     sharded.error.c_str());
+        return 1;
+      }
+      if (sharded.chunks_resumed > 0)
+        std::printf("  [%s] resumed %llu of %llu chunk(s) from checkpoint\n",
+                    kernel_slug(k).c_str(),
+                    static_cast<unsigned long long>(sharded.chunks_resumed),
+                    static_cast<unsigned long long>(sharded.chunks_total));
+      acc = sharded.acc;
+      res.options = opt;
+      res.golden = goldens[ki].metrics;
+      acc.finalize_into(res);
+    } else {
+      res = abftecc::campaign::run_campaign(opt, goldens[ki], progress);
+      acc = Accumulator::of(opt, res.trials);
+    }
     const double wall =
         std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
             .count();
@@ -428,29 +551,36 @@ int main(int argc, char** argv) {
     total_panicked += res.panicked_trials;
 
     if (base.measure_latency) {
-      std::uint64_t n = 0;
-      double sum = 0.0;
-      for (const auto& t : res.trials)
-        if (t.interrupt_to_recovery_cycles >= 0.0) {
-          ++n;
-          sum += t.interrupt_to_recovery_cycles;
-        }
+      const std::uint64_t n = acc.latency_count();
       std::printf("  [%s] interrupt->recovery latency: %llu trial(s), mean "
                   "%.0f cycles\n",
                   slug.c_str(), static_cast<unsigned long long>(n),
-                  n == 0 ? 0.0 : sum / static_cast<double>(n));
+                  n == 0 ? 0.0
+                         : static_cast<double>(acc.latency_sum()) /
+                               static_cast<double>(n));
       latency_json.key(slug);
-      write_latency_json(latency_json, res);
+      write_latency_json(latency_json, acc);
     }
 
-    if (jsonl != nullptr)
-      for (const auto& t : res.trials)
-        abftecc::campaign::write_trial_jsonl(jsonl, opt, t);
+    if (jsonl != nullptr) {
+      if (shards > 0) {
+        for (const std::string& line : sharded.trial_lines)
+          std::fprintf(jsonl, "%s\n", line.c_str());
+      } else {
+        for (const auto& t : res.trials)
+          abftecc::campaign::write_trial_jsonl(jsonl, opt, t);
+      }
+    }
 
     if (base.lineage) {
-      if (lineage_file != nullptr)
-        for (const auto& t : res.trials)
-          abftecc::campaign::write_lineage_jsonl(lineage_file, opt, t);
+      if (lineage_file != nullptr) {
+        if (shards > 0) {
+          std::fputs(sharded.lineage_lines.c_str(), lineage_file);
+        } else {
+          for (const auto& t : res.trials)
+            abftecc::campaign::write_lineage_jsonl(lineage_file, opt, t);
+        }
+      }
       const auto& lin = res.lineage;
       std::printf("  [%s] lineage: %llu fault record(s), %llu orphan(s), "
                   "%llu double-counted, %llu log drop(s) -- "
@@ -465,13 +595,18 @@ int main(int argc, char** argv) {
                      e.c_str());
       lineage_errors += lin.errors.size();
       lineage_json.key(slug);
-      write_lineage_json(lineage_json, res);
+      write_lineage_json(lineage_json, res.lineage);
       report.scalar(slug + ".lineage_faults",
                     static_cast<double>(lin.faults));
       report.scalar(slug + ".lineage_orphans",
                     static_cast<double>(lin.orphans));
       report.scalar(slug + ".exposed_dropped",
                     static_cast<double>(lin.exposed_dropped));
+    }
+
+    if (!aggregate_path.empty()) {
+      aggregate_json.key(slug);
+      aggregate_json.raw(acc.to_json());
     }
   }
 
@@ -503,6 +638,18 @@ int main(int argc, char** argv) {
   if (lineage_file != nullptr) {
     std::fclose(lineage_file);
     std::printf("wrote fault provenance ledger: %s\n", lineage_path.c_str());
+  }
+  if (!aggregate_path.empty()) {
+    aggregate_json.end_object();
+    std::FILE* f = std::fopen(aggregate_path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "%s: cannot open %s for writing\n", argv[0],
+                   aggregate_path.c_str());
+      return 1;
+    }
+    std::fprintf(f, "%s\n", aggregate_json.take().c_str());
+    std::fclose(f);
+    std::printf("wrote merged accumulator JSON: %s\n", aggregate_path.c_str());
   }
   if (lineage_errors > 0) {
     std::fprintf(stderr,

@@ -1,0 +1,242 @@
+// `campaignctl`: CLI client for the campaignd daemon (src/campaignd/).
+//
+//   campaignctl --socket S ping
+//   campaignctl --socket S submit [job flags] [--wait]
+//   campaignctl --socket S status | jobs
+//   campaignctl --socket S wait <job-id>
+//   campaignctl --socket S results <job-id>
+//   campaignctl --socket S resume <job-id> [--wait]
+//   campaignctl --socket S shutdown
+//
+// submit speaks the same campaign vocabulary as tools/campaign
+// (--kernel/--trials/--seed/--fault/...) plus --shards for the worker
+// process count and --exhaustive/--words for the exhaustive SECDED
+// enumeration mode. Responses are printed as the daemon's JSON line.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "campaignd/client.hpp"
+#include "obs/json.hpp"
+
+namespace {
+
+using abftecc::campaignd::Client;
+using abftecc::campaignd::JobSpec;
+
+void print_usage(const char* prog) {
+  std::printf(
+      "usage: %s --socket <path> <command> [args]\n"
+      "commands:\n"
+      "  ping                 liveness check\n"
+      "  status               daemon + current job state\n"
+      "  jobs                 list all jobs\n"
+      "  submit [flags]       queue a job; prints the assigned id\n"
+      "    --name <s>         client label (default 'campaign')\n"
+      "    --kernel <k>       dgemm | cholesky | cg | hpl\n"
+      "    --trials <n>       Monte-Carlo trials (default 256)\n"
+      "    --shards <n>       worker processes (default: daemon's)\n"
+      "    --chunk <n>        trials per work-stealing chunk (0 = auto)\n"
+      "    --seed <n>         campaign seed\n"
+      "    --input-seed <n>   kernel-input seed\n"
+      "    --strategy <s>     no_ecc|w_ck|p_ck_no|w_sd|p_sd_no|p_ck_sd\n"
+      "    --fault <f>        single_bit | double_bit | chip_kill\n"
+      "    --faults <n>       faults per trial\n"
+      "    --storm            sample sites over all live allocations\n"
+      "    --ladder           enable the recovery escalation ladder\n"
+      "    --lineage          per-fault provenance ledgers\n"
+      "    --exhaustive       exhaustive SECDED(72,64) enumeration job\n"
+      "    --words <n>        exhaustive mode: data words to sweep\n"
+      "    --wait             block until the job finishes\n"
+      "  wait <id>            block until a job finishes, print results\n"
+      "  results <id>         print a job's results line\n"
+      "  resume <id> [--wait] requeue an interrupted job (checkpoint replay)\n"
+      "  shutdown             stop the daemon (current job checkpoints)\n",
+      prog);
+}
+
+int fail(const std::string& error) {
+  std::fprintf(stderr, "campaignctl: %s\n", error.c_str());
+  return 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string socket_path;
+  std::vector<const char*> args;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--socket") == 0 && i + 1 < argc) {
+      socket_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--help") == 0) {
+      print_usage(argv[0]);
+      return 0;
+    } else {
+      args.push_back(argv[i]);
+    }
+  }
+  if (socket_path.empty() || args.empty()) {
+    print_usage(argv[0]);
+    return 2;
+  }
+  const std::string cmd = args[0];
+
+  Client client;
+  std::string error;
+  if (!client.connect(socket_path, &error)) return fail(error);
+
+  if (cmd == "ping") {
+    if (!client.ping(&error)) return fail(error);
+    std::printf("ok\n");
+    return 0;
+  }
+
+  if (cmd == "status" || cmd == "jobs") {
+    const auto v = cmd == "status" ? client.status(&error)
+                                   : client.jobs(&error);
+    if (!v.has_value()) return fail(error);
+    if (cmd == "status") {
+      std::printf("jobs %llu queued %llu done %llu failed %llu\n",
+                  static_cast<unsigned long long>(v->u64("jobs")),
+                  static_cast<unsigned long long>(v->u64("queued")),
+                  static_cast<unsigned long long>(v->u64("done")),
+                  static_cast<unsigned long long>(v->u64("failed")));
+      if (const auto* running = v->find("running");
+          running != nullptr && running->is_object()) {
+        std::printf("running %s (%llu/%llu trials)\n",
+                    std::string(running->str("id")).c_str(),
+                    static_cast<unsigned long long>(
+                        running->u64("trials_done")),
+                    static_cast<unsigned long long>(
+                        running->u64("trials_total")));
+      }
+    } else {
+      for (const auto& j : v->find("jobs")->as_array()) {
+        std::printf("%s  %-12s %6llu/%llu  %s%s%s\n",
+                    std::string(j.str("id")).c_str(),
+                    std::string(j.str("state")).c_str(),
+                    static_cast<unsigned long long>(j.u64("trials_done")),
+                    static_cast<unsigned long long>(j.u64("trials_total")),
+                    std::string(j.str("name")).c_str(),
+                    j.find("error") != nullptr ? "  # " : "",
+                    std::string(j.str("error")).c_str());
+      }
+    }
+    return 0;
+  }
+
+  auto print_results = [](const abftecc::obs::JsonValue& v) {
+    std::printf("id %s state %s trials %llu/%llu\n",
+                std::string(v.str("id")).c_str(),
+                std::string(v.str("state")).c_str(),
+                static_cast<unsigned long long>(v.u64("trials_done")),
+                static_cast<unsigned long long>(v.u64("trials_total")));
+    if (const auto* err = v.find("error"); err != nullptr)
+      std::printf("error %s\n", err->as_string().c_str());
+    std::printf("trials_path %s\n", std::string(v.str("trials_path")).c_str());
+    if (const auto* lp = v.find("lineage_path"); lp != nullptr)
+      std::printf("lineage_path %s\n", lp->as_string().c_str());
+    return v.str("state") == "done" ? 0 : 1;
+  };
+
+  if (cmd == "submit") {
+    JobSpec spec;
+    bool wait_for_it = false;
+    for (std::size_t i = 1; i < args.size(); ++i) {
+      const char* a = args[i];
+      auto need_value = [&]() -> const char* {
+        if (i + 1 >= args.size()) {
+          std::fprintf(stderr, "campaignctl: missing value for %s\n", a);
+          std::exit(2);
+        }
+        return args[++i];
+      };
+      if (std::strcmp(a, "--name") == 0) {
+        spec.name = need_value();
+      } else if (std::strcmp(a, "--kernel") == 0) {
+        const auto k = abftecc::campaignd::kernel_from_slug(need_value());
+        if (!k.has_value()) return fail("unknown kernel slug");
+        spec.options.kernel = *k;
+      } else if (std::strcmp(a, "--trials") == 0) {
+        spec.options.trials = std::strtoull(need_value(), nullptr, 10);
+      } else if (std::strcmp(a, "--shards") == 0) {
+        spec.shards =
+            static_cast<unsigned>(std::strtoul(need_value(), nullptr, 10));
+      } else if (std::strcmp(a, "--chunk") == 0) {
+        spec.options.chunk = std::strtoull(need_value(), nullptr, 10);
+      } else if (std::strcmp(a, "--seed") == 0) {
+        spec.options.campaign_seed = std::strtoull(need_value(), nullptr, 10);
+      } else if (std::strcmp(a, "--input-seed") == 0) {
+        spec.options.platform.seed = std::strtoull(need_value(), nullptr, 10);
+      } else if (std::strcmp(a, "--strategy") == 0) {
+        const auto s = abftecc::campaignd::strategy_from_slug(need_value());
+        if (!s.has_value()) return fail("unknown strategy slug");
+        spec.options.platform.strategy = *s;
+      } else if (std::strcmp(a, "--fault") == 0) {
+        const auto f = abftecc::campaignd::fault_from_slug(need_value());
+        if (!f.has_value()) return fail("unknown fault kind");
+        spec.options.fault.kind = *f;
+      } else if (std::strcmp(a, "--faults") == 0) {
+        spec.options.fault.count =
+            static_cast<unsigned>(std::strtoul(need_value(), nullptr, 10));
+      } else if (std::strcmp(a, "--storm") == 0) {
+        spec.options.fault.storm_all_ranges = true;
+      } else if (std::strcmp(a, "--ladder") == 0) {
+        spec.options.platform.ladder = true;
+      } else if (std::strcmp(a, "--lineage") == 0) {
+        spec.options.lineage = true;
+      } else if (std::strcmp(a, "--exhaustive") == 0) {
+        spec.exhaustive = true;
+      } else if (std::strcmp(a, "--words") == 0) {
+        spec.exhaustive_options.words =
+            std::strtoull(need_value(), nullptr, 10);
+      } else if (std::strcmp(a, "--wait") == 0) {
+        wait_for_it = true;
+      } else {
+        return fail(std::string("unknown submit flag '") + a + "'");
+      }
+    }
+    const auto id = client.submit(spec, &error);
+    if (!id.has_value()) return fail(error);
+    std::printf("%s\n", id->c_str());
+    if (wait_for_it) {
+      const auto v = client.wait(*id, &error);
+      if (!v.has_value()) return fail(error);
+      return print_results(*v);
+    }
+    return 0;
+  }
+
+  if (cmd == "wait" || cmd == "results") {
+    if (args.size() < 2) return fail(cmd + ": missing job id");
+    const auto v = cmd == "wait" ? client.wait(args[1], &error)
+                                 : client.results(args[1], &error);
+    if (!v.has_value()) return fail(error);
+    return print_results(*v);
+  }
+
+  if (cmd == "resume") {
+    if (args.size() < 2) return fail("resume: missing job id");
+    const bool wait_for_it =
+        args.size() > 2 && std::strcmp(args[2], "--wait") == 0;
+    if (!client.resume(args[1], &error)) return fail(error);
+    std::printf("%s queued\n", args[1]);
+    if (wait_for_it) {
+      const auto v = client.wait(args[1], &error);
+      if (!v.has_value()) return fail(error);
+      return print_results(*v);
+    }
+    return 0;
+  }
+
+  if (cmd == "shutdown") {
+    if (!client.shutdown_daemon(&error)) return fail(error);
+    std::printf("stopping\n");
+    return 0;
+  }
+
+  print_usage(argv[0]);
+  return 2;
+}

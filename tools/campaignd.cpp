@@ -1,0 +1,90 @@
+// `campaignd`: the campaign-as-a-service daemon (see src/campaignd/).
+// Binds a Unix-domain socket, accepts newline-delimited JSON job
+// requests (submit/status/wait/results/resume/shutdown -- drive it with
+// tools/campaignctl), and executes each job as a sharded multi-process
+// sweep with Fletcher-64-verified progress checkpoints under its state
+// directory. Kill it with SIGKILL mid-job and restart: the job reports
+// interrupted and `campaignctl resume` re-runs it byte-identically from
+// the surviving chunks.
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "campaignd/server.hpp"
+
+namespace {
+
+abftecc::campaignd::Server* g_server = nullptr;
+
+void on_signal(int) {
+  if (g_server != nullptr) g_server->request_stop();
+}
+
+void print_usage(const char* prog) {
+  std::printf(
+      "usage: %s --socket <path> --state-dir <dir> [options]\n"
+      "  --socket <path>     Unix-domain socket to listen on (required)\n"
+      "  --state-dir <dir>   job spool + checkpoints (required); a daemon\n"
+      "                      restarted over the same directory recovers its\n"
+      "                      job table and offers interrupted jobs for\n"
+      "                      resume\n"
+      "  --shards <n>        default worker processes per job (default 2)\n"
+      "SIGTERM/SIGINT stop gracefully after the current chunk; checkpoints\n"
+      "make even SIGKILL safe.\n",
+      prog);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  abftecc::campaignd::ServerOptions opt;
+  for (int i = 1; i < argc; ++i) {
+    const char* a = argv[i];
+    auto need_value = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "%s: missing value for %s\n", argv[0], a);
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (std::strcmp(a, "--socket") == 0) {
+      opt.socket_path = need_value();
+    } else if (std::strcmp(a, "--state-dir") == 0) {
+      opt.state_dir = need_value();
+    } else if (std::strcmp(a, "--shards") == 0) {
+      opt.default_shards = static_cast<unsigned>(
+          std::strtoul(need_value(), nullptr, 10));
+    } else if (std::strcmp(a, "--help") == 0) {
+      print_usage(argv[0]);
+      return 0;
+    } else {
+      std::fprintf(stderr, "%s: unknown flag '%s'\n", argv[0], a);
+      return 2;
+    }
+  }
+  if (opt.socket_path.empty() || opt.state_dir.empty()) {
+    print_usage(argv[0]);
+    return 2;
+  }
+  if (opt.default_shards == 0) opt.default_shards = 2;
+
+  abftecc::campaignd::Server server(opt);
+  std::string error;
+  if (!server.start(&error)) {
+    std::fprintf(stderr, "%s: %s\n", argv[0], error.c_str());
+    return 1;
+  }
+  g_server = &server;
+  std::signal(SIGTERM, on_signal);
+  std::signal(SIGINT, on_signal);
+
+  std::printf("campaignd: listening on %s (state %s, default shards %u)\n",
+              opt.socket_path.c_str(), opt.state_dir.c_str(),
+              opt.default_shards);
+  std::fflush(stdout);
+  const int rc = server.run();
+  std::printf("campaignd: stopped\n");
+  return rc;
+}

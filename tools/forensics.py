@@ -24,8 +24,16 @@ Subcommands:
              --json report (exit 1 on any mismatch)
   canon      cycle-stripped canonical ledger lines on stdout
 
+Every subcommand accepts one or more ledger files and merges them --
+the shard-per-file layout campaignd's workers stream -- after checking
+that the shards partition the trial space: a (kernel, trial, fault)
+fault key or (kernel, trial) trial key appearing in two files is a
+hard error. Merged records are re-sorted by key so the output is
+independent of the order the shard files are listed in.
+
 Exit status: 0 on success, 1 when the subcommand found a violation
-(orphans present, reconciliation mismatch), 2 on usage errors.
+(orphans present, reconciliation mismatch), 2 on usage errors or
+overlapping shard ledgers.
 """
 import argparse
 import json
@@ -83,6 +91,39 @@ def fault_key(rec):
     return (rec["kernel"], rec["trial"], rec["fault"])
 
 
+def load_many(paths):
+    """Merge shard ledgers into one (fault_records, trial_records).
+
+    Shards must partition the trial space: the same fault or trial key
+    in two files means double-counted trials, so it is rejected rather
+    than silently merged. Records are re-sorted by key so the merge is
+    independent of the file listing order.
+    """
+    faults, trials = [], []
+    fault_seen, trial_seen = {}, {}
+    for path in paths:
+        f, t = load(path)
+        for rec in f:
+            key = fault_key(rec)
+            if key in fault_seen:
+                die(f"error: {path}: fault record {key} already present in "
+                    f"{fault_seen[key]} -- shard ledgers must partition the "
+                    "trial space")
+            fault_seen[key] = path
+        for rec in t:
+            key = (rec["kernel"], rec["trial"])
+            if key in trial_seen:
+                die(f"error: {path}: trial record {key} already present in "
+                    f"{trial_seen[key]} -- shard ledgers must partition the "
+                    "trial space")
+            trial_seen[key] = path
+        faults += f
+        trials += t
+    faults.sort(key=fault_key)
+    trials.sort(key=lambda rec: (rec["kernel"], rec["trial"]))
+    return faults, trials
+
+
 def stage_chain(rec):
     return [e["stage"] for e in rec.get("events", [])]
 
@@ -93,7 +134,7 @@ def residual_of(event):
 
 
 def cmd_timeline(args):
-    faults, trials = load(args.ledger)
+    faults, trials = load_many(args.ledgers)
     shown = 0
     by_trial = defaultdict(list)
     for t in trials:
@@ -130,7 +171,7 @@ def cmd_timeline(args):
 
 
 def cmd_funnel(args):
-    faults, _ = load(args.ledger)
+    faults, _ = load_many(args.ledgers)
     transitions = Counter()
     for rec in faults:
         chain = stage_chain(rec) + [f"terminal:{rec['terminal']}"]
@@ -151,7 +192,7 @@ def cmd_funnel(args):
 
 
 def cmd_slowest(args):
-    faults, _ = load(args.ledger)
+    faults, _ = load_many(args.ledgers)
     spans = []
     for rec in faults:
         cycles = [e.get("cycle", 0) for e in rec.get("events", [])]
@@ -171,7 +212,7 @@ def cmd_slowest(args):
 
 
 def cmd_orphans(args):
-    faults, trials = load(args.ledger)
+    faults, trials = load_many(args.ledgers)
     dropped_by_trial = {(t["kernel"], t["trial"]): t.get("exposed_dropped", 0)
                         for t in trials}
     bad = 0
@@ -203,7 +244,7 @@ def cmd_orphans(args):
 
 
 def cmd_reconcile(args):
-    faults, trials = load(args.ledger)
+    faults, trials = load_many(args.ledgers)
     try:
         with open(args.report) as f:
             report = json.load(f)
@@ -262,7 +303,7 @@ def cmd_reconcile(args):
 
 def cmd_canon(args):
     """Determinism surface: ledger lines minus the cycle stamps."""
-    faults, trials = load(args.ledger)
+    faults, trials = load_many(args.ledgers)
     out = sys.stdout
 
     def strip(rec):
@@ -283,7 +324,7 @@ def main():
     sub = ap.add_subparsers(dest="cmd", required=True)
 
     p = sub.add_parser("timeline", help="per-fault stage timelines")
-    p.add_argument("ledger")
+    p.add_argument("ledgers", nargs="+", metavar="ledger")
     p.add_argument("--trial", type=int)
     p.add_argument("--fault", type=int)
     p.add_argument("--limit", type=int, default=20)
@@ -292,28 +333,28 @@ def main():
     p.set_defaults(fn=cmd_timeline)
 
     p = sub.add_parser("funnel", help="stage-transition counts")
-    p.add_argument("ledger")
+    p.add_argument("ledgers", nargs="+", metavar="ledger")
     p.set_defaults(fn=cmd_funnel)
 
     p = sub.add_parser("slowest", help="longest chains by cycle span")
-    p.add_argument("ledger")
+    p.add_argument("ledgers", nargs="+", metavar="ledger")
     p.add_argument("-n", "--limit", type=int, default=10)
     p.set_defaults(fn=cmd_slowest)
 
     p = sub.add_parser("orphans", help="unresolved/double-counted records")
-    p.add_argument("ledger")
+    p.add_argument("ledgers", nargs="+", metavar="ledger")
     p.set_defaults(fn=cmd_orphans)
 
     p = sub.add_parser("reconcile",
                        help="cross-check ledger vs campaign --json report")
-    p.add_argument("ledger")
+    p.add_argument("ledgers", nargs="+", metavar="ledger")
     p.add_argument("--report", required=True)
     p.add_argument("-v", "--verbose", action="store_true",
                    help="print every check, not just mismatches")
     p.set_defaults(fn=cmd_reconcile)
 
     p = sub.add_parser("canon", help="cycle-stripped canonical lines")
-    p.add_argument("ledger")
+    p.add_argument("ledgers", nargs="+", metavar="ledger")
     p.set_defaults(fn=cmd_canon)
 
     args = ap.parse_args()
