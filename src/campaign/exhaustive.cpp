@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <mutex>
 #include <thread>
 #include <vector>
 
@@ -148,7 +149,8 @@ std::string Result::to_json() const {
 }
 
 Result run(const Options& opt,
-           const std::function<void(std::uint64_t, std::uint64_t)>& progress) {
+           const std::function<void(std::uint64_t, std::uint64_t)>& progress,
+           const std::function<bool()>& should_abort) {
   Result result;
   result.options = opt;
 
@@ -162,15 +164,26 @@ Result run(const Options& opt,
 
   std::atomic<std::uint64_t> next{0};
   std::atomic<std::uint64_t> done{0};
+  std::atomic<bool> aborted{false};
   std::vector<Counts> partials(threads);
+  std::mutex hooks_mu;
 
   auto worker = [&](unsigned id) {
     for (;;) {
+      if (aborted.load(std::memory_order_relaxed)) return;
       const std::uint64_t i = next.fetch_add(1, std::memory_order_relaxed);
       if (i >= total) return;
       partials[id].merge(enumerate_word(word_at(opt, i)));
       const std::uint64_t n = done.fetch_add(1, std::memory_order_relaxed) + 1;
-      if (progress) progress(n, total);
+      // The hooks are shared caller state; serialize their invocation
+      // (as campaign::run_campaign does for its progress callback) so a
+      // stateful callback cannot data-race on a multi-threaded sweep.
+      if (progress || should_abort) {
+        const std::lock_guard<std::mutex> lock(hooks_mu);
+        if (progress) progress(n, total);
+        if (should_abort && should_abort())
+          aborted.store(true, std::memory_order_relaxed);
+      }
     }
   };
 
@@ -183,6 +196,7 @@ Result run(const Options& opt,
     for (auto& t : pool) t.join();
   }
 
+  result.aborted = aborted.load(std::memory_order_relaxed);
   // Pure uint64 adds: any merge order yields the same bits, so the pool's
   // completion order cannot leak into the result.
   for (const Counts& p : partials) result.counts.merge(p);

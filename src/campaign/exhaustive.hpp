@@ -76,6 +76,10 @@ inline constexpr std::uint64_t kDoublesPerWord = 72 * 71 / 2;  // 2556
 struct Result {
   Options options;
   Counts counts;
+  /// True iff `should_abort` stopped the sweep early; counts then cover
+  /// only the words finished before the abort and must not be reported
+  /// as a full enumeration.
+  bool aborted = false;
 
   /// True iff the analytic SECDED guarantees held exactly over the whole
   /// enumerated space.
@@ -94,9 +98,13 @@ struct Result {
 [[nodiscard]] Counts enumerate_word(std::uint64_t data);
 
 /// Run the sweep. `progress`, when set, is called after each finished word
-/// with (words_done, words_total).
+/// with (words_done, words_total); `should_abort`, when set, is polled at
+/// the same cadence and abandons the sweep (Result::aborted) on true.
+/// Both hooks are serialized under one internal mutex, so stateful
+/// callbacks need no locking of their own even on multi-threaded sweeps.
 [[nodiscard]] Result run(
     const Options& opt,
-    const std::function<void(std::uint64_t, std::uint64_t)>& progress = {});
+    const std::function<void(std::uint64_t, std::uint64_t)>& progress = {},
+    const std::function<bool()>& should_abort = {});
 
 }  // namespace abftecc::campaign::exhaustive

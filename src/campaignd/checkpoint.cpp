@@ -53,27 +53,17 @@ bool make_directories(const std::string& path, std::string* error) {
   return true;
 }
 
-namespace {
-
-/// Write `payload` + checksum trailer to `path` atomically: a tmp file in
-/// the same directory is fully written and fsync'd before rename() makes
-/// it visible, so readers only ever see whole files.
-bool atomic_write(const std::string& path, std::string_view payload,
-                  std::string* error) {
+bool atomic_write_file(const std::string& path, std::string_view payload,
+                       std::string* error) {
   const std::string tmp = path + ".tmp";
   const int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0666);
   if (fd < 0) {
     if (error != nullptr) *error = "open " + tmp + ": " + std::strerror(errno);
     return false;
   }
-  char trailer[40];
-  std::snprintf(trailer, sizeof(trailer), "\nfletcher64 %016" PRIx64 "\n",
-                checksum(payload));
-  std::string body(payload);
-  body += trailer;
   std::size_t off = 0;
-  while (off < body.size()) {
-    const ssize_t n = ::write(fd, body.data() + off, body.size() - off);
+  while (off < payload.size()) {
+    const ssize_t n = ::write(fd, payload.data() + off, payload.size() - off);
     if (n < 0) {
       if (errno == EINTR) continue;
       if (error != nullptr)
@@ -96,6 +86,20 @@ bool atomic_write(const std::string& path, std::string_view payload,
     return false;
   }
   return true;
+}
+
+namespace {
+
+/// atomic_write_file with the Fletcher-64 checksum trailer checkpoint
+/// files carry (verified_read strips and checks it).
+bool atomic_write(const std::string& path, std::string_view payload,
+                  std::string* error) {
+  char trailer[40];
+  std::snprintf(trailer, sizeof(trailer), "\nfletcher64 %016" PRIx64 "\n",
+                checksum(payload));
+  std::string body(payload);
+  body += trailer;
+  return atomic_write_file(path, body, error);
 }
 
 /// Read a checkpoint file and verify its checksum trailer. Returns the

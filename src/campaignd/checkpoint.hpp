@@ -21,6 +21,7 @@
 #include <cstdint>
 #include <map>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "campaign/accumulator.hpp"
@@ -30,6 +31,16 @@ namespace abftecc::campaignd {
 /// mkdir -p: create `path` and any missing parents (EEXIST is success).
 [[nodiscard]] bool make_directories(const std::string& path,
                                     std::string* error);
+
+/// Write `payload` to `path` atomically and durably: a tmp file in the
+/// same directory is fully written and fsync'd before rename() makes it
+/// visible, so a crash or power loss at any instant leaves either the
+/// old file or the complete new one -- never a truncated mix. No
+/// checksum trailer is added (checkpoint files get one on top of this;
+/// see CampaignCheckpoint).
+[[nodiscard]] bool atomic_write_file(const std::string& path,
+                                     std::string_view payload,
+                                     std::string* error);
 
 /// One finished chunk: trial range [begin, end), its partial accumulator,
 /// and the exact output lines its trials produced.

@@ -8,10 +8,12 @@
 #include <unistd.h>
 
 #include <algorithm>
+#include <atomic>
 #include <cerrno>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <thread>
 
 #include "campaign/exhaustive.hpp"
 #include "campaignd/checkpoint.hpp"
@@ -22,14 +24,6 @@
 namespace abftecc::campaignd {
 
 namespace {
-
-bool write_file(const std::string& path, std::string_view content) {
-  std::FILE* f = std::fopen(path.c_str(), "wb");
-  if (f == nullptr) return false;
-  const bool ok =
-      std::fwrite(content.data(), 1, content.size(), f) == content.size();
-  return std::fclose(f) == 0 && ok;
-}
 
 bool read_file(const std::string& path, std::string* content) {
   std::FILE* f = std::fopen(path.c_str(), "rb");
@@ -318,7 +312,8 @@ void Server::handle_line(Connection& conn, const std::string& line) {
                                            : job.spec.options.trials;
     std::string mkerr;
     if (!make_directories(job.dir, &mkerr) ||
-        !write_file(job.dir + "/spec.json", job_to_json(job.spec) + "\n")) {
+        !atomic_write_file(job.dir + "/spec.json",
+                           job_to_json(job.spec) + "\n", &mkerr)) {
       reply_error(conn, "submit: cannot spool job: " + mkerr);
       return;
     }
@@ -458,14 +453,16 @@ void Server::handle_line(Connection& conn, const std::string& line) {
 bool Server::write_job_outputs(Job& job, const std::string& trials,
                                const std::string& lineage,
                                const std::string& aggregate) {
-  if (!write_file(job.dir + "/trials.jsonl", trials) ||
-      !write_file(job.dir + "/aggregate.json", aggregate + "\n")) {
-    job.error = "cannot write job outputs under " + job.dir;
+  std::string werr;
+  if (!atomic_write_file(job.dir + "/trials.jsonl", trials, &werr) ||
+      !atomic_write_file(job.dir + "/aggregate.json", aggregate + "\n",
+                         &werr)) {
+    job.error = "cannot write job outputs: " + werr;
     return false;
   }
   if (job.spec.options.lineage &&
-      !write_file(job.dir + "/lineage.jsonl", lineage)) {
-    job.error = "cannot write lineage output under " + job.dir;
+      !atomic_write_file(job.dir + "/lineage.jsonl", lineage, &werr)) {
+    job.error = "cannot write lineage output: " + werr;
     return false;
   }
   obs::JsonWriter w;
@@ -474,11 +471,12 @@ bool Server::write_job_outputs(Job& job, const std::string& trials,
   w.field("id", job.id);
   w.field("state", "done");
   w.end_object();
-  // The done marker is written LAST: its presence certifies every output
-  // file above it is complete (a SIGKILL in between leaves the job
-  // resumable, never half-trusted).
-  if (!write_file(job.dir + "/done.json", w.take() + "\n")) {
-    job.error = "cannot write done marker under " + job.dir;
+  // The done marker is written LAST, and every file (marker included)
+  // goes through atomic_write_file's tmp+fsync+rename, so its presence
+  // certifies every output above it is complete and durable -- whether
+  // the interruption was a SIGKILL, a crash, or power loss.
+  if (!atomic_write_file(job.dir + "/done.json", w.take() + "\n", &werr)) {
+    job.error = "cannot write done marker: " + werr;
     return false;
   }
   job.aggregate = aggregate;
@@ -526,8 +524,35 @@ void Server::run_campaign_job(Job& job) {
 }
 
 void Server::run_exhaustive_job(Job& job) {
-  const campaign::exhaustive::Result r =
-      campaign::exhaustive::run(job.spec.exhaustive_options);
+  // The sweep runs on its own thread so the supervisor can keep
+  // servicing the control socket (ping/status/submit/wait stay answered
+  // mid-job, as for sharded jobs) and can translate request_stop into an
+  // abort instead of grinding to the end.
+  std::atomic<std::uint64_t> words_done{0};
+  std::atomic<bool> abort{false};
+  std::atomic<bool> finished{false};
+  campaign::exhaustive::Result r;
+  std::thread sweep([&] {
+    r = campaign::exhaustive::run(
+        job.spec.exhaustive_options,
+        [&](std::uint64_t done, std::uint64_t) {
+          words_done.store(done, std::memory_order_relaxed);
+        },
+        [&] { return abort.load(std::memory_order_relaxed); });
+    finished.store(true, std::memory_order_release);
+  });
+  while (!finished.load(std::memory_order_acquire)) {
+    if (stop_) abort.store(true, std::memory_order_relaxed);
+    service_once(50);
+    job.trials_done = words_done.load(std::memory_order_relaxed);
+  }
+  sweep.join();
+  job.trials_done = words_done.load(std::memory_order_relaxed);
+  if (r.aborted) {
+    job.state = JobState::kInterrupted;
+    job.error = "interrupted by daemon shutdown; resume to rerun the sweep";
+    return;
+  }
   job.trials_done = r.options.words;
   if (!write_job_outputs(job, "", "", r.to_json())) {
     job.state = JobState::kFailed;

@@ -5,9 +5,10 @@
 // multi-process runner (shard.hpp).
 //
 // Control stays responsive DURING jobs: the shard supervisor's poll loop
-// invokes the server's service pass between chunk completions, so ping/
-// status/submit/wait round-trips keep working while a million-trial
-// sweep runs.
+// invokes the server's service pass between chunk completions, and an
+// exhaustive sweep runs on its own thread while the supervisor services
+// the socket, so ping/status/submit/wait round-trips keep working while
+// a million-trial sweep runs.
 //
 // Durability: every job gets a spool directory under
 // <state_dir>/jobs/<id>/ holding its spec (spec.json), its Fletcher-64
@@ -108,7 +109,11 @@ class Server {
   volatile bool stop_ = false;
   bool in_service_ = false;  ///< re-entrancy guard for the mid-job pass
   std::vector<Connection> conns_;
-  std::vector<Job> jobs_;
+  /// Deque, NOT vector: the mid-job service pass can accept a `submit`
+  /// (push_back) while run_next_job / the shard progress callback hold a
+  /// reference to the running Job, so elements must stay pointer-stable
+  /// under growth.
+  std::deque<Job> jobs_;
   std::deque<std::string> queue_;  ///< FIFO of queued job ids
   std::string running_;            ///< id of the job executing now ('')
   unsigned next_job_ = 1;

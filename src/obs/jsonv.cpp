@@ -281,6 +281,15 @@ double JsonValue::as_double(double fallback) const {
     return static_cast<double>(*u);
   if (const std::int64_t* i = std::get_if<std::int64_t>(&v_))
     return static_cast<double>(*i);
+  // JSON has no NaN/Inf literals, so JsonWriter emits non-finite doubles
+  // as the strings "NaN"/"Infinity"/"-Infinity" (json.cpp). Map those
+  // sentinels back so a non-finite value survives the round trip instead
+  // of collapsing to the fallback.
+  if (const std::string* s = std::get_if<std::string>(&v_)) {
+    if (*s == "NaN") return std::numeric_limits<double>::quiet_NaN();
+    if (*s == "Infinity") return std::numeric_limits<double>::infinity();
+    if (*s == "-Infinity") return -std::numeric_limits<double>::infinity();
+  }
   return fallback;
 }
 

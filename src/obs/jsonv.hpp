@@ -62,6 +62,9 @@ class JsonValue {
     const bool* b = std::get_if<bool>(&v_);
     return b != nullptr ? *b : fallback;
   }
+  /// Coerces any number alternative; the writer's non-finite string
+  /// sentinels ("NaN"/"Infinity"/"-Infinity") map back to the matching
+  /// double so non-finite values round-trip (see json.hpp).
   [[nodiscard]] double as_double(double fallback = 0.0) const;
   [[nodiscard]] std::uint64_t as_u64(std::uint64_t fallback = 0) const;
   [[nodiscard]] std::int64_t as_i64(std::int64_t fallback = 0) const;

@@ -150,6 +150,29 @@ TEST(Accumulator, JsonRoundTripIsBitExact) {
   EXPECT_EQ(back.to_json(), json);
 }
 
+TEST(Accumulator, NonFiniteMaxAbsErrorSurvivesJsonRoundTrip) {
+  // An exposed fault can blow max_abs_error up to infinity; the sharded/
+  // checkpoint path round-trips the accumulator through JSON, where the
+  // writer encodes non-finite doubles as string sentinels. Those must
+  // parse back to the same value or a sharded sweep silently
+  // underreports the error magnitude relative to the in-process path.
+  const Accumulator empty(tiny_options());
+  std::string json = empty.to_json();
+  const std::string needle = "\"max_abs_error\":0";
+  const std::size_t pos = json.find(needle);
+  ASSERT_NE(pos, std::string::npos) << json;
+  json.replace(pos, needle.size(), "\"max_abs_error\":\"Infinity\"");
+
+  std::string error;
+  const auto parsed = obs::json_parse(json, &error);
+  ASSERT_TRUE(parsed.has_value()) << error;
+  Accumulator back;
+  ASSERT_TRUE(back.from_json(*parsed, &error)) << error;
+  EXPECT_NE(back.to_json().find("\"max_abs_error\":\"Infinity\""),
+            std::string::npos)
+      << back.to_json();
+}
+
 TEST(Accumulator, OfMatchesManualFold) {
   CampaignOptions opt = tiny_options();
   opt.trials = 6;
@@ -193,6 +216,27 @@ TEST(Exhaustive, CoversFullSpaceWithExactCounts) {
   // thread count cannot change a single count.
   EXPECT_TRUE(multi.counts == single.counts);
   EXPECT_EQ(multi.to_json(), single.to_json());
+}
+
+TEST(Exhaustive, ShouldAbortStopsTheSweepEarly) {
+  campaign::exhaustive::Options ex;
+  ex.words = 64;
+  ex.seed = 7;
+  ex.threads = 2;
+  std::uint64_t calls = 0;
+  const auto r = campaign::exhaustive::run(
+      ex, /*progress=*/{},
+      [&] { return ++calls >= 4; });  // hooks are serialized: no lock needed
+  EXPECT_TRUE(r.aborted);
+  // The abort lands within a word or two of the trigger (each worker may
+  // finish the word it already claimed), far short of the full space.
+  EXPECT_LT(r.counts.singles_total,
+            ex.words * campaign::exhaustive::kSinglesPerWord);
+  EXPECT_FALSE(r.ok());
+
+  // A sweep nobody aborts reports aborted == false.
+  ex.words = 2;
+  EXPECT_FALSE(campaign::exhaustive::run(ex).aborted);
 }
 
 // ------------------------------------------------------------ protocol --

@@ -5,6 +5,7 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <cmath>
 #include <cstdlib>
 #include <limits>
 #include <string>
@@ -16,6 +17,7 @@
 #include "common/rng.hpp"
 #include "fault/injector.hpp"
 #include "obs/json.hpp"
+#include "obs/jsonv.hpp"
 #include "obs/metrics.hpp"
 #include "obs/profile.hpp"
 #include "obs/trace.hpp"
@@ -72,6 +74,28 @@ TEST(Json, NonFiniteDoublesEmitNamedStrings) {
   EXPECT_NE(w.str().find("\"pinf\":\"Infinity\""), std::string::npos);
   EXPECT_NE(w.str().find("\"ninf\":\"-Infinity\""), std::string::npos);
   EXPECT_NE(w.str().find("\"finite\":2.5"), std::string::npos);
+}
+
+TEST(Json, NonFiniteStringSentinelsParseBackToDoubles) {
+  // The reader half of the contract above: the named strings the writer
+  // emits for NaN/Inf must map back to the doubles they stand for, or a
+  // non-finite value silently collapses to the fallback on any
+  // serialize/parse round trip (e.g. a checkpointed accumulator).
+  JsonWriter w;
+  w.begin_object()
+      .field("nan", std::numeric_limits<double>::quiet_NaN())
+      .field("pinf", std::numeric_limits<double>::infinity())
+      .field("ninf", -std::numeric_limits<double>::infinity())
+      .field("plain", std::string("Infinite"))
+      .end_object();
+  std::string error;
+  const auto v = json_parse(w.str(), &error);
+  ASSERT_TRUE(v.has_value()) << error;
+  EXPECT_TRUE(std::isnan(v->num("nan")));
+  EXPECT_EQ(v->num("pinf"), std::numeric_limits<double>::infinity());
+  EXPECT_EQ(v->num("ninf"), -std::numeric_limits<double>::infinity());
+  // Only the exact sentinels map; other strings still hit the fallback.
+  EXPECT_EQ(v->num("plain", -1.0), -1.0);
 }
 
 TEST(Json, EscapingHandlesControlAndBoundaryCharacters) {
