@@ -2,10 +2,11 @@
 // checksum-vs-verification breakdown of Figure 3), and options.
 #pragma once
 
-#include <chrono>
 #include <cstdint>
 #include <string>
 #include <string_view>
+
+#include "common/backend.hpp"
 
 namespace abftecc::abft {
 
@@ -47,22 +48,22 @@ struct FtStats {
   }
 };
 
-/// Scoped phase timer accumulating into an FtStats field.
+/// Scoped phase timer accumulating into an FtStats field. Reads the
+/// backend's native time source (common/backend.hpp): simulated cycles in
+/// simulated mode -- deterministic, immune to host scheduling noise -- and
+/// host steady_clock in native mode or when no backend is attached.
 class PhaseTimer {
  public:
-  explicit PhaseTimer(double& sink)
-      : sink_(sink), start_(std::chrono::steady_clock::now()) {}
-  ~PhaseTimer() {
-    sink_ += std::chrono::duration<double>(std::chrono::steady_clock::now() -
-                                           start_)
-                 .count();
-  }
+  explicit PhaseTimer(double& sink, TickClock clock = {})
+      : sink_(sink), clock_(clock), start_(clock_.now()) {}
+  ~PhaseTimer() { sink_ += clock_.seconds_since(start_); }
   PhaseTimer(const PhaseTimer&) = delete;
   PhaseTimer& operator=(const PhaseTimer&) = delete;
 
  private:
   double& sink_;
-  std::chrono::steady_clock::time_point start_;
+  TickClock clock_;
+  std::uint64_t start_;
 };
 
 /// Options common to the fail-continue kernels.

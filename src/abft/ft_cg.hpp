@@ -71,6 +71,14 @@ class FtCg {
   FtCg(const FtCg&) = delete;
   FtCg& operator=(const FtCg&) = delete;
 
+  /// Run through a memory backend (common/backend.hpp): tap and FtStats
+  /// time source both come from the backend.
+  template <MemBackend B>
+  FtCgResult run(B& be) {
+    clock_ = be.clock();
+    return run(be.tap());
+  }
+
   template <MemTap Tap = NullTap>
   FtCgResult run(Tap tap = {}) {
     const std::size_t n = b_.size();
@@ -138,7 +146,7 @@ class FtCg {
     ScopedPhase phase(rt_, obs::EventKind::kVerify, "ft_cg.verify");
     if (opt_.hardware_assisted && rt_ != nullptr &&
         rt_->hardware_assisted_available()) {
-      PhaseTimer t(stats_.verify_seconds);
+      PhaseTimer t(stats_.verify_seconds, clock_);
       if (!rt_->errors_pending()) return FtStatus::kOk;
       rt_->drain_located_errors();  // locations noted; repair is uniform
       ++stats_.hw_notifications_used;
@@ -149,14 +157,14 @@ class FtCg {
       ++stats_.errors_corrected;
       return FtStatus::kCorrectedErrors;
     }
-    PhaseTimer t(stats_.verify_seconds);
+    PhaseTimer t(stats_.verify_seconds, clock_);
     return full_verify(m, rho, tap);
   }
 
  private:
   template <MemTap Tap>
   void encode_b(Tap tap) {
-    PhaseTimer t(stats_.encode_seconds);
+    PhaseTimer t(stats_.encode_seconds, clock_);
     ScopedPhase phase(rt_, obs::EventKind::kEncode, "ft_cg.encode");
     b_sum_ = 0.0;
     b_weighted_ = 0.0;
@@ -170,7 +178,7 @@ class FtCg {
   /// Encode the static column checksums of A (checksum-maintenance phase).
   template <MemTap Tap>
   void encode_a(Tap tap) {
-    PhaseTimer t(stats_.encode_seconds);
+    PhaseTimer t(stats_.encode_seconds, clock_);
     ScopedPhase phase(rt_, obs::EventKind::kEncode, "ft_cg.encode");
     const std::size_t n = a_.cols();
     a_sum_.assign(n, 0.0);
@@ -187,7 +195,7 @@ class FtCg {
         verify_columns(ConstMatrixView(a_), a_sum_, a_weighted_,
                        opt_.tolerance, a_scale, 0, tap);
     if (errors.empty()) return true;
-    PhaseTimer t(stats_.correct_seconds);
+    PhaseTimer t(stats_.correct_seconds, clock_);
     ScopedPhase sp(rt_, obs::EventKind::kRecover, "ft_cg.correct");
     for (const auto& e : errors) {
       ++stats_.errors_detected;
@@ -214,7 +222,7 @@ class FtCg {
     const double ds = s - b_sum_;
     if (std::abs(ds) <= threshold) return true;
     ++stats_.errors_detected;
-    PhaseTimer t(stats_.correct_seconds);
+    PhaseTimer t(stats_.correct_seconds, clock_);
     ScopedPhase sp(rt_, obs::EventKind::kRecover, "ft_cg.correct");
     const double dw = wsum - b_weighted_;
     const double row_f = dw / ds - 1.0;
@@ -291,13 +299,13 @@ class FtCg {
     if (a_was_repaired) {
       // The operator was corrupted for some iterations: restart the
       // direction from the repaired A.
-      PhaseTimer t(stats_.correct_seconds);
+      PhaseTimer t(stats_.correct_seconds, clock_);
       ScopedPhase sp(rt_, obs::EventKind::kRecover, "ft_cg.correct");
       repair(m, rho, tap);
       return FtStatus::kCorrectedErrors;
     }
     ++stats_.errors_detected;
-    PhaseTimer t(stats_.correct_seconds);
+    PhaseTimer t(stats_.correct_seconds, clock_);
     ScopedPhase sp(rt_, obs::EventKind::kRecover, "ft_cg.correct");
     repair(m, rho, tap);
     ++stats_.errors_corrected;
@@ -310,6 +318,10 @@ class FtCg {
   linalg::CgOptions cg_opt_;
   FtOptions opt_;
   Runtime* rt_;
+  /// FtStats time source: simulated cycles when the runtime has an Os
+  /// attached, host steady_clock otherwise; run(backend) overrides it
+  /// with the backend's clock.
+  TickClock clock_ = rt_ != nullptr ? rt_->clock() : TickClock{};
   std::size_t ids_[6] = {};
   double b_sum_ = 0.0, b_weighted_ = 0.0;
   std::vector<double> a_sum_, a_weighted_;

@@ -60,6 +60,14 @@ class FtCholesky {
   FtCholesky(const FtCholesky&) = delete;
   FtCholesky& operator=(const FtCholesky&) = delete;
 
+  /// Run through a memory backend (common/backend.hpp): tap and FtStats
+  /// time source both come from the backend.
+  template <MemBackend B>
+  FtStatus run(B& be) {
+    clock_ = be.clock();
+    return run(be.tap());
+  }
+
   template <MemTap Tap = NullTap>
   FtStatus run(Tap tap = {}) {
     const std::size_t n = buf_.a.rows();
@@ -145,11 +153,11 @@ class FtCholesky {
     ScopedPhase phase(rt_, obs::EventKind::kVerify, "ft_cholesky.verify");
     if (opt_.hardware_assisted && rt_ != nullptr &&
         rt_->hardware_assisted_available()) {
-      PhaseTimer t(stats_.verify_seconds);
+      PhaseTimer t(stats_.verify_seconds, clock_);
       if (!rt_->errors_pending()) return FtStatus::kOk;
       return correct_from_notifications(k, tap);
     }
-    PhaseTimer t(stats_.verify_seconds);
+    PhaseTimer t(stats_.verify_seconds, clock_);
     return full_verify(tap);
   }
 
@@ -157,7 +165,7 @@ class FtCholesky {
   /// Initial encoding of S and W over the stored lower triangle.
   template <MemTap Tap>
   void encode_all(Tap tap) {
-    PhaseTimer t(stats_.encode_seconds);
+    PhaseTimer t(stats_.encode_seconds, clock_);
     ScopedPhase phase(rt_, obs::EventKind::kEncode, "ft_cholesky.encode");
     const std::size_t n = buf_.a.rows();
     for (std::size_t j = 0; j < n; ++j) {
@@ -179,7 +187,7 @@ class FtCholesky {
   /// the TRSM will transform.
   template <MemTap Tap>
   void split_out_diag_contribution(std::size_t k, std::size_t b, Tap tap) {
-    PhaseTimer t(stats_.encode_seconds);
+    PhaseTimer t(stats_.encode_seconds, clock_);
     ScopedPhase phase(rt_, obs::EventKind::kEncode, "ft_cholesky.encode");
     for (std::size_t j = 0; j < b; ++j) {
       double s = 0.0, w = 0.0;
@@ -199,7 +207,7 @@ class FtCholesky {
   /// fold it back into the panel checksums.
   template <MemTap Tap>
   void add_back_diag_contribution(std::size_t k, std::size_t b, Tap tap) {
-    PhaseTimer t(stats_.encode_seconds);
+    PhaseTimer t(stats_.encode_seconds, clock_);
     ScopedPhase phase(rt_, obs::EventKind::kEncode, "ft_cholesky.encode");
     for (std::size_t j = 0; j < b; ++j) {
       double s = 0.0, w = 0.0;
@@ -220,7 +228,7 @@ class FtCholesky {
   template <MemTap Tap>
   bool verify_diag_factorization(std::size_t k, std::size_t b,
                                  const Matrix& diag_copy, Tap tap) {
-    PhaseTimer t(stats_.verify_seconds);
+    PhaseTimer t(stats_.verify_seconds, clock_);
     ScopedPhase phase(rt_, obs::EventKind::kVerify, "ft_cholesky.verify");
     const double threshold =
         opt_.tolerance * scale_ * static_cast<double>(buf_.a.rows());
@@ -244,7 +252,7 @@ class FtCholesky {
   /// panel completes -- O((n-k) b).
   template <MemTap Tap>
   FtStatus verify_panel(std::size_t k, std::size_t b, Tap tap) {
-    PhaseTimer t(stats_.verify_seconds);
+    PhaseTimer t(stats_.verify_seconds, clock_);
     ScopedPhase phase(rt_, obs::EventKind::kVerify, "ft_cholesky.verify");
     const std::size_t n = buf_.a.rows();
     const double threshold =
@@ -283,7 +291,7 @@ class FtCholesky {
   template <MemTap Tap>
   void maintain_checksums_through_update_pre(std::size_t k2, std::size_t b,
                                              Tap tap) {
-    PhaseTimer t(stats_.encode_seconds);
+    PhaseTimer t(stats_.encode_seconds, clock_);
     ScopedPhase phase(rt_, obs::EventKind::kEncode, "ft_cholesky.encode");
     const std::size_t n = buf_.a.rows();
     const std::size_t rest = n - k2;
@@ -321,7 +329,7 @@ class FtCholesky {
       const double ds = s - buf_.sum[j];
       if (std::abs(ds) <= threshold) continue;
       ++stats_.errors_detected;
-      PhaseTimer t(stats_.correct_seconds);
+      PhaseTimer t(stats_.correct_seconds, clock_);
       ScopedPhase phase(rt_, obs::EventKind::kRecover, "ft_cholesky.correct");
       tap.read(&buf_.weighted[j]);
       const double dw = w - buf_.weighted[j];
@@ -362,7 +370,7 @@ class FtCholesky {
         // split; fall back to a full verification instead.
         return full_verify(tap);
       }
-      PhaseTimer t(stats_.correct_seconds);
+      PhaseTimer t(stats_.correct_seconds, clock_);
       double s = 0.0;
       for (std::size_t r = j; r < n; ++r) {
         tap.read(&buf_.a(r, j));
@@ -379,6 +387,10 @@ class FtCholesky {
   Buffers buf_;
   FtOptions opt_;
   Runtime* rt_;
+  /// FtStats time source: simulated cycles when the runtime has an Os
+  /// attached, host steady_clock otherwise; run(backend) overrides it
+  /// with the backend's clock.
+  TickClock clock_ = rt_ != nullptr ? rt_->clock() : TickClock{};
   std::size_t nb_;
   std::size_t struct_id_ = 0;
   double scale_ = 1.0;

@@ -56,6 +56,16 @@ class FtDgemm {
   FtDgemm(const FtDgemm&) = delete;
   FtDgemm& operator=(const FtDgemm&) = delete;
 
+  /// Run through a memory backend (common/backend.hpp): same algorithm,
+  /// with the tap and the FtStats time source both supplied by the
+  /// backend -- simulated cycles under SimBackend, steady_clock under
+  /// NativeBackend.
+  template <MemBackend B>
+  FtStatus run(B& be) {
+    clock_ = be.clock();
+    return run(be.tap());
+  }
+
   /// Full run: encode, multiply with periodic verification, final verify.
   /// With a RecoveryManager attached to the runtime the kernel walks the
   /// escalation ladder instead of surfacing kUncorrectable: per-block
@@ -117,11 +127,11 @@ class FtDgemm {
     ScopedPhase phase(rt_, obs::EventKind::kVerify, "ft_dgemm.verify");
     if (opt_.hardware_assisted && rt_ != nullptr &&
         rt_->hardware_assisted_available()) {
-      PhaseTimer t(stats_.verify_seconds);
+      PhaseTimer t(stats_.verify_seconds, clock_);
       if (!rt_->errors_pending()) return FtStatus::kOk;
       return correct_from_notifications(tap);
     }
-    PhaseTimer t(stats_.verify_seconds);
+    PhaseTimer t(stats_.verify_seconds, clock_);
     return full_verify(tap);
   }
 
@@ -231,7 +241,7 @@ class FtDgemm {
   /// the recomputed values bypass the encoded copies entirely.
   template <MemTap Tap>
   void recompute_from_inputs(Tap tap) {
-    PhaseTimer t(stats_.correct_seconds);
+    PhaseTimer t(stats_.correct_seconds, clock_);
     ScopedPhase phase(rt_, obs::EventKind::kRecover, "ft_dgemm.recompute",
                       obs::Phase::kRecompute);
     const std::size_t m = a_.rows(), n = b_.cols();
@@ -268,7 +278,7 @@ class FtDgemm {
 
   template <MemTap Tap>
   void encode(Tap tap) {
-    PhaseTimer t(stats_.encode_seconds);
+    PhaseTimer t(stats_.encode_seconds, clock_);
     ScopedPhase phase(rt_, obs::EventKind::kEncode, "ft_dgemm.encode");
     const std::size_t m = a_.rows(), n = b_.cols(), kk = a_.cols();
     // A^c: copy A and append the column-sum row.
@@ -314,7 +324,7 @@ class FtDgemm {
       const std::size_t i = e.element_index % buf_.cf.ld();
       const std::size_t j = e.element_index / buf_.cf.ld();
       if (i > m || j > n) continue;
-      PhaseTimer t(stats_.correct_seconds);
+      PhaseTimer t(stats_.correct_seconds, clock_);
       if (i == m || j == n) {
         // Corrupted checksum entry: recompute it from the payload.
         refresh_checksum_entry(i, j, tap);
@@ -405,7 +415,7 @@ class FtDgemm {
     last_bad_cols_ = bad_cols;
     if (bad_cols.empty() && bad_rows.empty()) return FtStatus::kOk;
 
-    PhaseTimer t(stats_.correct_seconds);
+    PhaseTimer t(stats_.correct_seconds, clock_);
     ScopedPhase recover(rt_, obs::EventKind::kRecover, "ft_dgemm.recover");
     stats_.errors_detected += std::max(bad_cols.size(), bad_rows.size());
 
@@ -477,6 +487,10 @@ class FtDgemm {
   Buffers buf_;
   FtOptions opt_;
   Runtime* rt_;
+  /// FtStats time source: simulated cycles when the runtime has an Os
+  /// attached, host steady_clock otherwise; run(backend) overrides it
+  /// with the backend's clock.
+  TickClock clock_ = rt_ != nullptr ? rt_->clock() : TickClock{};
   std::size_t struct_id_ = 0;
   double scale_ = 1.0;
   FtStats stats_;

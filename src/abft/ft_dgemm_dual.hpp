@@ -54,6 +54,14 @@ class FtDgemmDual {
   FtDgemmDual(const FtDgemmDual&) = delete;
   FtDgemmDual& operator=(const FtDgemmDual&) = delete;
 
+  /// Run through a memory backend (common/backend.hpp): tap and FtStats
+  /// time source both come from the backend.
+  template <MemBackend B>
+  FtStatus run(B& be) {
+    clock_ = be.clock();
+    return run(be.tap());
+  }
+
   template <MemTap Tap = NullTap>
   FtStatus run(Tap tap = {}) {
     encode(tap);
@@ -81,7 +89,7 @@ class FtDgemmDual {
   FtStatus verify_and_correct(Tap tap = {}) {
     ++stats_.verifications;
     ScopedPhase phase(rt_, obs::EventKind::kVerify, "ft_dgemm_dual.verify");
-    PhaseTimer t(stats_.verify_seconds);
+    PhaseTimer t(stats_.verify_seconds, clock_);
     return full_verify(tap);
   }
 
@@ -93,7 +101,7 @@ class FtDgemmDual {
  private:
   template <MemTap Tap>
   void encode(Tap tap) {
-    PhaseTimer t(stats_.encode_seconds);
+    PhaseTimer t(stats_.encode_seconds, clock_);
     ScopedPhase phase(rt_, obs::EventKind::kEncode, "ft_dgemm_dual.encode");
     const std::size_t m = a_.rows(), n = b_.cols(), kk = a_.cols();
     for (std::size_t j = 0; j < kk; ++j) {
@@ -180,7 +188,7 @@ class FtDgemmDual {
       if (std::abs(res.ds) <= threshold && std::abs(res.dw) <= wthreshold)
         continue;
       ++stats_.errors_detected;
-      PhaseTimer t(stats_.correct_seconds);
+      PhaseTimer t(stats_.correct_seconds, clock_);
       ScopedPhase sp(rt_, obs::EventKind::kRecover, "ft_dgemm_dual.correct");
 
       // Hypothesis 1: a single error in this column. The weighted/sum
@@ -249,7 +257,7 @@ class FtDgemmDual {
 
     // Leftover bad rows with no bad column: corrupted row-checksum entries.
     if (columns_fixed == 0 && !bad_rows.empty()) {
-      PhaseTimer t(stats_.correct_seconds);
+      PhaseTimer t(stats_.correct_seconds, clock_);
       ScopedPhase sp(rt_, obs::EventKind::kRecover, "ft_dgemm_dual.correct");
       for (const std::size_t i : bad_rows) {
         refresh_row_checksums(i, tap);
@@ -308,6 +316,10 @@ class FtDgemmDual {
   Buffers buf_;
   FtOptions opt_;
   Runtime* rt_;
+  /// FtStats time source: simulated cycles when the runtime has an Os
+  /// attached, host steady_clock otherwise; run(backend) overrides it
+  /// with the backend's clock.
+  TickClock clock_ = rt_ != nullptr ? rt_->clock() : TickClock{};
   std::size_t struct_id_ = 0;
   double scale_ = 1.0;
   FtStats stats_;

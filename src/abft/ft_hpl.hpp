@@ -112,6 +112,14 @@ class FtHpl {
     return FtStatus::kOk;
   }
 
+  /// Factor through a memory backend (common/backend.hpp): tap and FtStats
+  /// time source both come from the backend.
+  template <MemBackend B>
+  FtStatus factor(B& be) {
+    clock_ = be.clock();
+    return factor(be.tap());
+  }
+
   /// Full factorization.
   template <MemTap Tap = NullTap>
   FtStatus factor(Tap tap = {}) {
@@ -137,7 +145,7 @@ class FtHpl {
   template <MemTap Tap = NullTap>
   FtStatus recover_process(std::size_t process, Tap tap = {}) {
     ABFTECC_REQUIRE(process < nproc_);
-    PhaseTimer t(stats_.correct_seconds);
+    PhaseTimer t(stats_.correct_seconds, clock_);
     ScopedPhase phase(rt_, obs::EventKind::kRecover, "ft_hpl.recover");
     const std::size_t k = next_k_;
     for (std::size_t o = process * h_; o < (process + 1) * h_; ++o) {
@@ -184,14 +192,14 @@ class FtHpl {
     ScopedPhase phase(rt_, obs::EventKind::kVerify, "ft_hpl.verify");
     if (opt_.hardware_assisted && rt_ != nullptr &&
         rt_->hardware_assisted_available()) {
-      PhaseTimer t(stats_.verify_seconds);
+      PhaseTimer t(stats_.verify_seconds, clock_);
       if (!rt_->errors_pending()) return FtStatus::kOk;
       rt_->drain_located_errors();
       ++stats_.hw_notifications_used;
       ++stats_.errors_detected;
       return FtStatus::kUncorrectable;  // located but repair is fail-stop's
     }
-    PhaseTimer t(stats_.verify_seconds);
+    PhaseTimer t(stats_.verify_seconds, clock_);
     const std::size_t k = next_k_;
     const double threshold = opt_.tolerance * scale_ *
                              static_cast<double>(n_) *
@@ -240,7 +248,7 @@ class FtHpl {
 
  private:
   void encode(ConstMatrixView a, std::span<const double> b) {
-    PhaseTimer t(stats_.encode_seconds);
+    PhaseTimer t(stats_.encode_seconds, clock_);
     ScopedPhase phase(rt_, obs::EventKind::kEncode, "ft_hpl.encode");
     for (std::size_t j = 0; j < n_; ++j)
       for (std::size_t i = 0; i < n_; ++i) buf_.ae(i, j) = a(i, j);
@@ -327,7 +335,7 @@ class FtHpl {
   /// Accumulate freshly frozen U rows into the static checksum block.
   template <MemTap Tap>
   void freeze_rows(std::size_t k, std::size_t b, Tap tap) {
-    PhaseTimer t(stats_.encode_seconds);
+    PhaseTimer t(stats_.encode_seconds, clock_);
     ScopedPhase phase(rt_, obs::EventKind::kEncode, "ft_hpl.encode");
     for (std::size_t pos = k; pos < k + b; ++pos) {
       const std::size_t c = orig_of_pos_[pos] % h_;
@@ -362,7 +370,7 @@ class FtHpl {
       const double ds = sum - buf_.ae(n_ + h_, j);
       if (std::abs(ds) <= threshold) continue;
       ++stats_.errors_detected;
-      PhaseTimer t(stats_.correct_seconds);
+      PhaseTimer t(stats_.correct_seconds, clock_);
       ScopedPhase sp(rt_, obs::EventKind::kRecover, "ft_hpl.correct");
       const double dw = wsum - buf_.ae(n_ + h_ + 1, j);
       const auto orig = static_cast<long long>(std::llround(dw / ds - 1.0));
@@ -383,6 +391,10 @@ class FtHpl {
   Buffers buf_;
   FtOptions opt_;
   Runtime* rt_;
+  /// FtStats time source: simulated cycles when the runtime has an Os
+  /// attached, host steady_clock otherwise; run(backend) overrides it
+  /// with the backend's clock.
+  TickClock clock_ = rt_ != nullptr ? rt_->clock() : TickClock{};
   std::size_t nb_;
   std::size_t struct_id_ = 0;
   std::size_t next_k_ = 0;

@@ -96,6 +96,14 @@ class FtQr {
     return FtStatus::kOk;
   }
 
+  /// Factor through a memory backend (common/backend.hpp): tap and FtStats
+  /// time source both come from the backend.
+  template <MemBackend B>
+  FtStatus factor(B& be) {
+    clock_ = be.clock();
+    return factor(be.tap());
+  }
+
   /// Full factorization with a final verification pass.
   template <MemTap Tap = NullTap>
   FtStatus factor(Tap tap = {}) {
@@ -117,11 +125,11 @@ class FtQr {
     ScopedPhase phase(rt_, obs::EventKind::kVerify, "ft_qr.verify");
     if (opt_.hardware_assisted && rt_ != nullptr &&
         rt_->hardware_assisted_available()) {
-      PhaseTimer t(stats_.verify_seconds);
+      PhaseTimer t(stats_.verify_seconds, clock_);
       if (!rt_->errors_pending()) return FtStatus::kOk;
       rt_->drain_located_errors();  // location known; full pass repairs
     }
-    PhaseTimer t(stats_.verify_seconds);
+    PhaseTimer t(stats_.verify_seconds, clock_);
     const double threshold =
         opt_.tolerance * scale_ * static_cast<double>(n_);
     const double wthreshold = threshold * static_cast<double>(n_);
@@ -251,7 +259,7 @@ class FtQr {
   /// re-verification fails and the ladder escalates to rollback.
   template <MemTap Tap>
   void recompute_trailing(Tap tap) {
-    PhaseTimer t(stats_.correct_seconds);
+    PhaseTimer t(stats_.correct_seconds, clock_);
     ScopedPhase phase(rt_, obs::EventKind::kRecover, "ft_qr.recompute",
                       obs::Phase::kRecompute);
     std::vector<double> tmp(m_);
@@ -291,7 +299,7 @@ class FtQr {
   }
 
   void encode(ConstMatrixView a) {
-    PhaseTimer t(stats_.encode_seconds);
+    PhaseTimer t(stats_.encode_seconds, clock_);
     ScopedPhase phase(rt_, obs::EventKind::kEncode, "ft_qr.encode");
     for (std::size_t i = 0; i < m_; ++i) {
       double s = 0.0, w = 0.0;
@@ -312,6 +320,10 @@ class FtQr {
   Buffers buf_;
   FtOptions opt_;
   Runtime* rt_;
+  /// FtStats time source: simulated cycles when the runtime has an Os
+  /// attached, host steady_clock otherwise; run(backend) overrides it
+  /// with the backend's clock.
+  TickClock clock_ = rt_ != nullptr ? rt_->clock() : TickClock{};
   std::size_t nb_;
   std::size_t struct_id_ = 0;
   std::size_t next_k_ = 0;

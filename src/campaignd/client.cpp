@@ -91,11 +91,33 @@ std::optional<obs::JsonValue> Client::call(const std::string& request,
 
 namespace {
 
+/// Start a request envelope: `{"protocol":1,"op":<op>` with the object
+/// left open for op-specific fields.
+obs::JsonWriter make_request(std::string_view op) {
+  obs::JsonWriter w;
+  w.begin_object();
+  w.field("protocol", kProtocolVersion);
+  w.field("op", op);
+  return w;
+}
+
 /// Lift a parsed response into success/failure: nullopt + error text when
-/// the daemon said {"ok":false}.
+/// the envelope version is foreign or the daemon said {"ok":false}. The
+/// protocol check runs first -- an {"ok":false} from a daemon we cannot
+/// actually talk to is still a mismatch, not an op failure -- and treats a
+/// missing field as version 0 (a pre-versioning daemon).
 std::optional<obs::JsonValue> check_ok(std::optional<obs::JsonValue> v,
                                        std::string* error) {
   if (!v.has_value()) return std::nullopt;
+  if (const std::uint64_t got = v->u64("protocol", 0);
+      got != kProtocolVersion) {
+    if (error != nullptr)
+      *error = "protocol mismatch: daemon speaks protocol " +
+               std::to_string(got) + ", this client speaks protocol " +
+               std::to_string(kProtocolVersion) +
+               " -- restart the daemon from the same build";
+    return std::nullopt;
+  }
   if (!v->boolean("ok")) {
     if (error != nullptr)
       *error = std::string(v->str("error", "request failed"));
@@ -104,17 +126,22 @@ std::optional<obs::JsonValue> check_ok(std::optional<obs::JsonValue> v,
   return v;
 }
 
+/// Close and serialize a make_request() envelope with no extra fields.
+std::string bare_request(std::string_view op) {
+  obs::JsonWriter w = make_request(op);
+  w.end_object();
+  return w.take();
+}
+
 }  // namespace
 
 bool Client::ping(std::string* error) {
-  return check_ok(call(R"({"op":"ping"})", error), error).has_value();
+  return check_ok(call(bare_request("ping"), error), error).has_value();
 }
 
 std::optional<std::string> Client::submit(const JobSpec& spec,
                                           std::string* error) {
-  obs::JsonWriter w;
-  w.begin_object();
-  w.field("op", "submit");
+  obs::JsonWriter w = make_request("submit");
   w.key("job");
   write_job_json(w, spec);
   w.end_object();
@@ -131,9 +158,7 @@ std::optional<std::string> Client::submit(const JobSpec& spec,
 std::optional<obs::JsonValue> Client::op_with_id(std::string_view op,
                                                  const std::string& id,
                                                  std::string* error) {
-  obs::JsonWriter w;
-  w.begin_object();
-  w.field("op", op);
+  obs::JsonWriter w = make_request(op);
   w.field("id", id);
   w.end_object();
   return check_ok(call(w.take(), error), error);
@@ -154,15 +179,15 @@ std::optional<obs::JsonValue> Client::results(const std::string& id,
 }
 
 std::optional<obs::JsonValue> Client::status(std::string* error) {
-  return check_ok(call(R"({"op":"status"})", error), error);
+  return check_ok(call(bare_request("status"), error), error);
 }
 
 std::optional<obs::JsonValue> Client::jobs(std::string* error) {
-  return check_ok(call(R"({"op":"jobs"})", error), error);
+  return check_ok(call(bare_request("jobs"), error), error);
 }
 
 bool Client::shutdown_daemon(std::string* error) {
-  return check_ok(call(R"({"op":"shutdown"})", error), error).has_value();
+  return check_ok(call(bare_request("shutdown"), error), error).has_value();
 }
 
 }  // namespace abftecc::campaignd

@@ -24,8 +24,16 @@ class JsonWriter;
 
 namespace abftecc::campaignd {
 
-/// Protocol / spool / checkpoint schema version.
+/// Job-spec / spool / checkpoint schema version (the durable formats).
 inline constexpr std::uint64_t kSchemaVersion = 1;
+
+/// Request/response envelope version. Every request and every response
+/// carries `"protocol": kProtocolVersion`; both sides reject a mismatched
+/// (or, for responses, missing) value with a clear error instead of
+/// guessing at unknown JSON. Bump when the envelope itself -- op names,
+/// reply shapes -- changes incompatibly; kSchemaVersion covers the job
+/// payload independently.
+inline constexpr std::uint64_t kProtocolVersion = 1;
 
 // -- slug tables (stable CLI/wire names) ------------------------------------
 

@@ -233,6 +233,7 @@ void Server::send_line(int fd, const std::string& line) {
 void Server::reply_error(Connection& conn, const std::string& msg) {
   obs::JsonWriter w;
   w.begin_object();
+  w.field("protocol", kProtocolVersion);
   w.field("ok", false);
   w.field("error", msg);
   w.end_object();
@@ -242,6 +243,7 @@ void Server::reply_error(Connection& conn, const std::string& msg) {
 void Server::reply_results(int fd, const Job& job) {
   obs::JsonWriter w;
   w.begin_object();
+  w.field("protocol", kProtocolVersion);
   w.field("ok", true);
   w.field("id", job.id);
   w.field("name", job.spec.name);
@@ -277,11 +279,25 @@ void Server::handle_line(Connection& conn, const std::string& line) {
     reply_error(conn, "malformed request: " + perr);
     return;
   }
+  // Envelope version gate: a request that carries a protocol number we do
+  // not speak gets a self-describing refusal instead of an op-level error
+  // (or worse, a reply whose shape the peer cannot parse). Requests without
+  // the field are served -- the response still carries our version, so the
+  // client's own check closes the loop.
+  if (const obs::JsonValue* p = v->find("protocol");
+      p != nullptr && p->as_u64() != kProtocolVersion) {
+    reply_error(conn, "protocol mismatch: daemon speaks protocol " +
+                          std::to_string(kProtocolVersion) +
+                          ", request carried protocol " +
+                          std::to_string(p->as_u64()));
+    return;
+  }
   const std::string_view op = v->str("op");
 
   if (op == "ping") {
     obs::JsonWriter w;
     w.begin_object();
+    w.field("protocol", kProtocolVersion);
     w.field("ok", true);
     w.field("op", "ping");
     w.field("schema", kSchemaVersion);
@@ -321,6 +337,7 @@ void Server::handle_line(Connection& conn, const std::string& line) {
     jobs_.push_back(std::move(job));
     obs::JsonWriter w;
     w.begin_object();
+    w.field("protocol", kProtocolVersion);
     w.field("ok", true);
     w.field("id", jobs_.back().id);
     w.field("state", "queued");
@@ -350,6 +367,7 @@ void Server::handle_line(Connection& conn, const std::string& line) {
     queue_.push_back(job->id);
     obs::JsonWriter w;
     w.begin_object();
+    w.field("protocol", kProtocolVersion);
     w.field("ok", true);
     w.field("id", job->id);
     w.field("state", "queued");
@@ -366,6 +384,7 @@ void Server::handle_line(Connection& conn, const std::string& line) {
     }
     obs::JsonWriter w;
     w.begin_object();
+    w.field("protocol", kProtocolVersion);
     w.field("ok", true);
     w.field("op", "status");
     w.field("pid", static_cast<std::uint64_t>(::getpid()));
@@ -394,6 +413,7 @@ void Server::handle_line(Connection& conn, const std::string& line) {
   if (op == "jobs") {
     obs::JsonWriter w;
     w.begin_object();
+    w.field("protocol", kProtocolVersion);
     w.field("ok", true);
     w.key("jobs").begin_array();
     for (const Job& j : jobs_) {
@@ -439,6 +459,7 @@ void Server::handle_line(Connection& conn, const std::string& line) {
   if (op == "shutdown") {
     obs::JsonWriter w;
     w.begin_object();
+    w.field("protocol", kProtocolVersion);
     w.field("ok", true);
     w.field("stopping", true);
     w.end_object();

@@ -1,0 +1,43 @@
+#include "linalg/gemm_native.hpp"
+
+#include "linalg/blas.hpp"
+
+namespace abftecc::linalg {
+
+namespace detail {
+
+void gemm_native_scalar(double alpha, ConstMatrixView a, ConstMatrixView b,
+                        double beta, MatrixView c) {
+  // The Tap-templated blocked kernel with NullTap is already the scalar
+  // blocked GEMM: instrumentation compiles to nothing.
+  gemm(alpha, a, b, beta, c, NullTap{});
+}
+
+}  // namespace detail
+
+bool native_simd_available() {
+#ifdef ABFTECC_HAVE_AVX2_TU
+  static const bool ok =
+      __builtin_cpu_supports("avx2") && __builtin_cpu_supports("fma");
+  return ok;
+#else
+  return false;
+#endif
+}
+
+const char* native_kernel_name() {
+  return native_simd_available() ? "avx2-fma" : "scalar-blocked";
+}
+
+void gemm_native(double alpha, ConstMatrixView a, ConstMatrixView b,
+                 double beta, MatrixView c) {
+#ifdef ABFTECC_HAVE_AVX2_TU
+  if (native_simd_available()) {
+    detail::gemm_native_avx2(alpha, a, b, beta, c);
+    return;
+  }
+#endif
+  detail::gemm_native_scalar(alpha, a, b, beta, c);
+}
+
+}  // namespace abftecc::linalg

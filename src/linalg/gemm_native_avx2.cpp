@@ -1,0 +1,86 @@
+// AVX2+FMA blocked DGEMM microkernel. This TU is the only one compiled with
+// -mavx2 -mfma; it must only be entered through gemm_native()'s runtime
+// dispatch (see gemm_native.cpp), never called directly on a host without
+// the ISA.
+#include <immintrin.h>
+
+#include <algorithm>
+#include <cstddef>
+
+#include "linalg/gemm_native.hpp"
+
+namespace abftecc::linalg::detail {
+
+namespace {
+
+// Register tile: 8 rows x 4 columns of C held in 8 ymm accumulators.
+// Column-major storage makes the row direction contiguous, so the two
+// 4-wide loads per (k, column-quad) step are unit stride.
+constexpr std::size_t kMr = 8;
+constexpr std::size_t kNr = 4;
+// k-panel depth per register-tile pass: bounds the B broadcast working set
+// and keeps the A panel resident in L1/L2 across the j sweep.
+constexpr std::size_t kKc = 256;
+
+/// C(i0..i0+7, j0..j0+3) += A(i0..i0+7, k0..k0+klen) * B(k0.., j0..j0+3)
+inline void micro_8x4(ConstMatrixView a, ConstMatrixView b, MatrixView c,
+                      std::size_t i0, std::size_t j0, std::size_t k0,
+                      std::size_t klen, double alpha) {
+  __m256d acc[2][kNr];
+  for (auto& row : acc)
+    for (auto& v : row) v = _mm256_setzero_pd();
+  for (std::size_t k = k0; k < k0 + klen; ++k) {
+    const __m256d a0 = _mm256_loadu_pd(&a(i0, k));
+    const __m256d a1 = _mm256_loadu_pd(&a(i0 + 4, k));
+    for (std::size_t jj = 0; jj < kNr; ++jj) {
+      const __m256d bv = _mm256_broadcast_sd(&b(k, j0 + jj));
+      acc[0][jj] = _mm256_fmadd_pd(a0, bv, acc[0][jj]);
+      acc[1][jj] = _mm256_fmadd_pd(a1, bv, acc[1][jj]);
+    }
+  }
+  const __m256d av = _mm256_set1_pd(alpha);
+  for (std::size_t jj = 0; jj < kNr; ++jj) {
+    double* c0 = &c(i0, j0 + jj);
+    _mm256_storeu_pd(c0, _mm256_fmadd_pd(av, acc[0][jj],
+                                         _mm256_loadu_pd(c0)));
+    _mm256_storeu_pd(c0 + 4, _mm256_fmadd_pd(av, acc[1][jj],
+                                             _mm256_loadu_pd(c0 + 4)));
+  }
+}
+
+/// Scalar edge: C(i, j) += alpha * A(i, k0..) * B(k0.., j) over any shape.
+inline void edge(ConstMatrixView a, ConstMatrixView b, MatrixView c,
+                 std::size_t i_begin, std::size_t i_end, std::size_t j_begin,
+                 std::size_t j_end, std::size_t k0, std::size_t klen,
+                 double alpha) {
+  for (std::size_t j = j_begin; j < j_end; ++j)
+    for (std::size_t i = i_begin; i < i_end; ++i) {
+      double s = 0.0;
+      for (std::size_t k = k0; k < k0 + klen; ++k) s += a(i, k) * b(k, j);
+      c(i, j) += alpha * s;
+    }
+}
+
+}  // namespace
+
+void gemm_native_avx2(double alpha, ConstMatrixView a, ConstMatrixView b,
+                      double beta, MatrixView c) {
+  const std::size_t m = c.rows(), n = c.cols(), kk = a.cols();
+  if (beta != 1.0) {
+    for (std::size_t j = 0; j < n; ++j)
+      for (std::size_t i = 0; i < m; ++i) c(i, j) *= beta;
+  }
+  const std::size_t m8 = m - m % kMr;
+  const std::size_t n4 = n - n % kNr;
+  for (std::size_t k0 = 0; k0 < kk; k0 += kKc) {
+    const std::size_t klen = std::min(kKc, kk - k0);
+    for (std::size_t j0 = 0; j0 < n4; j0 += kNr)
+      for (std::size_t i0 = 0; i0 < m8; i0 += kMr)
+        micro_8x4(a, b, c, i0, j0, k0, klen, alpha);
+    // Remainder rows and columns.
+    edge(a, b, c, m8, m, 0, n4, k0, klen, alpha);
+    edge(a, b, c, 0, m, n4, n, k0, klen, alpha);
+  }
+}
+
+}  // namespace abftecc::linalg::detail

@@ -13,6 +13,7 @@
 #include <functional>
 #include <memory>
 
+#include "common/backend.hpp"
 #include "common/units.hpp"
 #include "ecc/scheme.hpp"
 #include "memsim/address_map.hpp"
@@ -100,21 +101,6 @@ class MemorySystem {
   [[nodiscard]] Hooks& hooks() { return hooks_; }
   [[nodiscard]] const Hooks& hooks() const { return hooks_; }
 
-  [[deprecated("pass memsim::Hooks at construction or edit hooks()")]]
-  void set_region_classifier(std::function<bool(std::uint64_t)> f) {
-    hooks_.region_classifier = std::move(f);
-  }
-
-  [[deprecated("pass memsim::Hooks at construction or edit hooks()")]]
-  void set_fill_hook(std::function<void(std::uint64_t, ecc::Scheme, bool)> f) {
-    hooks_.fill_hook = std::move(f);
-  }
-
-  [[deprecated("pass memsim::Hooks at construction or edit hooks()")]]
-  void set_shape_override(ShapeOverride f) {
-    hooks_.shape_override = std::move(f);
-  }
-
   // --- results ------------------------------------------------------------
 
   [[nodiscard]] const SystemStats& stats() const { return stats_; }
@@ -148,6 +134,18 @@ class MemorySystem {
   }
 
   void reset_stats();
+
+  /// Backend adapter: the simulator's native time source as a TickClock
+  /// (common/backend.hpp). One tick = one CPU cycle at the modeled
+  /// frequency; deterministic across runs, unlike host steady_clock.
+  [[nodiscard]] TickClock cycle_clock() const {
+    return TickClock(
+        this,
+        [](const void* s) {
+          return static_cast<const MemorySystem*>(s)->stats().cpu_cycles;
+        },
+        1.0 / (cfg_.core.clock_ghz * 1e9));
+  }
 
  private:
   [[nodiscard]] Cycles now_dram() const {

@@ -10,8 +10,10 @@
 #include "abft/ft_cg.hpp"
 #include "abft/ft_cholesky.hpp"
 #include "abft/ft_dgemm.hpp"
+#include "abft/ft_dgemm_fused.hpp"
 #include "abft/ft_hpl.hpp"
 #include "abft/runtime.hpp"
+#include "sim/backend.hpp"
 #include "common/rng.hpp"
 #include "fault/injector.hpp"
 #include "linalg/generate.hpp"
@@ -44,6 +46,9 @@ void print_usage(const char* prog) {
       "  --cg-iters <n>         FT-CG iteration count\n"
       "  --hpl-dim <n>          FT-HPL matrix dimension\n"
       "  --hpl-procs <n>        FT-HPL simulated process count\n"
+      "  --backend <sim|native> kernel/memory backend: sim (instrumented\n"
+      "                         memsim, default) or native (hardware speed,\n"
+      "                         fused SIMD FT-DGEMM)\n"
       "  --closed-page          use the closed-page row-buffer policy\n"
       "  --hw-assisted          enable hardware-assisted (simplified) verify\n"
       "  --ladder               enable the recovery escalation ladder\n"
@@ -111,6 +116,18 @@ CliReport parse_cli(int argc, char** argv, PlatformOptions& opt) {
       opt.hpl_dim = as_size(i), ++i;
     } else if (std::strcmp(a, "--hpl-procs") == 0) {
       opt.hpl_processes = as_size(i), ++i;
+    } else if (std::strcmp(a, "--backend") == 0) {
+      const char* v = need_value(i);
+      ++i;
+      if (std::strcmp(v, "native") == 0) {
+        opt.backend = BackendMode::kNative;
+      } else if (std::strcmp(v, "sim") == 0) {
+        opt.backend = BackendMode::kSimulated;
+      } else {
+        std::fprintf(stderr, "%s: unknown backend '%s' (want sim|native)\n",
+                     argv[0], v);
+        std::exit(2);
+      }
     } else if (std::strcmp(a, "--closed-page") == 0) {
       opt.row_policy = memsim::RowBufferPolicy::kClosedPage;
     } else if (std::strcmp(a, "--hw-assisted") == 0) {
@@ -151,6 +168,10 @@ struct Session::Impl {
   std::uint64_t abft_bytes = 0;
   std::uint64_t total_bytes = 0;
   std::vector<double> last_result;
+  /// Native-mode backend: region registry + bulk-touch counters. Native
+  /// runs allocate raw heap buffers (the simulated allocator's frame
+  /// capacity is sized for scaled-down sim inputs, not dim-2048 payloads).
+  NativeBackend native;
 
   Impl(const PlatformOptions& o, memsim::Hooks hooks, bool private_obs)
       : opt(o) {
@@ -278,6 +299,132 @@ struct Session::Impl {
     last_result.assign(v.begin(), v.end());
   }
 
+  /// Scoped native-backend region registration for one run's buffers.
+  struct NativeRegion {
+    NativeBackend* be;
+    std::size_t id;
+    NativeRegion(NativeBackend& b, MatrixView v, const char* name, bool abft)
+        : be(&b),
+          id(b.register_region(v.data(),
+                              v.ld() * v.cols() * sizeof(double), name,
+                              abft)) {}
+    ~NativeRegion() { be->unregister_region(id); }
+    NativeRegion(const NativeRegion&) = delete;
+    NativeRegion& operator=(const NativeRegion&) = delete;
+  };
+
+  RunMetrics collect_native(Kernel k, const abft::FtStats& ft,
+                            abft::FtStatus status, double seconds,
+                            std::uint64_t abft_b, std::uint64_t total_b) {
+    RunMetrics m;
+    m.kernel = k;
+    m.strategy = opt.strategy;
+    m.backend = BackendMode::kNative;
+    m.seconds = seconds;
+    m.ft = ft;
+    m.status = status;
+    m.abft_bytes = abft_b;
+    m.total_bytes = total_b;
+    abft_bytes += abft_b;
+    total_bytes += total_b;
+    return m;
+  }
+
+  RunMetrics run_dgemm_native() {
+    const std::size_t n = opt.dgemm_dim;
+    Rng rng(opt.seed);
+    Matrix a = Matrix::random(n, n, rng);
+    Matrix b = Matrix::random(n, n, rng);
+    Matrix c(n, n);
+    NativeRegion ra(native, a.view(), "dgemm.A", false);
+    NativeRegion rbr(native, b.view(), "dgemm.B", false);
+    NativeRegion rc(native, c.view(), "dgemm.C", true);
+    abft::FtDgemmFused::Options fopt;
+    fopt.verify_period = opt.verify_period;
+    abft::FtDgemmFused ft(a.view(), b.view(), c.view(), fopt);
+    const TickClock wall;
+    const std::uint64_t t0 = wall.now();
+    const abft::FtStatus st = ft.run(native);
+    const double seconds = wall.seconds_since(t0);
+    capture(ft.result());
+    return collect_native(Kernel::kDgemm, ft.stats(), st, seconds,
+                          n * n * sizeof(double),
+                          3 * n * n * sizeof(double));
+  }
+
+  RunMetrics run_cholesky_native() {
+    const std::size_t n = opt.cholesky_dim;
+    Rng rng(opt.seed);
+    Matrix a = Matrix::random_spd(n, rng);
+    Matrix chk(n, 2);
+    NativeRegion ra(native, a.view(), "cholesky.A", true);
+    NativeRegion rchk(native, chk.view(), "cholesky.checksums", true);
+    abft::FtCholesky::Buffers buf{a.view(), chk.view().col(0),
+                                  chk.view().col(1)};
+    abft::FtCholesky ft(buf, ft_options(opt), /*runtime=*/nullptr);
+    const TickClock wall;
+    const std::uint64_t t0 = wall.now();
+    const abft::FtStatus st = ft.run(native);
+    const double seconds = wall.seconds_since(t0);
+    capture(ConstMatrixView(a.view()));
+    return collect_native(Kernel::kCholesky, ft.stats(), st, seconds,
+                          (n * n + 2 * n) * sizeof(double),
+                          (n * n + 2 * n) * sizeof(double));
+  }
+
+  RunMetrics run_cg_native(std::size_t dim, std::size_t iterations) {
+    const std::size_t n = dim;
+    Rng rng(opt.seed);
+    linalg::LinearSystem lin = linalg::make_spd_system(n, rng);
+    Matrix vecs(n, 5);
+    vecs.view().fill(0.0);
+    NativeRegion ra(native, lin.a.view(), "cg.A", true);
+    NativeRegion rv(native, vecs.view(), "cg.vectors", true);
+    abft::FtCg::Buffers buf{vecs.view().col(0), vecs.view().col(1),
+                            vecs.view().col(2), vecs.view().col(3),
+                            vecs.view().col(4)};
+    linalg::CgOptions cg_opt;
+    cg_opt.max_iterations = iterations;
+    cg_opt.tolerance = 1e-30;  // representative phase: run exactly N iters
+    abft::FtCg ft(lin.a.view(), lin.b, buf, cg_opt, ft_options(opt),
+                  /*runtime=*/nullptr);
+    const TickClock wall;
+    const std::uint64_t t0 = wall.now();
+    const abft::FtCgResult res = ft.run(native);
+    const double seconds = wall.seconds_since(t0);
+    const abft::FtStatus st = res.status == abft::FtStatus::kNumericalFailure
+                                  ? abft::FtStatus::kOk
+                                  : res.status;
+    capture(std::span<const double>(vecs.view().col(0).data(), n));
+    return collect_native(Kernel::kCg, ft.stats(), st, seconds,
+                          (n * n + 6 * n) * sizeof(double),
+                          (n * n + 6 * n) * sizeof(double));
+  }
+
+  RunMetrics run_hpl_native() {
+    const std::size_t n = opt.hpl_dim;
+    const std::size_t h = n / opt.hpl_processes;
+    Rng rng(opt.seed);
+    linalg::LinearSystem lin = linalg::make_general_system(n, rng);
+    Matrix ae(n + h, n + 1), uc(h, n + 1);
+    NativeRegion rae(native, ae.view(), "hpl.Ae", true);
+    NativeRegion ruc(native, uc.view(), "hpl.Uc", true);
+    abft::FtHpl::Buffers buf{ae.view(), uc.view()};
+    abft::FtHpl ft(lin.a.view(), lin.b, opt.hpl_processes, buf,
+                   ft_options(opt), /*runtime=*/nullptr);
+    const TickClock wall;
+    const std::uint64_t t0 = wall.now();
+    const abft::FtStatus st = ft.factor(native);
+    const double seconds = wall.seconds_since(t0);
+    std::vector<double> x(n, 0.0);
+    if (st != abft::FtStatus::kUncorrectable) ft.solve(x);
+    last_result = std::move(x);
+    const std::uint64_t bytes =
+        ((n + h) * (n + 1) + h * (n + 1)) * sizeof(double);
+    return collect_native(Kernel::kHpl, ft.stats(), st, seconds, bytes,
+                          bytes);
+  }
+
   RunMetrics run_dgemm() {
     const ecc::Scheme abft_scheme = spec(opt.strategy).abft_scheme;
     const std::size_t n = opt.dgemm_dim;
@@ -307,7 +454,8 @@ struct Session::Impl {
     abft::FtDgemm ft(ConstMatrixView(a), ConstMatrixView(b), buf,
                      ft_options(opt), rt.get());
     obs::PhaseScope compute(obs::Phase::kCompute);
-    const abft::FtStatus st = ft.run(MemoryTap(*ctx));
+    SimBackend be(*ctx, *sys);
+    const abft::FtStatus st = ft.run(be);
     if (rm != nullptr) {
       rm->store().untrack(ida);
       rm->store().untrack(idb);
@@ -328,7 +476,8 @@ struct Session::Impl {
     abft::FtCholesky::Buffers buf{a, chk.col(0), chk.col(1)};
     abft::FtCholesky ft(buf, ft_options(opt), rt.get());
     obs::PhaseScope compute(obs::Phase::kCompute);
-    const abft::FtStatus st = ft.run(MemoryTap(*ctx));
+    SimBackend be(*ctx, *sys);
+    const abft::FtStatus st = ft.run(be);
     capture(ConstMatrixView(a));
     return collect(Kernel::kCholesky, ft.stats(), st);
   }
@@ -355,7 +504,8 @@ struct Session::Impl {
     cg_opt.tolerance = 1e-30;  // representative phase: run exactly N iters
     abft::FtCg ft(a, b, buf, cg_opt, ft_options(opt), rt.get());
     obs::PhaseScope compute(obs::Phase::kCompute);
-    const abft::FtCgResult res = ft.run(MemoryTap(*ctx));
+    SimBackend be(*ctx, *sys);
+    const abft::FtCgResult res = ft.run(be);
     // A non-converged representative phase is the expected outcome here.
     const abft::FtStatus st = res.status == abft::FtStatus::kNumericalFailure
                                   ? abft::FtStatus::kOk
@@ -376,7 +526,8 @@ struct Session::Impl {
     abft::FtHpl ft(lin.a.view(), lin.b, opt.hpl_processes, buf,
                    ft_options(opt), rt.get());
     obs::PhaseScope compute(obs::Phase::kCompute);
-    const abft::FtStatus st = ft.factor(MemoryTap(*ctx));
+    SimBackend be(*ctx, *sys);
+    const abft::FtStatus st = ft.factor(be);
     // Back-substitution result: the quantity campaigns compare. Untapped:
     // the representative (timed) phase is the factorization.
     std::vector<double> x(n, 0.0);
@@ -453,6 +604,18 @@ void Session::flush_caches() {
 }
 
 RunMetrics Session::run(Kernel kernel) {
+  if (impl_->opt.backend == BackendMode::kNative) {
+    switch (kernel) {
+      case Kernel::kDgemm: return impl_->run_dgemm_native();
+      case Kernel::kCholesky: return impl_->run_cholesky_native();
+      case Kernel::kCg:
+        return impl_->run_cg_native(impl_->opt.cg_dim,
+                                    impl_->opt.cg_iterations);
+      case Kernel::kHpl: return impl_->run_hpl_native();
+    }
+    ABFTECC_REQUIRE(!"unknown kernel");
+    return {};
+  }
   switch (kernel) {
     case Kernel::kDgemm: return impl_->run_dgemm();
     case Kernel::kCholesky: return impl_->run_cholesky();
@@ -465,6 +628,8 @@ RunMetrics Session::run(Kernel kernel) {
 }
 
 RunMetrics Session::run_cg(std::size_t dim, std::size_t iterations) {
+  if (impl_->opt.backend == BackendMode::kNative)
+    return impl_->run_cg_native(dim, iterations);
   return impl_->run_cg(dim, iterations);
 }
 

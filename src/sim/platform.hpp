@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "abft/common.hpp"
+#include "common/backend.hpp"
 #include "common/matrix.hpp"
 #include "common/units.hpp"
 #include "memsim/config.hpp"
@@ -48,6 +49,12 @@ constexpr std::string_view kernel_name(Kernel k) {
 
 struct PlatformOptions {
   Strategy strategy = Strategy::kWholeChipkill;
+  /// Kernel/memory backend (DESIGN.md section 10): kSimulated routes every
+  /// reference through memsim (paper-faithful cycles/energy/ECC, the
+  /// default); kNative runs the kernels at hardware speed on raw heap
+  /// buffers -- FT-DGEMM switches to the fused SIMD kernel, counters
+  /// degrade to bulk-touch byte totals, and `seconds` is host wall-clock.
+  BackendMode backend = BackendMode::kSimulated;
   // Scaled-down inputs (see DESIGN.md): the paper's 3000/8192 dims shrink
   // together with the caches so footprint/LLC ratios stay comparable.
   std::size_t dgemm_dim = 320;
@@ -81,6 +88,10 @@ struct PlatformOptions {
 struct RunMetrics {
   Kernel kernel{};
   Strategy strategy{};
+  /// Which backend produced this run. Under kNative the sim-derived fields
+  /// (sys/l1/l2/dram, energies, refs) stay zero and `seconds` is host
+  /// wall-clock instead of simulated time.
+  BackendMode backend = BackendMode::kSimulated;
   memsim::SystemStats sys;
   memsim::CacheStats l1, l2;
   memsim::DramStats dram;
@@ -206,6 +217,11 @@ class Session::Builder {
   }
   Builder& strategy(Strategy s) {
     opt_.strategy = s;
+    return *this;
+  }
+  /// Select the kernel/memory backend (default kSimulated).
+  Builder& backend(BackendMode m) {
+    opt_.backend = m;
     return *this;
   }
   Builder& seed(std::uint64_t s) {

@@ -1,0 +1,249 @@
+// Backend parity: every kernel, run fault-free through the redesigned
+// MemBackend boundary, produces bit-identical results under NativeBackend
+// and SimBackend. The two modes differ in instrumentation and time source
+// only -- the arithmetic path is shared -- so anything short of equal
+// bytes is a backend leaking into the numerics.
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "abft/ft_cg.hpp"
+#include "abft/ft_cholesky.hpp"
+#include "abft/ft_dgemm.hpp"
+#include "abft/ft_dgemm_dual.hpp"
+#include "abft/ft_hpl.hpp"
+#include "abft/ft_qr.hpp"
+#include "common/backend.hpp"
+#include "common/rng.hpp"
+#include "linalg/generate.hpp"
+#include "memsim/system.hpp"
+#include "os/os.hpp"
+#include "sim/backend.hpp"
+#include "sim/tap.hpp"
+
+namespace abftecc::abft {
+namespace {
+
+/// A fresh simulated node per run: MemorySystem -> Os -> TapContext, the
+/// same wiring sim::Session uses, without the session's kernel plumbing.
+struct SimRig {
+  memsim::MemorySystem sys;
+  os::Os os;
+  sim::TapContext ctx;
+  sim::SimBackend be;
+  SimRig()
+      : sys(memsim::SystemConfig::scaled(8), ecc::Scheme::kChipkill),
+        os(sys),
+        ctx(os, sys),
+        be(ctx, sys) {}
+};
+
+::testing::AssertionResult bits_equal(ConstMatrixView x, ConstMatrixView y) {
+  if (x.rows() != y.rows() || x.cols() != y.cols())
+    return ::testing::AssertionFailure() << "shape mismatch";
+  for (std::size_t j = 0; j < x.cols(); ++j)
+    for (std::size_t i = 0; i < x.rows(); ++i)
+      if (std::memcmp(&x(i, j), &y(i, j), sizeof(double)) != 0)
+        return ::testing::AssertionFailure()
+               << "bit mismatch at (" << i << "," << j << "): " << x(i, j)
+               << " vs " << y(i, j);
+  return ::testing::AssertionSuccess();
+}
+
+::testing::AssertionResult bits_equal(const std::vector<double>& x,
+                                      const std::vector<double>& y) {
+  if (x.size() != y.size())
+    return ::testing::AssertionFailure() << "length mismatch";
+  if (std::memcmp(x.data(), y.data(), x.size() * sizeof(double)) != 0)
+    return ::testing::AssertionFailure() << "vector bits differ";
+  return ::testing::AssertionSuccess();
+}
+
+// ---------------------------------------------------------------- dgemm --
+
+struct DgemmFix {
+  Matrix a, b, ac, br, cf;
+  DgemmFix(std::size_t pad, std::uint64_t seed)
+      : a(48, 56),
+        b(56, 40),
+        ac(48 + pad, 56),
+        br(56, 40 + pad),
+        cf(48 + pad, 40 + pad) {
+    Rng rng(seed);
+    a = Matrix::random(48, 56, rng);
+    b = Matrix::random(56, 40, rng);
+  }
+};
+
+TEST(BackendParity, FtDgemmNativeMatchesSimBitForBit) {
+  DgemmFix nat(1, 7), sim(1, 7);
+  NativeBackend nbe;
+  FtDgemm nft(nat.a.view(), nat.b.view(),
+              {nat.ac.view(), nat.br.view(), nat.cf.view()});
+  ASSERT_EQ(nft.run(nbe), FtStatus::kOk);
+
+  SimRig rig;
+  FtDgemm sft(sim.a.view(), sim.b.view(),
+              {sim.ac.view(), sim.br.view(), sim.cf.view()});
+  ASSERT_EQ(sft.run(rig.be), FtStatus::kOk);
+
+  EXPECT_TRUE(bits_equal(nat.cf.view(), sim.cf.view()));
+  // Sim mode issued the kernel's references into memsim; native did not.
+  EXPECT_GT(rig.sys.stats().mem_refs, 0u);
+}
+
+TEST(BackendParity, FtDgemmDualNativeMatchesSimBitForBit) {
+  DgemmFix nat(2, 8), sim(2, 8);
+  NativeBackend nbe;
+  FtDgemmDual nft(nat.a.view(), nat.b.view(),
+                  {nat.ac.view(), nat.br.view(), nat.cf.view()});
+  ASSERT_EQ(nft.run(nbe), FtStatus::kOk);
+
+  SimRig rig;
+  FtDgemmDual sft(sim.a.view(), sim.b.view(),
+                  {sim.ac.view(), sim.br.view(), sim.cf.view()});
+  ASSERT_EQ(sft.run(rig.be), FtStatus::kOk);
+
+  EXPECT_TRUE(bits_equal(nat.cf.view(), sim.cf.view()));
+}
+
+// ------------------------------------------------------------- cholesky --
+
+TEST(BackendParity, FtCholeskyNativeMatchesSimBitForBit) {
+  const std::size_t n = 48;
+  Rng r1(9), r2(9);
+  Matrix an = Matrix::random_spd(n, r1), as = Matrix::random_spd(n, r2);
+  std::vector<double> sn(n), wn(n), ss(n), ws(n);
+
+  NativeBackend nbe;
+  FtCholesky nft({an.view(), sn, wn}, {}, nullptr, 16);
+  ASSERT_EQ(nft.run(nbe), FtStatus::kOk);
+
+  SimRig rig;
+  FtCholesky sft({as.view(), ss, ws}, {}, nullptr, 16);
+  ASSERT_EQ(sft.run(rig.be), FtStatus::kOk);
+
+  EXPECT_TRUE(bits_equal(an.view(), as.view()));
+  EXPECT_TRUE(bits_equal(sn, ss));
+  EXPECT_TRUE(bits_equal(wn, ws));
+}
+
+// ------------------------------------------------------------------- cg --
+
+TEST(BackendParity, FtCgNativeMatchesSimBitForBit) {
+  const std::size_t n = 64;
+  Rng r1(10), r2(10);
+  linalg::LinearSystem sysn = linalg::make_spd_system(n, r1);
+  linalg::LinearSystem syss = linalg::make_spd_system(n, r2);
+  std::vector<double> xn(n, 0.0), rn(n, 0.0), zn(n, 0.0), pn(n, 0.0),
+      qn(n, 0.0);
+  std::vector<double> xs(n, 0.0), rs(n, 0.0), zs(n, 0.0), ps(n, 0.0),
+      qs(n, 0.0);
+  linalg::CgOptions opt;
+  opt.max_iterations = 4 * n;
+  opt.tolerance = 1e-12;
+
+  NativeBackend nbe;
+  FtCg nft(sysn.a.view(), sysn.b, {xn, rn, zn, pn, qn}, opt);
+  const FtCgResult rnat = nft.run(nbe);
+  ASSERT_TRUE(rnat.cg.converged);
+
+  SimRig rig;
+  FtCg sft(syss.a.view(), syss.b, {xs, rs, zs, ps, qs}, opt);
+  const FtCgResult rsim = sft.run(rig.be);
+  ASSERT_TRUE(rsim.cg.converged);
+
+  EXPECT_EQ(rnat.cg.iterations, rsim.cg.iterations);
+  EXPECT_TRUE(bits_equal(xn, xs));
+}
+
+// ------------------------------------------------------------------ hpl --
+
+TEST(BackendParity, FtHplNativeMatchesSimBitForBit) {
+  const std::size_t n = 64, procs = 4, h = n / procs;
+  Rng r1(11), r2(11);
+  linalg::LinearSystem sysn = linalg::make_general_system(n, r1);
+  linalg::LinearSystem syss = linalg::make_general_system(n, r2);
+  Matrix aen(n + h, n + 1), ucn(h, n + 1), aes(n + h, n + 1), ucs(h, n + 1);
+
+  NativeBackend nbe;
+  FtHpl nft(sysn.a.view(), sysn.b, procs, {aen.view(), ucn.view()}, {},
+            nullptr, 16);
+  ASSERT_EQ(nft.factor(nbe), FtStatus::kOk);
+  std::vector<double> xn(n);
+  nft.solve(xn);
+
+  SimRig rig;
+  FtHpl sft(syss.a.view(), syss.b, procs, {aes.view(), ucs.view()}, {},
+            nullptr, 16);
+  ASSERT_EQ(sft.factor(rig.be), FtStatus::kOk);
+  std::vector<double> xs(n);
+  sft.solve(xs);
+
+  EXPECT_TRUE(bits_equal(aen.view(), aes.view()));
+  EXPECT_TRUE(bits_equal(xn, xs));
+}
+
+// ------------------------------------------------------------------- qr --
+
+TEST(BackendParity, FtQrNativeMatchesSimBitForBit) {
+  const std::size_t m = 48, n = 48;
+  Rng r1(12), r2(12);
+  Matrix an = Matrix::random(m, n, r1), as = Matrix::random(m, n, r2);
+  for (std::size_t i = 0; i < n; ++i) {
+    an(i, i) += static_cast<double>(n);
+    as(i, i) += static_cast<double>(n);
+  }
+  Matrix awn(m, n + 2), aws(m, n + 2);
+  std::vector<double> taun(n, 0.0), taus(n, 0.0);
+
+  NativeBackend nbe;
+  FtQr nft(an.view(), {awn.view(), taun}, {}, nullptr, 16);
+  ASSERT_EQ(nft.factor(nbe), FtStatus::kOk);
+
+  SimRig rig;
+  FtQr sft(as.view(), {aws.view(), taus}, {}, nullptr, 16);
+  ASSERT_EQ(sft.factor(rig.be), FtStatus::kOk);
+
+  EXPECT_TRUE(bits_equal(awn.view(), aws.view()));
+  EXPECT_TRUE(bits_equal(taun, taus));
+}
+
+// ------------------------------------------------- native instrumentation --
+
+TEST(NativeBackend, RegionRegistryAndPoisonBit) {
+  NativeBackend be;
+  std::vector<double> buf(8, 1.0);
+  const std::size_t id =
+      be.register_region(buf.data(), buf.size() * sizeof(double), "buf",
+                         /*abft_protected=*/true);
+  ASSERT_NE(id, 0u);
+  EXPECT_EQ(be.region_of(&buf[3])->name, "buf");
+  EXPECT_EQ(be.region_of(buf.data() + buf.size()), nullptr);
+
+  // Poison flips exactly one bit in place and counts the injection.
+  ASSERT_TRUE(be.poison_bit(id, 2 * sizeof(double) + 6, 4));
+  EXPECT_NE(buf[2], 1.0);
+  ASSERT_TRUE(be.poison_bit(id, 2 * sizeof(double) + 6, 4));
+  EXPECT_EQ(buf[2], 1.0);  // same bit again restores the value
+  EXPECT_EQ(be.counters().faults_injected, 2u);
+  EXPECT_FALSE(be.poison_bit(id, buf.size() * sizeof(double), 0));
+  EXPECT_FALSE(be.poison_bit(id, 0, 8));
+
+  be.unregister_region(id);
+  EXPECT_EQ(be.region_of(buf.data()), nullptr);
+}
+
+TEST(NativeBackend, TouchAccumulatesByteCounters) {
+  NativeBackend be;
+  double x[4] = {};
+  be.touch(x, sizeof(x), MemOp::kRead);
+  be.touch(x, sizeof(x), MemOp::kWrite);
+  be.touch(x, sizeof(x), MemOp::kUpdate);
+  EXPECT_EQ(be.counters().touches, 3u);
+  EXPECT_EQ(be.counters().bytes_read, 2 * sizeof(x));
+  EXPECT_EQ(be.counters().bytes_written, 2 * sizeof(x));
+}
+
+}  // namespace
+}  // namespace abftecc::abft

@@ -23,6 +23,8 @@
 #include <string>
 #include <vector>
 
+#include <sys/socket.h>
+#include <sys/un.h>
 #include <sys/wait.h>
 #include <unistd.h>
 
@@ -563,6 +565,23 @@ TEST(Server, EndToEndOverUnixSocket) {
   ASSERT_TRUE(connected) << error;
   EXPECT_TRUE(client.ping(&error)) << error;
 
+  // The envelope is versioned: replies carry the daemon's protocol number
+  // and a request from a foreign protocol is refused with a
+  // self-describing error rather than answered in a shape the sender may
+  // not parse.
+  {
+    const auto pong = client.call(R"({"protocol":1,"op":"ping"})", &error);
+    ASSERT_TRUE(pong.has_value()) << error;
+    EXPECT_EQ(pong->u64("protocol"), kProtocolVersion);
+    const auto foreign =
+        client.call(R"({"protocol":999,"op":"ping"})", &error);
+    ASSERT_TRUE(foreign.has_value()) << error;
+    EXPECT_FALSE(foreign->boolean("ok"));
+    EXPECT_NE(std::string(foreign->str("error")).find("protocol mismatch"),
+              std::string::npos)
+        << foreign->str("error");
+  }
+
   JobSpec spec;
   spec.name = "e2e";
   spec.options = tiny_options();
@@ -599,6 +618,54 @@ TEST(Server, EndToEndOverUnixSocket) {
   EXPECT_EQ(status->u64("done"), 2u);
 
   EXPECT_TRUE(client.shutdown_daemon(&error)) << error;
+  int wstatus = 0;
+  ASSERT_EQ(waitpid(daemon, &wstatus, 0), daemon);
+  EXPECT_TRUE(WIFEXITED(wstatus));
+  EXPECT_EQ(WEXITSTATUS(wstatus), 0);
+}
+
+TEST(Server, ClientRejectsDaemonSpeakingForeignProtocol) {
+  // A pre-versioning daemon answers without a "protocol" member. The
+  // client must fail the call with a clear mismatch error instead of
+  // interpreting the reply. Fake such a daemon with a one-shot echo
+  // server that answers every request line with an unversioned ok.
+  TempDir td;
+  const std::string sock = td.path + "/oldsock";
+  const pid_t daemon = fork();
+  ASSERT_NE(daemon, -1);
+  if (daemon == 0) {
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    std::strncpy(addr.sun_path, sock.c_str(), sizeof(addr.sun_path) - 1);
+    const int lfd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (lfd < 0 ||
+        ::bind(lfd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0 ||
+        ::listen(lfd, 1) != 0)
+      _exit(3);
+    const int cfd = ::accept(lfd, nullptr, nullptr);
+    if (cfd < 0) _exit(3);
+    char c = 0;
+    while (::read(cfd, &c, 1) == 1 && c != '\n') {
+    }
+    const char reply[] = "{\"ok\":true,\"op\":\"ping\"}\n";
+    if (::write(cfd, reply, sizeof(reply) - 1) < 0) _exit(3);
+    ::close(cfd);
+    ::close(lfd);
+    _exit(0);
+  }
+
+  Client client;
+  std::string error;
+  bool connected = false;
+  for (int i = 0; i < 200 && !connected; ++i) {
+    connected = client.connect(sock, &error);
+    if (!connected) usleep(25 * 1000);
+  }
+  ASSERT_TRUE(connected) << error;
+  EXPECT_FALSE(client.ping(&error));
+  EXPECT_NE(error.find("protocol mismatch"), std::string::npos) << error;
+  EXPECT_NE(error.find("protocol 0"), std::string::npos) << error;
+
   int wstatus = 0;
   ASSERT_EQ(waitpid(daemon, &wstatus, 0), daemon);
   EXPECT_TRUE(WIFEXITED(wstatus));

@@ -372,18 +372,14 @@ TEST(MemorySystem, HooksAtConstruction) {
   EXPECT_EQ(sys.stats().demand_misses_other, 1u);
 }
 
-TEST(MemorySystem, DeprecatedSettersStillForwardToHooks) {
-  // The pre-Hooks setter API must keep working until it is removed. This
-  // pragma block is the single sanctioned use in the tree: the build
-  // compiles with -Werror=deprecated-declarations, so any new caller
-  // outside it fails to compile.
+TEST(MemorySystem, HooksEditableAfterConstruction) {
+  // hooks() is the only post-construction wiring path: the deprecated
+  // set_* forwarders are gone, and -Werror=deprecated-declarations keeps
+  // any resurrected deprecated API from compiling at all.
   MemorySystem sys(SystemConfig::scaled(8), ecc::Scheme::kSecded);
   std::uint64_t fills = 0;
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
-  sys.set_region_classifier([](std::uint64_t a) { return a < 1024; });
-  sys.set_fill_hook([&](std::uint64_t, ecc::Scheme, bool) { ++fills; });
-#pragma GCC diagnostic pop
+  sys.hooks().region_classifier = [](std::uint64_t a) { return a < 1024; };
+  sys.hooks().fill_hook = [&](std::uint64_t, ecc::Scheme, bool) { ++fills; };
   EXPECT_TRUE(static_cast<bool>(sys.hooks().region_classifier));
   EXPECT_TRUE(static_cast<bool>(sys.hooks().fill_hook));
   sys.access(0, AccessKind::kRead);

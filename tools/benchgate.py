@@ -43,6 +43,17 @@ BENCHES = [
     "fault_model_thresholds",
 ]
 
+# The native fused-FT gate: ftgemm_native measures the fused FT-DGEMM
+# against the unprotected native GEMM in wall-clock, so its numbers never
+# enter the baseline snapshot (they move with the host); instead its
+# overhead ratio at n=2048 is gated against an absolute ceiling. Hosts
+# whose dispatch falls back to the scalar kernel skip the gate with a note
+# (the ratio is meaningless as a SIMD-overhead claim there).
+NATIVE_BENCH = "ftgemm_native"
+NATIVE_SIMD_KERNEL = "avx2-fma"
+FUSED_OVERHEAD_LIMIT = 0.10
+FUSED_OVERHEAD_SCALAR = "overhead_ratio_2048"
+
 # Relative tolerance per metric class; metrics not listed use DEFAULT_RTOL.
 # A metric passes when |cand - base| <= max(rtol * |base|, ATOL).
 DEFAULT_RTOL = 0.02
@@ -151,6 +162,31 @@ def compare(baseline, candidate):
     return flagged
 
 
+def gate_native_overhead(build_dir):
+    """Run ftgemm_native and enforce the fused-FT overhead ceiling.
+
+    Returns True on pass (or graceful skip), False on failure.
+    """
+    doc = run_bench(build_dir, NATIVE_BENCH, build_dir)
+    simd = doc.get("notes", {}).get("simd_kernel")
+    ratio = doc.get("scalars", {}).get(FUSED_OVERHEAD_SCALAR)
+    if simd != NATIVE_SIMD_KERNEL:
+        print(f"benchgate: native gate SKIPPED -- host dispatches "
+              f"'{simd}', not '{NATIVE_SIMD_KERNEL}' "
+              f"(measured {FUSED_OVERHEAD_SCALAR}="
+              f"{ratio if ratio is not None else 'n/a'})")
+        return True
+    if not isinstance(ratio, (int, float)):
+        print(f"benchgate: FAIL -- {NATIVE_BENCH} report carries no "
+              f"numeric {FUSED_OVERHEAD_SCALAR}", file=sys.stderr)
+        return False
+    verdict = ratio < FUSED_OVERHEAD_LIMIT
+    print(f"benchgate: native fused-FT overhead at 2048: {ratio:+.2%} "
+          f"(limit {FUSED_OVERHEAD_LIMIT:.0%}) -- "
+          f"{'OK' if verdict else 'FAIL'}")
+    return verdict
+
+
 def main():
     ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     ap.add_argument("--build-dir", default=os.path.join(REPO_ROOT, "build"))
@@ -159,6 +195,8 @@ def main():
     ap.add_argument("--update", action="store_true",
                     help="write the fresh snapshot to the baseline path "
                          "instead of comparing")
+    ap.add_argument("--skip-native", action="store_true",
+                    help="skip the wall-clock ftgemm_native overhead gate")
     args = ap.parse_args()
 
     snapshot = {
@@ -175,12 +213,15 @@ def main():
     print(f"benchgate: wrote snapshot {fresh_path} "
           f"({len(BENCHES)} bench reports)")
 
+    native_ok = True if args.skip_native else gate_native_overhead(
+        args.build_dir)
+
     if args.update:
         with open(args.baseline, "w") as f:
             json.dump(snapshot, f, indent=1, sort_keys=True)
             f.write("\n")
         print(f"benchgate: baseline updated: {args.baseline}")
-        return 0
+        return 0 if native_ok else 1
 
     try:
         with open(args.baseline) as f:
@@ -192,6 +233,8 @@ def main():
         die(f"error: {args.baseline}: unsupported schema_version")
 
     flagged = compare(baseline, snapshot)
+    if not native_ok:
+        print("benchgate: native fused-FT overhead gate FAILED")
     if flagged:
         print(f"\n{'bench':<28} {'metric':<44} {'baseline':>14} "
               f"{'candidate':>14}  delta")
@@ -203,6 +246,8 @@ def main():
               f"{args.baseline}")
         print("benchgate: if the change is intentional, refresh the "
               "baseline with: python3 tools/benchgate.py --update")
+        return 1
+    if not native_ok:
         return 1
     total = sum(len(list(metric_rows(b)))
                 for b in snapshot["benches"].values())
