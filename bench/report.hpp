@@ -15,6 +15,7 @@
 #include "obs/json.hpp"
 #include "obs/metrics.hpp"
 #include "obs/profile.hpp"
+#include "obs/telemetry.hpp"
 #include "obs/trace.hpp"
 #include "sim/platform.hpp"
 #include "sim/strategy.hpp"
@@ -109,6 +110,8 @@ class Report {
     // timeline see final attribution (no-op when profiling never ran).
     obs::default_profiler().stop();
     if (!cli_.json_path.empty()) write_json(cli_.json_path.c_str());
+    if (!cli_.metrics_out_path.empty())
+      write_metrics_out(cli_.metrics_out_path.c_str());
     if (!cli_.trace_path.empty())
       obs::default_tracer().write_chrome_trace(cli_.trace_path);
     if (!cli_.chrome_trace_path.empty() &&
@@ -142,6 +145,24 @@ class Report {
   [[nodiscard]] const sim::CliReport& cli() const { return cli_; }
 
  private:
+  /// The telemetry plane's textfile mode (--metrics-out): OpenMetrics
+  /// exposition of the final default-registry snapshot, labeled with the
+  /// experiment name. Output passes tools/promcheck.py.
+  void write_metrics_out(const char* path) const {
+    obs::OpenMetricsWriter om;
+    om.snapshot(obs::default_registry().snapshot(),
+                {{"experiment", experiment_}});
+    const std::string text = om.take();
+    std::FILE* f = std::fopen(path, "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "report: cannot open '%s' for writing\n", path);
+      return;
+    }
+    std::fwrite(text.data(), 1, text.size(), f);
+    std::fclose(f);
+    std::printf("wrote OpenMetrics exposition: %s\n", path);
+  }
+
   void write_json(const char* path) const {
     obs::JsonWriter w;
     w.begin_object();
@@ -214,6 +235,7 @@ class Report {
     w.field("label", label);
     w.field("kernel", sim::kernel_name(m.kernel));
     w.field("strategy", sim::spec(m.strategy).label);
+    w.field("backend", to_string(m.backend));
     w.field("cycles", m.sys.cpu_cycles);
     w.field("instructions", m.sys.instructions);
     w.field("ipc", m.ipc);

@@ -45,11 +45,10 @@ bool Client::connect(const std::string& socket_path, std::string* error) {
   return true;
 }
 
-std::optional<obs::JsonValue> Client::call(const std::string& request,
-                                           std::string* error) {
+bool Client::send_all(const std::string& request, std::string* error) {
   if (fd_ < 0) {
     if (error != nullptr) *error = "not connected";
-    return std::nullopt;
+    return false;
   }
   std::string msg = request;
   msg += '\n';
@@ -61,10 +60,14 @@ std::optional<obs::JsonValue> Client::call(const std::string& request,
       if (errno == EINTR) continue;
       if (error != nullptr)
         *error = std::string("send: ") + std::strerror(errno);
-      return std::nullopt;
+      return false;
     }
     off += static_cast<std::size_t>(n);
   }
+  return true;
+}
+
+std::optional<obs::JsonValue> Client::read_json_line(std::string* error) {
   std::string line;
   char c;
   for (;;) {
@@ -89,9 +92,15 @@ std::optional<obs::JsonValue> Client::call(const std::string& request,
   return v;
 }
 
+std::optional<obs::JsonValue> Client::call(const std::string& request,
+                                           std::string* error) {
+  if (!send_all(request, error)) return std::nullopt;
+  return read_json_line(error);
+}
+
 namespace {
 
-/// Start a request envelope: `{"protocol":1,"op":<op>` with the object
+/// Start a request envelope: `{"protocol":N,"op":<op>` with the object
 /// left open for op-specific fields.
 obs::JsonWriter make_request(std::string_view op) {
   obs::JsonWriter w;
@@ -137,6 +146,30 @@ std::string bare_request(std::string_view op) {
 
 bool Client::ping(std::string* error) {
   return check_ok(call(bare_request("ping"), error), error).has_value();
+}
+
+std::optional<obs::JsonValue> Client::ping_info(std::string* error) {
+  return check_ok(call(bare_request("ping"), error), error);
+}
+
+std::optional<obs::JsonValue> Client::metrics(std::string* error) {
+  return check_ok(call(bare_request("metrics"), error), error);
+}
+
+std::optional<obs::JsonValue> Client::subscribe(
+    const std::string& id,
+    const std::function<void(const obs::JsonValue&)>& on_event,
+    std::string* error) {
+  obs::JsonWriter w = make_request("subscribe");
+  w.field("id", id);
+  w.end_object();
+  if (!send_all(w.take(), error)) return std::nullopt;
+  for (;;) {
+    auto v = check_ok(read_json_line(error), error);
+    if (!v.has_value()) return std::nullopt;
+    if (on_event) on_event(*v);
+    if (v->boolean("done")) return v;
+  }
 }
 
 std::optional<std::string> Client::submit(const JobSpec& spec,

@@ -5,6 +5,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <optional>
 #include <string>
 
@@ -35,6 +36,20 @@ class Client {
   // Typed helpers; all return nullopt on failure and fill `error` with
   // either the transport failure or the daemon's "error" member.
   [[nodiscard]] bool ping(std::string* error);
+  /// Like ping() but hands back the whole health object (version,
+  /// uptime_s, job counts -- protocol v2).
+  [[nodiscard]] std::optional<obs::JsonValue> ping_info(std::string* error);
+  /// Fetch the telemetry plane: OpenMetrics exposition text plus the
+  /// timeseries-v1 rings JSON ("exposition" / "series" members).
+  [[nodiscard]] std::optional<obs::JsonValue> metrics(std::string* error);
+  /// Stream live progress events for a job: `on_event` is invoked once
+  /// per event line (including the final one); returns the final
+  /// `"done": true` event, or nullopt on failure. Blocks until the job
+  /// finishes.
+  [[nodiscard]] std::optional<obs::JsonValue> subscribe(
+      const std::string& id,
+      const std::function<void(const obs::JsonValue&)>& on_event,
+      std::string* error);
   /// Submit a job; returns the daemon-assigned job id.
   [[nodiscard]] std::optional<std::string> submit(const JobSpec& spec,
                                                   std::string* error);
@@ -52,6 +67,10 @@ class Client {
  private:
   [[nodiscard]] std::optional<obs::JsonValue> op_with_id(
       std::string_view op, const std::string& id, std::string* error);
+  [[nodiscard]] bool send_all(const std::string& request, std::string* error);
+  /// Block for one '\n'-terminated JSON line from the daemon.
+  [[nodiscard]] std::optional<obs::JsonValue> read_json_line(
+      std::string* error);
 
   int fd_ = -1;
 };

@@ -33,7 +33,18 @@ inline constexpr std::uint64_t kSchemaVersion = 1;
 /// guessing at unknown JSON. Bump when the envelope itself -- op names,
 /// reply shapes -- changes incompatibly; kSchemaVersion covers the job
 /// payload independently.
-inline constexpr std::uint64_t kProtocolVersion = 1;
+///
+/// v2 (ISSUE 10): adds the live telemetry plane -- `metrics` (OpenMetrics
+/// exposition + time-series rings) and `subscribe` (a stream of per-job
+/// progress event lines ending in a `"done": true` line, the one op whose
+/// reply is more than a single line), richer `ping` (version / uptime_s /
+/// job counts). v1 requests are still *shaped* identically, but a v1
+/// peer would not survive a subscribe stream, hence the bump.
+inline constexpr std::uint64_t kProtocolVersion = 2;
+
+/// Human-readable daemon version reported by `ping` (tracks the protocol
+/// version; bump the minor for behavior-only server changes).
+inline constexpr std::string_view kServerVersion = "campaignd/2.0";
 
 // -- slug tables (stable CLI/wire names) ------------------------------------
 

@@ -10,6 +10,8 @@
 #include <algorithm>
 #include <atomic>
 #include <cerrno>
+#include <chrono>
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -17,13 +19,19 @@
 
 #include "campaign/exhaustive.hpp"
 #include "campaignd/checkpoint.hpp"
-#include "campaignd/shard.hpp"
 #include "obs/json.hpp"
 #include "obs/jsonv.hpp"
 
 namespace abftecc::campaignd {
 
 namespace {
+
+std::uint64_t now_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
 
 bool read_file(const std::string& path, std::string* content) {
   std::FILE* f = std::fopen(path.c_str(), "rb");
@@ -145,7 +153,56 @@ bool Server::start(std::string* error) {
       *error = std::string("listen: ") + std::strerror(errno);
     return false;
   }
+
+  // Telemetry plane: pre-register the daemon's instruments so every
+  // exposition and every ring carries the full schema from the first
+  // scrape, and start the uptime/sampling clocks.
+  t0_ns_ = now_ns();
+  sampler_ = obs::TelemetrySampler(
+      obs::TelemetryOptions{opt_.sample_capacity, 0.0});
+  metrics_.counter("campaignd.requests");
+  metrics_.counter("campaignd.jobs_submitted");
+  metrics_.counter("campaignd.jobs_completed");
+  metrics_.counter("campaignd.jobs_failed");
+  metrics_.counter("campaignd.trials");
+  metrics_.counter("campaignd.workers_spawned");
+  metrics_.counter("campaignd.workers_died");
+  metrics_.gauge("campaignd.uptime_seconds");
+  metrics_.gauge("campaignd.jobs_queued");
+  metrics_.gauge("campaignd.jobs_running");
+  metrics_.gauge("campaignd.workers_alive");
+  metrics_.gauge("campaignd.trials_per_sec");
+  metrics_.histogram("campaignd.job_seconds",
+                     obs::Histogram::exponential_bounds(0.25, 2.0, 16));
   return true;
+}
+
+double Server::uptime_s() const {
+  return t0_ns_ == 0 ? 0.0 : static_cast<double>(now_ns() - t0_ns_) * 1e-9;
+}
+
+void Server::update_gauges() {
+  metrics_.gauge("campaignd.uptime_seconds").set(uptime_s());
+  metrics_.gauge("campaignd.jobs_queued")
+      .set(static_cast<double>(queue_.size()));
+  metrics_.gauge("campaignd.jobs_running").set(running_.empty() ? 0.0 : 1.0);
+  double alive = 0.0, rate = 0.0;
+  if (const Job* j = running_.empty() ? nullptr : find_job(running_)) {
+    alive = static_cast<double>(j->live.workers.size());
+    rate = j->live.ewma_rate;
+  }
+  metrics_.gauge("campaignd.workers_alive").set(alive);
+  metrics_.gauge("campaignd.trials_per_sec").set(rate);
+}
+
+void Server::sample_metrics() {
+  const std::uint64_t now = now_ns();
+  const auto interval_ns =
+      static_cast<std::uint64_t>(opt_.sample_interval_s * 1e9);
+  if (last_sample_ns_ != 0 && now - last_sample_ns_ < interval_ns) return;
+  last_sample_ns_ = now;
+  update_gauges();
+  sampler_.sample(metrics_, static_cast<double>(now - t0_ns_) * 1e-9);
 }
 
 int Server::run() {
@@ -172,6 +229,7 @@ void Server::accept_new() {
 void Server::service_once(int timeout_ms) {
   if (in_service_) return;
   in_service_ = true;
+  sample_metrics();
 
   std::vector<pollfd> fds;
   fds.reserve(conns_.size() + 1);
@@ -272,6 +330,138 @@ void Server::notify_waiters(const Job& job) {
   }
 }
 
+void Server::write_live(obs::JsonWriter& w, const Job& job) const {
+  const Live& lv = job.live;
+  w.field("id", job.id);
+  w.field("name", job.spec.name);
+  w.field("state", state_name(job.state));
+  w.field("trials_done", job.trials_done);
+  w.field("trials_total", job.trials_total);
+  w.field("elapsed_s", lv.started_ns == 0
+                           ? 0.0
+                           : static_cast<double>(now_ns() - lv.started_ns) *
+                                 1e-9);
+  w.field("trials_per_sec", lv.ewma_rate);
+  w.field("eta_s", lv.eta_s);
+  w.key("outcomes").begin_object();
+  if (lv.have_outcomes) {
+    for (std::size_t i = 0; i < campaign::kAllOutcomes.size(); ++i)
+      w.field(to_string(campaign::kAllOutcomes[i]), lv.outcomes[i]);
+  }
+  w.end_object();
+  w.key("workers").begin_array();
+  for (const WorkerBeat& b : lv.workers) {
+    w.begin_object();
+    w.field("pid", static_cast<std::int64_t>(b.pid));
+    w.field("chunk", static_cast<std::int64_t>(b.chunk));
+    w.end_object();
+  }
+  w.end_array();
+  w.field("workers_spawned", lv.workers_spawned);
+  w.field("workers_died", lv.workers_died);
+  if (!job.error.empty()) w.field("error", job.error);
+}
+
+void Server::push_event(Job& job, bool final_event) {
+  bool any = false;
+  for (const Connection& c : conns_)
+    if (c.subscribed_to == job.id) any = true;
+  if (!any) return;
+  const std::uint64_t now = now_ns();
+  // Progress pushes are capped at ~5/s per job so a fast sweep cannot
+  // firehose a slow subscriber; the final event always goes out.
+  if (!final_event && now - job.live.last_push_ns < 200'000'000ULL) return;
+  job.live.last_push_ns = now;
+
+  obs::JsonWriter w;
+  w.begin_object();
+  w.field("protocol", kProtocolVersion);
+  w.field("ok", true);
+  w.field("event", final_event ? "done" : "progress");
+  write_live(w, job);
+  w.field("done", final_event);
+  w.end_object();
+  const std::string line = w.take();
+  for (Connection& c : conns_) {
+    if (c.subscribed_to != job.id) continue;
+    send_line(c.fd, line);
+    if (final_event) c.subscribed_to.clear();
+  }
+}
+
+void Server::update_live_progress(Job& job, std::uint64_t done,
+                                  std::uint64_t total) {
+  Live& lv = job.live;
+  const std::uint64_t now = now_ns();
+  if (done > lv.last_done)
+    metrics_.counter("campaignd.trials").add(done - lv.last_done);
+  const double dt = static_cast<double>(now - lv.last_ns) * 1e-9;
+  if (done > lv.last_done && dt > 0.0) {
+    const double inst = static_cast<double>(done - lv.last_done) / dt;
+    // EWMA over elapsed time (5 s constant), not over updates: chunked
+    // progress arrives at an uneven cadence.
+    const double alpha = 1.0 - std::exp(-dt / 5.0);
+    lv.ewma_rate =
+        lv.ewma_rate == 0.0 ? inst : lv.ewma_rate + alpha * (inst - lv.ewma_rate);
+  }
+  lv.last_ns = now;
+  lv.last_done = done;
+  job.trials_done = done;
+  lv.eta_s = lv.ewma_rate > 0.0 && total >= done
+                 ? static_cast<double>(total - done) / lv.ewma_rate
+                 : -1.0;
+  push_event(job, false);
+}
+
+std::string Server::exposition() {
+  update_gauges();
+  obs::OpenMetricsWriter om;
+  om.snapshot(metrics_.snapshot());
+
+  // Per-job families, one sample per job with a `job` label (plus
+  // `outcome` for the outcome-mix family). Family names are disjoint
+  // from the registry's `campaignd.*` instruments by the `_job_` infix.
+  using Type = obs::OpenMetricsWriter::Type;
+  auto job_labels = [](const Job& j) {
+    return std::vector<obs::MetricLabel>{{"job", j.id}, {"name", j.spec.name}};
+  };
+  om.family("campaignd_job_trials_done", Type::kGauge);
+  for (const Job& j : jobs_)
+    om.sample(static_cast<double>(j.trials_done), job_labels(j));
+  om.family("campaignd_job_trials_total", Type::kGauge);
+  for (const Job& j : jobs_)
+    om.sample(static_cast<double>(j.trials_total), job_labels(j));
+  om.family("campaignd_job_state", Type::kGauge);
+  for (const Job& j : jobs_) {
+    auto labels = job_labels(j);
+    labels.push_back({"state", std::string(state_name(j.state))});
+    om.sample(1.0, labels);
+  }
+  om.family("campaignd_job_trials_per_sec", Type::kGauge);
+  for (const Job& j : jobs_)
+    om.sample(j.live.ewma_rate, job_labels(j));
+  om.family("campaignd_job_eta_seconds", Type::kGauge);
+  for (const Job& j : jobs_)
+    om.sample(j.live.eta_s, job_labels(j));
+  om.family("campaignd_job_workers_alive", Type::kGauge);
+  for (const Job& j : jobs_)
+    om.sample(static_cast<double>(j.live.workers.size()), job_labels(j));
+  om.family("campaignd_job_workers_died", Type::kGauge);
+  for (const Job& j : jobs_)
+    om.sample(static_cast<double>(j.live.workers_died), job_labels(j));
+  om.family("campaignd_job_outcome_trials", Type::kGauge);
+  for (const Job& j : jobs_) {
+    if (!j.live.have_outcomes) continue;
+    for (std::size_t i = 0; i < campaign::kAllOutcomes.size(); ++i) {
+      auto labels = job_labels(j);
+      labels.push_back(
+          {"outcome", std::string(to_string(campaign::kAllOutcomes[i]))});
+      om.sample(static_cast<double>(j.live.outcomes[i]), labels);
+    }
+  }
+  return om.take();
+}
+
 void Server::handle_line(Connection& conn, const std::string& line) {
   std::string perr;
   const auto v = obs::json_parse(line, &perr);
@@ -293,17 +483,66 @@ void Server::handle_line(Connection& conn, const std::string& line) {
     return;
   }
   const std::string_view op = v->str("op");
+  metrics_.counter("campaignd.requests").add(1);
 
   if (op == "ping") {
+    std::uint64_t done = 0, failed = 0;
+    for (const Job& j : jobs_) {
+      done += j.state == JobState::kDone ? 1 : 0;
+      failed += j.state == JobState::kFailed ? 1 : 0;
+    }
     obs::JsonWriter w;
     w.begin_object();
     w.field("protocol", kProtocolVersion);
     w.field("ok", true);
     w.field("op", "ping");
     w.field("schema", kSchemaVersion);
+    w.field("version", kServerVersion);
     w.field("pid", static_cast<std::uint64_t>(::getpid()));
+    w.field("uptime_s", uptime_s());
+    w.field("jobs", static_cast<std::uint64_t>(jobs_.size()));
+    w.field("queued", static_cast<std::uint64_t>(queue_.size()));
+    w.field("running", static_cast<std::uint64_t>(running_.empty() ? 0 : 1));
+    w.field("done", done);
+    w.field("failed", failed);
     w.end_object();
     send_line(conn.fd, w.take());
+    return;
+  }
+
+  if (op == "metrics") {
+    obs::JsonWriter w;
+    w.begin_object();
+    w.field("protocol", kProtocolVersion);
+    w.field("ok", true);
+    w.field("op", "metrics");
+    w.field("exposition", exposition());
+    w.key("series").raw(sampler_.to_json());
+    w.end_object();
+    send_line(conn.fd, w.take());
+    return;
+  }
+
+  if (op == "subscribe") {
+    Job* job = find_job(v->str("id"));
+    if (job == nullptr) {
+      reply_error(conn, "subscribe: unknown job id");
+      return;
+    }
+    const bool terminal = job->state != JobState::kQueued &&
+                          job->state != JobState::kRunning;
+    obs::JsonWriter w;
+    w.begin_object();
+    w.field("protocol", kProtocolVersion);
+    w.field("ok", true);
+    w.field("event", terminal ? "done" : "progress");
+    write_live(w, *job);
+    w.field("done", terminal);
+    w.end_object();
+    send_line(conn.fd, w.take());
+    // Live jobs keep streaming: progress events until the final done
+    // line detaches the subscription.
+    if (!terminal) conn.subscribed_to = job->id;
     return;
   }
 
@@ -335,6 +574,7 @@ void Server::handle_line(Connection& conn, const std::string& line) {
     }
     queue_.push_back(job.id);
     jobs_.push_back(std::move(job));
+    metrics_.counter("campaignd.jobs_submitted").add(1);
     obs::JsonWriter w;
     w.begin_object();
     w.field("protocol", kProtocolVersion);
@@ -514,8 +754,27 @@ void Server::run_campaign_job(Job& job) {
   shard_opt.shards = job.spec.shards;
   shard_opt.checkpoint_dir = job.dir + "/checkpoint";
   shard_opt.fingerprint = job_fingerprint(job.spec);
-  shard_opt.progress = [&](std::size_t done, std::size_t) {
-    job.trials_done = done;
+  shard_opt.progress = [&](std::size_t done, std::size_t total) {
+    update_live_progress(job, done, total);
+  };
+  shard_opt.stats = [&](const campaign::Accumulator& acc) {
+    for (std::size_t i = 0; i < campaign::kAllOutcomes.size(); ++i)
+      job.live.outcomes[i] = acc.outcome_count(campaign::kAllOutcomes[i]);
+    job.live.have_outcomes = true;
+  };
+  shard_opt.pulse = [&](const ShardPulse& p) {
+    Live& lv = job.live;
+    // Counter deltas first (pulse carries cumulative per-sweep counts).
+    if (p.workers_spawned > lv.workers_spawned)
+      metrics_.counter("campaignd.workers_spawned")
+          .add(p.workers_spawned - lv.workers_spawned);
+    if (p.workers_died > lv.workers_died)
+      metrics_.counter("campaignd.workers_died")
+          .add(p.workers_died - lv.workers_died);
+    lv.workers = p.workers;
+    lv.workers_spawned = p.workers_spawned;
+    lv.workers_died = p.workers_died;
+    push_event(job, false);
   };
   shard_opt.service = [this] { service_once(0); };
   shard_opt.should_abort = [this] { return stop_; };
@@ -565,7 +824,8 @@ void Server::run_exhaustive_job(Job& job) {
   while (!finished.load(std::memory_order_acquire)) {
     if (stop_) abort.store(true, std::memory_order_relaxed);
     service_once(50);
-    job.trials_done = words_done.load(std::memory_order_relaxed);
+    update_live_progress(job, words_done.load(std::memory_order_relaxed),
+                         job.trials_total);
   }
   sweep.join();
   job.trials_done = words_done.load(std::memory_order_relaxed);
@@ -596,6 +856,8 @@ void Server::run_next_job() {
   job->state = JobState::kRunning;
   job->trials_done = 0;
   job->error.clear();
+  job->live = Live{};
+  job->live.started_ns = job->live.last_ns = now_ns();
   running_ = id;
   if (job->spec.exhaustive) {
     run_exhaustive_job(*job);
@@ -603,7 +865,14 @@ void Server::run_next_job() {
     run_campaign_job(*job);
   }
   running_.clear();
+  metrics_
+      .counter(job->state == JobState::kDone ? "campaignd.jobs_completed"
+                                             : "campaignd.jobs_failed")
+      .add(1);
+  metrics_.histogram("campaignd.job_seconds", {})
+      .observe(static_cast<double>(now_ns() - job->live.started_ns) * 1e-9);
   notify_waiters(*job);
+  push_event(*job, true);
 }
 
 }  // namespace abftecc::campaignd

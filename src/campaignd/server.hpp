@@ -20,12 +20,16 @@
 // an uninterrupted run.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <deque>
 #include <string>
 #include <vector>
 
 #include "campaignd/protocol.hpp"
+#include "campaignd/shard.hpp"
+#include "obs/metrics.hpp"
+#include "obs/telemetry.hpp"
 
 namespace abftecc::campaignd {
 
@@ -34,6 +38,10 @@ struct ServerOptions {
   std::string state_dir;
   /// Shard count used when a submitted job asks for 0.
   unsigned default_shards = 2;
+  /// Telemetry sampling cadence (time-series ring points); the rings keep
+  /// `sample_capacity` points per series.
+  double sample_interval_s = 1.0;
+  std::size_t sample_capacity = 240;
 };
 
 class Server {
@@ -71,6 +79,24 @@ class Server {
   };
   static std::string_view state_name(JobState s);
 
+  /// Live per-job telemetry the supervisor aggregates while a job runs.
+  /// Derived from the result path (progress/stats/pulse callbacks), never
+  /// feeding back into it -- resetting or dropping Live cannot change a
+  /// single output byte.
+  struct Live {
+    std::uint64_t started_ns = 0;
+    std::uint64_t last_ns = 0;       ///< last progress timestamp
+    std::uint64_t last_done = 0;     ///< trials_done at last progress
+    double ewma_rate = 0.0;          ///< trials/sec, ~5 s time constant
+    double eta_s = -1.0;             ///< -1 until a rate exists
+    bool have_outcomes = false;
+    std::array<std::uint64_t, campaign::kAllOutcomes.size()> outcomes{};
+    std::vector<WorkerBeat> workers;
+    unsigned workers_spawned = 0;
+    unsigned workers_died = 0;
+    std::uint64_t last_push_ns = 0;  ///< subscriber push rate limiter
+  };
+
   struct Job {
     std::string id;
     JobSpec spec;
@@ -80,6 +106,7 @@ class Server {
     std::uint64_t trials_done = 0;
     std::uint64_t trials_total = 0;
     std::string aggregate;  ///< canonical aggregate JSON once finished
+    Live live;
   };
 
   struct Connection {
@@ -87,11 +114,31 @@ class Server {
     std::string inbuf;
     /// Job id a `wait` request parked this connection on ('' = none).
     std::string waiting_for;
+    /// Job id a `subscribe` request attached this connection to ('' =
+    /// none); progress events stream here until the job's done event.
+    std::string subscribed_to;
   };
 
   [[nodiscard]] Job* find_job(std::string_view id);
   void recover_spool(std::string* error);
   void accept_new();
+  [[nodiscard]] double uptime_s() const;
+  /// Refresh daemon-level gauges and, when sample_interval_s elapsed,
+  /// push one point per series into the telemetry rings.
+  void sample_metrics();
+  void update_gauges();
+  /// Feed one (done, total) progress observation into a job's Live stats
+  /// (EWMA trials/sec, ETA) and push a rate-limited subscriber event.
+  void update_live_progress(Job& job, std::uint64_t done,
+                            std::uint64_t total);
+  /// Shared body of a subscribe/progress event line.
+  void write_live(obs::JsonWriter& w, const Job& job) const;
+  /// Stream one event line to every connection subscribed to `job`.
+  /// Progress events are rate-limited (~5/s); the final event
+  /// (`final_event` true) always goes out and detaches the subscribers.
+  void push_event(Job& job, bool final_event);
+  /// Render the full OpenMetrics exposition (registry + per-job families).
+  [[nodiscard]] std::string exposition();
   void handle_line(Connection& conn, const std::string& line);
   void send_line(int fd, const std::string& line);
   void reply_error(Connection& conn, const std::string& msg);
@@ -117,6 +164,14 @@ class Server {
   std::deque<std::string> queue_;  ///< FIFO of queued job ids
   std::string running_;            ///< id of the job executing now ('')
   unsigned next_job_ = 1;
+
+  /// Daemon-level instruments + time-series rings (the telemetry plane).
+  /// Private registry, NOT default_registry(): job execution must never
+  /// share instruments with the daemon's own accounting.
+  obs::Registry metrics_;
+  obs::TelemetrySampler sampler_;
+  std::uint64_t t0_ns_ = 0;          ///< start() timestamp (uptime origin)
+  std::uint64_t last_sample_ns_ = 0;
 };
 
 }  // namespace abftecc::campaignd

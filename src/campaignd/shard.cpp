@@ -192,6 +192,21 @@ ShardOutcome run_sharded(const campaign::CampaignOptions& opt,
     ++out.chunks_executed;
     results.emplace(rec.id, std::move(rec));
     if (shard_opt.progress) shard_opt.progress(trials_done, trials);
+    if (shard_opt.stats) shard_opt.stats(out.acc);
+  };
+
+  auto send_pulse = [&]() {
+    if (!shard_opt.pulse) return;
+    ShardPulse p;
+    p.workers.reserve(workers.size());
+    for (const Worker& w : workers)
+      if (w.fd >= 0) p.workers.push_back(WorkerBeat{w.pid, w.chunk});
+    p.workers_spawned = out.workers_spawned;
+    p.workers_died = out.workers_died;
+    p.respawns_left = respawns_left;
+    p.chunks_done = results.size();
+    p.chunks_total = n_chunks;
+    shard_opt.pulse(p);
   };
 
   while (results.size() < n_chunks) {
@@ -232,6 +247,7 @@ ShardOutcome run_sharded(const campaign::CampaignOptions& opt,
     }
 
     const int ready = ::poll(fds.data(), fds.size(), 200);
+    send_pulse();
     if (shard_opt.service) shard_opt.service();
     if (ready < 0) {
       if (errno == EINTR) continue;

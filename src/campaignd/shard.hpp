@@ -33,6 +33,25 @@
 
 namespace abftecc::campaignd {
 
+/// One worker's liveness snapshot for a ShardPulse.
+struct WorkerBeat {
+  int pid = -1;
+  /// Chunk id in flight on this worker, or -1 when idle.
+  std::int64_t chunk = -1;
+};
+
+/// Supervisor heartbeat: emitted on every poll pass (~200 ms cadence) so
+/// a live observer (campaignd's telemetry plane) can report worker
+/// liveness and rescue/respawn counts without touching the result path.
+struct ShardPulse {
+  std::vector<WorkerBeat> workers;
+  unsigned workers_spawned = 0;
+  unsigned workers_died = 0;
+  unsigned respawns_left = 0;
+  std::uint64_t chunks_done = 0;
+  std::uint64_t chunks_total = 0;
+};
+
 struct ShardOptions {
   /// Worker processes. 1 still forks (one worker) -- the output contract
   /// is identical for any value.
@@ -48,6 +67,11 @@ struct ShardOptions {
   unsigned max_respawns = 4;
   /// Invoked after each finished chunk with (trials_done, trials_total).
   campaign::Progress progress;
+  /// Invoked after each finished chunk with the merged-so-far accumulator
+  /// (read-only; live outcome-mix telemetry reads counts from it).
+  std::function<void(const campaign::Accumulator&)> stats;
+  /// Invoked on every supervisor poll pass with a liveness snapshot.
+  std::function<void(const ShardPulse&)> pulse;
   /// Invoked on every supervisor poll pass (the daemon services its
   /// control socket here so clients get answered mid-job).
   std::function<void()> service;

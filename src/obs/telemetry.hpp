@@ -1,0 +1,203 @@
+// Live telemetry plane (ISSUE 10), tentpole piece 1+2: a low-overhead
+// time-series layer over obs::Registry and an OpenMetrics/Prometheus
+// text-exposition writer.
+//
+// The time-series layer is periodic SAMPLING, not instrumentation: a
+// TelemetrySampler reads a Registry snapshot at whatever cadence the
+// caller drives it (campaignd samples between service passes, the bench
+// reporter samples on progress callbacks) and appends one point per
+// series into fixed-capacity ring buffers. Counters are recorded as
+// per-sample DELTAS (so a point is "events since the previous sample" --
+// divide by the time step for a rate), gauges as levels, histograms as
+// count/sum deltas. Nothing here writes back into the registry and no
+// instrument hot path changes, so telemetry stays off the campaign
+// byte-determinism surface exactly like `--lineage`: enabling it cannot
+// perturb a single trial outcome (CI cmp-gates this).
+//
+// The exposition writer renders a MetricsSnapshot (plus any ad-hoc
+// families a server wants to add, e.g. campaignd's per-job gauges) as
+// OpenMetrics text: `# TYPE` headers, `_total`-suffixed counters,
+// cumulative `_bucket{le="..."}` histogram series closed by `_count` /
+// `_sum`, proper metric-name sanitization (dotted registry names become
+// underscore names) and label-value escaping, terminated by `# EOF`.
+// tools/promcheck.py validates the grammar and the bucket invariants in
+// CI.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "obs/metrics.hpp"
+
+namespace abftecc::obs {
+
+// ---------------------------------------------------------------- rings --
+
+/// One timestamped sample. `t` is seconds on the sampler's clock (host
+/// steady-clock by default); `v` is a counter delta, gauge level, or
+/// histogram count/sum delta depending on the series kind.
+struct TsPoint {
+  double t = 0.0;
+  double v = 0.0;
+};
+
+/// Fixed-capacity ring of TsPoints. Push is O(1) with no allocation
+/// after construction; once full, each push overwrites the oldest point.
+class TimeSeriesRing {
+ public:
+  explicit TimeSeriesRing(std::size_t capacity);
+
+  void push(double t, double v);
+
+  [[nodiscard]] std::size_t capacity() const { return buf_.size(); }
+  /// Points currently retained (<= capacity()).
+  [[nodiscard]] std::size_t size() const { return size_; }
+  /// Total pushes over the ring's lifetime (>= size() once wrapped).
+  [[nodiscard]] std::uint64_t total_pushed() const { return pushed_; }
+  /// i = 0 is the OLDEST retained point, i = size()-1 the newest.
+  [[nodiscard]] TsPoint at(std::size_t i) const;
+
+ private:
+  std::vector<TsPoint> buf_;
+  std::size_t next_ = 0;  ///< slot the next push writes
+  std::size_t size_ = 0;
+  std::uint64_t pushed_ = 0;
+};
+
+// -------------------------------------------------------------- sampler --
+
+enum class SeriesKind : std::uint8_t {
+  kCounter,         ///< per-sample delta of a monotone counter
+  kGauge,           ///< sampled level
+  kHistogramCount,  ///< per-sample delta of a histogram's observation count
+  kHistogramSum,    ///< per-sample delta of a histogram's value sum
+};
+
+constexpr std::string_view to_string(SeriesKind k) {
+  switch (k) {
+    case SeriesKind::kCounter: return "counter";
+    case SeriesKind::kGauge: return "gauge";
+    case SeriesKind::kHistogramCount: return "histogram_count";
+    case SeriesKind::kHistogramSum: return "histogram_sum";
+  }
+  return "?";
+}
+
+struct TelemetryOptions {
+  /// Points retained per series. 240 at a 1 s cadence = the last 4 min.
+  std::size_t capacity = 240;
+  /// sample() calls closer together than this are dropped (0 = keep all);
+  /// lets callers drive sampling from a hot progress callback without
+  /// flooding the rings.
+  double min_interval_s = 0.0;
+};
+
+/// Samples counter deltas, gauge levels, and histogram count/sum deltas
+/// from a Registry into per-series rings. Series are created on first
+/// sight of an instrument name and keyed by (name, kind); instruments
+/// that appear later simply start later. Not thread-safe by design --
+/// the owner drives sample() from one thread, matching the registry's
+/// own thread-confined contract.
+class TelemetrySampler {
+ public:
+  struct Series {
+    std::string name;
+    SeriesKind kind;
+    TimeSeriesRing ring;
+    /// Last cumulative value seen (delta base for counter-like kinds).
+    double last = 0.0;
+  };
+
+  explicit TelemetrySampler(TelemetryOptions opt = {});
+
+  /// Take one sample at an explicit timestamp (seconds; must be
+  /// non-decreasing across calls). Returns false when the sample was
+  /// dropped by min_interval_s.
+  bool sample(const Registry& r, double t_s);
+  /// Convenience: timestamps from the host steady clock, relative to the
+  /// first sample() call.
+  bool sample(const Registry& r);
+
+  [[nodiscard]] const std::vector<Series>& series() const { return series_; }
+  [[nodiscard]] const Series* find(std::string_view name,
+                                   SeriesKind kind) const;
+  [[nodiscard]] std::uint64_t samples_taken() const { return samples_; }
+
+  /// Canonical time-series JSON (one line, no trailing newline):
+  ///   {"schema":"timeseries-v1","series":[
+  ///      {"name":...,"kind":...,"points":[[t,v],...]},...]}
+  /// tools/forensics.py `rates` emits the same shape so downstream
+  /// consumers read live telemetry and post-hoc lineage rates alike.
+  [[nodiscard]] std::string to_json() const;
+
+ private:
+  Series& series_for(std::string_view name, SeriesKind kind);
+
+  TelemetryOptions opt_;
+  std::vector<Series> series_;
+  std::uint64_t samples_ = 0;
+  double last_t_ = 0.0;
+  bool have_last_t_ = false;
+  std::uint64_t clock_t0_ = 0;  ///< steady-clock origin for sample(r)
+  bool have_clock_t0_ = false;
+};
+
+// ----------------------------------------------------- OpenMetrics text --
+
+/// One exposition label. Values are escaped by the writer; names must be
+/// valid label names already (the callers use literals).
+struct MetricLabel {
+  std::string name;
+  std::string value;
+};
+
+/// Sanitize an instrument name into a valid OpenMetrics metric name:
+/// `[a-zA-Z_:][a-zA-Z0-9_:]*`. Dots (the registry's layer separator) and
+/// any other invalid byte become '_'; a leading digit gets a '_' prefix.
+[[nodiscard]] std::string openmetrics_name(std::string_view raw);
+
+/// Escape a label value for inclusion in double quotes: backslash,
+/// double-quote, and newline get backslash escapes.
+[[nodiscard]] std::string openmetrics_escape(std::string_view raw);
+
+/// Streaming OpenMetrics text writer. Families must be opened before
+/// their samples (`# TYPE` line) and each family opened at most once --
+/// the writer enforces both so malformed exposition is a programming
+/// error here, not a scrape-time surprise.
+class OpenMetricsWriter {
+ public:
+  enum class Type : std::uint8_t { kCounter, kGauge, kHistogram };
+
+  /// Open a family: emits `# TYPE <sanitized(name)> <type>`.
+  void family(std::string_view name, Type t);
+  /// One sample in the open family. `suffix` is appended to the family
+  /// name ("_total", "_bucket", "_count", "_sum"); counters get "_total"
+  /// automatically when the caller passes no suffix.
+  void sample(double value, const std::vector<MetricLabel>& labels = {},
+              std::string_view suffix = {});
+  /// Full histogram family body from inclusive-upper-bound buckets (the
+  /// Registry shape): cumulative `_bucket{le=...}` lines including +Inf,
+  /// then `_count` and `_sum`. `bounds` has one entry per finite bucket;
+  /// `buckets` has bounds.size() + 1 entries (overflow last).
+  void histogram(const std::vector<double>& bounds,
+                 const std::vector<std::uint64_t>& buckets, double sum,
+                 const std::vector<MetricLabel>& labels = {});
+
+  /// Append every instrument of a snapshot, each as its own family with
+  /// `base_labels` on every sample.
+  void snapshot(const MetricsSnapshot& snap,
+                const std::vector<MetricLabel>& base_labels = {});
+
+  /// Terminate with `# EOF` and return the exposition text.
+  [[nodiscard]] std::string take();
+
+ private:
+  std::string out_;
+  std::string family_;  ///< sanitized name of the open family
+  Type family_type_ = Type::kGauge;
+  std::vector<std::string> seen_;  ///< families already opened
+};
+
+}  // namespace abftecc::obs

@@ -31,6 +31,8 @@ void print_usage(const char* prog) {
   std::printf(
       "usage: %s [options]\n"
       "  --json <path>          write a machine-readable report (JSON)\n"
+      "  --metrics-out <path>   write an OpenMetrics text exposition of the\n"
+      "                         final metric registry (telemetry plane)\n"
       "  --trace <path>         write a Chrome trace_event JSON timeline\n"
       "  --chrome-trace <path>  write a merged Perfetto timeline (tracer\n"
       "                         events + profiler phase spans); enables\n"
@@ -71,6 +73,22 @@ abft::FtOptions ft_options(const PlatformOptions& opt) {
 
 }  // namespace
 
+void record_native_metrics(const NativeBackend::Counters& counters,
+                           const abft::FtStats& ft) {
+  obs::Registry& reg = obs::default_registry();
+  reg.counter("native.touches").add(counters.touches);
+  reg.counter("native.bytes_read").add(counters.bytes_read);
+  reg.counter("native.bytes_written").add(counters.bytes_written);
+  reg.counter("native.faults_injected").add(counters.faults_injected);
+  reg.counter("abft.verifications").add(ft.verifications);
+  reg.counter("abft.errors_detected").add(ft.errors_detected);
+  reg.counter("abft.errors_corrected").add(ft.errors_corrected);
+  reg.counter("abft.hw_notifications_used").add(ft.hw_notifications_used);
+  reg.gauge("abft.encode_seconds").add(ft.encode_seconds);
+  reg.gauge("abft.verify_seconds").add(ft.verify_seconds);
+  reg.gauge("abft.correct_seconds").add(ft.correct_seconds);
+}
+
 CliReport parse_cli(int argc, char** argv, PlatformOptions& opt) {
   CliReport out;
   auto need_value = [&](int i) -> const char* {
@@ -87,6 +105,8 @@ CliReport parse_cli(int argc, char** argv, PlatformOptions& opt) {
     const char* a = argv[i];
     if (std::strcmp(a, "--json") == 0) {
       out.json_path = need_value(i), ++i;
+    } else if (std::strcmp(a, "--metrics-out") == 0) {
+      out.metrics_out_path = need_value(i), ++i;
     } else if (std::strcmp(a, "--trace") == 0) {
       out.trace_path = need_value(i), ++i;
       obs::default_tracer().enable();
@@ -172,6 +192,9 @@ struct Session::Impl {
   /// runs allocate raw heap buffers (the simulated allocator's frame
   /// capacity is sized for scaled-down sim inputs, not dim-2048 payloads).
   NativeBackend native;
+  /// Backend counter totals at the end of the previous native run, so
+  /// collect_native records per-run deltas into the registry.
+  NativeBackend::Counters native_seen;
 
   Impl(const PlatformOptions& o, memsim::Hooks hooks, bool private_obs)
       : opt(o) {
@@ -327,6 +350,17 @@ struct Session::Impl {
     m.total_bytes = total_b;
     abft_bytes += abft_b;
     total_bytes += total_b;
+    // Native runs feed the same registry schema as sim runs (telemetry
+    // plane): bulk-touch byte counters as per-run deltas, FT counters
+    // straight from the kernel's per-run stats.
+    const NativeBackend::Counters& now = native.counters();
+    NativeBackend::Counters delta;
+    delta.touches = now.touches - native_seen.touches;
+    delta.bytes_read = now.bytes_read - native_seen.bytes_read;
+    delta.bytes_written = now.bytes_written - native_seen.bytes_written;
+    delta.faults_injected = now.faults_injected - native_seen.faults_injected;
+    native_seen = now;
+    record_native_metrics(delta, ft);
     return m;
   }
 

@@ -297,7 +297,21 @@ struct CliReport {
   /// --chrome-trace <path>: merged timeline (tracer events + profiler
   /// phase spans, Perfetto-loadable). Implies tracing and profiling.
   std::string chrome_trace_path;
+  /// --metrics-out <path>: OpenMetrics text exposition of this thread's
+  /// default registry at report time (the telemetry plane's textfile
+  /// mode; scrape-ready, passes tools/promcheck.py).
+  std::string metrics_out_path;
 };
+
+/// Record one native-backend run's degraded instrumentation into this
+/// thread's default registry, so native runs feed the same metric schema
+/// (and telemetry plane) as simulated runs: `native.*` bulk-touch byte
+/// counters plus the `abft.*` verify/detect/correct counters sim runs get
+/// from the runtime. `counters` must be the DELTA attributable to the run
+/// (Session tracks its backend's previous totals; benches with a fresh
+/// NativeBackend per run can pass counters() directly).
+void record_native_metrics(const NativeBackend::Counters& counters,
+                           const abft::FtStats& ft);
 
 /// Parse the common bench CLI flags shared by every experiment binary,
 /// applying overrides to `opt` in place. Unknown flags warn and are

@@ -10,7 +10,9 @@
 //   * the forked-worker shard supervisor: byte-identical to the
 //     in-process pool, rescues chunks from a SIGKILL'd worker, and
 //     resumes an aborted sweep from its checkpoint byte-identically;
-//   * the Unix-socket daemon end to end (submit/wait/results/shutdown).
+//   * the Unix-socket daemon end to end (submit/wait/results/shutdown),
+//     including the protocol-2 telemetry verbs: the rich ping, the
+//     `metrics` OpenMetrics scrape, and the `subscribe` event stream.
 #include <gtest/gtest.h>
 
 #include <csignal>
@@ -570,7 +572,7 @@ TEST(Server, EndToEndOverUnixSocket) {
   // self-describing error rather than answered in a shape the sender may
   // not parse.
   {
-    const auto pong = client.call(R"({"protocol":1,"op":"ping"})", &error);
+    const auto pong = client.call(R"({"protocol":2,"op":"ping"})", &error);
     ASSERT_TRUE(pong.has_value()) << error;
     EXPECT_EQ(pong->u64("protocol"), kProtocolVersion);
     const auto foreign =
@@ -582,6 +584,20 @@ TEST(Server, EndToEndOverUnixSocket) {
         << foreign->str("error");
   }
 
+  // The protocol-2 ping is a one-line health summary: daemon identity,
+  // uptime, and the job-table tallies.
+  {
+    const auto info = client.ping_info(&error);
+    ASSERT_TRUE(info.has_value()) << error;
+    EXPECT_EQ(info->str("version"), kServerVersion);
+    EXPECT_GE(info->num("uptime_s", -1.0), 0.0);
+    EXPECT_EQ(info->u64("jobs"), 0u);
+    EXPECT_EQ(info->u64("queued"), 0u);
+    EXPECT_EQ(info->u64("running"), 0u);
+    EXPECT_EQ(info->u64("done"), 0u);
+    EXPECT_EQ(info->u64("failed"), 0u);
+  }
+
   JobSpec spec;
   spec.name = "e2e";
   spec.options = tiny_options();
@@ -590,10 +606,54 @@ TEST(Server, EndToEndOverUnixSocket) {
   spec.shards = 2;
   const auto id = client.submit(spec, &error);
   ASSERT_TRUE(id.has_value()) << error;
+
+  // Live subscription on a second connection: the stream must deliver at
+  // least one progress/done event and terminate with done:true carrying
+  // the final job state.
+  {
+    Client watcher;
+    std::string werror;
+    ASSERT_TRUE(watcher.connect(sock, &werror)) << werror;
+    std::size_t events = 0;
+    std::string last_state;
+    std::uint64_t last_done_trials = 0;
+    const auto fin = watcher.subscribe(
+        *id,
+        [&](const obs::JsonValue& ev) {
+          ++events;
+          last_state = ev.str("state");
+          last_done_trials = ev.u64("trials_done");
+          EXPECT_EQ(ev.str("id"), *id);
+          EXPECT_EQ(ev.u64("trials_total"), 8u);
+        },
+        &werror);
+    ASSERT_TRUE(fin.has_value()) << werror;
+    EXPECT_TRUE(fin->boolean("done"));
+    EXPECT_EQ(fin->str("event"), "done");
+    EXPECT_GE(events, 1u);
+    EXPECT_EQ(last_state, "done");
+    EXPECT_EQ(last_done_trials, 8u);
+  }
+
   const auto done = client.wait(*id, &error);
   ASSERT_TRUE(done.has_value()) << error;
   EXPECT_EQ(done->str("state"), "done");
   EXPECT_EQ(done->u64("trials_done"), 8u);
+
+  // Subscribing to an already-terminal job yields exactly one final event.
+  {
+    std::size_t events = 0;
+    const auto fin = client.subscribe(
+        *id, [&](const obs::JsonValue&) { ++events; }, &error);
+    ASSERT_TRUE(fin.has_value()) << error;
+    EXPECT_TRUE(fin->boolean("done"));
+    EXPECT_EQ(events, 1u);
+    // An unknown job id is an error, not an empty stream.
+    std::string suberr;
+    EXPECT_FALSE(
+        client.subscribe("job-does-not-exist", nullptr, &suberr).has_value());
+    EXPECT_FALSE(suberr.empty());
+  }
 
   // The spool holds the streamed per-trial JSONL: one line per trial.
   std::ifstream trials(std::string(done->str("trials_path")));
@@ -616,6 +676,41 @@ TEST(Server, EndToEndOverUnixSocket) {
   const auto status = client.status(&error);
   ASSERT_TRUE(status.has_value()) << error;
   EXPECT_EQ(status->u64("done"), 2u);
+
+  // The metrics verb returns both the OpenMetrics exposition (daemon
+  // instruments plus per-job families) and the raw time-series rings.
+  {
+    const auto m = client.metrics(&error);
+    ASSERT_TRUE(m.has_value()) << error;
+    const std::string expo(m->str("exposition"));
+    EXPECT_NE(expo.find("# TYPE campaignd_requests counter\n"),
+              std::string::npos)
+        << expo;
+    EXPECT_NE(expo.find("campaignd_jobs_completed_total 2\n"),
+              std::string::npos)
+        << expo;
+    EXPECT_NE(expo.find("# TYPE campaignd_job_trials_done gauge\n"),
+              std::string::npos)
+        << expo;
+    EXPECT_NE(expo.find("name=\"e2e\""), std::string::npos) << expo;
+    EXPECT_NE(expo.find("# TYPE campaignd_job_seconds histogram\n"),
+              std::string::npos)
+        << expo;
+    ASSERT_GE(expo.size(), 6u);
+    EXPECT_EQ(expo.substr(expo.size() - 6), "# EOF\n");
+    const auto* series = m->find("series");
+    ASSERT_NE(series, nullptr);
+    EXPECT_EQ(series->str("schema"), "timeseries-v1");
+  }
+
+  // The refreshed ping reflects the finished jobs.
+  {
+    const auto info = client.ping_info(&error);
+    ASSERT_TRUE(info.has_value()) << error;
+    EXPECT_EQ(info->u64("jobs"), 2u);
+    EXPECT_EQ(info->u64("done"), 2u);
+    EXPECT_EQ(info->u64("failed"), 0u);
+  }
 
   EXPECT_TRUE(client.shutdown_daemon(&error)) << error;
   int wstatus = 0;

@@ -1,0 +1,241 @@
+// Tests for the live telemetry plane (src/obs/telemetry):
+//   * TimeSeriesRing: fixed capacity, oldest-first reads, wraparound;
+//   * TelemetrySampler: counter deltas vs gauge levels, min-interval
+//     drop, timeseries-v1 JSON validity, dropped-point accounting;
+//   * OpenMetrics exposition: name sanitization, label-value escaping,
+//     cumulative histogram buckets with +Inf == _count, # EOF footer;
+//   * determinism: a campaign sampled by a live TelemetrySampler folds
+//     the byte-identical Accumulator JSON as one with telemetry off
+//     (the cmp gate's in-process twin).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include "campaign/accumulator.hpp"
+#include "campaign/campaign.hpp"
+#include "obs/jsonv.hpp"
+#include "obs/metrics.hpp"
+#include "obs/telemetry.hpp"
+
+namespace abftecc::obs {
+namespace {
+
+// ---------------------------------------------------------------- rings --
+
+TEST(TimeSeriesRing, FillsThenWrapsOverOldest) {
+  TimeSeriesRing ring(4);
+  EXPECT_EQ(ring.capacity(), 4u);
+  EXPECT_EQ(ring.size(), 0u);
+
+  for (int i = 0; i < 3; ++i) ring.push(i, 10.0 * i);
+  ASSERT_EQ(ring.size(), 3u);
+  EXPECT_EQ(ring.at(0).t, 0.0);
+  EXPECT_EQ(ring.at(2).v, 20.0);
+
+  // Push past capacity: the oldest points fall off, order is preserved.
+  for (int i = 3; i < 10; ++i) ring.push(i, 10.0 * i);
+  EXPECT_EQ(ring.size(), 4u);
+  EXPECT_EQ(ring.total_pushed(), 10u);
+  for (std::size_t i = 0; i < ring.size(); ++i) {
+    EXPECT_EQ(ring.at(i).t, static_cast<double>(6 + i));
+    EXPECT_EQ(ring.at(i).v, 10.0 * static_cast<double>(6 + i));
+  }
+}
+
+// -------------------------------------------------------------- sampler --
+
+TEST(TelemetrySampler, CountersAreDeltasGaugesAreLevels) {
+  Registry reg;
+  TelemetrySampler sampler({8, 0.0});
+
+  reg.counter("c").add(5);
+  reg.gauge("g").set(1.5);
+  EXPECT_TRUE(sampler.sample(reg, 0.0));
+  reg.counter("c").add(2);
+  reg.gauge("g").set(9.0);
+  EXPECT_TRUE(sampler.sample(reg, 1.0));
+
+  const auto* c = sampler.find("c", SeriesKind::kCounter);
+  ASSERT_NE(c, nullptr);
+  ASSERT_EQ(c->ring.size(), 2u);
+  EXPECT_EQ(c->ring.at(0).v, 5.0);  // first sample: delta from 0
+  EXPECT_EQ(c->ring.at(1).v, 2.0);  // events since previous sample
+
+  const auto* g = sampler.find("g", SeriesKind::kGauge);
+  ASSERT_NE(g, nullptr);
+  EXPECT_EQ(g->ring.at(0).v, 1.5);
+  EXPECT_EQ(g->ring.at(1).v, 9.0);
+}
+
+TEST(TelemetrySampler, MinIntervalDropsHotSamples) {
+  Registry reg;
+  reg.counter("c").add(1);
+  TelemetrySampler sampler({8, 1.0});
+  EXPECT_TRUE(sampler.sample(reg, 0.0));
+  EXPECT_FALSE(sampler.sample(reg, 0.5));  // too soon
+  EXPECT_TRUE(sampler.sample(reg, 1.5));
+  EXPECT_EQ(sampler.samples_taken(), 2u);
+}
+
+TEST(TelemetrySampler, HistogramsSampleCountAndSumDeltas) {
+  Registry reg;
+  auto& h = reg.histogram("h", {1.0, 10.0});
+  h.observe(0.5);
+  h.observe(5.0);
+  TelemetrySampler sampler({8, 0.0});
+  sampler.sample(reg, 0.0);
+  h.observe(100.0);
+  sampler.sample(reg, 1.0);
+
+  const auto* count = sampler.find("h", SeriesKind::kHistogramCount);
+  const auto* sum = sampler.find("h", SeriesKind::kHistogramSum);
+  ASSERT_NE(count, nullptr);
+  ASSERT_NE(sum, nullptr);
+  EXPECT_EQ(count->ring.at(0).v, 2.0);
+  EXPECT_EQ(count->ring.at(1).v, 1.0);
+  EXPECT_EQ(sum->ring.at(0).v, 5.5);
+  EXPECT_EQ(sum->ring.at(1).v, 100.0);
+}
+
+TEST(TelemetrySampler, ToJsonIsValidTimeseriesV1WithDroppedCounts) {
+  Registry reg;
+  reg.counter("c");
+  TelemetrySampler sampler({2, 0.0});
+  for (int i = 0; i < 5; ++i) {
+    reg.counter("c").add(1);
+    sampler.sample(reg, i);
+  }
+
+  std::string error;
+  const auto parsed = json_parse(sampler.to_json(), &error);
+  ASSERT_TRUE(parsed.has_value()) << error;
+  EXPECT_EQ(parsed->str("schema"), "timeseries-v1");
+  EXPECT_EQ(parsed->u64("samples"), 5u);
+  const auto* series = parsed->find("series");
+  ASSERT_NE(series, nullptr);
+  const auto& rows = series->as_array();
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(rows[0].str("name"), "c");
+  EXPECT_EQ(rows[0].str("kind"), "counter");
+  EXPECT_EQ(rows[0].u64("dropped"), 3u);  // capacity 2, pushed 5
+  const auto* points = rows[0].find("points");
+  ASSERT_NE(points, nullptr);
+  EXPECT_EQ(points->as_array().size(), 2u);
+}
+
+// ----------------------------------------------------- OpenMetrics text --
+
+TEST(OpenMetrics, NameSanitization) {
+  EXPECT_EQ(openmetrics_name("campaignd.jobs_running"),
+            "campaignd_jobs_running");
+  EXPECT_EQ(openmetrics_name("l1.miss-rate %"), "l1_miss_rate__");
+  EXPECT_EQ(openmetrics_name("9lives"), "_9lives");
+  EXPECT_EQ(openmetrics_name("already_fine:ok"), "already_fine:ok");
+}
+
+TEST(OpenMetrics, LabelValueEscaping) {
+  EXPECT_EQ(openmetrics_escape("plain"), "plain");
+  EXPECT_EQ(openmetrics_escape("a\"b"), "a\\\"b");
+  EXPECT_EQ(openmetrics_escape("a\\b"), "a\\\\b");
+  EXPECT_EQ(openmetrics_escape("a\nb"), "a\\nb");
+}
+
+TEST(OpenMetrics, WriterEmitsEscapedLabelsAndEof) {
+  OpenMetricsWriter om;
+  om.family("job.state", OpenMetricsWriter::Type::kGauge);
+  om.sample(1.0, {{"name", "we\"ird\nname"}});
+  const std::string text = om.take();
+  EXPECT_NE(text.find("# TYPE job_state gauge\n"), std::string::npos) << text;
+  EXPECT_NE(text.find("job_state{name=\"we\\\"ird\\nname\"} 1\n"),
+            std::string::npos)
+      << text;
+  EXPECT_EQ(text.rfind("# EOF\n"), text.size() - 6) << text;
+}
+
+TEST(OpenMetrics, SnapshotHistogramBucketsAreCumulativeWithInf) {
+  Registry reg;
+  reg.counter("reqs").add(3);
+  auto& h = reg.histogram("lat", {1.0, 2.0, 4.0});
+  h.observe(0.5);
+  h.observe(1.5);
+  h.observe(3.0);
+  h.observe(99.0);
+
+  OpenMetricsWriter om;
+  om.snapshot(reg.snapshot(), {{"experiment", "unit"}});
+  const std::string text = om.take();
+
+  // Counter family gets the _total suffix.
+  EXPECT_NE(text.find("# TYPE reqs counter\n"), std::string::npos) << text;
+  EXPECT_NE(text.find("reqs_total{experiment=\"unit\"} 3\n"),
+            std::string::npos)
+      << text;
+
+  // Buckets are cumulative per le, the +Inf bucket equals _count, and the
+  // le label rides alongside the base labels.
+  EXPECT_NE(text.find("lat_bucket{experiment=\"unit\",le=\"1\"} 1\n"),
+            std::string::npos)
+      << text;
+  EXPECT_NE(text.find("lat_bucket{experiment=\"unit\",le=\"2\"} 2\n"),
+            std::string::npos)
+      << text;
+  EXPECT_NE(text.find("lat_bucket{experiment=\"unit\",le=\"4\"} 3\n"),
+            std::string::npos)
+      << text;
+  EXPECT_NE(text.find("lat_bucket{experiment=\"unit\",le=\"+Inf\"} 4\n"),
+            std::string::npos)
+      << text;
+  EXPECT_NE(text.find("lat_count{experiment=\"unit\"} 4\n"),
+            std::string::npos)
+      << text;
+  EXPECT_NE(text.find("lat_sum{experiment=\"unit\"} 104\n"),
+            std::string::npos)
+      << text;
+}
+
+// ------------------------------------------------ determinism (cmp twin) --
+
+TEST(Telemetry, SamplingLeavesCampaignAggregatesByteIdentical) {
+  campaign::CampaignOptions opt;
+  opt.kernel = sim::Kernel::kDgemm;
+  opt.platform.strategy = sim::Strategy::kPartialChipkillSecded;
+  opt.platform.dgemm_dim = 48;
+  opt.trials = 10;
+  opt.threads = 2;
+  opt.campaign_seed = 17;
+  const campaign::GoldenRun golden = campaign::run_golden(opt);
+
+  // Telemetry OFF.
+  const campaign::CampaignResult plain = campaign::run_campaign(opt, golden);
+  const std::string baseline =
+      campaign::Accumulator::of(opt, plain.trials).to_json();
+  std::vector<std::string> lines_off;
+  for (const auto& t : plain.trials)
+    lines_off.push_back(campaign::trial_jsonl_line(opt, t));
+
+  // Telemetry ON: sample the main-thread registry from the progress
+  // callback, exactly like tools/campaign --metrics-out does.
+  TelemetrySampler sampler({64, 0.0});
+  std::size_t last_done = 0;
+  const campaign::CampaignResult sampled = campaign::run_campaign(
+      opt, golden, [&](std::size_t done, std::size_t) {
+        if (done >= last_done) {
+          default_registry().counter("campaign.trials").add(done - last_done);
+          last_done = done;
+          sampler.sample(default_registry());
+        }
+      });
+  std::vector<std::string> lines_on;
+  for (const auto& t : sampled.trials)
+    lines_on.push_back(campaign::trial_jsonl_line(opt, t));
+
+  EXPECT_GT(sampler.samples_taken(), 0u);
+  EXPECT_EQ(campaign::Accumulator::of(opt, sampled.trials).to_json(),
+            baseline);
+  EXPECT_EQ(lines_on, lines_off);
+}
+
+}  // namespace
+}  // namespace abftecc::obs

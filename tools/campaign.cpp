@@ -6,6 +6,7 @@
 // Exit status: 0 on success, 1 if any trial's outcome was unclassified
 // (its injected fault never materialized) -- the CI smoke gate.
 #include <algorithm>
+#include <array>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
@@ -87,6 +88,12 @@ void print_usage(const char* prog) {
       "                    sampling; exact counts, exit 1 if any analytic\n"
       "                    guarantee is violated\n"
       "  --words <n>       exhaustive mode: 64-bit data words to sweep\n"
+      "  --metrics-out <p> write an OpenMetrics text exposition of the final\n"
+      "                    metrics registry (validated by tools/promcheck.py)\n"
+      "                    and attach a 'telemetry' time-series section to\n"
+      "                    --json; purely additive -- the per-trial JSONL and\n"
+      "                    --aggregate output stay byte-identical (pass an\n"
+      "                    empty path to keep the argv shape w/ telemetry off)\n"
       "plus the shared platform flags (--dgemm-dim, --cache-scale, ...);\n"
       "campaign defaults shrink the inputs so 256-trial sweeps stay fast.\n",
       prog);
@@ -397,6 +404,24 @@ int main(int argc, char** argv) {
                                 base.platform);
   base.platform.seed = input_seed;  // campaign flag wins over --seed leftovers
 
+  // Telemetry plane (opt-in via --metrics-out): trial progress is recorded
+  // as (time, trials-delta) points in a fixed static buffer while trials
+  // run, then replayed through the registry + TelemetrySampler once the
+  // last trial has finished. The recording path performs ZERO heap
+  // allocation: cycle counts are sensitive to host heap layout, so any
+  // mid-campaign malloc from the observer would move aggregate bytes.
+  const bool telemetry = !report.cli().metrics_out_path.empty();
+  abftecc::obs::TelemetrySampler sampler({240, 0.0});
+  struct TelemetryPoint {
+    double t;
+    std::uint64_t delta;
+  };
+  static std::array<TelemetryPoint, 16384> telemetry_raw;  // BSS, not heap
+  std::size_t telemetry_points = 0;
+  std::uint64_t telemetry_pending = 0;  // deltas coalesced between points
+  double telemetry_last_t = 0.0;
+  const auto telemetry_epoch = std::chrono::steady_clock::now();
+
   std::FILE* jsonl = nullptr;
   if (!jsonl_path.empty()) {
     jsonl = std::fopen(jsonl_path.c_str(), "w");
@@ -455,7 +480,21 @@ int main(int argc, char** argv) {
 
     const auto t0 = std::chrono::steady_clock::now();
     std::size_t last_decile = 0;
+    std::size_t last_done = 0;
     const auto progress = [&](std::size_t done, std::size_t total) {
+      if (telemetry && done >= last_done) {
+        telemetry_pending += done - last_done;
+        last_done = done;
+        const double t = std::chrono::duration<double>(
+                             std::chrono::steady_clock::now() - telemetry_epoch)
+                             .count();
+        if (telemetry_points < telemetry_raw.size() &&
+            (telemetry_points == 0 || t - telemetry_last_t >= 0.25)) {
+          telemetry_raw[telemetry_points++] = {t, telemetry_pending};
+          telemetry_pending = 0;
+          telemetry_last_t = t;
+        }
+      }
       const std::size_t decile = total == 0 ? 10 : 10 * done / total;
       if (decile > last_decile) {
         last_decile = decile;
@@ -623,6 +662,26 @@ int main(int argc, char** argv) {
     report.note("lineage",
                 "per-fault provenance ledger reconciliation (--lineage); "
                 "counts only, deterministic for a fixed seed");
+  }
+
+  if (telemetry) {
+    // Replay the allocation-free recording into the registry now that the
+    // last trial is done and heap layout no longer matters.
+    auto& reg = abftecc::obs::default_registry();
+    for (std::size_t i = 0; i < telemetry_points; ++i) {
+      reg.counter("campaign.trials").add(telemetry_raw[i].delta);
+      sampler.sample(reg, telemetry_raw[i].t);
+    }
+    reg.counter("campaign.trials").add(telemetry_pending);  // tail flush
+    sampler.sample(reg, std::chrono::duration<double>(
+                            std::chrono::steady_clock::now() - telemetry_epoch)
+                            .count());
+    report.section("telemetry", sampler.to_json());
+    report.note("telemetry",
+                "timeseries-v1 trial-rate rings (--metrics-out); recorded "
+                "allocation-free during the run, replayed after the last "
+                "trial -- JSONL/aggregate outputs are byte-identical with "
+                "telemetry off");
   }
 
   report.note("campaign_seed", std::to_string(base.campaign_seed));

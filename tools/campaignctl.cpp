@@ -6,12 +6,22 @@
 //   campaignctl --socket S wait <job-id>
 //   campaignctl --socket S results <job-id>
 //   campaignctl --socket S resume <job-id> [--wait]
+//   campaignctl --socket S watch <job-id>
+//   campaignctl --socket S metrics [--series]
 //   campaignctl --socket S shutdown
 //
 // submit speaks the same campaign vocabulary as tools/campaign
 // (--kernel/--trials/--seed/--fault/...) plus --shards for the worker
 // process count and --exhaustive/--words for the exhaustive SECDED
 // enumeration mode. Responses are printed as the daemon's JSON line.
+//
+// The telemetry plane (ISSUE 10): `watch` subscribes to a job's live
+// event stream and renders trials/sec, outcome mix, worker heartbeats,
+// and ETA (a redrawn status line on a tty, one line per event
+// otherwise); `metrics` dumps the daemon's OpenMetrics exposition text
+// (or the time-series rings JSON with --series).
+#include <unistd.h>
+
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -53,6 +63,8 @@ void print_usage(const char* prog) {
       "  wait <id>            block until a job finishes, print results\n"
       "  results <id>         print a job's results line\n"
       "  resume <id> [--wait] requeue an interrupted job (checkpoint replay)\n"
+      "  watch <id>           live view: trials/sec, outcome mix, workers, ETA\n"
+      "  metrics [--series]   OpenMetrics exposition (--series: rings JSON)\n"
       "  shutdown             stop the daemon (current job checkpoints)\n",
       prog);
 }
@@ -60,6 +72,77 @@ void print_usage(const char* prog) {
 int fail(const std::string& error) {
   std::fprintf(stderr, "campaignctl: %s\n", error.c_str());
   return 1;
+}
+
+/// Re-serialize a parsed JsonValue through the canonical writer (numbers
+/// via %.17g, which keeps the rings' doubles exact and prints integral
+/// values without a decimal point).
+void write_value(abftecc::obs::JsonWriter& w,
+                 const abftecc::obs::JsonValue& v) {
+  if (v.is_bool()) {
+    w.value(v.as_bool());
+  } else if (v.is_number()) {
+    w.value(v.as_double());
+  } else if (v.is_string()) {
+    w.value(v.as_string());
+  } else if (v.is_array()) {
+    w.begin_array();
+    for (const auto& e : v.as_array()) write_value(w, e);
+    w.end_array();
+  } else if (v.is_object()) {
+    w.begin_object();
+    for (const auto& [key, member] : v.as_object()) {
+      w.key(key);
+      write_value(w, member);
+    }
+    w.end_object();
+  } else {
+    w.null();
+  }
+}
+
+/// One human line for a subscribe event: progress, rate, ETA, outcome
+/// mix, worker liveness.
+std::string render_event(const abftecc::obs::JsonValue& v) {
+  char buf[256];
+  const auto done = static_cast<unsigned long long>(v.u64("trials_done"));
+  const auto total = static_cast<unsigned long long>(v.u64("trials_total"));
+  const double pct = total == 0 ? 100.0 : 100.0 * static_cast<double>(done) /
+                                              static_cast<double>(total);
+  std::snprintf(buf, sizeof(buf), "%s %-8s %llu/%llu (%5.1f%%) %8.1f trials/s",
+                std::string(v.str("id")).c_str(),
+                std::string(v.str("state")).c_str(), done, total, pct,
+                v.num("trials_per_sec"));
+  std::string line = buf;
+  const double eta = v.num("eta_s", -1.0);
+  if (eta >= 0.0) {
+    std::snprintf(buf, sizeof(buf), " eta %.0fs", eta);
+    line += buf;
+  }
+  if (const auto* workers = v.find("workers");
+      workers != nullptr && workers->is_array()) {
+    std::size_t busy = 0;
+    for (const auto& w : workers->as_array()) {
+      const auto* c = w.find("chunk");
+      if (c != nullptr && c->as_i64(-1) >= 0) ++busy;
+    }
+    std::snprintf(buf, sizeof(buf), " workers %zu (%zu busy, %llu died)",
+                  workers->as_array().size(), busy,
+                  static_cast<unsigned long long>(v.u64("workers_died")));
+    line += buf;
+  }
+  if (const auto* outcomes = v.find("outcomes");
+      outcomes != nullptr && outcomes->is_object() &&
+      !outcomes->as_object().empty()) {
+    line += " |";
+    for (const auto& [name, count] : outcomes->as_object()) {
+      if (count.as_u64() == 0) continue;
+      std::snprintf(buf, sizeof(buf), " %s %llu", name.c_str(),
+                    static_cast<unsigned long long>(count.as_u64()));
+      line += buf;
+    }
+  }
+  return line;
 }
 
 }  // namespace
@@ -88,9 +171,58 @@ int main(int argc, char** argv) {
   if (!client.connect(socket_path, &error)) return fail(error);
 
   if (cmd == "ping") {
-    if (!client.ping(&error)) return fail(error);
-    std::printf("ok\n");
+    const auto v = client.ping_info(&error);
+    if (!v.has_value()) return fail(error);
+    // One-line daemon health summary (protocol v2 ping fields).
+    std::printf(
+        "ok %s pid %llu up %.1fs jobs %llu (%llu queued, %llu running, "
+        "%llu done, %llu failed)\n",
+        std::string(v->str("version", "campaignd/?")).c_str(),
+        static_cast<unsigned long long>(v->u64("pid")), v->num("uptime_s"),
+        static_cast<unsigned long long>(v->u64("jobs")),
+        static_cast<unsigned long long>(v->u64("queued")),
+        static_cast<unsigned long long>(v->u64("running")),
+        static_cast<unsigned long long>(v->u64("done")),
+        static_cast<unsigned long long>(v->u64("failed")));
     return 0;
+  }
+
+  if (cmd == "metrics") {
+    const bool series =
+        args.size() > 1 && std::strcmp(args[1], "--series") == 0;
+    const auto v = client.metrics(&error);
+    if (!v.has_value()) return fail(error);
+    if (series) {
+      const auto* s = v->find("series");
+      if (s == nullptr) return fail("metrics response carried no series");
+      abftecc::obs::JsonWriter w;
+      write_value(w, *s);
+      std::printf("%s\n", w.take().c_str());
+    } else {
+      std::fputs(std::string(v->str("exposition")).c_str(), stdout);
+    }
+    return 0;
+  }
+
+  if (cmd == "watch") {
+    if (args.size() < 2) return fail("watch: missing job id");
+    const bool tty = ::isatty(STDOUT_FILENO) != 0;
+    const auto final_event = client.subscribe(
+        args[1],
+        [&](const abftecc::obs::JsonValue& ev) {
+          const std::string line = render_event(ev);
+          if (tty) {
+            // Redraw in place; the final newline lands below.
+            std::printf("\r\x1b[2K%s", line.c_str());
+            std::fflush(stdout);
+          } else {
+            std::printf("%s\n", line.c_str());
+          }
+        },
+        &error);
+    if (tty) std::printf("\n");
+    if (!final_event.has_value()) return fail(error);
+    return final_event->str("state") == "done" ? 0 : 1;
   }
 
   if (cmd == "status" || cmd == "jobs") {

@@ -23,6 +23,11 @@ Subcommands:
   reconcile  cross-check ledger terminal tallies against a campaign
              --json report (exit 1 on any mismatch)
   canon      cycle-stripped canonical ledger lines on stdout
+  rates      bin fault injections (and per-terminal tallies) over the
+             simulated-cycle axis into timeseries-v1 JSON -- the same
+             shape the live TelemetrySampler emits, so downstream
+             consumers read post-hoc lineage rates and live telemetry
+             alike (cycle-derived, hence heap-layout sensitive)
 
 Every subcommand accepts one or more ledger files and merges them --
 the shard-per-file layout campaignd's workers stream -- after checking
@@ -319,6 +324,57 @@ def cmd_canon(args):
     return 0
 
 
+def cmd_rates(args):
+    """Per-interval fault/outcome rates in the TelemetrySampler's
+    timeseries-v1 JSON shape: the cycle axis [0, max] is split into
+    --bins equal intervals; each series point is [interval_start_cycle,
+    events_in_interval] -- counter semantics (per-sample deltas), like
+    the live rings."""
+    faults, _ = load_many(args.ledgers)
+    stamps = []  # (first_event_cycle, terminal)
+    for rec in faults:
+        cycles = [e.get("cycle", 0) for e in rec.get("events", [])]
+        if not cycles:
+            continue
+        stamps.append((min(cycles), rec.get("terminal", "")))
+    bins = max(1, args.bins)
+    hi = max((c for c, _ in stamps), default=0)
+    width = max(1, -(-(hi + 1) // bins))  # ceil so the max stamp fits
+
+    def binned(predicate):
+        counts = [0] * bins
+        for cycle, terminal in stamps:
+            if predicate(terminal):
+                counts[min(cycle // width, bins - 1)] += 1
+        return counts
+
+    series = [("fault.injected", binned(lambda t: True))]
+    for outcome in OUTCOMES:
+        counts = binned(lambda t, o=outcome: t == o)
+        if any(counts):
+            series.append((f"fault.terminal.{outcome}", counts))
+
+    doc = {
+        "schema": "timeseries-v1",
+        "samples": bins,
+        "series": [
+            {
+                "name": name,
+                "kind": "counter",
+                "dropped": 0,
+                "points": [[float(i * width), float(c)]
+                           for i, c in enumerate(counts)],
+            }
+            for name, counts in series
+        ],
+    }
+    json.dump(doc, sys.stdout, separators=(",", ":"))
+    sys.stdout.write("\n")
+    if not stamps:
+        print("rates: ledger has no stamped fault events", file=sys.stderr)
+    return 0
+
+
 def main():
     ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     sub = ap.add_subparsers(dest="cmd", required=True)
@@ -356,6 +412,13 @@ def main():
     p = sub.add_parser("canon", help="cycle-stripped canonical lines")
     p.add_argument("ledgers", nargs="+", metavar="ledger")
     p.set_defaults(fn=cmd_canon)
+
+    p = sub.add_parser("rates",
+                       help="per-interval rates as timeseries-v1 JSON")
+    p.add_argument("ledgers", nargs="+", metavar="ledger")
+    p.add_argument("--bins", type=int, default=20,
+                   help="intervals over the cycle axis (default 20)")
+    p.set_defaults(fn=cmd_rates)
 
     args = ap.parse_args()
     return args.fn(args)

@@ -1,0 +1,238 @@
+#!/usr/bin/env python3
+"""Validator for the OpenMetrics text exposition the telemetry plane emits
+(`--metrics-out` textfile dumps and `campaignctl metrics` scrapes).
+
+Checks, per file:
+  - line grammar: every non-comment line is `name{labels} value` with a
+    valid metric name `[a-zA-Z_:][a-zA-Z0-9_:]*` and parseable value
+  - every sample belongs to a family declared by a preceding `# TYPE`
+    line, each family is declared at most once, and the sample suffix
+    matches the declared type (counters end in `_total`; histograms use
+    only `_bucket`/`_count`/`_sum`)
+  - counter and histogram sample values are finite and non-negative
+  - histogram buckets are cumulative (non-decreasing in `le` order per
+    label set), carry a `+Inf` bucket, and `+Inf == _count`
+  - the last line is exactly `# EOF`
+
+Given MULTIPLE files (in scrape order), additionally checks monotonicity
+across scrapes: counter samples and histogram `_count`/`_bucket` samples
+never decrease for the same (name, labels) series.
+
+Usage:
+    python3 tools/promcheck.py dump1.prom [dump2.prom ...]
+
+Exit status: 0 when every check passes, 1 on any violation, 2 on usage
+errors. Violations are listed one per line as `file:line: message`.
+"""
+import math
+import re
+import sys
+
+NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+# name, optional {labels}, value -- labels parsed separately.
+SAMPLE_RE = re.compile(r"^([a-zA-Z_:][a-zA-Z0-9_:]*)(\{[^}]*\})?\s+(\S+)$")
+LABEL_RE = re.compile(r'([a-zA-Z_][a-zA-Z0-9_]*)="((?:[^"\\]|\\.)*)"')
+TYPES = ("counter", "gauge", "histogram")
+HIST_SUFFIXES = ("_bucket", "_count", "_sum")
+
+
+def parse_value(tok):
+    if tok == "+Inf":
+        return math.inf
+    if tok == "-Inf":
+        return -math.inf
+    try:
+        return float(tok)
+    except ValueError:
+        return None
+
+
+def strip_suffix(name, families):
+    """Resolve a sample name to its (family, suffix) under known families."""
+    if name in families:
+        return name, ""
+    for suf in ("_total",) + HIST_SUFFIXES:
+        if name.endswith(suf) and name[: -len(suf)] in families:
+            return name[: -len(suf)], suf
+    return None, None
+
+
+def parse_labels(text, err):
+    """`{a="b",c="d"}` -> sorted tuple of (name, value); None on garbage."""
+    if not text:
+        return ()
+    body = text[1:-1]
+    pairs = LABEL_RE.findall(body)
+    # Reject junk the findall silently skipped.
+    rebuilt = ",".join('%s="%s"' % (n, v) for n, v in pairs)
+    if re.sub(r"\s", "", body) != rebuilt and body != rebuilt:
+        err("malformed label set %r" % text)
+        return None
+    return tuple(sorted(pairs))
+
+
+def check_file(path, cross_series):
+    """Validate one exposition file; returns a list of violation strings.
+
+    cross_series maps (family, suffix, labels) -> last value, shared
+    across files to enforce cross-scrape monotonicity.
+    """
+    problems = []
+    try:
+        with open(path, "r", encoding="utf-8") as f:
+            raw = f.read()
+    except OSError as e:
+        return ["%s: cannot read: %s" % (path, e)]
+
+    lines = raw.split("\n")
+    if lines and lines[-1] == "":
+        lines.pop()
+    if not lines or lines[-1] != "# EOF":
+        problems.append("%s:%d: last line must be '# EOF'" % (path, len(lines)))
+
+    families = {}  # name -> type
+    # (family, labels) -> list of (le, value) for bucket cumulativity,
+    # plus recorded _count per label set.
+    buckets = {}
+    counts = {}
+
+    for i, line in enumerate(lines, 1):
+        def err(msg, i=i):
+            problems.append("%s:%d: %s" % (path, i, msg))
+
+        if line == "# EOF":
+            if i != len(lines):
+                err("'# EOF' before end of file")
+            continue
+        if line.startswith("#"):
+            m = re.match(r"^# TYPE ([^ ]+) ([^ ]+)$", line)
+            if m is None:
+                if not line.startswith(("# HELP ", "# UNIT ")):
+                    err("unrecognized comment line %r" % line)
+                continue
+            name, typ = m.groups()
+            if not NAME_RE.match(name):
+                err("invalid family name %r" % name)
+            if typ not in TYPES:
+                err("unknown family type %r" % typ)
+            if name in families:
+                err("family %r declared twice" % name)
+            families[name] = typ
+            continue
+        if not line.strip():
+            err("blank line in exposition")
+            continue
+
+        m = SAMPLE_RE.match(line)
+        if m is None:
+            err("unparseable sample line %r" % line)
+            continue
+        name, label_text, value_tok = m.groups()
+        value = parse_value(value_tok)
+        if value is None:
+            err("unparseable value %r" % value_tok)
+            continue
+        family, suffix = strip_suffix(name, families)
+        if family is None:
+            err("sample %r has no preceding # TYPE family" % name)
+            continue
+        typ = families[family]
+        labels = parse_labels(label_text or "", err)
+        if labels is None:
+            continue
+
+        if typ == "counter":
+            if suffix != "_total":
+                err("counter sample %r must use the _total suffix" % name)
+            if not (value >= 0.0) or math.isinf(value) or math.isnan(value):
+                err("counter %r value %s not finite/non-negative"
+                    % (name, value_tok))
+        elif typ == "gauge":
+            if suffix != "":
+                err("gauge sample %r must not carry a suffix" % name)
+        else:  # histogram
+            if suffix not in HIST_SUFFIXES:
+                err("histogram sample %r must use _bucket/_count/_sum" % name)
+                continue
+            if suffix != "_sum" and (value < 0.0 or math.isnan(value)):
+                err("histogram %r value %s negative/NaN" % (name, value_tok))
+            if suffix == "_bucket":
+                le = dict(labels).get("le")
+                if le is None:
+                    err("histogram bucket %r missing le label" % name)
+                    continue
+                le_v = parse_value(le.replace("\\\\", "\\"))
+                if le_v is None:
+                    err("histogram bucket %r has bad le=%r" % (name, le))
+                    continue
+                base = tuple(p for p in labels if p[0] != "le")
+                buckets.setdefault((family, base), []).append((le_v, value, i))
+                continue  # monotonicity tracked per (family, base, le) below
+            if suffix == "_count":
+                counts[(family, tuple(p for p in labels if p[0] != "le"))] = (
+                    value, i)
+
+        # Cross-scrape monotonicity for counter-like series.
+        if typ == "counter" or (typ == "histogram" and suffix == "_count"):
+            key = (family, suffix, labels)
+            prev = cross_series.get(key)
+            if prev is not None and value < prev:
+                err("series %s%s%s went backwards across scrapes "
+                    "(%g -> %g)" % (family, suffix, label_text or "",
+                                    prev, value))
+            cross_series[key] = value
+
+    # Bucket invariants per histogram label set.
+    for (family, base), rows in buckets.items():
+        rows_sorted = sorted(rows, key=lambda r: r[0])
+        prev_v = -1.0
+        has_inf = False
+        for le_v, v, ln in rows_sorted:
+            if v < prev_v:
+                problems.append(
+                    "%s:%d: histogram %s buckets not cumulative at le=%g "
+                    "(%g < %g)" % (path, ln, family, le_v, v, prev_v))
+            prev_v = v
+            if math.isinf(le_v) and le_v > 0:
+                has_inf = True
+                cnt = counts.get((family, base))
+                if cnt is not None and v != cnt[0]:
+                    problems.append(
+                        "%s:%d: histogram %s +Inf bucket %g != _count %g"
+                        % (path, ln, family, v, cnt[0]))
+        if not has_inf:
+            problems.append("%s: histogram %s label set %r lacks a +Inf "
+                            "bucket" % (path, family, dict(base)))
+        # Cross-scrape: bucket counts per (family, base, le) never decrease.
+        for le_v, v, ln in rows_sorted:
+            key = (family, "_bucket", base + (("le", repr(le_v)),))
+            prev = cross_series.get(key)
+            if prev is not None and v < prev:
+                problems.append(
+                    "%s:%d: histogram %s bucket le=%g went backwards across "
+                    "scrapes (%g -> %g)" % (path, ln, family, le_v, prev, v))
+            cross_series[key] = v
+
+    return problems
+
+
+def main(argv):
+    if len(argv) < 2 or argv[1] in ("-h", "--help"):
+        print(__doc__.strip())
+        return 0 if len(argv) >= 2 else 2
+    cross = {}
+    problems = []
+    for path in argv[1:]:
+        problems.extend(check_file(path, cross))
+    for p in problems:
+        print(p, file=sys.stderr)
+    if problems:
+        print("promcheck: %d violation(s) across %d file(s)"
+              % (len(problems), len(argv) - 1), file=sys.stderr)
+        return 1
+    print("promcheck: OK (%d file(s))" % (len(argv) - 1))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
